@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks are sized to finish in seconds while preserving the paper's
+qualitative comparisons; the full-scale regenerators are the CLI entry
+points (``python -m repro.experiments.table1`` etc., or the installed
+``repro-table1``/``repro-table2``/``repro-figure7`` scripts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulator.params import MachineParams
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xBEEF)
+
+
+@pytest.fixture(scope="session")
+def ncube7() -> MachineParams:
+    return MachineParams.ncube7()

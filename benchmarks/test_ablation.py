@@ -1,0 +1,130 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Three ablations:
+
+* **Step 8 realization** — two-merge (+ mirror) versus the literal
+  full-sort the paper's worst-case formula charges.
+* **Eq.-(1) selection** — the chosen ``D_β`` versus the worst sequence in
+  Ψ (how much the min-max heuristic actually saves).
+* **Boundary probes** — simulated time with and without the probe
+  short-circuit in every compare-split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ftsort import fault_tolerant_sort, plan_partition
+from repro.core.partition import find_min_cuts
+from repro.core.selection import extra_comm_cost
+
+
+FAULTS_Q6 = [7, 8, 31, 37, 49]
+
+
+def test_ablation_step8_two_merge(benchmark, rng, ncube7):
+    keys = rng.random(64 * 500)
+    res = benchmark.pedantic(
+        lambda: fault_tolerant_sort(keys, 6, FAULTS_Q6, params=ncube7, step8="two-merge"),
+        rounds=1, iterations=1,
+    )
+    t_full = fault_tolerant_sort(keys, 6, FAULTS_Q6, params=ncube7, step8="full-sort").elapsed
+    print(f"\nstep8 ablation: two-merge {res.elapsed:.0f}us vs full-sort {t_full:.0f}us "
+          f"({t_full / res.elapsed:.2f}x)")
+    assert res.elapsed < t_full  # s = 3 or 4 here; two-merge wins
+
+
+def test_ablation_selection_heuristic(benchmark, rng, ncube7):
+    """Best-vs-worst cutting sequence under the Eq.-(1) objective."""
+    keys = rng.random(32 * 500)
+    faults = [3, 5, 16, 24]
+    partition = find_min_cuts(5, faults)
+    costs = {d: extra_comm_cost(5, d, faults) for d in partition.cutting_set}
+    worst = max(costs, key=costs.get)
+    best_res = benchmark.pedantic(
+        lambda: fault_tolerant_sort(keys, 5, faults, params=ncube7),
+        rounds=1, iterations=1,
+    )
+    worst_res = fault_tolerant_sort(keys, 5, faults, params=ncube7, cut_dims=worst)
+    print(f"\nselection ablation: D_beta={best_res.selection.cut_dims} "
+          f"(cost {best_res.selection.cost}) {best_res.elapsed:.0f}us vs "
+          f"worst {worst} (cost {costs[worst]}) {worst_res.elapsed:.0f}us")
+    assert best_res.selection.cost <= costs[worst]
+    assert best_res.elapsed <= worst_res.elapsed
+
+
+def test_ablation_probe_short_circuit(benchmark, rng, ncube7):
+    """Probe on/off: measured via monkeypatching the kernel default."""
+    import repro.sorting.bitonic_cube as bc
+
+    keys = rng.random(64 * 500)
+
+    def run_with_probe(flag: bool):
+        original = bc.exchange_pair
+
+        def patched(machine, a, b, keep_min, hops=1, probe=True):
+            return original(machine, a, b, keep_min, hops=hops, probe=flag)
+
+        bc.exchange_pair = patched
+        # ftsort imported the symbol directly; patch there too.
+        import repro.core.ftsort as fts
+
+        saved = fts.exchange_pair
+        fts.exchange_pair = patched
+        try:
+            return fault_tolerant_sort(keys, 6, FAULTS_Q6, params=ncube7).elapsed
+        finally:
+            bc.exchange_pair = original
+            fts.exchange_pair = saved
+
+    with_probe = benchmark.pedantic(lambda: run_with_probe(True), rounds=1, iterations=1)
+    without = run_with_probe(False)
+    print(f"\nprobe ablation: with {with_probe:.0f}us vs without {without:.0f}us "
+          f"({without / with_probe:.2f}x)")
+    assert with_probe < without
+
+
+def test_ablation_switching_mode(benchmark, rng):
+    """Store-and-forward (NCUBE/7) vs cut-through (NCUBE/2-style) switching.
+
+    The partition's inter-subcube exchanges are multi-hop (reindexed
+    partners); cut-through pipelining shrinks exactly that penalty, so the
+    fault-tolerant sort gains more than the plain baseline does.
+    """
+    from repro.simulator.params import MachineParams
+
+    keys = rng.random(32 * 500)
+    faults = [3, 5, 16, 24]
+    sf = MachineParams(t_compare=2, t_element=2, t_startup=100, switching="store_forward")
+    ct = MachineParams(t_compare=2, t_element=2, t_startup=100, switching="cut_through")
+    res_sf = benchmark.pedantic(
+        lambda: fault_tolerant_sort(keys, 5, faults, params=sf), rounds=1, iterations=1
+    )
+    res_ct = fault_tolerant_sort(keys, 5, faults, params=ct)
+    from repro.core.single_fault import fault_free_bitonic_sort
+
+    base_sf = fault_free_bitonic_sort(keys, 5, params=sf).elapsed
+    base_ct = fault_free_bitonic_sort(keys, 5, params=ct).elapsed
+    ft_gain = res_sf.elapsed / res_ct.elapsed
+    base_gain = base_sf / base_ct
+    print(f"\nswitching ablation: ft gains {ft_gain:.3f}x from cut-through, "
+          f"fault-free baseline gains {base_gain:.3f}x")
+    assert res_ct.elapsed <= res_sf.elapsed
+    assert ft_gain >= base_gain  # multi-hop traffic benefits most
+
+
+def test_ablation_partition_vs_single_subcube_workload(benchmark, rng, ncube7):
+    """Utilization payoff: sorted keys per simulated second, both methods."""
+    from repro.baselines.subcube_sort import max_subcube_sort
+
+    keys = rng.random(64 * 1000)
+    ft = benchmark.pedantic(
+        lambda: fault_tolerant_sort(keys, 6, FAULTS_Q6, params=ncube7),
+        rounds=1, iterations=1,
+    )
+    base = max_subcube_sort(keys, 6, FAULTS_Q6, params=ncube7)
+    ft_rate = keys.size / ft.elapsed
+    base_rate = keys.size / base.elapsed
+    print(f"\nthroughput: proposed {ft_rate:.3f} keys/us vs "
+          f"max-subcube(Q_{base.subcube.dim}) {base_rate:.3f} keys/us")
+    assert ft_rate > base_rate

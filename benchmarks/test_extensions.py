@@ -1,0 +1,62 @@
+"""Benchmarks for the extension features beyond the paper's evaluation.
+
+* vectorized batch mincut vs the reference DFS,
+* mid-run fault recovery overhead,
+* the SPMD message-level engine's scaling,
+* host distribute/sort/collect segment split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.partition import find_min_cuts
+from repro.core.partition_fast import mincut_batch
+from repro.core.recovery import sort_with_midrun_fault
+from repro.core.spmd_sort import spmd_fault_tolerant_sort
+from repro.faults.inject import random_faulty_processors
+from repro.host import sort_session
+
+
+def test_vectorized_mincut_10k(benchmark, rng):
+    rows = np.array([random_faulty_processors(6, 5, rng) for _ in range(10_000)])
+    result = benchmark(mincut_batch, 6, rows)
+    assert result.shape == (10_000,)
+    # cross-check a sample against the reference DFS
+    for i in range(0, 10_000, 1000):
+        assert result[i] == find_min_cuts(6, list(rows[i])).mincut
+
+
+def test_midrun_recovery(benchmark, rng, ncube7):
+    keys = rng.random(24 * 200)
+    report = benchmark.pedantic(
+        lambda: sort_with_midrun_fault(keys, 5, [3, 5], victim=10,
+                                       strike_phase=6, params=ncube7),
+        rounds=1, iterations=1,
+    )
+    print(f"\nrecovery: wasted {report.wasted_time:.0f}us, rescue "
+          f"{report.rescue_time:.0f}us, redistribute "
+          f"{report.redistribution_time:.0f}us, re-sort "
+          f"{report.resort.elapsed:.0f}us -> {report.overhead_vs_oracle:.2f}x oracle")
+    assert report.overhead_vs_oracle > 1.0
+    assert np.array_equal(report.sorted_keys, np.sort(keys))
+
+
+def test_spmd_engine_wallclock(benchmark, rng, ncube7):
+    """Host-side wall-clock of the discrete-event engine (simulator speed)."""
+    keys = rng.random(24 * 16)
+    res = benchmark(spmd_fault_tolerant_sort, keys, 5, [3, 5, 16, 24], ncube7)
+    assert res.finish_time > 0
+
+
+def test_host_session_segments(benchmark, rng, ncube7):
+    keys = rng.random(24 * 32)
+    session = benchmark.pedantic(
+        lambda: sort_session(keys, 5, [3, 5, 16, 24], params=ncube7),
+        rounds=1, iterations=1,
+    )
+    total = session.total_time
+    print(f"\nhost session: distribute {100 * session.distribution_time / total:.0f}%, "
+          f"sort {100 * session.sort_time / total:.0f}%, "
+          f"collect {100 * session.collection_time / total:.0f}%")
+    assert np.array_equal(session.sorted_keys, np.sort(keys))

@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the core kernels and substrates."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.partition import find_min_cuts
+from repro.core.selection import select_cut_sequence
+from repro.core.single_fault import fault_free_bitonic_sort
+from repro.faults.diagnosis import diagnose_pmc, pmc_syndrome
+from repro.faults.model import FaultKind, FaultSet
+from repro.simulator.router import Router
+from repro.sorting.bitonic_seq import bitonic_sort
+from repro.sorting.heapsort import heapsort
+from repro.sorting.merge import compare_split
+
+
+def test_compare_split_8k(benchmark, rng):
+    a = np.sort(rng.random(8192))
+    b = np.sort(rng.random(8192))
+    res = benchmark(compare_split, a, b)
+    assert res.low.size == 8192
+
+
+def test_heapsort_4k(benchmark, rng):
+    keys = rng.random(4096)
+    out, comps = benchmark(heapsort, keys)
+    assert comps > 0
+
+
+def test_bitonic_seq_4k(benchmark, rng):
+    keys = rng.random(4096)
+    out, comps = benchmark(bitonic_sort, keys)
+    assert out[0] <= out[-1]
+
+
+def test_plain_block_bitonic_q6(benchmark, rng, ncube7):
+    keys = rng.random(64 * 256)
+    res = benchmark(fault_free_bitonic_sort, keys, 6, ncube7)
+    assert res.elapsed > 0
+
+
+def test_partition_plus_selection_q7(benchmark, rng):
+    """Planning cost (partition DFS + Eq.-1 selection) on a bigger cube."""
+    faults = tuple(int(f) for f in rng.choice(128, size=6, replace=False))
+
+    def plan():
+        part = find_min_cuts(7, faults)
+        return select_cut_sequence(part)
+
+    sel = benchmark(plan)
+    assert sel.m <= 5
+
+
+def test_pmc_diagnosis_q6(benchmark, rng):
+    fs = FaultSet(6, tuple(int(f) for f in rng.choice(64, size=5, replace=False)))
+    syndrome = pmc_syndrome(fs, rng=1)
+    result = benchmark(diagnose_pmc, 6, syndrome)
+    assert result.matches(fs)
+
+
+def test_adaptive_routing_q8(benchmark, rng):
+    faults = FaultSet(
+        8, tuple(int(f) for f in rng.choice(256, size=7, replace=False)),
+        kind=FaultKind.TOTAL,
+    )
+    router = Router(faults, strategy="adaptive")
+    normal = faults.fault_free_processors()
+    pairs = [(int(rng.choice(normal)), int(rng.choice(normal))) for _ in range(50)]
+
+    def route_all():
+        return sum(router.hops(s, d) for s, d in pairs)
+
+    total = benchmark(route_all)
+    assert total >= 0

@@ -1,0 +1,79 @@
+"""Benchmark E11: the partial-vs-total fault routing penalty (Section 4).
+
+The paper notes that its NCUBE/7 runs simulate *partial* faults (VERTEX
+routes straight through faulty nodes) and that rewriting the router for
+*total* faults would cost more.  These benches quantify that penalty on
+the phase engine, on the discrete-event SPMD machine, and at the raw
+routing level (adaptive detours vs e-cube distance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ftsort import fault_tolerant_sort
+from repro.core.spmd_sort import spmd_fault_tolerant_sort
+from repro.cube.address import hamming_distance
+from repro.faults.model import FaultKind, FaultSet
+from repro.simulator.router import Router
+
+FAULTS_Q5 = [3, 5, 16, 24]
+
+
+def test_routing_penalty_phase_engine(benchmark, rng, ncube7):
+    keys = rng.random(24 * 500)
+    partial = benchmark.pedantic(
+        lambda: fault_tolerant_sort(
+            keys, 5, FAULTS_Q5, params=ncube7, fault_kind=FaultKind.PARTIAL
+        ),
+        rounds=1, iterations=1,
+    )
+    total = fault_tolerant_sort(
+        keys, 5, FAULTS_Q5, params=ncube7, fault_kind=FaultKind.TOTAL
+    )
+    print(f"\nphase engine: partial {partial.elapsed:.0f}us vs "
+          f"total {total.elapsed:.0f}us ({total.elapsed / partial.elapsed:.3f}x)")
+    assert total.elapsed >= partial.elapsed
+
+
+def test_routing_penalty_event_engine(benchmark, rng, ncube7):
+    keys = rng.random(24 * 8)
+    partial = benchmark.pedantic(
+        lambda: spmd_fault_tolerant_sort(
+            keys, 5, FAULTS_Q5, params=ncube7, fault_kind=FaultKind.PARTIAL
+        ),
+        rounds=1, iterations=1,
+    )
+    total = spmd_fault_tolerant_sort(
+        keys, 5, FAULTS_Q5, params=ncube7, fault_kind=FaultKind.TOTAL
+    )
+    print(f"\nevent engine: partial {partial.finish_time:.0f}us vs "
+          f"total {total.finish_time:.0f}us "
+          f"({total.finish_time / partial.finish_time:.3f}x)")
+    assert total.finish_time >= partial.finish_time
+    np.testing.assert_array_equal(partial.sorted_keys, total.sorted_keys)
+
+
+def test_adaptive_router_stretch(benchmark, rng):
+    """Average extra hops the adaptive router pays over e-cube distance."""
+    n = 6
+    faults = FaultSet(
+        n, tuple(int(f) for f in rng.choice(64, size=5, replace=False)),
+        kind=FaultKind.TOTAL,
+    )
+    router = Router(faults, strategy="adaptive")
+    normal = faults.fault_free_processors()
+    pairs = [
+        (int(rng.choice(normal)), int(rng.choice(normal))) for _ in range(200)
+    ]
+
+    def measure():
+        extra = 0
+        for s, d in pairs:
+            extra += router.hops(s, d) - hamming_distance(s, d)
+        return extra / len(pairs)
+
+    avg_extra = benchmark(measure)
+    print(f"\nadaptive stretch: {avg_extra:.3f} extra hops/message over e-cube")
+    assert avg_extra >= 0
+    assert avg_extra < 2.0  # detours stay short with r <= n-1 faults

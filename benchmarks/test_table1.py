@@ -1,0 +1,47 @@
+"""Benchmark + regenerator for Table 1 (mincut distribution).
+
+``pytest benchmarks/test_table1.py --benchmark-only -s`` prints the
+paper-style table (reduced trial count; the CLI regenerator
+``repro-table1`` runs the full 10000 trials per cell).
+"""
+
+from __future__ import annotations
+
+from repro.core.partition import find_min_cuts
+from repro.experiments.table1 import compute_table1, render_table1
+from repro.faults.inject import random_faulty_processors
+
+
+def test_partition_algorithm_q6_r5(benchmark, rng):
+    """Cost of one partition-algorithm run at the paper's largest cell."""
+    faults = random_faulty_processors(6, 5, rng)
+    result = benchmark(find_min_cuts, 6, faults)
+    assert result.mincut <= 4
+
+
+def test_table1_monte_carlo_cell(benchmark, rng):
+    """Cost of one (n=6, r=5) Monte-Carlo cell at 100 trials."""
+
+    def cell():
+        counts: dict[int, int] = {}
+        for _ in range(100):
+            faults = random_faulty_processors(6, 5, rng)
+            m = find_min_cuts(6, faults).mincut
+            counts[m] = counts.get(m, 0) + 1
+        return counts
+
+    counts = benchmark.pedantic(cell, rounds=1, iterations=1)
+    assert sum(counts.values()) == 100
+
+
+def test_table1_rows(benchmark):
+    """Regenerate Table 1 (reduced trials) and print the rows."""
+    cells = benchmark.pedantic(
+        lambda: compute_table1(trials=300, seed=19920401), rounds=1, iterations=1
+    )
+    print()
+    print(render_table1(cells))
+    # Paper shape assertions: n=6, r=5 concentrates on m=3.
+    cell = next(c for c in cells if (c.n, c.r) == (6, 5))
+    assert cell.percent(3) > 85.0
+    assert cell.percent(3) + cell.percent(4) == 100.0

@@ -1,0 +1,39 @@
+"""Benchmark + regenerator for Table 2 (processor utilization).
+
+``pytest benchmarks/test_table2.py --benchmark-only -s`` prints the
+paper-style utilization table (reduced trials; ``repro-table2`` runs the
+full sweep).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.maxsubcube import max_fault_free_dim
+from repro.experiments.table2 import compute_table2, render_table2
+from repro.faults.inject import random_faulty_processors
+
+
+def test_max_subcube_search_q6(benchmark, rng):
+    """Cost of one maximal fault-free subcube search (the baseline's step)."""
+    faults = random_faulty_processors(6, 5, rng)
+    dim = benchmark(max_fault_free_dim, 6, faults)
+    assert 1 <= dim <= 5
+
+
+def test_table2_rows(benchmark):
+    """Regenerate Table 2 (reduced trials), print rows, check paper values."""
+    cells = benchmark.pedantic(
+        lambda: compute_table2(trials=400, seed=19920402), rounds=1, iterations=1
+    )
+    print()
+    print(render_table2(cells))
+    # Paper's worked cell: n = 6, r = 4 -> proposed 100 / 93.3,
+    # baseline 53.3 / 26.6.
+    cell = next(c for c in cells if (c.n, c.r) == (6, 4))
+    assert cell.proposed_best == 100.0
+    assert abs(cell.proposed_worst - 93.3) < 0.5
+    assert abs(cell.baseline_best - 53.3) < 0.5
+    assert abs(cell.baseline_worst - 26.6) < 0.5
+    # Global headline: the proposed scheme dominates the baseline.
+    for c in cells:
+        assert c.proposed_worst >= c.baseline_worst
+        assert c.proposed_best >= c.baseline_best

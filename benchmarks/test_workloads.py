@@ -1,0 +1,37 @@
+"""Benchmarks for the workload-sensitivity and record-size studies."""
+
+from __future__ import annotations
+
+from repro.analysis.records import record_size_sensitivity
+from repro.experiments.workloads import (
+    compute_data_sensitivity,
+    render_data_sensitivity,
+)
+
+
+def test_data_sensitivity_table(benchmark, ncube7):
+    rows = benchmark.pedantic(
+        lambda: compute_data_sensitivity(m_keys=24 * 500, params=ncube7, seed=8),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_data_sensitivity(rows))
+    by_name = {r.workload: r for r in rows}
+    assert by_name["sorted"].elapsed < by_name["uniform"].elapsed
+    # obliviousness bounds the spread
+    assert max(r.relative_to_uniform for r in rows) < 2.0
+
+
+def test_record_size_table(benchmark, ncube7):
+    rows = benchmark.pedantic(
+        lambda: record_size_sensitivity(
+            5, [3, 5, 16, 24], 24 * 1000, record_sizes=(4, 16, 64), params=ncube7
+        ),
+        rounds=1, iterations=1,
+    )
+    print("\nrecord-size sensitivity (Q_5, Example-1 faults):")
+    for r in rows:
+        print(f"  {r.record_bytes:>4}B records: proposed/baseline speedup "
+              f"{r.speedup:.2f}x")
+    # margin erodes with record size
+    assert rows[0].speedup > rows[-1].speedup

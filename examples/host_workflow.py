@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""The full host workflow: distribute, sort, collect — with segment timing.
+
+The paper's measurements (like most of that era) time the sort alone;
+Step 2's host distribution and the final collection are free.  This
+example runs the complete session on the discrete-event machine — the host
+scatters key blocks down a fault-avoiding spanning tree, the sort runs,
+blocks are gathered back — and shows how much the excluded segments
+actually cost at several scales.
+
+    python examples/host_workflow.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.host import sort_session
+from repro.simulator.params import MachineParams
+
+
+def main() -> None:
+    rng = np.random.default_rng(9)
+    n, faults = 5, [3, 5, 16, 24]  # the paper's Example 1
+    params = MachineParams.ncube7()
+
+    print(f"Q_{n} with faults {faults}; host = lowest working processor\n")
+    print(f"{'keys':>7} {'distribute':>12} {'sort':>12} {'collect':>12} "
+          f"{'total':>12} {'sort share':>11}")
+    for per_proc in (4, 16, 64, 256):
+        m = 24 * per_proc
+        keys = rng.integers(0, 10**6, size=m).astype(float)
+        s = sort_session(keys, n, faults, params=params)
+        assert np.array_equal(s.sorted_keys, np.sort(keys))
+        print(f"{m:>7} {s.distribution_time / 1e3:>10.1f}ms "
+              f"{s.sort_time / 1e3:>10.1f}ms {s.collection_time / 1e3:>10.1f}ms "
+              f"{s.total_time / 1e3:>10.1f}ms {100 * s.sort_time / s.total_time:>10.1f}%")
+
+    print("\nNote the trend: distribution grows linearly in M (all keys funnel")
+    print("through one host link) while the sort grows only as (M/N')·polylog —")
+    print("so at scale the single host becomes the bottleneck.  That is exactly")
+    print("why NCUBE-class machines shipped parallel I/O subsystems, and why the")
+    print("paper (fairly, for its era) times the sort alone.")
+
+
+if __name__ == "__main__":
+    main()

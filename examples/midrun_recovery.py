@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""What happens when a processor dies in the middle of the sort?
+
+The paper assumes faults are diagnosed up front.  This example exercises
+the repository's recovery extension: a processor dies mid-run (partial
+fault — its memory and links survive), its block is rescued by a
+neighbor, the partition is re-planned for the enlarged fault set, and the
+sort re-runs.  Shows how the recovery bill divides between wasted work,
+rescue, redistribution, and the re-sort, as the crash strikes later and
+later.
+
+    python examples/midrun_recovery.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.recovery import sort_with_midrun_fault
+from repro.simulator.params import MachineParams
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    n, initial_faults, victim = 5, [3, 5], 10
+    keys = rng.integers(0, 10**6, size=24 * 500).astype(float)
+    params = MachineParams.ncube7()
+
+    # How many phases does the undisturbed run have?
+    from repro.core.ftsort import fault_tolerant_sort
+
+    baseline = fault_tolerant_sort(keys, n, initial_faults, params=params)
+    n_phases = len(baseline.machine.phases)
+    print(f"Q_{n}, initial faults {initial_faults}, victim {victim}; "
+          f"undisturbed run: {n_phases} phases, "
+          f"{baseline.elapsed / 1e3:.1f} ms\n")
+
+    print(f"{'strike':>7} {'wasted':>9} {'rescue':>8} {'redist':>8} "
+          f"{'re-sort':>9} {'total':>9} {'vs oracle':>10}")
+    for strike in (0, n_phases // 4, n_phases // 2, n_phases - 2):
+        rep = sort_with_midrun_fault(
+            keys, n, initial_faults, victim=victim, strike_phase=strike, params=params
+        )
+        assert np.array_equal(rep.sorted_keys, np.sort(keys))
+        print(f"{strike:>7} {rep.wasted_time / 1e3:>7.1f}ms "
+              f"{rep.rescue_time / 1e3:>6.1f}ms "
+              f"{rep.redistribution_time / 1e3:>6.1f}ms "
+              f"{rep.resort.elapsed / 1e3:>7.1f}ms "
+              f"{rep.total_time / 1e3:>7.1f}ms "
+              f"{rep.overhead_vs_oracle:>9.2f}x")
+
+    print("\n'vs oracle' compares against knowing the fault before starting;")
+    print("a crash near the end costs nearly a full extra sort, as expected")
+    print("for a recovery scheme with no checkpointing of partial order.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Walk through the paper's Examples 1 and 2 interactively.
+
+Reproduces, step by step, the partition algorithm (Section 2.2) and the
+selection heuristic (Section 3) on the paper's running scenario — a Q_5
+with faulty processors {3, 5, 16, 24} — then does the same for any fault
+set you pass on the command line:
+
+    python examples/partition_explorer.py            # the paper's scenario
+    python examples/partition_explorer.py 6 0 9 33 60  # Q_6, your faults
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import find_min_cuts, select_cut_sequence
+from repro.core.partition import CheckingTree
+from repro.core.selection import extra_comm_cost
+from repro.cube.subcube import AddressSplit
+
+
+def explore(n: int, faults: list[int]) -> None:
+    print(f"Q_{n} with {len(faults)} faulty processors: "
+          f"{[f'{f:0{n}b}' for f in faults]}")
+
+    partition = find_min_cuts(n, faults)
+    print(f"\nPartition algorithm (Section 2.2):")
+    print(f"  mincut m = {partition.mincut}")
+    print(f"  cutting set Psi ({len(partition.cutting_set)} sequences):")
+    for dims in partition.cutting_set:
+        cost = extra_comm_cost(n, dims, faults) if partition.mincut else 0
+        print(f"    D = {dims}   Eq.-(1) cost = {cost}")
+
+    if partition.mincut == 0:
+        print("  (at most one fault: Section 2.1's single-fault sort applies directly)")
+        return
+
+    selection = select_cut_sequence(partition)
+    split = AddressSplit(n, selection.cut_dims)
+    print(f"\nSelection heuristic (Section 3):")
+    print(f"  D_beta = {selection.cut_dims} with cost {selection.cost}")
+    print(f"  address split: v bits from dims {selection.cut_dims}, "
+          f"w bits from dims {split.rest_dims}")
+    print(f"  dangling local address w = {selection.dangling_w:0{selection.s}b}")
+    print(f"  dead processor per subcube:")
+    for v, dead in enumerate(selection.dead_of_subcube):
+        role = "fault" if dead in faults else "dangling"
+        print(f"    subcube v={v:0{selection.m}b}: processor {dead:>3} ({role})")
+
+    print(f"\nCutting-dimension tree DFS (paper Fig. 2 style):")
+    from repro.core.partition_trace import render_cutting_tree
+
+    print("  " + render_cutting_tree(n, faults).replace("\n", "\n  "))
+
+    print(f"\nChecking tree for D_beta (paper Fig. 4 style):")
+    tree = CheckingTree(n, selection.cut_dims, faults)
+    for depth, level in enumerate(tree.levels):
+        label = "root" if depth == 0 else f"after cutting dim {selection.cut_dims[depth - 1]}"
+        parts = ", ".join(f"{path:0{max(depth, 1)}b}:{sorted(fl)}" for path, fl in sorted(level.items()))
+        print(f"  depth {depth} ({label}): {parts}")
+
+    working = selection.working_processors
+    print(f"\nWorkload: {working} working processors "
+          f"({(1 << n) - len(faults) - working} dangling), "
+          f"utilization {100 * working / ((1 << n) - len(faults)):.1f}%")
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        n = int(sys.argv[1])
+        faults = [int(a) for a in sys.argv[2:]]
+        if not faults:
+            raise SystemExit("usage: partition_explorer.py [n fault fault ...]")
+    else:
+        n, faults = 5, [0b00011, 0b00101, 0b10000, 0b11000]  # paper Example 1
+        print("(no arguments: using the paper's Example 1)\n")
+    explore(n, faults)
+
+
+if __name__ == "__main__":
+    main()

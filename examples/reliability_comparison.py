@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Three fault-tolerance families, one expected-capacity table.
+
+The paper's introduction argues that hardware spares cost silicon and that
+subcube reconfiguration wastes processors, motivating the algorithm-based
+approach.  This example quantifies the whole argument: expected usable
+capacity of each scheme as the per-processor failure probability grows.
+
+    python examples/reliability_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reliability import expected_capacity
+from repro.baselines.spares import SpareScheme
+
+
+def main() -> None:
+    n = 6
+    scheme = SpareScheme(n, module_dim=4, spares_per_module=1)
+    print(f"Q_{n} (64 processors); spare design: {scheme.num_modules} modules x "
+          f"{scheme.spares_per_module} spare "
+          f"(+{100 * scheme.hardware_overhead:.0f}% hardware)\n")
+    print(f"{'p(fail)':>8} {'proposed':>10} {'max-subcube':>12} {'hw spares':>10}")
+    for p in (0.001, 0.005, 0.01, 0.02, 0.05, 0.10):
+        c = expected_capacity(n, p, spare_scheme=scheme, placements_per_r=200, rng=4)
+        print(f"{p:>8.3f} {c.proposed:>9.1%} {c.max_subcube:>11.1%} {c.spares:>9.1%}")
+
+    print("\nexact repair coverage of the spare design by fault count:")
+    for r in range(1, 7):
+        print(f"  r={r}: {scheme.coverage(r):6.1%}")
+
+    print("\nReading: the algorithm-based scheme keeps nearly all surviving")
+    print("capacity at every failure rate with zero extra hardware; spares")
+    print("hold full speed only while every module's fault count stays within")
+    print("its spare budget, then fall off a cliff; subcube reconfiguration")
+    print("throws away half the machine per halving.  This is the paper's")
+    print("introduction, measured.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim so ``pip install -e .`` works without build isolation
+(offline environments with no ``wheel`` package).  All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""Analysis utilities over simulation results.
+
+* :mod:`repro.analysis.metrics` — speedup/efficiency metrics, the
+  crossover key-count finder (smallest ``M`` where the proposed algorithm
+  beats the reconfiguration baseline), and worst-case-model versus
+  measured-time comparison.
+* :mod:`repro.analysis.breakdown` — per-stage cost breakdowns of a phase
+  machine run (where did the microseconds go: local sort, intra-subcube
+  bitonic, inter-subcube exchange, mirrors).
+* :mod:`repro.analysis.reliability` — expected usable capacity of the
+  three fault-tolerance families (algorithm-based, subcube
+  reconfiguration, hardware spares) as per-processor failure probability
+  grows.
+"""
+
+from repro.analysis.breakdown import StageBreakdown, phase_breakdown
+from repro.analysis.metrics import (
+    crossover_keys,
+    efficiency,
+    model_accuracy,
+    speedup_vs_baseline,
+)
+from repro.analysis.reliability import CapacityCurve, expected_capacity
+from repro.analysis.records import RecordSizeRow, record_size_sensitivity
+
+__all__ = [
+    "CapacityCurve",
+    "RecordSizeRow",
+    "record_size_sensitivity",
+    "StageBreakdown",
+    "crossover_keys",
+    "efficiency",
+    "expected_capacity",
+    "model_accuracy",
+    "phase_breakdown",
+    "speedup_vs_baseline",
+]

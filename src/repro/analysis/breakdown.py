@@ -1,0 +1,74 @@
+"""Per-stage cost breakdowns of a phase-machine run.
+
+The phase machine records every barrier-separated step with its duration
+and traffic; this module folds those records into the algorithm's
+conceptual stages (the paper's steps), which is how EXPERIMENTS.md's
+"where does the time go" numbers are produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulator.phases import PhaseMachine
+
+__all__ = ["StageBreakdown", "phase_breakdown"]
+
+#: Phase-label prefix -> conceptual stage name.
+_STAGES = (
+    ("local-heapsort", "local sort (step 3a)"),
+    ("intra-init", "initial subcube bitonic (step 3b)"),
+    ("inter", "inter-subcube exchange (step 7)"),
+    ("intra[", "subcube re-sort (step 8)"),
+    ("bitonic", "full-cube bitonic"),
+    ("subcube-bitonic", "baseline subcube bitonic"),
+)
+
+
+@dataclass
+class StageBreakdown:
+    """Aggregated costs of one conceptual stage.
+
+    Attributes:
+        stage: stage name.
+        duration: summed phase durations (simulated time).
+        comparisons: summed key comparisons.
+        elements_sent: summed element transfers.
+        element_hops: summed element*hop products.
+        phases: number of phases folded in.
+    """
+
+    stage: str
+    duration: float = 0.0
+    comparisons: int = 0
+    elements_sent: int = 0
+    element_hops: int = 0
+    phases: int = 0
+
+    def add(self, rec) -> None:
+        self.duration += rec.duration
+        self.comparisons += rec.comparisons
+        self.elements_sent += rec.elements_sent
+        self.element_hops += rec.element_hops
+        self.phases += 1
+
+
+def _stage_of(label: str) -> str:
+    for prefix, name in _STAGES:
+        if label.startswith(prefix):
+            return name
+    return "other"
+
+
+def phase_breakdown(machine: PhaseMachine) -> dict[str, StageBreakdown]:
+    """Fold a machine's phase records into conceptual stages.
+
+    Returns a dict keyed by stage name, ordered by descending duration.
+    """
+    stages: dict[str, StageBreakdown] = {}
+    for rec in machine.phases:
+        name = _stage_of(rec.label)
+        if name not in stages:
+            stages[name] = StageBreakdown(stage=name)
+        stages[name].add(rec)
+    return dict(sorted(stages.items(), key=lambda kv: -kv[1].duration))

@@ -1,0 +1,126 @@
+"""Speedup, efficiency, crossover, and model-accuracy metrics.
+
+These are the quantities the paper's evaluation reasons about informally;
+we expose them as first-class functions so experiments and tests can make
+the claims precise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.subcube_sort import max_subcube_sort
+from repro.core.cost import paper_worst_case_time
+from repro.core.ftsort import fault_tolerant_sort
+from repro.simulator.params import MachineParams
+
+__all__ = ["crossover_keys", "efficiency", "model_accuracy", "speedup_vs_baseline"]
+
+
+def speedup_vs_baseline(
+    m_keys: int,
+    n: int,
+    faults: list[int] | tuple[int, ...],
+    params: MachineParams | None = None,
+    seed: int = 0,
+) -> float:
+    """Baseline time / proposed time for one workload (both simulated).
+
+    Values above 1 mean the proposed algorithm wins.
+    """
+    rng = np.random.default_rng(seed)
+    keys = rng.random(m_keys)
+    ft = fault_tolerant_sort(keys, n, list(faults), params=params)
+    base = max_subcube_sort(keys, n, list(faults), params=params)
+    return base.elapsed / ft.elapsed
+
+
+def efficiency(
+    m_keys: int,
+    n: int,
+    faults: list[int] | tuple[int, ...],
+    params: MachineParams | None = None,
+    seed: int = 0,
+) -> float:
+    """Parallel efficiency of the proposed sort against fault-free ``Q_n``.
+
+    ``(fault-free time * fault-free workers) / (faulty time * working
+    processors)``: 1.0 means the faulty machine extracts the same work per
+    processor as the pristine one.
+    """
+    rng = np.random.default_rng(seed)
+    keys = rng.random(m_keys)
+    free = fault_tolerant_sort(keys, n, [], params=params)
+    faulty = fault_tolerant_sort(keys, n, list(faults), params=params)
+    return (free.elapsed * free.working_processors) / (
+        faulty.elapsed * faulty.working_processors
+    )
+
+
+def crossover_keys(
+    n: int,
+    faults: list[int] | tuple[int, ...],
+    params: MachineParams | None = None,
+    lo: int = 1,
+    hi: int = 1 << 22,
+    seed: int = 0,
+) -> int | None:
+    """Smallest ``M`` in ``[lo, hi]`` where the proposed algorithm wins.
+
+    Binary search assuming the speedup is eventually monotone in ``M``
+    (true here: startup overheads favor the smaller baseline machine at
+    small ``M``, asymptotics favor the more-processors proposed scheme).
+    Returns ``None`` if the proposed algorithm never wins by ``hi``.
+    """
+    if speedup_vs_baseline(hi, n, faults, params, seed) <= 1.0:
+        return None
+    if speedup_vs_baseline(lo, n, faults, params, seed) > 1.0:
+        return lo
+    lo_m, hi_m = lo, hi
+    while lo_m + 1 < hi_m:
+        mid = (lo_m + hi_m) // 2
+        if speedup_vs_baseline(mid, n, faults, params, seed) > 1.0:
+            hi_m = mid
+        else:
+            lo_m = mid
+    return hi_m
+
+
+@dataclass(frozen=True)
+class ModelAccuracy:
+    """Worst-case model versus measured time for one run."""
+
+    measured: float
+    model_bound: float
+
+    @property
+    def ratio(self) -> float:
+        """measured / bound; must be <= 1 for a sound worst case."""
+        return self.measured / self.model_bound if self.model_bound else float("inf")
+
+
+def model_accuracy(
+    m_keys: int,
+    n: int,
+    faults: list[int] | tuple[int, ...],
+    params: MachineParams | None = None,
+    seed: int = 0,
+) -> ModelAccuracy:
+    """Compare the paper's closed-form worst case against a simulated run.
+
+    Startup costs are excluded from the comparison (the paper's ``T`` has
+    no startup term), so a zero-startup copy of ``params`` drives the
+    simulation.
+    """
+    p = params if params is not None else MachineParams.ncube7()
+    p_nostartup = MachineParams(
+        t_compare=p.t_compare, t_element=p.t_element, t_startup=0.0, switching=p.switching
+    )
+    rng = np.random.default_rng(seed)
+    keys = rng.random(m_keys)
+    res = fault_tolerant_sort(keys, n, list(faults), params=p_nostartup)
+    mincut = res.selection.m if res.selection is not None else 0
+    bound = paper_worst_case_time(m_keys, n, mincut, p_nostartup)
+    return ModelAccuracy(measured=res.elapsed, model_bound=bound)

@@ -1,0 +1,60 @@
+"""Record-size sensitivity: how satellite data shifts the comparison.
+
+The paper sorts bare 4-byte keys.  Real records carry payloads, which
+scale every transfer while comparisons still touch only the key — pushing
+all algorithms toward communication-bound behavior.  The proposed scheme
+is *more* communication-intensive per key than the plain bitonic baseline
+(multi-hop inter-subcube exchanges), so growing records erode its margin;
+this module measures by how much, and finds the record size at which the
+reconfiguration baseline catches up (if it ever does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.subcube_sort import max_subcube_sort
+from repro.core.ftsort import fault_tolerant_sort
+from repro.simulator.params import MachineParams
+
+__all__ = ["RecordSizeRow", "record_size_sensitivity"]
+
+
+@dataclass(frozen=True)
+class RecordSizeRow:
+    """Speedup of the proposed scheme for one record size."""
+
+    record_bytes: int
+    proposed_time: float
+    baseline_time: float
+
+    @property
+    def speedup(self) -> float:
+        """baseline / proposed (> 1 means the proposed scheme wins)."""
+        return self.baseline_time / self.proposed_time
+
+
+def record_size_sensitivity(
+    n: int,
+    faults: list[int] | tuple[int, ...],
+    m_keys: int,
+    record_sizes: tuple[int, ...] = (4, 16, 64, 256),
+    params: MachineParams | None = None,
+    seed: int = 0,
+) -> list[RecordSizeRow]:
+    """Proposed-vs-baseline times across record sizes (same keys throughout)."""
+    base_params = params if params is not None else MachineParams.ncube7()
+    rng = np.random.default_rng(seed)
+    keys = rng.random(m_keys)
+    rows = []
+    for rb in record_sizes:
+        p = base_params.with_record_bytes(rb)
+        ft = fault_tolerant_sort(keys, n, list(faults), params=p)
+        base = max_subcube_sort(keys, n, list(faults), params=p)
+        rows.append(
+            RecordSizeRow(record_bytes=rb, proposed_time=ft.elapsed,
+                          baseline_time=base.elapsed)
+        )
+    return rows

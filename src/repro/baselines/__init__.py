@@ -1,0 +1,29 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.maxsubcube` — the *maximum dimensional fault-free
+  subcube* reconfiguration method (Özgüner & Aykanat, IPL 1988): after
+  faults are identified, keep only a largest fault-free subcube and idle
+  everything else.
+* :mod:`repro.baselines.subcube_sort` — parallel bitonic sort confined to
+  that subcube: the thick-line baseline of the paper's Figure 7.
+* :mod:`repro.baselines.spares` — the related-work hardware family
+  (Rennels / Chau & Liestman / Alam & Melhem style modular spares with
+  decoupling switches), modeled for the reliability comparison.
+"""
+
+from repro.baselines.maxsubcube import (
+    max_fault_free_dim,
+    max_fault_free_subcube,
+    all_max_fault_free_subcubes,
+)
+from repro.baselines.subcube_sort import max_subcube_sort
+from repro.baselines.spares import RepairResult, SpareScheme
+
+__all__ = [
+    "RepairResult",
+    "SpareScheme",
+    "all_max_fault_free_subcubes",
+    "max_fault_free_dim",
+    "max_fault_free_subcube",
+    "max_subcube_sort",
+]

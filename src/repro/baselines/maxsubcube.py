@@ -1,0 +1,129 @@
+"""Finding maximum dimensional fault-free subcubes (Özgüner's method).
+
+The reconfiguration baseline discards the faulty machine and keeps a
+largest subcube containing no faulty processor.  A ``k``-dimensional
+subcube is determined by choosing ``n - k`` *fixed* dimensions and a value
+for each; it is fault-free iff no fault projects onto that value.  So for a
+given fixed-dimension set ``S`` a fault-free subcube exists iff the faults'
+projections onto ``S`` do not cover all ``2**|S|`` values — an ``O(r)``
+test per candidate set, giving ``O(sum_k C(n, k) * r)`` overall, far below
+brute-force enumeration of all ``C(n, k) * 2**(n-k)`` subcubes.
+
+With ``r`` faults, fixing ``ceil(log2(r + 1))`` dimensions always leaves a
+free value, so the maximal dimension is at least
+``n - ceil(log2(r + 1))``; it is at most ``n - 1`` whenever ``r >= 1``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from collections.abc import Sequence
+
+from repro.cube.address import validate_address, validate_dimension
+from repro.cube.subcube import Subcube
+from repro.faults.model import FaultSet
+
+__all__ = ["max_fault_free_dim", "max_fault_free_subcube", "all_max_fault_free_subcubes"]
+
+
+def _fault_addresses(n: int, faults: FaultSet | Sequence[int]) -> tuple[int, ...]:
+    if isinstance(faults, FaultSet):
+        if faults.n != n:
+            raise ValueError(f"fault set is for Q_{faults.n}, expected Q_{n}")
+        return faults.processors
+    return tuple(sorted({validate_address(int(f), n) for f in faults}))
+
+
+def _project(addr: int, dims: tuple[int, ...]) -> int:
+    key = 0
+    for k, d in enumerate(dims):
+        key |= ((addr >> d) & 1) << k
+    return key
+
+
+def _free_value(n: int, fixed_dims: tuple[int, ...], faults: tuple[int, ...]) -> int | None:
+    """A fixed-dims value hit by no fault, or ``None`` if all are covered.
+
+    Prefers the smallest free value (deterministic tie-break).
+    """
+    covered = {_project(f, fixed_dims) for f in faults}
+    total = 1 << len(fixed_dims)
+    if len(covered) >= total:
+        return None
+    for value in range(total):
+        if value not in covered:
+            return value
+    return None  # pragma: no cover - unreachable
+
+
+def _subcube_from(n: int, fixed_dims: tuple[int, ...], value: int) -> Subcube:
+    mask = 0
+    val = 0
+    for k, d in enumerate(fixed_dims):
+        mask |= 1 << d
+        if (value >> k) & 1:
+            val |= 1 << d
+    return Subcube(n, mask, val)
+
+
+def max_fault_free_dim(n: int, faults: FaultSet | Sequence[int]) -> int:
+    """Dimension of the largest fault-free subcube of ``Q_n``.
+
+    Returns ``n`` when there are no faults.  Raises if every processor is
+    faulty (no fault-free subcube of any dimension exists).
+    """
+    validate_dimension(n)
+    addrs = _fault_addresses(n, faults)
+    if not addrs:
+        return n
+    if len(addrs) == 1 << n:
+        raise ValueError(f"all {1 << n} processors of Q_{n} are faulty")
+    for k in range(n - 1, -1, -1):
+        for fixed in combinations(range(n), n - k):
+            if _free_value(n, fixed, addrs) is not None:
+                return k
+    return 0  # pragma: no cover - the Q_0 loop above always finds one
+
+
+def max_fault_free_subcube(n: int, faults: FaultSet | Sequence[int]) -> Subcube:
+    """One maximum dimensional fault-free subcube (deterministic choice).
+
+    Among maximal subcubes, prefers the lexicographically smallest fixed
+    dimension set, then the smallest fixed value.
+    """
+    validate_dimension(n)
+    addrs = _fault_addresses(n, faults)
+    if not addrs:
+        return Subcube(n, 0, 0)
+    if len(addrs) == 1 << n:
+        raise ValueError(f"all {1 << n} processors of Q_{n} are faulty")
+    for k in range(n - 1, -1, -1):
+        for fixed in combinations(range(n), n - k):
+            value = _free_value(n, fixed, addrs)
+            if value is not None:
+                return _subcube_from(n, fixed, value)
+    raise AssertionError("unreachable: a fault-free processor is a Q_0 subcube")
+
+
+def all_max_fault_free_subcubes(n: int, faults: FaultSet | Sequence[int]) -> list[Subcube]:
+    """Every maximum dimensional fault-free subcube.
+
+    Used by tests (cross-checking the fast projection test against direct
+    enumeration) and by the utilization experiment to report how rare the
+    baseline's best case is.
+    """
+    validate_dimension(n)
+    addrs = _fault_addresses(n, faults)
+    if not addrs:
+        return [Subcube(n, 0, 0)]
+    best_dim = max_fault_free_dim(n, addrs)
+    out: list[Subcube] = []
+    fault_set = set(addrs)
+    for fixed in combinations(range(n), n - best_dim):
+        covered = {_project(f, fixed) for f in addrs}
+        for value in range(1 << len(fixed)):
+            if value not in covered:
+                sub = _subcube_from(n, fixed, value)
+                assert not any(sub.contains(f) for f in fault_set)
+                out.append(sub)
+    return out

@@ -1,0 +1,134 @@
+"""Hardware spare-allocation reconfiguration (the related-work baseline).
+
+The paper's introduction surveys hardware fault tolerance for hypercubes —
+Rennels' spares-with-switches, Chau & Liestman's decoupling-switch scheme,
+Alam & Melhem's modular spare allocation — and dismisses the family for
+"high hardware complexity and low processor utilization".  This module
+models the family quantitatively so that dismissal can be examined:
+
+The machine is divided into ``2**(n - module_dim)`` modules of
+``2**module_dim`` processors; each module carries ``spares_per_module``
+spare processors behind decoupling switches.  A fault configuration is
+*repairable* — the full ``Q_n`` is restored at full speed — iff no module
+has more faults than spares.  (Spares themselves are assumed fault-free,
+the usual simplification in these papers' first-order analyses.)
+
+:func:`SpareScheme.coverage` computes the exact probability that ``r``
+uniformly random faults are repairable, by polynomial convolution over
+modules (the coefficient-counting argument): the number of placements with
+at most ``s`` faults per module is the ``x**r`` coefficient of
+``(sum_{k<=s} C(2**g, k) x**k) ** num_modules``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+import numpy as np
+
+from repro.cube.address import validate_dimension
+from repro.faults.model import FaultSet
+
+__all__ = ["RepairResult", "SpareScheme"]
+
+
+@dataclass(frozen=True)
+class RepairResult:
+    """Outcome of attempting a spare-based repair.
+
+    Attributes:
+        success: whether every module could absorb its faults.
+        replaced: mapping faulty processor -> spare id ``(module, slot)``.
+        overloaded_modules: modules with more faults than spares.
+    """
+
+    success: bool
+    replaced: dict[int, tuple[int, int]]
+    overloaded_modules: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SpareScheme:
+    """A modular spare-allocation design for ``Q_n``.
+
+    Attributes:
+        n: hypercube dimension.
+        module_dim: each module covers ``2**module_dim`` processors
+            (modules are address blocks, the usual physical packaging).
+        spares_per_module: spare processors per module.
+    """
+
+    n: int
+    module_dim: int
+    spares_per_module: int
+
+    def __post_init__(self) -> None:
+        validate_dimension(self.n)
+        if not 0 <= self.module_dim <= self.n:
+            raise ValueError(f"module_dim {self.module_dim} out of range for Q_{self.n}")
+        if self.spares_per_module < 0:
+            raise ValueError("spares_per_module must be non-negative")
+
+    @property
+    def num_modules(self) -> int:
+        return 1 << (self.n - self.module_dim)
+
+    @property
+    def module_size(self) -> int:
+        return 1 << self.module_dim
+
+    @property
+    def total_spares(self) -> int:
+        return self.num_modules * self.spares_per_module
+
+    @property
+    def hardware_overhead(self) -> float:
+        """Extra processors as a fraction of the base machine."""
+        return self.total_spares / (1 << self.n)
+
+    def module_of(self, addr: int) -> int:
+        """Module index of processor ``addr`` (high address bits)."""
+        if not 0 <= addr < (1 << self.n):
+            raise ValueError(f"address {addr} out of range for Q_{self.n}")
+        return addr >> self.module_dim
+
+    def repair(self, faults: FaultSet | list[int] | tuple[int, ...]) -> RepairResult:
+        """Attempt the repair: assign each fault a spare in its module."""
+        addrs = faults.processors if isinstance(faults, FaultSet) else tuple(sorted(set(faults)))
+        used: dict[int, int] = {}
+        replaced: dict[int, tuple[int, int]] = {}
+        overloaded: set[int] = set()
+        for f in addrs:
+            mod = self.module_of(f)
+            slot = used.get(mod, 0)
+            if slot >= self.spares_per_module:
+                overloaded.add(mod)
+                continue
+            used[mod] = slot + 1
+            replaced[f] = (mod, slot)
+        success = not overloaded
+        return RepairResult(
+            success=success,
+            replaced=replaced if success else {},
+            overloaded_modules=tuple(sorted(overloaded)),
+        )
+
+    def coverage(self, r: int) -> float:
+        """Exact P(``r`` uniform faults are repairable)."""
+        total = 1 << self.n
+        if not 0 <= r <= total:
+            raise ValueError(f"cannot place {r} faults in Q_{self.n}")
+        if r == 0:
+            return 1.0
+        s = self.spares_per_module
+        g = self.module_size
+        # Per-module generating polynomial: sum_{k<=min(s,g)} C(g, k) x^k.
+        poly = np.array([comb(g, k) for k in range(min(s, g) + 1)], dtype=float)
+        acc = np.array([1.0])
+        for _ in range(self.num_modules):
+            acc = np.convolve(acc, poly)
+            if acc.size > r + 1:
+                acc = acc[: r + 1]  # higher coefficients never matter
+        good = acc[r] if r < acc.size else 0.0
+        return float(good / comb(total, r))

@@ -1,0 +1,107 @@
+"""Sorting on the maximal fault-free subcube (the Figure-7 baseline).
+
+The reconfiguration approach sorts all ``M`` keys using only the processors
+of a maximum dimensional fault-free subcube ``Q_{n-t}``: each of its
+``2**(n-t)`` processors receives ``ceil(M / 2**(n-t))`` keys and a plain
+parallel bitonic sort runs entirely inside the subcube (all links used are
+internal, so faults elsewhere never interfere and every exchange is one
+hop).  Everything outside the subcube — ``2**n - 2**(n-t) - r`` normal
+processors — dangles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.maxsubcube import max_fault_free_subcube
+from repro.core.blocks import pad_and_chunk, strip_padding
+from repro.core.single_fault import local_sort_blocks
+from repro.cube.subcube import Subcube
+from repro.cube.address import validate_dimension
+from repro.faults.model import FaultSet
+from repro.simulator.params import MachineParams
+from repro.simulator.phases import PhaseMachine
+from repro.sorting.bitonic_cube import block_bitonic_sort
+
+__all__ = ["MaxSubcubeSortResult", "max_subcube_sort"]
+
+
+@dataclass(frozen=True)
+class MaxSubcubeSortResult:
+    """Outcome of the maximal fault-free subcube baseline sort.
+
+    Attributes:
+        sorted_keys: the input keys in ascending order.
+        elapsed: simulated execution time.
+        subcube: the fault-free subcube used.
+        output_order: physical addresses (inside the subcube) in output
+            order.
+        machine: the phase machine with blocks and per-phase costs.
+        dangling: count of normal processors left idle.
+        block_size: keys per subcube processor after padding.
+    """
+
+    sorted_keys: np.ndarray
+    elapsed: float
+    subcube: Subcube
+    output_order: tuple[int, ...]
+    machine: PhaseMachine
+    dangling: int
+    block_size: int
+
+
+def max_subcube_sort(
+    keys: np.ndarray | list,
+    n: int,
+    faults: FaultSet | list[int] | tuple[int, ...],
+    params: MachineParams | None = None,
+    exact_counts: bool = False,
+    subcube: Subcube | None = None,
+) -> MaxSubcubeSortResult:
+    """Sort ``keys`` on ``Q_n`` with the maximal fault-free subcube method.
+
+    Args:
+        keys: finite keys, any order.
+        n: hypercube dimension.
+        faults: faulty processors.
+        params: machine cost constants (default NCUBE/7).
+        exact_counts: exact heapsort comparison counting for local sorts.
+        subcube: optionally force a specific fault-free subcube (it must
+            contain no fault); by default the deterministic maximal one is
+            used.
+    """
+    validate_dimension(n)
+    fault_set = faults if isinstance(faults, FaultSet) else FaultSet(n, faults)
+    if fault_set.n != n:
+        raise ValueError(f"fault set is for Q_{fault_set.n}, expected Q_{n}")
+    if subcube is None:
+        subcube = max_fault_free_subcube(n, fault_set)
+    else:
+        if subcube.n != n:
+            raise ValueError(f"subcube is in Q_{subcube.n}, expected Q_{n}")
+        bad = [f for f in fault_set if subcube.contains(f)]
+        if bad:
+            raise ValueError(f"forced subcube contains faulty processors {bad}")
+    machine = PhaseMachine(n, params=params, faults=fault_set)
+    members = list(subcube.members())
+    keys_arr = np.asarray(keys, dtype=float)
+    chunks, block_size = pad_and_chunk(keys_arr, len(members))
+    assignments = {addr: chunk for addr, chunk in zip(members, chunks)}
+    local_sort_blocks(machine, assignments, exact_counts=exact_counts)
+    # All subcube-internal exchanges are single physical hops regardless of
+    # the ambient fault configuration.
+    block_bitonic_sort(machine, members, label="subcube-bitonic", uniform_hops=1)
+    gathered = np.concatenate([machine.get_block(a) for a in members])
+    sorted_keys = strip_padding(gathered, int(keys_arr.size))
+    dangling = (1 << n) - fault_set.r - subcube.size
+    return MaxSubcubeSortResult(
+        sorted_keys=sorted_keys,
+        elapsed=machine.elapsed,
+        subcube=subcube,
+        output_order=tuple(members),
+        machine=machine,
+        dangling=dangling,
+        block_size=block_size,
+    )

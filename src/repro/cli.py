@@ -1,0 +1,150 @@
+"""Unified command-line interface.
+
+Subcommands::
+
+    repro sort    --n 6 --faults 3,5,16 --keys 10000 [--kind total] [--spmd]
+    repro plan    --n 5 --faults 3,5,16,24
+    repro diagnose --n 6 --faults 3,5,16 [--seed 7]
+    repro table1  [--trials N]        (same as repro-table1)
+    repro table2  [--trials N]
+    repro figure7 --n 6 [--points P]
+
+``sort`` runs the fault-tolerant sort on random keys, verifies the output
+against numpy, and prints the plan plus a stage-level cost breakdown.
+``plan`` prints the partition/selection artifacts without sorting.
+``diagnose`` runs the PMC pipeline against hidden faults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.breakdown import phase_breakdown
+from repro.core.ftsort import fault_tolerant_sort, plan_partition
+from repro.core.spmd_sort import spmd_fault_tolerant_sort
+from repro.faults.diagnosis import diagnose_pmc, pmc_syndrome
+from repro.faults.model import FaultKind, FaultSet
+
+__all__ = ["main"]
+
+
+def _parse_faults(text: str) -> list[int]:
+    if not text:
+        return []
+    return [int(tok) for tok in text.replace(" ", "").split(",") if tok]
+
+
+def _cmd_sort(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    keys = rng.integers(0, 10**6, size=args.keys).astype(float)
+    faults = _parse_faults(args.faults)
+    kind = FaultKind.TOTAL if args.kind == "total" else FaultKind.PARTIAL
+    if args.spmd:
+        res = spmd_fault_tolerant_sort(keys, args.n, faults, fault_kind=kind)
+        ok = bool(np.array_equal(res.sorted_keys, np.sort(keys)))
+        print(f"sorted {args.keys} keys on Q_{args.n} with faults {faults} "
+              f"({kind.value}, message-level engine)")
+        print(f"  verified : {ok}")
+        print(f"  finish   : {res.finish_time / 1e3:.2f} simulated ms")
+        print(f"  messages : {len(res.machine.engine.delivered)}")
+        return 0 if ok else 1
+    res = fault_tolerant_sort(keys, args.n, faults, fault_kind=kind)
+    ok = bool(np.array_equal(res.sorted_keys, np.sort(keys)))
+    print(f"sorted {args.keys} keys on Q_{args.n} with faults {faults} ({kind.value})")
+    print(f"  verified : {ok}")
+    if res.selection is not None:
+        print(f"  D_beta   : {res.selection.cut_dims} (Eq.-1 cost {res.selection.cost})")
+        print(f"  dangling : {list(res.selection.dangling_processors)}")
+    print(f"  workers  : {res.working_processors}")
+    print(f"  elapsed  : {res.elapsed / 1e3:.2f} simulated ms")
+    print("  breakdown:")
+    for stage in phase_breakdown(res.machine).values():
+        share = 100 * stage.duration / res.elapsed if res.elapsed else 0.0
+        print(f"    {stage.stage:<34} {stage.duration / 1e3:10.2f} ms  ({share:4.1f}%)")
+    return 0 if ok else 1
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    faults = _parse_faults(args.faults)
+    partition, selection = plan_partition(args.n, faults)
+    if args.svg:
+        from repro.experiments.cubeviz import partition_diagram
+        from repro.experiments.svgplot import save_chart
+
+        target = selection if partition.mincut else faults
+        save_chart(args.svg, partition_diagram(
+            args.n, target, title=f"Q_{args.n} partition, faults {faults}"
+        ))
+        print(f"diagram written to {args.svg}")
+    print(f"Q_{args.n}, faults {faults}:")
+    print(f"  mincut m = {partition.mincut}")
+    print(f"  Psi      = {[list(d) for d in partition.cutting_set]}")
+    if partition.mincut:
+        print(f"  D_beta   = {selection.cut_dims} (cost {selection.cost})")
+        print(f"  dangling w = {selection.dangling_w}")
+        print(f"  dead per subcube = {list(selection.dead_of_subcube)}")
+        print(f"  working processors = {selection.working_processors}")
+    else:
+        print("  (single-fault or fault-free: no partition needed)")
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    faults = _parse_faults(args.faults)
+    hidden = FaultSet(args.n, faults)
+    syndrome = pmc_syndrome(hidden, rng=args.seed)
+    result = diagnose_pmc(args.n, syndrome)
+    print(f"hidden faults    : {faults}")
+    print(f"identified       : {list(result.identified)}")
+    print(f"consistent       : {result.consistent}")
+    print(f"diagnosis correct: {result.matches(hidden)}")
+    return 0 if result.matches(hidden) else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro`` console script."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sort = sub.add_parser("sort", help="run the fault-tolerant sort")
+    p_sort.add_argument("--n", type=int, required=True)
+    p_sort.add_argument("--faults", type=str, default="")
+    p_sort.add_argument("--keys", type=int, default=10_000)
+    p_sort.add_argument("--kind", choices=("partial", "total"), default="partial")
+    p_sort.add_argument("--seed", type=int, default=0)
+    p_sort.add_argument("--spmd", action="store_true",
+                        help="run on the discrete-event message-passing engine")
+    p_sort.set_defaults(func=_cmd_sort)
+
+    p_plan = sub.add_parser("plan", help="partition + selection only")
+    p_plan.add_argument("--n", type=int, required=True)
+    p_plan.add_argument("--faults", type=str, required=True)
+    p_plan.add_argument("--svg", type=str, default=None,
+                        help="write a partition diagram to this path")
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_diag = sub.add_parser("diagnose", help="PMC diagnosis round-trip")
+    p_diag.add_argument("--n", type=int, required=True)
+    p_diag.add_argument("--faults", type=str, required=True)
+    p_diag.add_argument("--seed", type=int, default=0)
+    p_diag.set_defaults(func=_cmd_diagnose)
+
+    for name in ("table1", "table2", "figure7"):
+        p = sub.add_parser(name, help=f"regenerate {name} (see repro-{name})")
+        p.set_defaults(passthrough=name)
+
+    args, rest = parser.parse_known_args(argv)
+    if hasattr(args, "passthrough"):
+        module = __import__(f"repro.experiments.{args.passthrough}",
+                            fromlist=["main"])
+        return module.main(rest)
+    if rest:
+        parser.error(f"unrecognized arguments: {rest}")
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

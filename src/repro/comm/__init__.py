@@ -1,0 +1,18 @@
+"""Hypercube collective communication substrates.
+
+Binomial-tree collectives over the SPMD layer — the machinery a host uses
+to distribute keys to working processors (paper Step 2) and collect the
+sorted result.  Written as generator helpers to be ``yield from``-ed inside
+SPMD programs, in the spirit of mpi4py collectives.
+"""
+
+from repro.comm.collectives import (
+    allreduce,
+    barrier,
+    broadcast,
+    gather,
+    reduce,
+    scatter,
+)
+
+__all__ = ["allreduce", "barrier", "broadcast", "gather", "reduce", "scatter"]

@@ -1,0 +1,171 @@
+"""Binomial-tree collectives on the hypercube (SPMD generator helpers).
+
+All collectives share one spanning binomial tree rooted at ``root``: with
+relative rank ``rho = rank XOR root``, a node's parent is ``rho`` with its
+lowest set bit cleared, and its children are ``rho | 2**d`` for every ``d``
+below that bit's position (all of them, for the root).  Every tree edge is
+a hypercube link, so each hop is a neighbor transfer — the optimal
+``n``-step broadcast on ``Q_n``.
+
+Usage inside an SPMD program::
+
+    def program(proc):
+        value = yield from broadcast(proc, n, root=0, payload=big, size=64)
+        total = yield from reduce(proc, n, root=0, value=proc.rank, op=operator.add)
+
+Each helper returns its result via ``return`` (captured by ``yield from``).
+On a faulty cube the underlying router decides how tree edges are realized;
+for *partial* faults every edge stays a single hop.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections.abc import Callable, Generator
+
+from repro.simulator.spmd import Proc
+
+__all__ = ["allreduce", "barrier", "broadcast", "gather", "reduce", "scatter"]
+
+_TAG_BCAST = 101
+_TAG_GATHER = 102
+_TAG_SCATTER = 103
+_TAG_REDUCE = 104
+_TAG_BARRIER_UP = 105
+_TAG_BARRIER_DOWN = 106
+
+
+def _lsb_index(x: int, n: int) -> int:
+    """Index of the lowest set bit; ``n`` for x == 0 (the root)."""
+    if x == 0:
+        return n
+    return (x & -x).bit_length() - 1
+
+
+def _parent(rho: int) -> int:
+    return rho & (rho - 1)
+
+
+def _children(rho: int, n: int) -> list[int]:
+    return [rho | (1 << d) for d in range(_lsb_index(rho, n)) if not (rho >> d) & 1]
+
+
+def broadcast(
+    proc: Proc, n: int, root: int = 0, payload: object = None, size: int = 1, tag: int = _TAG_BCAST
+) -> Generator:
+    """One-to-all broadcast; every rank returns the root's payload."""
+    rho = proc.rank ^ root
+    value = payload
+    if rho != 0:
+        value = yield proc.recv(src=_parent(rho) ^ root, tag=tag)
+    for child in reversed(_children(rho, n)):
+        yield proc.send(child ^ root, payload=value, size=size, tag=tag)
+    return value
+
+
+def gather(
+    proc: Proc,
+    n: int,
+    root: int = 0,
+    value: object = None,
+    size: int = 1,
+    tag: int = _TAG_GATHER,
+) -> Generator:
+    """All-to-one gather; the root returns ``{rank: value}``, others ``None``.
+
+    Interior nodes aggregate their subtree before forwarding (message sizes
+    grow with subtree size, as on a real machine).
+    """
+    rho = proc.rank ^ root
+    collected: dict[int, object] = {proc.rank: value}
+    total_size = size
+    for child in _children(rho, n):
+        sub = yield proc.recv(src=child ^ root, tag=tag)
+        collected.update(sub)
+        total_size += size * len(sub)
+    if rho != 0:
+        yield proc.send(_parent(rho) ^ root, payload=collected, size=total_size, tag=tag)
+        return None
+    return collected
+
+
+def scatter(
+    proc: Proc,
+    n: int,
+    root: int = 0,
+    chunks: dict[int, object] | None = None,
+    size: int = 1,
+    tag: int = _TAG_SCATTER,
+) -> Generator:
+    """One-to-all personalized scatter; every rank returns its own chunk.
+
+    ``chunks`` (root only) maps rank to payload; ranks absent from it
+    receive ``None``.  Interior nodes forward each child its whole
+    subtree's chunks (sizes shrink down the tree).
+    """
+    rho = proc.rank ^ root
+    if rho == 0:
+        mine: dict[int, object] = dict(chunks or {})
+    else:
+        mine = yield proc.recv(src=_parent(rho) ^ root, tag=tag)
+    for child in _children(rho, n):
+        crho = child
+        # The child's subtree: ranks whose relative address extends `crho`
+        # below its lowest set bit.
+        span = (1 << _lsb_index(crho, n)) - 1
+        sub = {
+            rank: payload
+            for rank, payload in mine.items()
+            if ((rank ^ root) & ~span) == crho
+        }
+        for rank in sub:
+            mine.pop(rank)
+        yield proc.send(child ^ root, payload=sub, size=max(size * len(sub), 1), tag=tag)
+    return mine.get(proc.rank)
+
+
+def reduce(
+    proc: Proc,
+    n: int,
+    root: int = 0,
+    value: object = None,
+    op: Callable = operator.add,
+    size: int = 1,
+    tag: int = _TAG_REDUCE,
+) -> Generator:
+    """All-to-one reduction; the root returns the folded value, others ``None``."""
+    rho = proc.rank ^ root
+    acc = value
+    for child in _children(rho, n):
+        sub = yield proc.recv(src=child ^ root, tag=tag)
+        acc = op(acc, sub)
+    if rho != 0:
+        yield proc.send(_parent(rho) ^ root, payload=acc, size=size, tag=tag)
+        return None
+    return acc
+
+
+def allreduce(
+    proc: Proc,
+    n: int,
+    value: object = None,
+    op: Callable = operator.add,
+    size: int = 1,
+) -> Generator:
+    """Reduce to rank 0 then broadcast; every rank returns the folded value."""
+    acc = yield from reduce(proc, n, root=0, value=value, op=op, size=size)
+    result = yield from broadcast(proc, n, root=0, payload=acc, size=size)
+    return result
+
+
+def barrier(proc: Proc, n: int, root: int = 0) -> Generator:
+    """Tree barrier: empty gather up, empty broadcast down."""
+    rho = proc.rank ^ root
+    for child in _children(rho, n):
+        yield proc.recv(src=child ^ root, tag=_TAG_BARRIER_UP)
+    if rho != 0:
+        yield proc.send(_parent(rho) ^ root, payload=None, size=0, tag=_TAG_BARRIER_UP)
+        yield proc.recv(src=_parent(rho) ^ root, tag=_TAG_BARRIER_DOWN)
+    for child in _children(rho, n):
+        yield proc.send(child ^ root, payload=None, size=0, tag=_TAG_BARRIER_DOWN)
+    return None

@@ -1,0 +1,133 @@
+"""Fault-tolerant tree collectives.
+
+The binomial-tree collectives of :mod:`repro.comm.collectives` assume every
+tree node runs a program — false on a faulty cube, where faulty processors
+run nothing (and under total faults cannot even relay).  These collectives
+build a BFS spanning tree of the *fault-free* subgraph instead (rooted at
+the host), so distribution and collection work under any fault
+configuration the paper's model admits.
+
+The tree is computed centrally (the host knows the fault map — the
+off-line diagnosis assumption) and shipped to each program as a plan.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.faults.model import FaultSet
+from repro.simulator.spmd import Proc
+
+__all__ = ["SpanningTree", "fault_free_bfs_tree", "tree_scatter", "tree_gather"]
+
+_TAG_SCATTER = 201
+_TAG_GATHER = 202
+
+
+@dataclass(frozen=True)
+class SpanningTree:
+    """A rooted spanning tree of the fault-free processors.
+
+    Attributes:
+        root: the host processor.
+        parent: mapping rank -> parent rank (absent for the root).
+        children: mapping rank -> tuple of child ranks.
+        subtree: mapping rank -> frozenset of ranks in its subtree
+            (including itself); used to split scatter bundles.
+    """
+
+    root: int
+    parent: dict[int, int]
+    children: dict[int, tuple[int, ...]]
+    subtree: dict[int, frozenset[int]]
+
+    def members(self) -> frozenset[int]:
+        """All ranks reachable in the tree."""
+        return self.subtree[self.root]
+
+
+def fault_free_bfs_tree(faults: FaultSet, root: int) -> SpanningTree:
+    """BFS spanning tree of the fault-free subgraph, rooted at ``root``.
+
+    Edges avoid faulty links and (under the total model) faulty relay
+    nodes.  With ``r <= n - 1`` total faults the fault-free subgraph is
+    connected, so the tree spans every normal processor.
+    """
+    if faults.is_faulty(root):
+        raise ValueError(f"host {root} is faulty")
+    cube = faults.cube
+    parent: dict[int, int] = {}
+    order: list[int] = [root]
+    seen = {root}
+    queue: deque[int] = deque([root])
+    while queue:
+        cur = queue.popleft()
+        for nb in cube.neighbors(cur):
+            if nb in seen or faults.is_faulty(nb):
+                continue
+            if faults.is_link_faulty(cur, nb):
+                continue
+            seen.add(nb)
+            parent[nb] = cur
+            order.append(nb)
+            queue.append(nb)
+    children: dict[int, list[int]] = {rank: [] for rank in order}
+    for child, par in parent.items():
+        children[par].append(child)
+    subtree: dict[int, frozenset[int]] = {}
+    for rank in reversed(order):
+        acc = {rank}
+        for ch in children[rank]:
+            acc |= subtree[ch]
+        subtree[rank] = frozenset(acc)
+    return SpanningTree(
+        root=root,
+        parent=parent,
+        children={rank: tuple(ch) for rank, ch in children.items()},
+        subtree=subtree,
+    )
+
+
+def tree_scatter(proc: Proc, tree: SpanningTree, chunks: dict[int, object] | None,
+                 chunk_size: int = 1, tag: int = _TAG_SCATTER):
+    """Personalized scatter down a spanning tree (generator helper).
+
+    ``chunks`` (root only) maps rank -> payload.  Every rank returns its
+    own chunk (``None`` when absent).  Interior nodes relay each child its
+    subtree's bundle; message sizes are ``chunk_size`` per carried chunk.
+    """
+    rank = proc.rank
+    if rank == tree.root:
+        bundle: dict[int, object] = dict(chunks or {})
+    else:
+        bundle = yield proc.recv(src=tree.parent[rank], tag=tag)
+    for child in tree.children.get(rank, ()):
+        sub = {r: bundle[r] for r in tree.subtree[child] if r in bundle}
+        for r in sub:
+            del bundle[r]
+        yield proc.send(child, payload=sub, size=max(chunk_size * len(sub), 1), tag=tag)
+    return bundle.get(rank)
+
+
+def tree_gather(proc: Proc, tree: SpanningTree, value: object,
+                chunk_size: int = 1, tag: int = _TAG_GATHER):
+    """All-to-root gather up a spanning tree (generator helper).
+
+    The root returns ``{rank: value}`` over all tree members; other ranks
+    return ``None``.
+    """
+    rank = proc.rank
+    collected: dict[int, object] = {rank: value}
+    for child in tree.children.get(rank, ()):
+        sub = yield proc.recv(src=child, tag=tag)
+        collected.update(sub)
+    if rank != tree.root:
+        yield proc.send(
+            tree.parent[rank],
+            payload=collected,
+            size=max(chunk_size * len(collected), 1),
+            tag=tag,
+        )
+        return None
+    return collected

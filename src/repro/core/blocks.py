@@ -1,0 +1,54 @@
+"""Key distribution and collection helpers shared by the sorting drivers.
+
+The paper distributes ``M`` unsorted keys uniformly over the ``N'`` working
+processors, filling with dummy ``+inf`` keys when ``M`` is not a multiple of
+``N'`` (Section 2.1; its Fig.-6 walkthrough rounds 47 keys up to 48).  The
+dummies are real keys to the oblivious network — they travel and get
+compared — and, being maximal, finish at the tail of the sorted order where
+:func:`strip_padding` drops them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pad_and_chunk", "strip_padding", "PAD_KEY"]
+
+PAD_KEY = np.inf
+"""The dummy key (the paper's ``infinity``)."""
+
+
+def pad_and_chunk(keys: np.ndarray | list, workers: int) -> tuple[list[np.ndarray], int]:
+    """Split ``keys`` into ``workers`` equal chunks, padding with ``+inf``.
+
+    Returns ``(chunks, block_size)`` where every chunk is an unsorted
+    1-D float array of length ``block_size = ceil(M / workers)`` (or 0 when
+    there are no keys).  Raises if ``workers <= 0``.
+    """
+    if workers <= 0:
+        raise ValueError(f"need at least one working processor, got {workers}")
+    arr = np.asarray(keys, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"keys must be 1-D, got shape {arr.shape}")
+    if np.isinf(arr).any():
+        raise ValueError("keys must be finite (+inf is reserved for padding)")
+    m = int(arr.size)
+    if m == 0:
+        return [np.empty(0, dtype=float) for _ in range(workers)], 0
+    block = -(-m // workers)  # ceil division
+    padded = np.full(workers * block, PAD_KEY, dtype=float)
+    padded[:m] = arr
+    return [padded[i * block : (i + 1) * block] for i in range(workers)], block
+
+
+def strip_padding(sorted_keys: np.ndarray, original_count: int) -> np.ndarray:
+    """Drop the trailing dummy keys from an ascending sorted array."""
+    arr = np.asarray(sorted_keys)
+    if arr.size < original_count:
+        raise ValueError(
+            f"sorted output has {arr.size} keys but {original_count} were supplied"
+        )
+    tail = arr[original_count:]
+    if tail.size and not np.isinf(tail).all():
+        raise ValueError("non-padding keys found beyond the original count; sort is broken")
+    return arr[:original_count]

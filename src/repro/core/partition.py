@@ -1,0 +1,249 @@
+"""The partition algorithm (paper Section 2.2).
+
+Given ``Q_n`` with ``r`` faulty processors, find all minimum-length
+*cutting dimension sequences* ``D`` such that cutting ``Q_n`` along the
+dimensions of ``D`` yields a *single-fault subcube structure* ``F_n^m``:
+every one of the ``2**m`` resulting subcubes contains at most one faulty
+processor.
+
+The feasibility predicate is simple: cutting along dimension set ``D``
+groups faults by their address bits at the dimensions of ``D``, so ``D``
+is feasible iff the faults' projections onto ``D`` are pairwise distinct.
+The paper evaluates this predicate with a *checking tree* (splitting the
+fault list dimension by dimension); :class:`CheckingTree` reproduces that
+structure literally, and the fast projection test is validated against it
+in the test suite.
+
+The search is the paper's DFS over the *cutting dimension tree* ``T_n``
+(whose nodes are the increasing dimension sequences, ``sum_i C(n, i) =
+2**n - 1`` of them), with the cutoff rule "abandon the branch once its
+depth exceeds the current ``mincut``" and the update rule of Step 3.
+Because supersets of a feasible set are feasible but never minimal, the DFS
+also stops descending below a feasible node.  The per-node work is one
+``O(r)`` projection pass, giving the paper's ``O(r * N)`` bound.
+
+Guarantees proved in the paper and enforced by tests:
+
+* for ``r <= n - 1`` faults, ``mincut <= r - 1 <= n - 2`` (each new cutting
+  dimension can split some still-crowded fault group);
+* the number of dangling processors, ``2**m - r``, is at most ``N/4``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.cube.address import validate_address, validate_dimension
+from repro.faults.model import FaultSet
+
+__all__ = [
+    "CheckingTree",
+    "PartitionResult",
+    "find_min_cuts",
+    "is_single_fault_partition",
+    "max_dangling_bound",
+]
+
+
+def _fault_addresses(n: int, faults: FaultSet | Sequence[int]) -> tuple[int, ...]:
+    if isinstance(faults, FaultSet):
+        if faults.n != n:
+            raise ValueError(f"fault set is for Q_{faults.n}, expected Q_{n}")
+        return faults.processors
+    addrs = tuple(sorted({validate_address(int(f), n) for f in faults}))
+    return addrs
+
+
+def _project(addr: int, dims: Sequence[int]) -> int:
+    key = 0
+    for k, d in enumerate(dims):
+        key |= ((addr >> d) & 1) << k
+    return key
+
+
+def is_single_fault_partition(
+    n: int, cut_dims: Sequence[int], faults: FaultSet | Sequence[int]
+) -> bool:
+    """Whether cutting ``Q_n`` along ``cut_dims`` leaves <= 1 fault per subcube.
+
+    Equivalent to: the faults' projections onto ``cut_dims`` are pairwise
+    distinct.  An empty ``cut_dims`` is feasible iff there is at most one
+    fault (``F_n^0``).
+    """
+    validate_dimension(n)
+    addrs = _fault_addresses(n, faults)
+    dims = tuple(cut_dims)
+    for d in dims:
+        if not 0 <= d < n:
+            raise ValueError(f"cutting dimension {d} out of range for Q_{n}")
+    if len(set(dims)) != len(dims):
+        raise ValueError(f"cutting dimensions must be distinct, got {dims}")
+    seen: set[int] = set()
+    for a in addrs:
+        key = _project(a, dims)
+        if key in seen:
+            return False
+        seen.add(key)
+    return True
+
+
+class CheckingTree:
+    """The paper's checking tree ``T'_n`` for one cutting sequence.
+
+    The root holds every faulty processor; traversing cutting dimension
+    ``d_k`` splits each current node's fault list into a left child (bit
+    ``d_k`` = 0) and right child (bit ``d_k`` = 1).  After all dimensions of
+    ``D`` are traversed, ``D`` builds a single-fault subcube structure iff
+    every leaf holds at most one fault.
+
+    This mirrors Fig. 4 of the paper and exists for fidelity and
+    explainability (:meth:`leaves` tells you *which* subcube holds which
+    fault); the production predicate is :func:`is_single_fault_partition`.
+    """
+
+    def __init__(self, n: int, cut_dims: Sequence[int], faults: FaultSet | Sequence[int]):
+        self.n = validate_dimension(n)
+        self.cut_dims = tuple(cut_dims)
+        self.root = list(_fault_addresses(n, faults))
+        # levels[k] maps the k-bit path prefix (bit t = side taken at depth
+        # t+1, 1 = right/child with u_{d}=1) to the fault list of that node.
+        self.levels: list[dict[int, list[int]]] = [{0: list(self.root)}]
+        for depth, d in enumerate(self.cut_dims, start=1):
+            prev = self.levels[depth - 1]
+            cur: dict[int, list[int]] = {}
+            for path, flist in prev.items():
+                left = [f for f in flist if not (f >> d) & 1]
+                right = [f for f in flist if (f >> d) & 1]
+                cur[path] = left
+                cur[path | (1 << (depth - 1))] = right
+            self.levels.append(cur)
+
+    def leaves(self) -> dict[int, list[int]]:
+        """Leaf fault lists keyed by subcube address ``v`` (paper order).
+
+        Bit ``k`` of ``v`` is the coordinate along cutting dimension
+        ``d_{k+1}`` — identical to :class:`repro.cube.subcube.AddressSplit`.
+        """
+        return self.levels[-1]
+
+    def is_single_fault(self) -> bool:
+        """Whether every leaf has at most one fault."""
+        return all(len(v) <= 1 for v in self.leaves().values())
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """Output of the partition algorithm.
+
+    Attributes:
+        n: hypercube dimension.
+        faults: faulty processor addresses (sorted).
+        mincut: minimum number of cutting dimensions (``m``).
+        cutting_set: the set ``Ψ`` — every feasible increasing cutting
+            sequence of length ``mincut``, in DFS (lexicographic) order.
+    """
+
+    n: int
+    faults: tuple[int, ...]
+    mincut: int
+    cutting_set: tuple[tuple[int, ...], ...]
+
+    @property
+    def num_subcubes(self) -> int:
+        """``2**mincut`` subcubes in the single-fault structure."""
+        return 1 << self.mincut
+
+    @property
+    def dangling_count(self) -> int:
+        """Dangling processors: one per fault-free subcube (``2**m - r``).
+
+        For ``r <= 1`` (``mincut = 0``) the structure is the whole cube and
+        no dangling processor is needed.
+        """
+        if self.mincut == 0:
+            return 0
+        return self.num_subcubes - len(self.faults)
+
+    @property
+    def working_processors(self) -> int:
+        """``N' = 2**n - 2**m`` processors that receive keys.
+
+        For ``mincut = 0`` this is ``2**n - r`` (only the fault, if any,
+        idles).
+        """
+        if self.mincut == 0:
+            return (1 << self.n) - len(self.faults)
+        return (1 << self.n) - self.num_subcubes
+
+
+def max_dangling_bound(n: int) -> int:
+    """The paper's worst-case dangling-processor bound, ``N / 4``.
+
+    With ``r <= n - 1`` faults the partition needs at most ``n - 2`` cuts,
+    i.e. subcubes no smaller than ``Q_2``, so at most a quarter of the
+    machine idles.
+    """
+    validate_dimension(n)
+    return (1 << n) // 4
+
+
+def find_min_cuts(
+    n: int,
+    faults: FaultSet | Sequence[int],
+    max_depth: int | None = None,
+) -> PartitionResult:
+    """Run the partition algorithm: DFS for ``mincut`` and the cutting set Ψ.
+
+    Args:
+        n: hypercube dimension.
+        faults: faulty processors (a :class:`FaultSet` or addresses).
+        max_depth: optional cap on the sequence length explored; defaults
+            to ``n`` (the paper initializes ``mincut`` to ``n``).
+
+    Returns:
+        :class:`PartitionResult`.  For ``r <= 1`` the result is the trivial
+        ``mincut = 0`` with ``Ψ = {()}`` (Section 2.1 handles the sort).
+
+    Raises:
+        ValueError: if no feasible partition exists within ``max_depth``
+            (possible only when ``max_depth`` is set below the true mincut,
+            or when two "faults" share an address, which the input
+            normalization prevents).
+    """
+    validate_dimension(n)
+    addrs = _fault_addresses(n, faults)
+    r = len(addrs)
+    if max_depth is None:
+        max_depth = n
+    if not 0 <= max_depth <= n:
+        raise ValueError(f"max_depth {max_depth} out of range for Q_{n}")
+    if r <= 1:
+        return PartitionResult(n=n, faults=addrs, mincut=0, cutting_set=((),))
+
+    mincut = max_depth + 1  # sentinel: nothing found yet
+    psi: list[tuple[int, ...]] = []
+
+    def dfs(prefix: tuple[int, ...], start: int) -> None:
+        nonlocal mincut, psi
+        k = len(prefix)
+        if k > 0 and is_single_fault_partition(n, prefix, addrs):
+            if k < mincut:
+                mincut = k
+                psi = [prefix]
+            elif k == mincut:
+                psi.append(prefix)
+            return  # supersets are feasible but longer: never minimal
+        # Cutoff: descending would create sequences longer than mincut.
+        if k >= mincut or k >= max_depth:
+            return
+        for d in range(start, n):
+            dfs(prefix + (d,), d + 1)
+
+    dfs((), 0)
+    if not psi:
+        raise ValueError(
+            f"no single-fault partition of Q_{n} with faults {list(addrs)} "
+            f"within {max_depth} cutting dimensions"
+        )
+    return PartitionResult(n=n, faults=addrs, mincut=mincut, cutting_set=tuple(psi))

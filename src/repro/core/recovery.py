@@ -1,0 +1,153 @@
+"""Mid-run fault arrival and recovery (extension beyond the paper).
+
+The paper assumes all faults are known *before* the sort starts (off-line
+diagnosis).  A natural question it leaves open: what if a processor dies
+mid-sort?  Under the *partial* fault model — the compute portion dies, the
+memory and links survive, which is the model the paper's own NCUBE runs
+use — the victim's current block is still readable, so recovery is
+possible without any replication:
+
+1. stop at the current phase barrier (the algorithms are barrier-
+   synchronous, so there is always a consistent cut),
+2. a designated rescuer (the victim's nearest working neighbor) pulls the
+   victim's block over surviving links,
+3. re-plan: partition/selection for the enlarged fault set,
+4. redistribute all keys over the new working set and re-run the sort.
+
+The re-run is charged in full — no attempt to exploit the partial order
+accomplished before the crash — making the reported recovery overhead an
+upper bound.  :func:`sort_with_midrun_fault` simulates the whole story on
+the phase engine and reports the recovery anatomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ftsort import FtSortResult, fault_tolerant_sort
+from repro.cube.address import hamming_distance, validate_address, validate_dimension
+from repro.faults.model import FaultKind, FaultSet
+from repro.simulator.params import MachineParams
+from repro.simulator.phases import PhaseMachine
+
+__all__ = ["RecoveryReport", "sort_with_midrun_fault"]
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Anatomy of a mid-run fault recovery.
+
+    Attributes:
+        sorted_keys: the final (correct) ascending result.
+        wasted_time: simulated time spent on the aborted first attempt.
+        rescue_time: time to pull the victim's block to its rescuer.
+        redistribution_time: time to rebalance all blocks onto the new
+            working set (tree-free pairwise model: every key moves at most
+            once, charged at its source-destination hop distance).
+        resort: the completed second sort (an :class:`FtSortResult`).
+        total_time: wasted + rescue + redistribution + resort time.
+        victim: the processor that died mid-run.
+        strike_phase: index of the phase after which it died.
+    """
+
+    sorted_keys: np.ndarray
+    wasted_time: float
+    rescue_time: float
+    redistribution_time: float
+    resort: FtSortResult
+    victim: int
+    strike_phase: int
+
+    @property
+    def total_time(self) -> float:
+        return (
+            self.wasted_time
+            + self.rescue_time
+            + self.redistribution_time
+            + self.resort.elapsed
+        )
+
+    @property
+    def overhead_vs_oracle(self) -> float:
+        """total / resort time: how much dearer than knowing the fault
+        up front (>= 1)."""
+        return self.total_time / self.resort.elapsed if self.resort.elapsed else 1.0
+
+
+def sort_with_midrun_fault(
+    keys: np.ndarray | list,
+    n: int,
+    initial_faults: list[int] | tuple[int, ...],
+    victim: int,
+    strike_phase: int,
+    params: MachineParams | None = None,
+) -> RecoveryReport:
+    """Sort ``keys`` on ``Q_n`` while ``victim`` dies after ``strike_phase``.
+
+    ``victim`` must be a working processor of the initial plan and the
+    enlarged fault set must still satisfy the paper's model.  Faults are
+    *partial* (the victim's memory and links survive — the recovery story
+    depends on it).
+    """
+    validate_dimension(n)
+    validate_address(victim, n)
+    params = params if params is not None else MachineParams.ncube7()
+    initial = FaultSet(n, initial_faults, kind=FaultKind.PARTIAL)
+    if initial.is_faulty(victim):
+        raise ValueError(f"victim {victim} is already faulty")
+    enlarged = FaultSet(n, list(initial.processors) + [victim], kind=FaultKind.PARTIAL)
+    if not enlarged.satisfies_paper_model():
+        raise ValueError("the enlarged fault set violates the paper's model")
+
+    # First attempt: run in full to learn its phase structure, then charge
+    # only the phases up to the strike point as wasted work.
+    first = fault_tolerant_sort(keys, n, list(initial.processors), params=params)
+    if victim not in first.output_order:
+        raise ValueError(f"victim {victim} is not a working processor of the plan")
+    if not 0 <= strike_phase < len(first.machine.phases):
+        raise ValueError(
+            f"strike_phase must be in [0, {len(first.machine.phases)}), got {strike_phase}"
+        )
+    wasted = sum(p.duration for p in first.machine.phases[: strike_phase + 1])
+
+    # Rescue: nearest working survivor pulls the victim's current block.
+    # Block size at any phase equals the initial block size (compare-splits
+    # preserve block sizes).
+    survivors = [p for p in first.output_order if p != victim]
+    rescuer = min(survivors, key=lambda p: (hamming_distance(p, victim), p))
+    rescue_machine = PhaseMachine(n, params=params, faults=initial)
+    with rescue_machine.phase("rescue"):
+        rescue_machine.charge_transfer(
+            victim, rescuer, first.block_size, hops=hamming_distance(victim, rescuer)
+        )
+    rescue_time = rescue_machine.elapsed
+
+    # Re-plan and redistribute: every key moves from its pre-crash holder
+    # to its new initial holder; charge each block transfer at the true
+    # hop distance and take the parallel max per (source, destination)
+    # round — modeled as one phase (all transfers concurrent, each node's
+    # time the sum of its own sends/receives).
+    second = fault_tolerant_sort(keys, n, list(enlarged.processors), params=params)
+    redist_machine = PhaseMachine(n, params=params, faults=enlarged)
+    old_holders = [p if p != victim else rescuer for p in first.output_order]
+    new_holders = list(second.output_order)
+    with redist_machine.phase("redistribute"):
+        for src, dst in zip(old_holders, new_holders):
+            if src == dst:
+                continue
+            redist_machine.charge_transfer(
+                src, dst, first.block_size, hops=hamming_distance(src, dst)
+            )
+    redistribution_time = redist_machine.elapsed
+
+    return RecoveryReport(
+        sorted_keys=second.sorted_keys,
+        wasted_time=wasted,
+        rescue_time=rescue_time,
+        redistribution_time=redistribution_time,
+        resort=second,
+        victim=victim,
+        strike_phase=strike_phase,
+    )

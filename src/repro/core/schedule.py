@@ -1,0 +1,237 @@
+"""Static comparator schedules for the sorting algorithms.
+
+Every sort in this repository is *oblivious*: the sequence of
+compare-exchange partners, directions, and mirror swaps depends only on the
+machine configuration (dimension, fault plan) — never on key values.  That
+makes the whole execution expressible as a static :class:`SortSchedule`,
+which two independent backends execute:
+
+* the phase-level engine (:func:`repro.core.ftsort.fault_tolerant_sort`
+  executes an equivalent structure directly), and
+* the message-passing SPMD machine (:mod:`repro.core.spmd_sort`), where
+  every exchange is realized as routed messages on the discrete-event
+  simulator.
+
+Having one schedule produced by one builder and executed by both backends
+is how the test suite proves the fast phase engine faithfully represents
+the distributed execution.
+
+Builders:
+
+* :func:`build_plain_schedule` — fault-free or single-fault full-cube
+  bitonic sort (paper Section 2.1).
+* :func:`build_ft_schedule` — the full fault-tolerant algorithm for a
+  resolved :class:`~repro.core.selection.SelectionResult` (Section 3,
+  steps 3-8, two-merge Step 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.selection import SelectionResult
+from repro.cube.address import bit_of, validate_address, validate_dimension
+from repro.sorting.bitonic_cube import substage_pairs
+
+__all__ = [
+    "CxPair",
+    "SortSchedule",
+    "Substage",
+    "build_ft_schedule",
+    "build_plain_schedule",
+]
+
+
+@dataclass(frozen=True)
+class CxPair:
+    """One compare-exchange: ``low`` keeps the smaller half iff ``keep_min``."""
+
+    low: int
+    high: int
+    keep_min: bool
+
+
+@dataclass(frozen=True)
+class Substage:
+    """One barrier-separated parallel step.
+
+    ``kind`` is ``"cx"`` (compare-exchange pairs) or ``"mirror"`` (whole
+    blocks swapped between the listed pairs, no comparisons).
+    """
+
+    label: str
+    kind: str
+    pairs: tuple[CxPair, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cx", "mirror"):
+            raise ValueError(f"unknown substage kind {self.kind!r}")
+        seen: set[int] = set()
+        for p in self.pairs:
+            if p.low in seen or p.high in seen or p.low == p.high:
+                raise ValueError(f"substage {self.label!r} pairs are not disjoint")
+            seen.add(p.low)
+            seen.add(p.high)
+
+    def participants(self) -> set[int]:
+        """Physical addresses taking part in this substage."""
+        out: set[int] = set()
+        for p in self.pairs:
+            out.add(p.low)
+            out.add(p.high)
+        return out
+
+
+@dataclass(frozen=True)
+class SortSchedule:
+    """A full oblivious sort execution plan.
+
+    Attributes:
+        n: hypercube dimension.
+        output_order: working processors in block-placement order; chunk
+            ``i`` of the input is installed on ``output_order[i]`` and the
+            final ascending result is the concatenation of their blocks in
+            this order.
+        substages: the steps, in execution order.
+    """
+
+    n: int
+    output_order: tuple[int, ...]
+    substages: tuple[Substage, ...]
+
+    @property
+    def workers(self) -> int:
+        """Number of processors holding keys."""
+        return len(self.output_order)
+
+    def comparator_count(self) -> int:
+        """Total compare-exchange pairs across all cx substages."""
+        return sum(len(s.pairs) for s in self.substages if s.kind == "cx")
+
+
+def _cx_substage(label: str, entries: list[tuple[int, int, bool]]) -> Substage:
+    return Substage(
+        label=label, kind="cx", pairs=tuple(CxPair(a, b, k) for a, b, k in entries)
+    )
+
+
+def build_plain_schedule(n: int, faulty: int | None = None) -> SortSchedule:
+    """Full-cube block bitonic sort, optionally with one dead processor.
+
+    The fault (if any) is XOR-reindexed to logical 0 and its comparators
+    are dropped (the partner "skips", Section 2.1).
+    """
+    validate_dimension(n)
+    mask = 0
+    if faulty is not None:
+        validate_address(faulty, n)
+        mask = faulty
+        if n == 0:
+            raise ValueError("Q_0 with a fault has no working processor")
+    size = 1 << n
+    addr_of_logical = [l ^ mask for l in range(size)]
+    dead = {0} if faulty is not None else set()
+    substages = []
+    for i in range(n):
+        for j in range(i, -1, -1):
+            entries = [
+                (addr_of_logical[low], addr_of_logical[high], keep_min)
+                for low, high, keep_min in substage_pairs(n, i, j)
+                if low not in dead and high not in dead
+            ]
+            substages.append(_cx_substage(f"bitonic[i={i},j={j}]", entries))
+    output_order = tuple(addr_of_logical[l] for l in range(size) if l not in dead)
+    return SortSchedule(n=n, output_order=output_order, substages=tuple(substages))
+
+
+def build_ft_schedule(selection: SelectionResult) -> SortSchedule:
+    """The fault-tolerant sort (steps 3-8) as a static schedule.
+
+    Mirrors :func:`repro.core.ftsort.fault_tolerant_sort` in its default
+    two-merge mode: initial per-subcube full bitonic sorts (alternating by
+    subcube parity), then for every inter-subcube substage one
+    compare-exchange step, one side-direction merge pass, and — where the
+    Step-8 target direction flips — one mirror step.
+    """
+    split = selection.split
+    m, s = selection.m, selection.s
+    if s < 1:
+        raise ValueError("fault-tolerant schedule needs subcubes of dimension >= 1")
+    p = 1 << s
+    dead_w = [split.w_of(d) for d in selection.dead_of_subcube]
+    num_subcubes = 1 << m
+
+    def phys(v: int, rho: int) -> int:
+        return split.combine(v, rho ^ dead_w[v])
+
+    substages: list[Substage] = []
+
+    def add_intra_sort(ascending: list[bool], label: str) -> None:
+        for i in range(s):
+            for j in range(i, -1, -1):
+                entries: list[tuple[int, int, bool]] = []
+                for v in range(num_subcubes):
+                    for low, high, keep_min in substage_pairs(
+                        s, i, j, descending=not ascending[v]
+                    ):
+                        if low == 0 or high == 0:
+                            continue  # dead processor at reindexed 0
+                        entries.append((phys(v, low), phys(v, high), keep_min))
+                substages.append(_cx_substage(f"{label}[i={i},j={j}]", entries))
+
+    def add_intra_merge(directions: list[bool], label: str) -> None:
+        i = s - 1
+        for j in range(i, -1, -1):
+            entries = []
+            for v in range(num_subcubes):
+                for low, high, keep_min in substage_pairs(
+                    s, i, j, descending=not directions[v]
+                ):
+                    if low == 0 or high == 0:
+                        continue
+                    entries.append((phys(v, low), phys(v, high), keep_min))
+            substages.append(_cx_substage(f"{label}[j={j}]", entries))
+
+    # Step 3: initial per-subcube sorts, ascending iff subcube address even.
+    ascending = [(v & 1) == 0 for v in range(num_subcubes)]
+    add_intra_sort(ascending, "intra-init")
+
+    # Steps 4-8.
+    for i in range(m):
+        for j in range(i, -1, -1):
+            entries = []
+            kept_min = [False] * num_subcubes
+            for v_low in range(num_subcubes):
+                if (v_low >> j) & 1:
+                    continue
+                v_high = v_low | (1 << j)
+                mask = bit_of(v_low, i + 1) if i + 1 < m else 0
+                low_keeps_min = mask == 0
+                kept_min[v_low] = low_keeps_min
+                kept_min[v_high] = not low_keeps_min
+                for rho in range(1, p):
+                    entries.append(
+                        (phys(v_low, rho), phys(v_high, rho), low_keeps_min)
+                    )
+            substages.append(_cx_substage(f"inter[i={i},j={j}]", entries))
+
+            for v in range(num_subcubes):
+                mask_v = bit_of(v, i + 1) if i + 1 < m else 0
+                prev_bit = bit_of(v, j - 1) if j >= 1 else 0
+                ascending[v] = prev_bit == mask_v
+            side_dir = list(kept_min)
+            add_intra_merge(side_dir, f"intra[i={i},j={j}]a")
+            flips = [v for v in range(num_subcubes) if side_dir[v] != ascending[v]]
+            if flips:
+                swaps = []
+                for v in flips:
+                    for rho in range(1, p // 2):
+                        swaps.append(CxPair(phys(v, rho), phys(v, p - rho), True))
+                substages.append(
+                    Substage(label=f"intra[i={i},j={j}]b", kind="mirror", pairs=tuple(swaps))
+                )
+
+    output_order = tuple(
+        phys(v, rho) for v in range(num_subcubes) for rho in range(1, p)
+    )
+    return SortSchedule(n=selection.n, output_order=output_order, substages=tuple(substages))

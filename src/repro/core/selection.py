@@ -1,0 +1,192 @@
+"""Selecting ``D_β`` from Ψ and determining dangling processors (Section 3).
+
+After the partition algorithm produces the cutting set ``Ψ``, the sort must
+pick one sequence.  Different sequences reindex the subcubes differently,
+and *corresponding reindexed processors* of neighboring subcubes may no
+longer be physical neighbors: the extra hop count between them equals the
+Hamming distance of the two subcubes' faulty processors' local addresses
+(``w`` parts).  The paper estimates the total extra overhead of a sequence
+as ``sum_{i=0}^{m-1} max(h_i)`` — for each subcube-level dimension ``i``,
+the worst pair of *faulty* subcubes adjacent along ``i`` — and selects the
+``D_β`` minimizing it (Eq. 1).
+
+A *dangling* processor is then chosen in every fault-free subcube so all
+subcubes carry the same workload: the local address ``w`` that occurs most
+frequently among the faulty processors is used everywhere (majority vote,
+ties to the smallest ``w``), so dangling positions align with fault
+positions and pairs of dead processors simply skip their exchanges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.cube.address import hamming_distance, validate_dimension
+from repro.cube.subcube import AddressSplit
+from repro.faults.model import FaultSet
+from repro.core.partition import PartitionResult, is_single_fault_partition
+
+__all__ = [
+    "SelectionResult",
+    "choose_dangling_w",
+    "extra_comm_cost",
+    "select_cut_sequence",
+]
+
+
+def _fault_addresses(n: int, faults: FaultSet | Sequence[int]) -> tuple[int, ...]:
+    if isinstance(faults, FaultSet):
+        if faults.n != n:
+            raise ValueError(f"fault set is for Q_{faults.n}, expected Q_{n}")
+        return faults.processors
+    return tuple(sorted({int(f) for f in faults}))
+
+
+def fault_of_subcube(
+    n: int, cut_dims: Sequence[int], faults: FaultSet | Sequence[int]
+) -> dict[int, int]:
+    """Map subcube address ``v`` to its faulty processor (faulty subcubes only).
+
+    Requires ``cut_dims`` to be a single-fault partition of the faults.
+    """
+    addrs = _fault_addresses(n, faults)
+    if not is_single_fault_partition(n, cut_dims, addrs):
+        raise ValueError(
+            f"cut dims {tuple(cut_dims)} do not single-fault-partition faults {list(addrs)}"
+        )
+    split = AddressSplit(n, cut_dims)
+    return {split.v_of(f): f for f in addrs}
+
+
+def extra_comm_cost(
+    n: int, cut_dims: Sequence[int], faults: FaultSet | Sequence[int]
+) -> int:
+    """Eq. (1) objective: ``sum_i max(h_i)`` for one cutting sequence.
+
+    ``h_i`` ranges over pairs of subcubes adjacent along subcube-dimension
+    ``i`` in which *both* sides contain a fault; its value is the Hamming
+    distance of the two faults' ``w`` (local) addresses.  Dimensions with no
+    faulty pair contribute 0 (a fault-free side's dangling processor can be
+    aligned for free).
+    """
+    validate_dimension(n)
+    split = AddressSplit(n, cut_dims)
+    by_v = fault_of_subcube(n, cut_dims, faults)
+    total = 0
+    for i in range(split.m):
+        worst = 0
+        for v, f in by_v.items():
+            if (v >> i) & 1:
+                continue  # count each pair once, from the v_i = 0 side
+            peer = v | (1 << i)
+            if peer in by_v:
+                h = hamming_distance(split.w_of(f), split.w_of(by_v[peer]))
+                worst = max(worst, h)
+        total += worst
+    return total
+
+
+def choose_dangling_w(
+    n: int, cut_dims: Sequence[int], faults: FaultSet | Sequence[int]
+) -> int:
+    """The dangling local address: most frequent fault ``w``, ties smallest.
+
+    Every fault-free subcube idles the processor whose local address equals
+    the returned ``w``, aligning dead positions across subcubes (the
+    paper's heuristic for discarding dead-to-dead communication).
+    """
+    split = AddressSplit(n, cut_dims)
+    addrs = _fault_addresses(n, faults)
+    if not addrs:
+        return 0
+    counts: dict[int, int] = {}
+    for f in addrs:
+        w = split.w_of(f)
+        counts[w] = counts.get(w, 0) + 1
+    best = max(counts.items(), key=lambda kv: (kv[1], -kv[0]))
+    return best[0]
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """A fully resolved partition plan for the fault-tolerant sort.
+
+    Attributes:
+        n: hypercube dimension.
+        cut_dims: the selected ``D_β``.
+        cost: its Eq.-(1) extra-communication cost.
+        faults: faulty processor addresses.
+        dangling_w: the local address idled in fault-free subcubes.
+        dead_of_subcube: per subcube address ``v``, the global address of
+            its dead processor (the fault, or the dangling processor).
+    """
+
+    n: int
+    cut_dims: tuple[int, ...]
+    cost: int
+    faults: tuple[int, ...]
+    dangling_w: int
+    dead_of_subcube: tuple[int, ...]
+
+    @property
+    def m(self) -> int:
+        """Number of cutting dimensions."""
+        return len(self.cut_dims)
+
+    @property
+    def s(self) -> int:
+        """Dimension of each subcube."""
+        return self.n - self.m
+
+    @property
+    def split(self) -> AddressSplit:
+        """The ``v``/``w`` address split of ``D_β``."""
+        return AddressSplit(self.n, self.cut_dims)
+
+    @property
+    def dangling_processors(self) -> tuple[int, ...]:
+        """Global addresses of the dangling processors (fault-free subcubes)."""
+        fset = set(self.faults)
+        return tuple(sorted(d for d in self.dead_of_subcube if d not in fset))
+
+    @property
+    def working_processors(self) -> int:
+        """``N' = 2**n - 2**m``."""
+        return (1 << self.n) - (1 << self.m)
+
+
+def select_cut_sequence(
+    partition: PartitionResult, faults: FaultSet | Sequence[int] | None = None
+) -> SelectionResult:
+    """Resolve a :class:`PartitionResult` into a concrete plan.
+
+    Evaluates Eq. (1) on every sequence in Ψ, picks the minimizer (first in
+    DFS order on ties, as in the paper's Example 2 which "may select
+    ``D_1``"), then fixes the dangling ``w`` by majority vote and
+    materializes every subcube's dead processor address.
+    """
+    n = partition.n
+    addrs = partition.faults if faults is None else _fault_addresses(n, faults)
+    best_dims: tuple[int, ...] | None = None
+    best_cost = 0
+    for dims in partition.cutting_set:
+        c = extra_comm_cost(n, dims, addrs)
+        if best_dims is None or c < best_cost:
+            best_dims, best_cost = dims, c
+    assert best_dims is not None, "cutting set is never empty"
+    split = AddressSplit(n, best_dims)
+    dangling_w = choose_dangling_w(n, best_dims, addrs)
+    by_v = fault_of_subcube(n, best_dims, addrs)
+    dead = tuple(
+        by_v[v] if v in by_v else split.combine(v, dangling_w)
+        for v in range(1 << split.m)
+    )
+    return SelectionResult(
+        n=n,
+        cut_dims=best_dims,
+        cost=best_cost,
+        faults=tuple(addrs),
+        dangling_w=dangling_w,
+        dead_of_subcube=dead,
+    )

@@ -1,0 +1,163 @@
+"""Bitonic sorting on a hypercube with at most one faulty processor (§2.1).
+
+The paper's first observation: the bitonic sorting algorithm still works on
+``Q_n`` with one faulty processor.  Distribute the ``M`` keys over the
+``N - 1`` normal processors, treat the faulty processor as a dead node that
+holds nothing, and let its compare-exchange partner skip the operation.
+If the fault is not at address 0, XOR-reindex every processor with the
+fault's address — the XOR relabeling maps hypercube neighbors to neighbors,
+so the communication pattern is unchanged and the result lands sorted in
+*reindexed* address order with the dead node first.
+
+:func:`fault_free_bitonic_sort` is the ``r = 0`` special case (the plain
+parallel bitonic sort, also used by the maximal fault-free subcube
+baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.blocks import pad_and_chunk, strip_padding
+from repro.cube.address import validate_address, validate_dimension
+from repro.faults.model import FaultSet
+from repro.simulator.params import MachineParams
+from repro.simulator.phases import PhaseMachine
+from repro.sorting.bitonic_cube import block_bitonic_sort
+from repro.sorting.heapsort import heapsort, heapsort_comparisons_worst_case
+
+__all__ = ["SingleFaultSortResult", "single_fault_bitonic_sort", "fault_free_bitonic_sort"]
+
+
+@dataclass(frozen=True)
+class SingleFaultSortResult:
+    """Outcome of a (single-fault or fault-free) hypercube bitonic sort.
+
+    Attributes:
+        sorted_keys: the input keys in ascending order (padding stripped).
+        elapsed: simulated execution time (machine cost units).
+        output_order: physical addresses in output (reindexed) order; the
+            concatenation of their blocks is the ascending result.
+        machine: the phase machine (holds final blocks and cost breakdown).
+        block_size: keys per working processor (after padding).
+    """
+
+    sorted_keys: np.ndarray
+    elapsed: float
+    output_order: tuple[int, ...]
+    machine: PhaseMachine
+    block_size: int
+
+
+def local_sort_blocks(
+    machine: PhaseMachine,
+    assignments: dict[int, np.ndarray],
+    label: str = "local-heapsort",
+    exact_counts: bool = False,
+) -> None:
+    """Install and locally sort each processor's block, charging step-3 cost.
+
+    Args:
+        machine: target machine.
+        assignments: physical address -> unsorted block.
+        label: phase label.
+        exact_counts: count comparisons by actually running the
+            from-scratch heapsort (exact, slower); otherwise charge the
+            paper's worst-case formula and sort with numpy (the paper's own
+            analysis charges the worst case).
+    """
+    with machine.phase(label):
+        for addr, block in assignments.items():
+            if block.size == 0:
+                machine.set_block(addr, block)
+                continue
+            if exact_counts:
+                sorted_block, comps = heapsort(block)
+            else:
+                sorted_block = np.sort(block, kind="stable")
+                comps = heapsort_comparisons_worst_case(int(block.size))
+            machine.set_block(addr, sorted_block)
+            machine.charge_compute(addr, comps)
+
+
+def _run_cube_sort(
+    keys: np.ndarray | list,
+    n: int,
+    faulty: int | None,
+    params: MachineParams | None,
+    exact_counts: bool,
+) -> SingleFaultSortResult:
+    validate_dimension(n)
+    size = 1 << n
+    fault_set = FaultSet(n, () if faulty is None else (faulty,))
+    machine = PhaseMachine(n, params=params, faults=fault_set)
+    mask = 0 if faulty is None else faulty
+    # Logical position l lives on physical node l XOR mask; the fault sits
+    # at logical 0 and is skipped.
+    addr_of_logical = [l ^ mask for l in range(size)]
+    dead_logical = frozenset() if faulty is None else frozenset({0})
+    workers = size - (0 if faulty is None else 1)
+    keys_arr = np.asarray(keys, dtype=float)
+    chunks, block_size = pad_and_chunk(keys_arr, workers)
+    assignments: dict[int, np.ndarray] = {}
+    chunk_iter = iter(chunks)
+    for l in range(size):
+        if l in dead_logical:
+            continue
+        assignments[addr_of_logical[l]] = next(chunk_iter)
+    local_sort_blocks(machine, assignments, exact_counts=exact_counts)
+    block_bitonic_sort(machine, addr_of_logical, dead_logical=dead_logical)
+    output_order = tuple(addr_of_logical[l] for l in range(size) if l not in dead_logical)
+    gathered = np.concatenate([machine.get_block(a) for a in output_order]) if workers else np.empty(0)
+    sorted_keys = strip_padding(gathered, int(keys_arr.size))
+    return SingleFaultSortResult(
+        sorted_keys=sorted_keys,
+        elapsed=machine.elapsed,
+        output_order=output_order,
+        machine=machine,
+        block_size=block_size,
+    )
+
+
+def single_fault_bitonic_sort(
+    keys: np.ndarray | list,
+    n: int,
+    faulty: int,
+    params: MachineParams | None = None,
+    exact_counts: bool = False,
+) -> SingleFaultSortResult:
+    """Sort ``keys`` on ``Q_n`` with one faulty processor (paper §2.1).
+
+    Args:
+        keys: finite keys, any order.
+        n: hypercube dimension (``n >= 1`` so a normal processor exists).
+        faulty: address of the faulty processor.
+        params: machine cost constants (default NCUBE/7).
+        exact_counts: charge exact heapsort comparison counts for the local
+            sorts instead of the paper's worst-case formula.
+
+    Returns:
+        :class:`SingleFaultSortResult`; ``output_order`` starts at the
+        fault's lowest reindexed neighbor and the dead node holds no keys.
+    """
+    validate_dimension(n)
+    if n == 0:
+        raise ValueError("Q_0 with a fault has no working processor")
+    validate_address(faulty, n)
+    return _run_cube_sort(keys, n, faulty, params, exact_counts)
+
+
+def fault_free_bitonic_sort(
+    keys: np.ndarray | list,
+    n: int,
+    params: MachineParams | None = None,
+    exact_counts: bool = False,
+) -> SingleFaultSortResult:
+    """Plain parallel block bitonic sort on a fault-free ``Q_n``.
+
+    The thick-line baseline of the paper's Figure 7 (sorting on the
+    maximal fault-free subcube) is this routine run on a smaller cube.
+    """
+    return _run_cube_sort(keys, n, None, params, exact_counts)

@@ -1,0 +1,221 @@
+"""Message-passing (SPMD) execution of the sorting schedules.
+
+This is the full-fidelity realization of the paper's algorithm: every
+processor runs its own program on the discrete-event machine
+(:class:`repro.simulator.spmd.SpmdMachine`), holding only its local block
+and exchanging real routed messages — the half-traffic compare-split
+protocol of Section 2.1/Step 7 at the message level:
+
+1. *probe*: partners swap one boundary key and both decide (with the same
+   comparison) whether any payload must move;
+2. *halves*: the low partner sends its bottom ``ceil(k/2)`` keys, the high
+   partner its bottom ``floor(k/2)``; each side compares the keys it now
+   holds pairwise (``a_i`` against ``b_{k-1-i}``);
+3. *returns*: the losers travel back and each side merges its two runs.
+
+Link contention, store-and-forward hops, fault-aware routing (VERTEX-style
+pass-through for partial faults, adaptive detours for total faults) all
+come from the event engine — nothing is abstracted.  The test suite runs
+the same :class:`~repro.core.schedule.SortSchedule` through this backend
+and through the phase engine and demands identical sorted output, which is
+the cross-validation DESIGN.md promises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.blocks import pad_and_chunk, strip_padding
+from repro.core.ftsort import plan_partition
+from repro.core.schedule import SortSchedule, build_ft_schedule, build_plain_schedule
+from repro.cube.address import validate_dimension
+from repro.faults.linkplan import absorb_link_faults
+from repro.faults.model import FaultKind, FaultSet
+from repro.simulator.params import MachineParams
+from repro.simulator.spmd import Proc, SpmdMachine
+from repro.sorting.heapsort import heapsort
+
+__all__ = ["SpmdSortResult", "run_schedule_spmd", "spmd_fault_tolerant_sort"]
+
+
+@dataclass(frozen=True)
+class SpmdSortResult:
+    """Outcome of a message-level sort run.
+
+    Attributes:
+        sorted_keys: the input keys in ascending order.
+        finish_time: simulated completion time (max over processor clocks).
+        machine: the SPMD machine (per-rank clocks, engine statistics).
+        schedule: the executed schedule.
+        blocks: final block of every working processor.
+    """
+
+    sorted_keys: np.ndarray
+    finish_time: float
+    machine: SpmdMachine
+    schedule: SortSchedule
+    blocks: dict[int, np.ndarray]
+
+
+def _cx_program_step(proc: Proc, block: np.ndarray, partner: int, i_am_low: bool,
+                     keep_min: bool, tag_base: int):
+    """Generator fragment: one compare-exchange with ``partner``.
+
+    Returns the rank's new block.  ``keep_min`` refers to the *low* side;
+    the high side keeps the complement.
+    """
+    k = int(block.size)
+    # Leg 0 — probe.
+    my_boundary = float(block[-1] if (i_am_low == keep_min) else block[0])
+    yield proc.send(partner, payload=my_boundary, size=1, tag=tag_base)
+    other_boundary = yield proc.recv(src=partner, tag=tag_base)
+    yield proc.compute(1)
+    if i_am_low == keep_min:
+        # I keep the small side: skip if my max <= partner's min.
+        if my_boundary <= other_boundary:
+            return block
+    else:
+        if other_boundary <= my_boundary:
+            return block
+
+    # Leg 1 — halves.  Pairing: low_i against high_{k-1-i}.  The low side
+    # evaluates pairs i in [h, k) (needs high's bottom k-h keys), the high
+    # side pairs i in [0, h) (needs low's bottom h keys).
+    h = (k + 1) // 2
+    if i_am_low:
+        send_part = block[:h]
+        keep_part = block[h:]
+    else:
+        send_part = block[: k - h]
+        keep_part = block[k - h :]
+    yield proc.send(partner, payload=send_part.copy(), size=int(send_part.size), tag=tag_base + 1)
+    received = yield proc.recv(src=partner, tag=tag_base + 1)
+
+    # Pairwise comparisons.  For the low side: my keep_part is a[h:k]
+    # ascending; partner's bottom is b[0:k-h] ascending; pair a_i with
+    # b_{k-1-i} means reversing the received run.
+    mine = keep_part
+    theirs = np.asarray(received)[::-1]
+    yield proc.compute(int(mine.size))
+    winners_are_min = keep_min if i_am_low else not keep_min
+    if winners_are_min:
+        winners = np.minimum(mine, theirs)
+        losers = np.maximum(mine, theirs)
+    else:
+        winners = np.maximum(mine, theirs)
+        losers = np.minimum(mine, theirs)
+
+    # Leg 2 — return the losers; receive the partner's losers.
+    yield proc.send(partner, payload=losers.copy(), size=int(losers.size), tag=tag_base + 2)
+    returned = yield proc.recv(src=partner, tag=tag_base + 2)
+
+    merged = np.concatenate([winners, np.asarray(returned)])
+    yield proc.compute(max(int(merged.size) - 1, 0))  # step 7(c) merge
+    return np.sort(merged, kind="stable")
+
+
+def _make_program(schedule: SortSchedule, blocks: dict[int, np.ndarray]):
+    """Build the per-rank SPMD program executing ``schedule``.
+
+    ``blocks`` maps rank -> initial unsorted block and is updated in place
+    with the final blocks (the harness reads it after the run).
+    """
+
+    plan: dict[int, list[tuple[int, object]]] = {rank: [] for rank in blocks}
+    for idx, substage in enumerate(schedule.substages):
+        for pair in substage.pairs:
+            if substage.kind == "cx":
+                plan[pair.low].append((idx, ("cx", pair.high, True, pair.keep_min)))
+                plan[pair.high].append((idx, ("cx", pair.low, False, pair.keep_min)))
+            else:
+                plan[pair.low].append((idx, ("mirror", pair.high)))
+                plan[pair.high].append((idx, ("mirror", pair.low)))
+
+    def program(proc: Proc):
+        block = blocks[proc.rank]
+        # Local sort (paper step 3 first half) with exact heapsort counts.
+        if block.size:
+            block, comps = heapsort(block)
+            yield proc.compute(comps)
+        for idx, op in plan[proc.rank]:
+            if op[0] == "cx":
+                _, partner, i_am_low, keep_min = op
+                if block.size == 0:
+                    continue
+                block = yield from _cx_program_step(
+                    proc, block, partner, i_am_low, keep_min, tag_base=idx * 4
+                )
+            else:
+                _, partner = op
+                yield proc.send(partner, payload=block.copy(), size=int(block.size),
+                                tag=idx * 4)
+                block = np.asarray((yield proc.recv(src=partner, tag=idx * 4)))
+        blocks[proc.rank] = block
+
+    return program
+
+
+def run_schedule_spmd(
+    schedule: SortSchedule,
+    keys: np.ndarray | list,
+    faults: FaultSet,
+    params: MachineParams | None = None,
+) -> SpmdSortResult:
+    """Execute a sort schedule on the discrete-event SPMD machine."""
+    keys_arr = np.asarray(keys, dtype=float)
+    chunks, _ = pad_and_chunk(keys_arr, schedule.workers)
+    blocks = {rank: chunk for rank, chunk in zip(schedule.output_order, chunks)}
+    machine = SpmdMachine(schedule.n, faults=faults, params=params)
+    program = _make_program(schedule, blocks)
+    finish = machine.run({rank: program for rank in schedule.output_order})
+    gathered = (
+        np.concatenate([blocks[rank] for rank in schedule.output_order])
+        if schedule.workers
+        else np.empty(0)
+    )
+    sorted_keys = strip_padding(gathered, int(keys_arr.size))
+    return SpmdSortResult(
+        sorted_keys=sorted_keys,
+        finish_time=finish,
+        machine=machine,
+        schedule=schedule,
+        blocks=blocks,
+    )
+
+
+def spmd_fault_tolerant_sort(
+    keys: np.ndarray | list,
+    n: int,
+    faults: FaultSet | list[int] | tuple[int, ...],
+    params: MachineParams | None = None,
+    fault_kind: FaultKind = FaultKind.PARTIAL,
+) -> SpmdSortResult:
+    """Message-level fault-tolerant sort on ``Q_n`` (mirrors the phase engine).
+
+    Dispatches exactly like
+    :func:`repro.core.ftsort.fault_tolerant_sort`: plain bitonic for
+    ``r = 0``, single-fault bitonic for ``r = 1``, and the partitioned
+    algorithm otherwise.
+    """
+    validate_dimension(n)
+    if isinstance(faults, FaultSet):
+        fault_set = faults
+    else:
+        fault_set = FaultSet(n, faults, kind=fault_kind)
+    if fault_set.n != n:
+        raise ValueError(f"fault set is for Q_{fault_set.n}, expected Q_{n}")
+    if fault_set.links:
+        fault_set = absorb_link_faults(fault_set)
+    if not fault_set.satisfies_paper_model():
+        raise ValueError(f"{fault_set.r} faults on Q_{n} violate the paper's model")
+    r = fault_set.r
+    if r == 0:
+        schedule = build_plain_schedule(n, None)
+    elif r == 1:
+        schedule = build_plain_schedule(n, fault_set.processors[0])
+    else:
+        _, selection = plan_partition(n, fault_set)
+        schedule = build_ft_schedule(selection)
+    return run_schedule_spmd(schedule, keys, fault_set, params=params)

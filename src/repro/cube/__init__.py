@@ -1,0 +1,67 @@
+"""Hypercube topology and address algebra.
+
+This package is the lowest layer of the reproduction: pure functions and
+small immutable objects describing an ``n``-dimensional binary hypercube
+``Q_n`` — processor addresses, Hamming geometry, neighbor enumeration,
+subcube address spaces, and the ``v``/``w`` address split induced by a
+cutting-dimension sequence (paper Section 3).
+
+Everything here is deterministic and side-effect free; the simulator,
+partitioner and sorting algorithms are all built on top of it.
+"""
+
+from repro.cube.address import (
+    bit_of,
+    clear_bit,
+    flip_bit,
+    gray_code,
+    gray_rank,
+    hamming_distance,
+    hamming_weight,
+    popcount_array,
+    set_bit,
+    to_bits,
+    from_bits,
+    validate_address,
+    validate_dimension,
+)
+from repro.cube.topology import Hypercube, ecube_path, shortest_paths_avoiding
+from repro.cube.subcube import (
+    AddressSplit,
+    Subcube,
+    enumerate_subcubes,
+    partition_by_dims,
+)
+from repro.cube.embedding import (
+    mesh_embedding,
+    mesh_node,
+    ring_embedding,
+    ring_position,
+)
+
+__all__ = [
+    "AddressSplit",
+    "Hypercube",
+    "Subcube",
+    "mesh_embedding",
+    "mesh_node",
+    "ring_embedding",
+    "ring_position",
+    "bit_of",
+    "clear_bit",
+    "ecube_path",
+    "enumerate_subcubes",
+    "flip_bit",
+    "from_bits",
+    "gray_code",
+    "gray_rank",
+    "hamming_distance",
+    "hamming_weight",
+    "partition_by_dims",
+    "popcount_array",
+    "set_bit",
+    "shortest_paths_avoiding",
+    "to_bits",
+    "validate_address",
+    "validate_dimension",
+]

@@ -1,0 +1,61 @@
+"""Classic hypercube embeddings (Gray-code rings and meshes).
+
+Substrate utilities from the hypercube toolbox the paper's generation of
+algorithms drew on: a ``2**n``-node ring embeds in ``Q_n`` with dilation 1
+via the binary-reflected Gray code, and a ``2**a x 2**b`` mesh embeds via a
+product of Gray codes.  The sort itself doesn't need them, but the
+repository's collectives and examples do (ring pipelines, mesh layouts),
+and they come with cheap strong tests.
+"""
+
+from __future__ import annotations
+
+from repro.cube.address import gray_code, gray_rank, validate_dimension
+
+__all__ = ["ring_embedding", "ring_position", "mesh_embedding", "mesh_node"]
+
+
+def ring_embedding(n: int) -> list[int]:
+    """Hypercube addresses of a dilation-1 ring through all of ``Q_n``.
+
+    ``result[i]`` and ``result[(i+1) % 2**n]`` are hypercube neighbors for
+    every ``i`` (including the wrap-around).
+    """
+    validate_dimension(n)
+    return [gray_code(i) for i in range(1 << n)]
+
+
+def ring_position(addr: int, n: int) -> int:
+    """Inverse of :func:`ring_embedding`: the ring index of a node."""
+    validate_dimension(n)
+    if not 0 <= addr < (1 << n):
+        raise ValueError(f"address {addr} out of range for Q_{n}")
+    return gray_rank(addr)
+
+
+def mesh_embedding(rows_dim: int, cols_dim: int) -> list[list[int]]:
+    """Dilation-1 embedding of a ``2**rows_dim x 2**cols_dim`` mesh.
+
+    Returns a matrix of hypercube addresses in ``Q_{rows_dim + cols_dim}``;
+    horizontally and vertically adjacent entries are hypercube neighbors
+    (each coordinate Gray-coded into its own dimension group; columns use
+    the low dimensions).
+    """
+    n = validate_dimension(rows_dim + cols_dim)
+    del n
+    return [
+        [
+            (gray_code(r) << cols_dim) | gray_code(c)
+            for c in range(1 << cols_dim)
+        ]
+        for r in range(1 << rows_dim)
+    ]
+
+
+def mesh_node(r: int, c: int, rows_dim: int, cols_dim: int) -> int:
+    """Hypercube address of mesh coordinate ``(r, c)``."""
+    if not 0 <= r < (1 << rows_dim):
+        raise ValueError(f"row {r} out of range")
+    if not 0 <= c < (1 << cols_dim):
+        raise ValueError(f"column {c} out of range")
+    return (gray_code(r) << cols_dim) | gray_code(c)

@@ -1,0 +1,241 @@
+"""Subcube geometry and the ``v``/``w`` address split of the paper.
+
+A *subcube* of ``Q_n`` is obtained by fixing the coordinate along some subset
+of dimensions.  We represent it by a ``(fixed_mask, fixed_value)`` pair: bit
+``d`` of ``fixed_mask`` is 1 iff dimension ``d`` is fixed, and then bit ``d``
+of ``fixed_value`` gives the fixed coordinate.  Free dimensions span the
+subcube.
+
+The paper's partition (Section 3) cuts ``Q_n`` along an *ordered* cutting
+dimension sequence ``D_beta = (d_1, ..., d_m)``.  Every resulting subcube is
+identified by an ``m``-bit address ``v_{m-1} ... v_0 = u_{d_m} ... u_{d_1}``
+(so ``d_1`` supplies the least significant ``v`` bit), while the remaining
+``s = n - m`` bits, kept in ascending dimension order, form the local
+processor address ``w_{s-1} ... w_0`` inside each subcube.
+:class:`AddressSplit` implements that bidirectional mapping and is used by
+the partition selection heuristic, the dangling-processor vote, and the
+fault-tolerant sort itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterator, Sequence
+
+from repro.cube.address import (
+    bit_of,
+    hamming_weight,
+    validate_address,
+    validate_dimension,
+)
+
+__all__ = ["Subcube", "AddressSplit", "enumerate_subcubes", "partition_by_dims"]
+
+
+@dataclass(frozen=True)
+class Subcube:
+    """An axis-aligned subcube of ``Q_n``.
+
+    Attributes:
+        n: dimension of the ambient hypercube.
+        fixed_mask: bit ``d`` set iff dimension ``d`` is fixed.
+        fixed_value: fixed coordinates; must satisfy
+            ``fixed_value & ~fixed_mask == 0``.
+    """
+
+    n: int
+    fixed_mask: int
+    fixed_value: int
+
+    def __post_init__(self) -> None:
+        validate_dimension(self.n)
+        full = (1 << self.n) - 1
+        if not 0 <= self.fixed_mask <= full:
+            raise ValueError(f"fixed_mask {self.fixed_mask:#x} out of range for Q_{self.n}")
+        if self.fixed_value & ~self.fixed_mask:
+            raise ValueError(
+                "fixed_value has bits outside fixed_mask: "
+                f"value={self.fixed_value:#x} mask={self.fixed_mask:#x}"
+            )
+
+    @property
+    def dim(self) -> int:
+        """Dimension of the subcube (number of free dimensions)."""
+        return self.n - hamming_weight(self.fixed_mask)
+
+    @property
+    def size(self) -> int:
+        """Number of processors in the subcube."""
+        return 1 << self.dim
+
+    @property
+    def free_dims(self) -> tuple[int, ...]:
+        """Free dimensions in ascending order."""
+        return tuple(d for d in range(self.n) if not (self.fixed_mask >> d) & 1)
+
+    @property
+    def fixed_dims(self) -> tuple[int, ...]:
+        """Fixed dimensions in ascending order."""
+        return tuple(d for d in range(self.n) if (self.fixed_mask >> d) & 1)
+
+    def contains(self, addr: int) -> bool:
+        """Whether global address ``addr`` lies inside this subcube."""
+        validate_address(addr, self.n)
+        return (addr & self.fixed_mask) == self.fixed_value
+
+    def members(self) -> Iterator[int]:
+        """Iterate the global addresses of the subcube in local-address order.
+
+        Local address ``w`` enumerates the free dimensions in ascending
+        dimension order (bit 0 of ``w`` toggles the smallest free dimension).
+        """
+        free = self.free_dims
+        for w in range(self.size):
+            yield self.local_to_global(w)
+
+    def local_to_global(self, w: int) -> int:
+        """Map local address ``w`` (over free dims) to the global address."""
+        if not 0 <= w < self.size:
+            raise ValueError(f"local address {w} out of range for Q_{self.dim} subcube")
+        addr = self.fixed_value
+        for i, d in enumerate(self.free_dims):
+            if (w >> i) & 1:
+                addr |= 1 << d
+        return addr
+
+    def global_to_local(self, addr: int) -> int:
+        """Map a member's global address to its local address ``w``."""
+        if not self.contains(addr):
+            raise ValueError(f"address {addr} not in subcube {self}")
+        w = 0
+        for i, d in enumerate(self.free_dims):
+            if (addr >> d) & 1:
+                w |= 1 << i
+        return w
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        pat = "".join(
+            str((self.fixed_value >> d) & 1) if (self.fixed_mask >> d) & 1 else "*"
+            for d in range(self.n - 1, -1, -1)
+        )
+        return f"Subcube({pat})"
+
+
+def _validate_cut_dims(n: int, dims: Sequence[int]) -> tuple[int, ...]:
+    dims = tuple(int(d) for d in dims)
+    for d in dims:
+        if not 0 <= d < n:
+            raise ValueError(f"cutting dimension {d} out of range for Q_{n}")
+    if len(set(dims)) != len(dims):
+        raise ValueError(f"cutting dimensions must be distinct, got {dims}")
+    return dims
+
+
+class AddressSplit:
+    """The ``v``/``w`` coordinate split induced by a cutting sequence.
+
+    Given ``Q_n`` and the ordered cutting sequence ``D = (d_1, ..., d_m)``
+    (paper notation; ``cut_dims[0]`` is ``d_1``), every global address ``u``
+    decomposes into:
+
+    * ``v`` — the ``m``-bit subcube address, ``v_{k-1} = u_{d_k}``
+      (``d_1`` gives the least significant bit of ``v``), and
+    * ``w`` — the ``s = n - m``-bit local address over the remaining
+      dimensions taken in ascending order.
+
+    The split is a bijection: ``combine(v, w)`` inverts
+    ``(v_of(u), w_of(u))``.
+    """
+
+    def __init__(self, n: int, cut_dims: Sequence[int]):
+        self.n = validate_dimension(n)
+        self.cut_dims = _validate_cut_dims(n, cut_dims)
+        self.m = len(self.cut_dims)
+        self.s = self.n - self.m
+        self._rest_dims = tuple(d for d in range(n) if d not in set(self.cut_dims))
+
+    @property
+    def rest_dims(self) -> tuple[int, ...]:
+        """Non-cut dimensions in ascending order (``w`` bit ``i`` ↔ ``rest_dims[i]``)."""
+        return self._rest_dims
+
+    def v_of(self, addr: int) -> int:
+        """Subcube address of global address ``addr``."""
+        validate_address(addr, self.n)
+        v = 0
+        for k, d in enumerate(self.cut_dims):
+            v |= bit_of(addr, d) << k
+        return v
+
+    def w_of(self, addr: int) -> int:
+        """Local (within-subcube) address of global address ``addr``."""
+        validate_address(addr, self.n)
+        w = 0
+        for i, d in enumerate(self._rest_dims):
+            w |= bit_of(addr, d) << i
+        return w
+
+    def combine(self, v: int, w: int) -> int:
+        """Recompose a global address from subcube address ``v`` and local ``w``."""
+        if not 0 <= v < (1 << self.m):
+            raise ValueError(f"subcube address {v} out of range (m={self.m})")
+        if not 0 <= w < (1 << self.s):
+            raise ValueError(f"local address {w} out of range (s={self.s})")
+        addr = 0
+        for k, d in enumerate(self.cut_dims):
+            if (v >> k) & 1:
+                addr |= 1 << d
+        for i, d in enumerate(self._rest_dims):
+            if (w >> i) & 1:
+                addr |= 1 << d
+        return addr
+
+    def subcube(self, v: int) -> Subcube:
+        """The :class:`Subcube` with subcube address ``v``."""
+        if not 0 <= v < (1 << self.m):
+            raise ValueError(f"subcube address {v} out of range (m={self.m})")
+        mask = 0
+        value = 0
+        for k, d in enumerate(self.cut_dims):
+            mask |= 1 << d
+            if (v >> k) & 1:
+                value |= 1 << d
+        return Subcube(self.n, mask, value)
+
+    def subcubes(self) -> list[Subcube]:
+        """All ``2**m`` subcubes in subcube-address order."""
+        return [self.subcube(v) for v in range(1 << self.m)]
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return f"AddressSplit(n={self.n}, cut_dims={self.cut_dims})"
+
+
+def partition_by_dims(n: int, cut_dims: Sequence[int]) -> list[Subcube]:
+    """Partition ``Q_n`` into ``2**len(cut_dims)`` subcubes along ``cut_dims``."""
+    return AddressSplit(n, cut_dims).subcubes()
+
+
+def enumerate_subcubes(n: int, k: int) -> Iterator[Subcube]:
+    """Enumerate every ``k``-dimensional subcube of ``Q_n``.
+
+    There are ``C(n, k) * 2**(n-k)`` of them.  Used by the maximal
+    fault-free subcube baseline, which must examine candidate subcubes of
+    each dimension.
+    """
+    validate_dimension(n)
+    if not 0 <= k <= n:
+        raise ValueError(f"subcube dimension {k} out of range for Q_{n}")
+    from itertools import combinations
+
+    for free in combinations(range(n), k):
+        free_set = set(free)
+        fixed = [d for d in range(n) if d not in free_set]
+        mask = 0
+        for d in fixed:
+            mask |= 1 << d
+        for bits in range(1 << len(fixed)):
+            value = 0
+            for i, d in enumerate(fixed):
+                if (bits >> i) & 1:
+                    value |= 1 << d
+            yield Subcube(n, mask, value)

@@ -1,0 +1,139 @@
+"""Hypercube topology: neighbors, links, routing paths.
+
+:class:`Hypercube` is the static interconnect description shared by the
+fault model, the discrete-event machine, and the routing layer.  Links are
+undirected and identified by ``(min_endpoint, dimension)``.
+
+Routing helpers:
+
+* :func:`ecube_path` — classic dimension-order (e-cube) route, the scheme
+  NCUBE-era machines used.
+* :func:`shortest_paths_avoiding` — BFS distances avoiding a forbidden node
+  set; the adaptive fault-tolerant router and its tests both use it as the
+  ground-truth metric.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+from repro.cube.address import (
+    flip_bit,
+    hamming_distance,
+    validate_address,
+    validate_dimension,
+)
+
+__all__ = ["Hypercube", "ecube_path", "shortest_paths_avoiding"]
+
+
+class Hypercube:
+    """Static topology of the ``n``-dimensional binary hypercube ``Q_n``."""
+
+    def __init__(self, n: int):
+        self.n = validate_dimension(n)
+        self.size = 1 << self.n
+
+    # -- nodes ---------------------------------------------------------
+
+    def nodes(self) -> range:
+        """All node addresses, ``0 .. 2**n - 1``."""
+        return range(self.size)
+
+    def neighbors(self, addr: int) -> list[int]:
+        """Neighbors of ``addr`` in ascending dimension order."""
+        validate_address(addr, self.n)
+        return [flip_bit(addr, d) for d in range(self.n)]
+
+    def neighbor(self, addr: int, d: int) -> int:
+        """The neighbor of ``addr`` along dimension ``d``."""
+        validate_address(addr, self.n)
+        if not 0 <= d < self.n:
+            raise ValueError(f"dimension {d} out of range for Q_{self.n}")
+        return flip_bit(addr, d)
+
+    def distance(self, a: int, b: int) -> int:
+        """Hop distance (= Hamming distance) between nodes ``a`` and ``b``."""
+        validate_address(a, self.n)
+        validate_address(b, self.n)
+        return hamming_distance(a, b)
+
+    # -- links ---------------------------------------------------------
+
+    def links(self) -> Iterator[tuple[int, int]]:
+        """All undirected links as ``(node, dimension)`` with ``bit_d(node)=0``.
+
+        Each physical link appears exactly once; its endpoints are ``node``
+        and ``node ^ (1 << dimension)``.  There are ``n * 2**(n-1)`` links.
+        """
+        for node in range(self.size):
+            for d in range(self.n):
+                if not (node >> d) & 1:
+                    yield (node, d)
+
+    def link_id(self, a: int, b: int) -> tuple[int, int]:
+        """Canonical id of the link between neighbors ``a`` and ``b``."""
+        validate_address(a, self.n)
+        validate_address(b, self.n)
+        diff = a ^ b
+        if diff == 0 or diff & (diff - 1):
+            raise ValueError(f"nodes {a} and {b} are not hypercube neighbors")
+        return (min(a, b), diff.bit_length() - 1)
+
+    def num_links(self) -> int:
+        """Total number of undirected links."""
+        return self.n * (1 << (self.n - 1)) if self.n else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return f"Hypercube(n={self.n})"
+
+
+def ecube_path(src: int, dst: int, n: int) -> list[int]:
+    """Dimension-order (e-cube) route from ``src`` to ``dst`` in ``Q_n``.
+
+    Corrects differing bits from the lowest dimension upward; the returned
+    list includes both endpoints and has length ``HD(src, dst) + 1``.
+    """
+    validate_address(src, n)
+    validate_address(dst, n)
+    path = [src]
+    cur = src
+    diff = src ^ dst
+    d = 0
+    while diff:
+        if diff & 1:
+            cur = flip_bit(cur, d)
+            path.append(cur)
+        diff >>= 1
+        d += 1
+    return path
+
+
+def shortest_paths_avoiding(
+    n: int, src: int, forbidden: Iterable[int] = ()
+) -> dict[int, int]:
+    """BFS hop distances from ``src`` in ``Q_n`` avoiding ``forbidden`` nodes.
+
+    ``src`` itself must not be forbidden.  Returns a dict mapping each
+    reachable node to its distance; unreachable nodes are absent.  This is
+    the ground truth the fault-tolerant router is validated against: with
+    at most ``n - 1`` total faults the faulty hypercube remains connected
+    (node connectivity of ``Q_n`` is ``n``), so every fault-free node must
+    appear in the result.
+    """
+    validate_address(src, n)
+    blocked = set(forbidden)
+    if src in blocked:
+        raise ValueError(f"source {src} is in the forbidden set")
+    dist = {src: 0}
+    q: deque[int] = deque([src])
+    while q:
+        cur = q.popleft()
+        for d in range(n):
+            nxt = flip_bit(cur, d)
+            if nxt in blocked or nxt in dist:
+                continue
+            dist[nxt] = dist[cur] + 1
+            q.append(nxt)
+    return dist

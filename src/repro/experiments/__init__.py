@@ -1,0 +1,57 @@
+"""Regenerators for every table and figure in the paper's evaluation.
+
+* :mod:`repro.experiments.table1` — Table 1: distribution of ``mincut``
+  values over random fault placements, ``3 <= n <= 6``, ``0 <= r <= n-1``.
+* :mod:`repro.experiments.table2` — Table 2: processor utilization of the
+  proposed scheme versus the maximum dimensional fault-free subcube method
+  (best and worst case).
+* :mod:`repro.experiments.figure7` — Figure 7(a)-(d): execution time versus
+  number of keys for each fault count, against the fault-free-subcube
+  baselines.
+* :mod:`repro.experiments.report` — plain-text table/series rendering.
+
+Each module is runnable (``python -m repro.experiments.table1``) and
+exposes a pure ``compute_*`` function used by the benchmark harness and the
+test suite.
+"""
+
+from repro.experiments.table1 import compute_table1, render_table1
+from repro.experiments.table2 import compute_table2, render_table2
+from repro.experiments.figure7 import compute_figure7, render_figure7, render_figure7_svg
+from repro.experiments.modelcheck import compute_modelcheck, render_modelcheck
+from repro.experiments.exact import exact_mincut_distribution, exact_utilization_extremes
+from repro.experiments.report import format_table, format_series
+from repro.experiments.svgplot import line_chart, save_chart
+from repro.experiments.workloads import (
+    compute_data_sensitivity,
+    generate_workload,
+    render_data_sensitivity,
+    workload_names,
+)
+from repro.experiments.runner import run_all
+from repro.experiments.cubeviz import cube_layout, partition_diagram
+
+__all__ = [
+    "compute_data_sensitivity",
+    "compute_figure7",
+    "cube_layout",
+    "partition_diagram",
+    "compute_modelcheck",
+    "compute_table1",
+    "compute_table2",
+    "generate_workload",
+    "render_data_sensitivity",
+    "run_all",
+    "workload_names",
+    "exact_mincut_distribution",
+    "exact_utilization_extremes",
+    "format_series",
+    "format_table",
+    "line_chart",
+    "render_figure7",
+    "render_figure7_svg",
+    "render_modelcheck",
+    "render_table1",
+    "render_table2",
+    "save_chart",
+]

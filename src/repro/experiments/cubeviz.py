@@ -1,0 +1,150 @@
+"""SVG diagrams of partitioned hypercubes (the paper's Figures 1/3/5).
+
+The paper's structural figures show a hypercube cut into single-fault
+subcubes: nodes grouped by subcube, faulty processors marked, dangling
+processors marked.  This module renders the same diagrams for any plan:
+
+* each processor is a labeled circle on a Gray-code grid layout (low
+  address bits → column, high bits → row, so every hypercube edge is a
+  short step),
+* hypercube edges are drawn light, edges *within* a subcube darker,
+* subcube membership is the fill color; faults get a cross, dangling
+  processors a hollow ring.
+
+:func:`partition_diagram` takes a :class:`~repro.core.selection.SelectionResult`
+(or plain fault list) and returns an SVG string; the reproduce-all runner
+ships a diagram of the paper's Example-1 partition.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from repro.core.ftsort import plan_partition
+from repro.cube.address import gray_rank, validate_dimension
+from repro.cube.topology import Hypercube
+from repro.core.selection import SelectionResult
+from repro.experiments.svgplot import PALETTE
+
+__all__ = ["partition_diagram", "cube_layout"]
+
+_CELL = 86
+_MARGIN = 60
+_RADIUS = 17
+
+
+def cube_layout(n: int) -> dict[int, tuple[float, float]]:
+    """Planar coordinates for every node of ``Q_n`` (n <= 8).
+
+    Splits the address into low/high halves and places each half by its
+    Gray-code rank on a grid.  Every hypercube edge is then axis-aligned
+    (it changes only the row or only the column — a bit flip touches one
+    half), which keeps the diagrams readable even though edge lengths
+    vary (planar drawings of hypercubes necessarily stretch some edges).
+    """
+    validate_dimension(n)
+    if n > 8:
+        raise ValueError("cube_layout supports n <= 8 (diagram legibility)")
+    lo_bits = (n + 1) // 2
+    hi_bits = n - lo_bits
+    lo_mask = (1 << lo_bits) - 1
+    coords = {}
+    for addr in range(1 << n):
+        col = gray_rank(addr & lo_mask)
+        row = gray_rank(addr >> lo_bits) if hi_bits else 0
+        coords[addr] = (
+            _MARGIN + col * _CELL,
+            _MARGIN + row * _CELL,
+        )
+    return coords
+
+
+def _plan_of(n: int, plan_or_faults) -> SelectionResult | None:
+    if isinstance(plan_or_faults, SelectionResult):
+        return plan_or_faults
+    faults = list(plan_or_faults)
+    if len(faults) <= 1:
+        return None
+    _, selection = plan_partition(n, faults)
+    return selection
+
+
+def partition_diagram(n: int, plan_or_faults, title: str | None = None) -> str:
+    """Render the partitioned ``Q_n`` as an SVG document string.
+
+    ``plan_or_faults`` is a resolved :class:`SelectionResult` or a list of
+    faulty addresses (the plan is computed when needed).  With zero or one
+    fault no partition exists; nodes are drawn uncolored with the fault
+    marked.
+    """
+    validate_dimension(n)
+    selection = _plan_of(n, plan_or_faults)
+    faults = set(selection.faults) if selection else set(
+        plan_or_faults if not isinstance(plan_or_faults, SelectionResult) else []
+    )
+    dangling = set(selection.dangling_processors) if selection else set()
+    coords = cube_layout(n)
+    cube = Hypercube(n)
+
+    width = max(x for x, _ in coords.values()) + _MARGIN
+    height = max(y for _, y in coords.values()) + _MARGIN + 30
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" font-family="sans-serif">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="26" text-anchor="middle" font-size="15" '
+            f'font-weight="bold">{escape(title)}</text>'
+        )
+
+    def v_of(addr: int) -> int | None:
+        return selection.split.v_of(addr) if selection else None
+
+    # Edges first (under the nodes).
+    for node, d in cube.links():
+        a, b = node, node | (1 << d)
+        xa, ya = coords[a]
+        xb, yb = coords[b]
+        same_subcube = selection is not None and v_of(a) == v_of(b)
+        stroke = "#555555" if same_subcube else "#dddddd"
+        width_px = 2.0 if same_subcube else 1.0
+        parts.append(
+            f'<line x1="{xa}" y1="{ya}" x2="{xb}" y2="{yb}" '
+            f'stroke="{stroke}" stroke-width="{width_px}"/>'
+        )
+
+    # Nodes.
+    for addr, (x, y) in coords.items():
+        if selection is not None:
+            color = PALETTE[v_of(addr) % len(PALETTE)]
+        else:
+            color = "#bbbbbb"
+        is_fault = addr in faults
+        is_dangling = addr in dangling
+        fill = "white" if is_dangling else color
+        parts.append(
+            f'<circle cx="{x}" cy="{y}" r="{_RADIUS}" fill="{fill}" '
+            f'stroke="{color}" stroke-width="3"/>'
+        )
+        if is_fault:
+            o = _RADIUS * 0.6
+            for dx1, dy1, dx2, dy2 in ((-o, -o, o, o), (-o, o, o, -o)):
+                parts.append(
+                    f'<line x1="{x + dx1}" y1="{y + dy1}" x2="{x + dx2}" '
+                    f'y2="{y + dy2}" stroke="#000000" stroke-width="2.5"/>'
+                )
+        parts.append(
+            f'<text x="{x}" y="{y - _RADIUS - 4}" text-anchor="middle" '
+            f'font-size="10" fill="#333333">{addr}</text>'
+        )
+
+    # Legend.
+    legend_y = height - 14
+    parts.append(
+        f'<text x="{_MARGIN}" y="{legend_y}" font-size="12">'
+        f'colors = subcubes; X = faulty; hollow = dangling</text>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,167 @@
+"""Figure 7(a)-(d): execution time vs number of keys, per fault count.
+
+For a hypercube ``Q_n`` (``n = 6, 5, 4, 3`` for panels (a), (b), (d), (c)),
+the paper plots sorting time against the number of keys ``M`` for each
+fault count ``r = 1 .. n-1`` (thin lines), against plain bitonic sort on
+fault-free cubes ``Q_n, Q_{n-1}, ...`` (thick lines) — the latter being
+what the maximum dimensional fault-free subcube method would run in its
+best/worst cases.
+
+The headline qualitative claims this regenerates:
+
+* ``Q_6`` with ``r = 1`` or ``2`` beats fault-free ``Q_5`` — i.e. the
+  proposed method beats the baseline's *best* case;
+* ``Q_6`` with ``r = 3, 4, 5`` still beats fault-free ``Q_4`` — the
+  baseline's typical/worst case;
+* all curves grow like ``(M/N') log(M/N')``.
+
+Execution times come from the phase-level simulator with NCUBE/7-style
+constants; fault placements are averaged over several random draws per
+``r`` (seeded).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ftsort import fault_tolerant_sort
+from repro.core.single_fault import fault_free_bitonic_sort
+from repro.experiments.report import format_series
+from repro.faults.inject import random_faulty_processors
+from repro.simulator.params import MachineParams
+
+__all__ = ["Figure7Panel", "compute_figure7", "render_figure7", "default_m_values", "main"]
+
+DEFAULT_PLACEMENTS = 5
+
+
+def default_m_values(n: int, points: int = 5) -> tuple[int, ...]:
+    """The paper's key-count range, scaled to the cube size.
+
+    For ``n = 6`` the paper sweeps ``3.2e3 .. 3.2e5`` (50 to 5000 keys per
+    processor on 64 nodes); we keep the same per-processor loads for
+    smaller cubes: ``M = 2**n * (50 .. 5000)`` geometrically spaced.
+    """
+    per_proc = np.geomspace(50, 5000, num=points)
+    return tuple(int(round(p * (1 << n))) for p in per_proc)
+
+
+@dataclass(frozen=True)
+class Figure7Panel:
+    """One panel: time-vs-M series for every fault count plus baselines.
+
+    Attributes:
+        n: hypercube dimension of the panel.
+        m_values: swept key counts.
+        series: label -> times (same length as ``m_values``).  Labels:
+            ``"ft r=K"`` for the proposed algorithm with K faults (averaged
+            over placements) and ``"fault-free Q_k"`` for plain bitonic
+            sort on a fault-free ``Q_k`` (the subcube baseline).
+        placements: number of random fault placements averaged per point.
+    """
+
+    n: int
+    m_values: tuple[int, ...]
+    series: dict[str, tuple[float, ...]]
+    placements: int
+
+
+def compute_figure7(
+    n: int,
+    m_values: tuple[int, ...] | None = None,
+    placements: int = DEFAULT_PLACEMENTS,
+    params: MachineParams | None = None,
+    seed: int = 19920407,
+    baseline_dims: tuple[int, ...] | None = None,
+) -> Figure7Panel:
+    """Compute one Figure-7 panel for hypercube dimension ``n``.
+
+    Keys are uniform random floats; per point the proposed algorithm's
+    time is averaged over ``placements`` random fault placements (fresh
+    keys per placement, like the paper's per-simulation draws).
+    """
+    if m_values is None:
+        m_values = default_m_values(n)
+    if baseline_dims is None:
+        baseline_dims = tuple(range(n, max(n - 3, 0) - 1, -1))
+    params = params if params is not None else MachineParams.ncube7()
+    rng = np.random.default_rng(seed)
+    series: dict[str, tuple[float, ...]] = {}
+
+    for k in baseline_dims:
+        times = []
+        for m in m_values:
+            keys = rng.random(m)
+            times.append(fault_free_bitonic_sort(keys, k, params=params).elapsed)
+        series[f"fault-free Q_{k}"] = tuple(times)
+
+    for r in range(1, n):
+        times = []
+        for m in m_values:
+            acc = 0.0
+            for _ in range(placements):
+                faults = random_faulty_processors(n, r, rng)
+                keys = rng.random(m)
+                acc += fault_tolerant_sort(keys, n, list(faults), params=params).elapsed
+            times.append(acc / placements)
+        series[f"ft r={r}"] = tuple(times)
+
+    return Figure7Panel(n=n, m_values=tuple(m_values), series=series, placements=placements)
+
+
+def render_figure7(panel: Figure7Panel) -> str:
+    """Text rendering: one x column (M) and one column per curve."""
+    return format_series(
+        "M",
+        list(panel.m_values),
+        {k: list(v) for k, v in panel.series.items()},
+        title=(
+            f"Figure 7 — Q_{panel.n}: execution time (us) vs number of keys; "
+            f"proposed algorithm averaged over {panel.placements} fault placements"
+        ),
+    )
+
+
+def render_figure7_svg(panel: Figure7Panel) -> str:
+    """SVG rendering (log-log), thick dashed baselines per the paper."""
+    from repro.experiments.svgplot import line_chart
+
+    return line_chart(
+        list(panel.m_values),
+        {k: list(v) for k, v in panel.series.items()},
+        title=f"Figure 7 — Q_{panel.n}: execution time vs number of keys",
+        x_label="number of keys M",
+        y_label="simulated time (us)",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m repro.experiments.figure7 --n 6``."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=6, help="hypercube dimension (panel)")
+    parser.add_argument("--points", type=int, default=5, help="M sweep points")
+    parser.add_argument("--placements", type=int, default=DEFAULT_PLACEMENTS)
+    parser.add_argument("--seed", type=int, default=19920407)
+    parser.add_argument("--svg", type=str, default=None,
+                        help="also write the panel as an SVG chart to this path")
+    args = parser.parse_args(argv)
+    panel = compute_figure7(
+        args.n,
+        m_values=default_m_values(args.n, args.points),
+        placements=args.placements,
+        seed=args.seed,
+    )
+    print(render_figure7(panel))
+    if args.svg:
+        from repro.experiments.svgplot import save_chart
+
+        save_chart(args.svg, render_figure7_svg(panel))
+        print(f"\nSVG written to {args.svg}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

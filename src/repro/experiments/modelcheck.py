@@ -1,0 +1,105 @@
+"""Model check: the paper's closed-form worst case vs simulated time.
+
+Section 3 derives a worst-case execution time ``T``; the paper never plots
+it against measurements.  This experiment does: for each ``(n, r)`` it
+simulates the sort (startup excluded, matching the formula's terms) over
+random placements and reports the measured/bound ratio.  Ratios must stay
+at or below 1 (the bound is sound) and meaningfully above 0 (the bound is
+not vacuous) — both asserted in the test suite and the benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.metrics import model_accuracy
+from repro.experiments.report import format_table
+from repro.faults.inject import random_faulty_processors
+from repro.simulator.params import MachineParams
+
+__all__ = ["ModelCheckCell", "compute_modelcheck", "render_modelcheck", "main"]
+
+
+@dataclass(frozen=True)
+class ModelCheckCell:
+    """Measured/bound statistics for one ``(n, r)``."""
+
+    n: int
+    r: int
+    keys: int
+    placements: int
+    mean_ratio: float
+    max_ratio: float
+
+
+def compute_modelcheck(
+    ns: tuple[int, ...] = (4, 5, 6),
+    keys_per_proc: int = 1000,
+    placements: int = 5,
+    params: MachineParams | None = None,
+    seed: int = 19920403,
+) -> list[ModelCheckCell]:
+    """Measured/bound ratios over the ``(n, r)`` grid."""
+    rng = np.random.default_rng(seed)
+    cells: list[ModelCheckCell] = []
+    for n in ns:
+        m_keys = keys_per_proc * (1 << n)
+        for r in range(0, n):
+            ratios = []
+            for _ in range(placements):
+                faults = list(random_faulty_processors(n, r, rng))
+                acc = model_accuracy(
+                    m_keys, n, faults, params=params, seed=int(rng.integers(1 << 30))
+                )
+                ratios.append(acc.ratio)
+            cells.append(
+                ModelCheckCell(
+                    n=n,
+                    r=r,
+                    keys=m_keys,
+                    placements=placements,
+                    mean_ratio=float(np.mean(ratios)),
+                    max_ratio=float(np.max(ratios)),
+                )
+            )
+    return cells
+
+
+def render_modelcheck(cells: list[ModelCheckCell]) -> str:
+    """Paper-style table of measured/bound ratios."""
+    headers = ["n", "r", "keys", "mean measured/bound", "max measured/bound"]
+    rows = [[c.n, c.r, c.keys, c.mean_ratio, c.max_ratio] for c in cells]
+    return format_table(
+        headers,
+        rows,
+        title="Model check — simulated time as a fraction of the paper's worst-case T",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m repro.experiments.modelcheck``."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--keys-per-proc", type=int, default=1000)
+    parser.add_argument("--placements", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=19920403)
+    parser.add_argument("--ns", type=int, nargs="+", default=[4, 5, 6])
+    args = parser.parse_args(argv)
+    cells = compute_modelcheck(
+        ns=tuple(args.ns),
+        keys_per_proc=args.keys_per_proc,
+        placements=args.placements,
+        seed=args.seed,
+    )
+    print(render_modelcheck(cells))
+    bad = [c for c in cells if c.max_ratio > 1.0]
+    if bad:
+        print(f"\nWARNING: bound violated for {[(c.n, c.r) for c in bad]}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -1,0 +1,84 @@
+"""Plain-text rendering of experiment results.
+
+The paper's artifacts are tables and line plots; in a terminal-first
+reproduction we print aligned tables and per-series columns that can be
+diffed against EXPERIMENTS.md or piped into a plotting tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_series", "to_csv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Floats are shown with two decimals; everything else via ``str``.
+    """
+    def cell(x: object) -> str:
+        if isinstance(x, float):
+            return f"{x:.2f}"
+        return str(x)
+
+    str_rows = [[cell(x) for x in row] for row in rows]
+    cols = len(headers)
+    for row in str_rows:
+        if len(row) != cols:
+            raise ValueError(f"row {row} has {len(row)} cells, expected {cols}")
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in str_rows)) if str_rows else len(headers[c])
+        for c in range(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render the same (headers, rows) data as RFC-4180 CSV.
+
+    Machine-readable companion to :func:`format_table`; the reproduce-all
+    runner writes one ``.csv`` beside every ``.txt`` artifact.
+    """
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {len(headers)}")
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buf.getvalue()
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """Render line-plot data as one x column plus one column per series."""
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, expected {len(x_values)}"
+            )
+    headers = [x_label, *series.keys()]
+    rows = [
+        [x, *(series[name][idx] for name in series)]
+        for idx, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,154 @@
+"""Reproduce the whole evaluation with one command.
+
+``repro-all --out results/`` (or ``python -m repro.experiments.runner``)
+regenerates every artifact — Table 1, Table 2, all four Figure-7 panels
+(text + SVG), the model check, and the reliability comparison — into an
+output directory, with a MANIFEST.txt recording what was produced, the
+seeds, and the trial counts.  Reduced scales are available via ``--quick``
+for CI-style smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from repro.experiments.figure7 import (
+    compute_figure7,
+    default_m_values,
+    render_figure7,
+    render_figure7_svg,
+)
+from repro.experiments.modelcheck import compute_modelcheck, render_modelcheck
+from repro.experiments.report import to_csv
+from repro.experiments.table1 import compute_table1, render_table1
+from repro.experiments.table2 import compute_table2, render_table2
+from repro.experiments.svgplot import save_chart
+
+__all__ = ["run_all", "main"]
+
+
+def _table1_csv(cells) -> str:
+    max_m = max((max(c.percent_by_mincut, default=0) for c in cells), default=0)
+    headers = ["n", "r", *[f"pct_m{m}" for m in range(max_m + 1)]]
+    rows = [[c.n, c.r, *[c.percent(m) for m in range(max_m + 1)]] for c in cells]
+    return to_csv(headers, rows)
+
+
+def _table2_csv(cells) -> str:
+    headers = ["n", "r", "proposed_best", "proposed_worst",
+               "baseline_best", "baseline_worst"]
+    rows = [[c.n, c.r, c.proposed_best, c.proposed_worst,
+             c.baseline_best, c.baseline_worst] for c in cells]
+    return to_csv(headers, rows)
+
+
+def _figure7_csv(panel) -> str:
+    headers = ["M", *panel.series.keys()]
+    rows = [
+        [m, *(panel.series[name][idx] for name in panel.series)]
+        for idx, m in enumerate(panel.m_values)
+    ]
+    return to_csv(headers, rows)
+
+
+def _write(out_dir: str, name: str, content: str, manifest: list[str]) -> None:
+    path = os.path.join(out_dir, name)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(content if content.endswith("\n") else content + "\n")
+    manifest.append(name)
+
+
+def run_all(out_dir: str, quick: bool = False, seed: int = 1992) -> list[str]:
+    """Regenerate every artifact into ``out_dir``; returns the manifest."""
+    os.makedirs(out_dir, exist_ok=True)
+    manifest: list[str] = []
+    t0 = time.perf_counter()
+
+    trials = 1000 if quick else 10_000
+    table1 = compute_table1(trials=trials, seed=seed, method="vectorized")
+    _write(out_dir, "table1.txt", render_table1(table1), manifest)
+    _write(out_dir, "table1.csv", _table1_csv(table1), manifest)
+
+    t2_trials = 500 if quick else 10_000
+    table2 = compute_table2(trials=t2_trials, seed=seed + 1)
+    _write(out_dir, "table2.txt", render_table2(table2), manifest)
+    _write(out_dir, "table2.csv", _table2_csv(table2), manifest)
+
+    points = 3 if quick else 5
+    placements = 2 if quick else 5
+    for n, panel_name in ((6, "a"), (5, "b"), (3, "c"), (4, "d")):
+        panel = compute_figure7(
+            n,
+            m_values=default_m_values(n, points),
+            placements=placements,
+            seed=seed + 7,
+        )
+        _write(out_dir, f"figure7{panel_name}.txt", render_figure7(panel), manifest)
+        _write(out_dir, f"figure7{panel_name}.csv", _figure7_csv(panel), manifest)
+        save_chart(os.path.join(out_dir, f"figure7{panel_name}.svg"),
+                   render_figure7_svg(panel))
+        manifest.append(f"figure7{panel_name}.svg")
+
+    mc = compute_modelcheck(
+        ns=(4, 5) if quick else (4, 5, 6),
+        keys_per_proc=200 if quick else 1000,
+        placements=2 if quick else 5,
+        seed=seed + 3,
+    )
+    _write(out_dir, "modelcheck.txt", render_modelcheck(mc), manifest)
+
+    from repro.experiments.workloads import (
+        compute_data_sensitivity,
+        render_data_sensitivity,
+    )
+
+    sens = compute_data_sensitivity(
+        m_keys=24 * (200 if quick else 1000), seed=seed + 4
+    )
+    _write(out_dir, "data_sensitivity.txt", render_data_sensitivity(sens), manifest)
+
+    # Structural diagrams (the paper's Figures 3 and 5).
+    from repro.experiments.cubeviz import partition_diagram
+
+    save_chart(
+        os.path.join(out_dir, "figure3_partition_q4.svg"),
+        partition_diagram(4, [0, 6, 9],
+                          title="Figure 3 — Q_4 partitioned, faults {0, 6, 9}"),
+    )
+    manifest.append("figure3_partition_q4.svg")
+    save_chart(
+        os.path.join(out_dir, "figure5_partition_q5.svg"),
+        partition_diagram(5, [3, 5, 16, 24],
+                          title="Figure 5 — Q_5 under D_beta = (0,1,3), Example 1"),
+    )
+    manifest.append("figure5_partition_q5.svg")
+
+    elapsed = time.perf_counter() - t0
+    lines = [
+        "repro — full evaluation manifest",
+        f"seed: {seed}   quick: {quick}   wall-clock: {elapsed:.1f}s",
+        f"table trials: {trials} (table1, vectorized), {t2_trials} (table2)",
+        f"figure7: {points} key counts x {placements} placements per r",
+        "",
+        *manifest,
+    ]
+    _write(out_dir, "MANIFEST.txt", "\n".join(lines), manifest[:0])
+    return manifest
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``repro-all --out results [--quick]``."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=str, default="results")
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--seed", type=int, default=1992)
+    args = parser.parse_args(argv)
+    manifest = run_all(args.out, quick=args.quick, seed=args.seed)
+    print(f"wrote {len(manifest)} artifacts to {args.out}/ (see MANIFEST.txt)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

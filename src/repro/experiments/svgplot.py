@@ -1,0 +1,182 @@
+"""Dependency-free SVG line charts for the figure regenerators.
+
+The environment this reproduction targets has no plotting stack, so the
+Figure-7 regenerator renders its panels as hand-built SVG: log-log line
+chart, one polyline per series, right-hand legend, decade gridlines.  The
+output is a plain string; :func:`save_chart` writes it to disk.
+
+Only the features the figures need are implemented (log scales, line +
+marker series, title/axis labels); this is a rendering utility, not a
+plotting library.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from xml.sax.saxutils import escape
+
+__all__ = ["line_chart", "save_chart", "PALETTE"]
+
+#: Distinguishable line colors (Okabe-Ito, colorblind-safe).
+PALETTE = (
+    "#0072B2", "#E69F00", "#009E73", "#D55E00",
+    "#CC79A7", "#56B4E9", "#F0E442", "#000000",
+)
+
+_WIDTH, _HEIGHT = 860, 520
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 80, 230, 50, 60
+
+
+def _log_ticks(lo: float, hi: float) -> list[float]:
+    """Decade tick positions covering [lo, hi]."""
+    start = math.floor(math.log10(lo))
+    end = math.ceil(math.log10(hi))
+    return [10.0 ** e for e in range(start, end + 1)]
+
+
+def _fmt(value: float) -> str:
+    if value >= 1e6:
+        return f"{value / 1e6:g}M"
+    if value >= 1e3:
+        return f"{value / 1e3:g}k"
+    return f"{value:g}"
+
+
+def line_chart(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    log_x: bool = True,
+    log_y: bool = True,
+) -> str:
+    """Render a line chart as an SVG document string.
+
+    Args:
+        x_values: shared x coordinates (positive if ``log_x``).
+        series: label -> y values (each the length of ``x_values``).
+        title, x_label, y_label: annotations.
+        log_x, log_y: logarithmic axes (the Figure-7 default).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+    if len(x_values) < 2:
+        raise ValueError("need at least two x points")
+    all_y = [y for ys in series.values() for y in ys]
+    x_lo, x_hi = min(x_values), max(x_values)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if log_x and x_lo <= 0 or log_y and y_lo <= 0:
+        raise ValueError("log axes need positive data")
+
+    plot_w = _WIDTH - _MARGIN_L - _MARGIN_R
+    plot_h = _HEIGHT - _MARGIN_T - _MARGIN_B
+
+    def sx(x: float) -> float:
+        if log_x:
+            f = (math.log10(x) - math.log10(x_lo)) / (math.log10(x_hi) - math.log10(x_lo))
+        else:
+            f = (x - x_lo) / (x_hi - x_lo)
+        return _MARGIN_L + f * plot_w
+
+    def sy(y: float) -> float:
+        if log_y:
+            f = (math.log10(y) - math.log10(y_lo)) / (math.log10(y_hi) - math.log10(y_lo))
+        else:
+            f = (y - y_lo) / (y_hi - y_lo)
+        return _MARGIN_T + (1.0 - f) * plot_h
+
+    parts: list[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" height="{_HEIGHT}" '
+        f'viewBox="0 0 {_WIDTH} {_HEIGHT}" font-family="sans-serif">'
+    )
+    parts.append(f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>')
+    if title:
+        parts.append(
+            f'<text x="{_WIDTH / 2}" y="28" text-anchor="middle" font-size="16" '
+            f'font-weight="bold">{escape(title)}</text>'
+        )
+
+    # Gridlines and tick labels.
+    x_ticks = _log_ticks(x_lo, x_hi) if log_x else [x_lo, (x_lo + x_hi) / 2, x_hi]
+    y_ticks = _log_ticks(y_lo, y_hi) if log_y else [y_lo, (y_lo + y_hi) / 2, y_hi]
+    for t in x_ticks:
+        if not x_lo <= t <= x_hi:
+            continue
+        px = sx(t)
+        parts.append(
+            f'<line x1="{px:.1f}" y1="{_MARGIN_T}" x2="{px:.1f}" '
+            f'y2="{_MARGIN_T + plot_h}" stroke="#dddddd"/>'
+        )
+        parts.append(
+            f'<text x="{px:.1f}" y="{_MARGIN_T + plot_h + 18}" text-anchor="middle" '
+            f'font-size="11">{_fmt(t)}</text>'
+        )
+    for t in y_ticks:
+        if not y_lo <= t <= y_hi:
+            continue
+        py = sy(t)
+        parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{py:.1f}" x2="{_MARGIN_L + plot_w}" '
+            f'y2="{py:.1f}" stroke="#dddddd"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_L - 8}" y="{py + 4:.1f}" text-anchor="end" '
+            f'font-size="11">{_fmt(t)}</text>'
+        )
+
+    # Axes frame.
+    parts.append(
+        f'<rect x="{_MARGIN_L}" y="{_MARGIN_T}" width="{plot_w}" height="{plot_h}" '
+        f'fill="none" stroke="#333333"/>'
+    )
+    if x_label:
+        parts.append(
+            f'<text x="{_MARGIN_L + plot_w / 2}" y="{_HEIGHT - 14}" '
+            f'text-anchor="middle" font-size="13">{escape(x_label)}</text>'
+        )
+    if y_label:
+        cy = _MARGIN_T + plot_h / 2
+        parts.append(
+            f'<text x="20" y="{cy}" text-anchor="middle" font-size="13" '
+            f'transform="rotate(-90 20 {cy})">{escape(y_label)}</text>'
+        )
+
+    # Series polylines + legend.
+    for idx, (name, ys) in enumerate(series.items()):
+        color = PALETTE[idx % len(PALETTE)]
+        dashed = name.startswith("fault-free")
+        pts = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(x_values, ys))
+        dash = ' stroke-dasharray="7,4"' if dashed else ""
+        width = 2.5 if dashed else 1.8
+        parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{color}" '
+            f'stroke-width="{width}"{dash}/>'
+        )
+        for x, y in zip(x_values, ys):
+            parts.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3" fill="{color}"/>'
+            )
+        ly = _MARGIN_T + 14 + idx * 20
+        lx = _MARGIN_L + plot_w + 14
+        parts.append(
+            f'<line x1="{lx}" y1="{ly - 4}" x2="{lx + 26}" y2="{ly - 4}" '
+            f'stroke="{color}" stroke-width="{width}"{dash}/>'
+        )
+        parts.append(
+            f'<text x="{lx + 32}" y="{ly}" font-size="12">{escape(name)}</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_chart(path: str, svg: str) -> None:
+    """Write an SVG document to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(svg)

@@ -1,0 +1,123 @@
+"""Table 2: processor utilization — proposed scheme vs max fault-free subcube.
+
+Utilization is "actually running processors / normal processors".  For the
+proposed scheme the partition idles ``2**mincut - r`` dangling processors
+(none when ``mincut = 0``); for the baseline only the largest fault-free
+subcube runs.  Per the paper's ``n = 6, r = 4`` example: proposed 100%
+(best, ``m = 2``) / 93.3% (worst, ``m = 3``), baseline 53.3% / 26.6%.
+
+Best/worst cases are taken over random fault placements, exactly like the
+paper's Monte-Carlo; the analytic formulas live in :mod:`repro.core.cost`.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.maxsubcube import max_fault_free_dim
+from repro.core.cost import utilization_max_subcube, utilization_proposed
+from repro.core.partition import find_min_cuts
+from repro.experiments.report import format_table
+from repro.faults.inject import random_faulty_processors
+
+__all__ = ["Table2Cell", "compute_table2", "render_table2", "main"]
+
+DEFAULT_NS = (3, 4, 5, 6)
+DEFAULT_TRIALS = 10000
+
+
+@dataclass(frozen=True)
+class Table2Cell:
+    """Utilization extremes for one ``(n, r)`` over random placements.
+
+    All utilizations are percentages of the normal (non-faulty) processors.
+    """
+
+    n: int
+    r: int
+    trials: int
+    proposed_best: float
+    proposed_worst: float
+    baseline_best: float
+    baseline_worst: float
+
+
+def compute_table2(
+    ns: tuple[int, ...] = DEFAULT_NS,
+    trials: int = DEFAULT_TRIALS,
+    seed: int = 19920402,
+) -> list[Table2Cell]:
+    """Monte-Carlo utilization extremes for every ``(n, r)`` cell."""
+    rng = np.random.default_rng(seed)
+    cells: list[Table2Cell] = []
+    for n in ns:
+        for r in range(0, n):
+            prop_best = base_best = 0.0
+            prop_worst = base_worst = 100.0
+            for _ in range(trials):
+                faults = random_faulty_processors(n, r, rng)
+                mincut = find_min_cuts(n, faults).mincut
+                prop = 100.0 * utilization_proposed(n, r, mincut)
+                sub_dim = max_fault_free_dim(n, faults)
+                base = 100.0 * utilization_max_subcube(n, r, sub_dim)
+                prop_best = max(prop_best, prop)
+                prop_worst = min(prop_worst, prop)
+                base_best = max(base_best, base)
+                base_worst = min(base_worst, base)
+            cells.append(
+                Table2Cell(
+                    n=n,
+                    r=r,
+                    trials=trials,
+                    proposed_best=prop_best,
+                    proposed_worst=prop_worst,
+                    baseline_best=base_best,
+                    baseline_worst=base_worst,
+                )
+            )
+    return cells
+
+
+def render_table2(cells: list[Table2Cell]) -> str:
+    """Paper-style rows: proposed and baseline utilization extremes."""
+    headers = [
+        "n",
+        "r",
+        "proposed best (%)",
+        "proposed worst (%)",
+        "max-subcube best (%)",
+        "max-subcube worst (%)",
+    ]
+    rows = [
+        [c.n, c.r, c.proposed_best, c.proposed_worst, c.baseline_best, c.baseline_worst]
+        for c in cells
+    ]
+    return format_table(
+        headers,
+        rows,
+        title=(
+            "Table 2 — processor utilization, proposed vs maximum dimensional "
+            f"fault-free subcube ({cells[0].trials if cells else 0} trials/cell)"
+        ),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m repro.experiments.table2 [--trials N] [--seed S]``."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=DEFAULT_TRIALS)
+    parser.add_argument("--seed", type=int, default=19920402)
+    parser.add_argument(
+        "--ns", type=int, nargs="+", default=list(DEFAULT_NS), help="hypercube dimensions"
+    )
+    args = parser.parse_args(argv)
+    cells = compute_table2(ns=tuple(args.ns), trials=args.trials, seed=args.seed)
+    print(render_table2(cells))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

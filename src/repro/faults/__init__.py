@@ -1,0 +1,40 @@
+"""Fault model, fault injection, and off-line diagnosis.
+
+The paper assumes *permanent* processor faults whose locations are known
+before the sort runs (off-line diagnosis per Banerjee).  This package makes
+each of those assumptions an explicit, testable component:
+
+* :mod:`repro.faults.model` — :class:`FaultSet`: which processors/links are
+  faulty and whether processor faults are *total* (node and incident links
+  dead) or *partial* (compute dead, message forwarding alive) in Hastad's
+  terminology, which Section 4 of the paper uses verbatim.
+* :mod:`repro.faults.inject` — seeded random fault-placement generators used
+  by the Monte-Carlo sweeps (Tables 1-2, Figure 7).
+* :mod:`repro.faults.diagnosis` — a PMC-style mutual-test diagnosis substrate
+  demonstrating how fault locations become known.
+"""
+
+from repro.faults.model import FaultKind, FaultSet
+from repro.faults.inject import (
+    random_fault_set,
+    random_faulty_processors,
+    random_link_faults,
+)
+from repro.faults.diagnosis import DiagnosisResult, pmc_syndrome, diagnose_pmc
+from repro.faults.linkplan import absorb_link_faults
+from repro.faults.scenarios import SCENARIOS, make_scenario, scenario_names
+
+__all__ = [
+    "DiagnosisResult",
+    "FaultKind",
+    "FaultSet",
+    "SCENARIOS",
+    "absorb_link_faults",
+    "make_scenario",
+    "scenario_names",
+    "diagnose_pmc",
+    "pmc_syndrome",
+    "random_fault_set",
+    "random_faulty_processors",
+    "random_link_faults",
+]

@@ -1,0 +1,78 @@
+"""Seeded random fault injection.
+
+The paper's experiments draw ``r`` faulty processor addresses uniformly at
+random (without replacement) 10000 times per ``(n, r)`` cell.  These helpers
+reproduce that sampling with a :class:`numpy.random.Generator` so every
+experiment in this repository is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cube.address import validate_dimension
+from repro.cube.topology import Hypercube
+from repro.faults.model import FaultKind, FaultSet
+
+__all__ = ["random_faulty_processors", "random_link_faults", "random_fault_set"]
+
+
+def _as_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def random_faulty_processors(
+    n: int, r: int, rng: np.random.Generator | int | None = None
+) -> tuple[int, ...]:
+    """Sample ``r`` distinct faulty processor addresses of ``Q_n`` uniformly.
+
+    Matches the paper's Monte-Carlo setup ("the addresses of r faulty
+    processors are randomly generated").  Returns a sorted tuple.
+    """
+    validate_dimension(n)
+    size = 1 << n
+    if not 0 <= r <= size:
+        raise ValueError(f"cannot place {r} faults in Q_{n} ({size} nodes)")
+    gen = _as_rng(rng)
+    picks = gen.choice(size, size=r, replace=False)
+    return tuple(sorted(int(p) for p in picks))
+
+
+def random_link_faults(
+    n: int, count: int, rng: np.random.Generator | int | None = None
+) -> tuple[tuple[int, int], ...]:
+    """Sample ``count`` distinct faulty links of ``Q_n`` uniformly.
+
+    Returned as ``(a, b)`` endpoint pairs with ``a < b`` (the form
+    :class:`FaultSet` accepts).  Link faults are not part of the paper's
+    evaluation but are part of its fault model statement ("failure of one
+    or more processors/links"); the simulator honors them.
+    """
+    cube = Hypercube(n)
+    all_links = [(node, node | (1 << d)) for node, d in cube.links()]
+    if not 0 <= count <= len(all_links):
+        raise ValueError(f"cannot place {count} link faults in Q_{n} ({len(all_links)} links)")
+    gen = _as_rng(rng)
+    idx = gen.choice(len(all_links), size=count, replace=False)
+    return tuple(sorted(all_links[int(i)] for i in idx))
+
+
+def random_fault_set(
+    n: int,
+    r: int,
+    kind: FaultKind = FaultKind.TOTAL,
+    link_faults: int = 0,
+    rng: np.random.Generator | int | None = None,
+) -> FaultSet:
+    """Build a random :class:`FaultSet` with ``r`` processor faults.
+
+    Convenience wrapper combining :func:`random_faulty_processors` and
+    :func:`random_link_faults` under one generator so a single seed fixes
+    the whole configuration.
+    """
+    gen = _as_rng(rng)
+    procs = random_faulty_processors(n, r, gen)
+    links = random_link_faults(n, link_faults, gen) if link_faults else ()
+    return FaultSet(n, procs, kind=kind, links=links)

@@ -1,0 +1,54 @@
+"""Extending the algorithm to faulty *links* (paper's fault-model edge).
+
+The paper's fault model statement covers "failure of one or more
+processors/links", but the partition algorithm reasons about faulty
+*processors* only.  The natural algorithm-level extension — noted here as
+an extension, not a claim of the paper — is to *absorb* each faulty link
+into a designated endpoint: treat that endpoint as logically faulty for
+planning purposes (it becomes a subcube's dead processor and holds no
+keys), so no compare-exchange of the sort ever needs the dead link, while
+the *routing* layer keeps the true picture (the absorbed processor still
+forwards messages, the dead link never carries any).
+
+Absorption chooses endpoints greedily: prefer endpoints that are already
+faulty (or already absorbed), otherwise take the endpoint covering the
+most remaining faulty links (a small vertex-cover heuristic), breaking
+ties toward the smaller address.  The result is minimal in the common
+cases (disjoint faulty links, links sharing an endpoint) and never larger
+than one processor per faulty link.
+"""
+
+from __future__ import annotations
+
+from repro.faults.model import FaultSet
+
+__all__ = ["absorb_link_faults"]
+
+
+def absorb_link_faults(faults: FaultSet) -> FaultSet:
+    """Fold faulty links into a processor-fault plan.
+
+    Returns a new :class:`FaultSet` with the same ``kind`` and the same
+    faulty links, whose processor set additionally covers every faulty
+    link (each faulty link has at least one logically-faulty endpoint).
+    If there are no link faults, ``faults`` is returned unchanged.
+    """
+    if not faults.links:
+        return faults
+    chosen: set[int] = set(faults.processors)
+    remaining = [
+        (node, node | (1 << dim))
+        for node, dim in faults.links
+        if node not in chosen and (node | (1 << dim)) not in chosen
+    ]
+    while remaining:
+        # Count each endpoint's coverage of the remaining links.
+        coverage: dict[int, int] = {}
+        for a, b in remaining:
+            coverage[a] = coverage.get(a, 0) + 1
+            coverage[b] = coverage.get(b, 0) + 1
+        pick = max(coverage.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+        chosen.add(pick)
+        remaining = [(a, b) for a, b in remaining if a != pick and b != pick]
+    links_as_pairs = [(node, node | (1 << dim)) for node, dim in faults.links]
+    return FaultSet(faults.n, sorted(chosen), kind=faults.kind, links=links_as_pairs)

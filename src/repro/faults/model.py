@@ -1,0 +1,182 @@
+"""Permanent-fault model for hypercube multicomputers.
+
+Terminology follows the paper (Section 4) and Hastad et al.:
+
+* **total** processor fault — the processor and *all incident links* are
+  destroyed; messages cannot pass through the node, so routing must detour.
+* **partial** processor fault — only the computational portion dies; the
+  communication portion and incident links keep forwarding messages.  This
+  is what the authors' NCUBE/7 VERTEX experiments actually simulate.
+
+Link faults are modeled independently (always total: a dead link carries
+nothing).  :class:`FaultSet` is immutable; algorithms never mutate the fault
+configuration mid-run because faults are *permanent*.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+
+from repro.cube.address import validate_address, validate_dimension
+from repro.cube.topology import Hypercube, shortest_paths_avoiding
+
+__all__ = ["FaultKind", "FaultSet"]
+
+
+class FaultKind(enum.Enum):
+    """Severity of a processor fault (Hastad's taxonomy, paper Section 4)."""
+
+    TOTAL = "total"
+    PARTIAL = "partial"
+
+
+class FaultSet:
+    """An immutable set of faulty processors and links in ``Q_n``.
+
+    Args:
+        n: hypercube dimension.
+        processors: faulty processor addresses.
+        kind: whether processor faults are total or partial (uniform for the
+            whole set, as in the paper's two simulation modes).
+        links: faulty links, each given as an ``(a, b)`` pair of neighbor
+            addresses; stored canonically as ``(min_endpoint, dimension)``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        processors: Iterable[int] = (),
+        kind: FaultKind = FaultKind.TOTAL,
+        links: Iterable[tuple[int, int]] = (),
+    ):
+        self.n = validate_dimension(n)
+        self.cube = Hypercube(n)
+        procs = sorted({validate_address(p, n) for p in processors})
+        self._processors = tuple(procs)
+        self._proc_set = frozenset(procs)
+        if not isinstance(kind, FaultKind):
+            raise TypeError(f"kind must be a FaultKind, got {kind!r}")
+        self.kind = kind
+        canon = {self.cube.link_id(a, b) for a, b in links}
+        self._links = tuple(sorted(canon))
+        self._link_set = frozenset(canon)
+
+    # -- processor queries ----------------------------------------------
+
+    @property
+    def processors(self) -> tuple[int, ...]:
+        """Faulty processor addresses, ascending."""
+        return self._processors
+
+    @property
+    def links(self) -> tuple[tuple[int, int], ...]:
+        """Faulty links as canonical ``(node, dim)`` ids, sorted."""
+        return self._links
+
+    @property
+    def r(self) -> int:
+        """Number of faulty processors (the paper's ``r``)."""
+        return len(self._processors)
+
+    def is_faulty(self, addr: int) -> bool:
+        """Whether processor ``addr`` is faulty."""
+        return addr in self._proc_set
+
+    def is_link_faulty(self, a: int, b: int) -> bool:
+        """Whether the link between neighbors ``a`` and ``b`` is unusable.
+
+        A link is unusable if it was injected as a link fault, or if either
+        endpoint is a *total* processor fault (total faults destroy incident
+        links).  Partial processor faults leave links usable.
+        """
+        lid = self.cube.link_id(a, b)
+        if lid in self._link_set:
+            return True
+        if self.kind is FaultKind.TOTAL and (self.is_faulty(a) or self.is_faulty(b)):
+            return True
+        return False
+
+    def can_route_through(self, addr: int) -> bool:
+        """Whether messages may transit node ``addr``.
+
+        Partial faults forward messages (the VERTEX behaviour the paper
+        describes); total faults do not.
+        """
+        if not self.is_faulty(addr):
+            return True
+        return self.kind is FaultKind.PARTIAL
+
+    def fault_free_processors(self) -> list[int]:
+        """All non-faulty processor addresses, ascending."""
+        return [p for p in self.cube.nodes() if p not in self._proc_set]
+
+    # -- structural predicates -------------------------------------------
+
+    def satisfies_paper_model(self) -> bool:
+        """Check the paper's standing assumptions.
+
+        Requires ``r <= n - 1`` *or* (the §2.2 closing remark) that no
+        fault-free processor is surrounded entirely by faulty neighbors.
+        """
+        if self.r <= max(self.n - 1, 0):
+            return True
+        return not self.has_isolated_normal_processor()
+
+    def has_isolated_normal_processor(self) -> bool:
+        """Whether some fault-free processor has all ``n`` neighbors faulty."""
+        for p in self.cube.nodes():
+            if p in self._proc_set:
+                continue
+            if all(nb in self._proc_set for nb in self.cube.neighbors(p)):
+                return True
+        return False
+
+    def is_connected(self) -> bool:
+        """Whether the fault-free processors form one connected component.
+
+        For *total* faults this decides whether every pair of working nodes
+        can still exchange messages at all.  ``Q_n`` is ``n``-connected, so
+        ``r <= n - 1`` guarantees connectivity.
+        """
+        normal = self.fault_free_processors()
+        if not normal:
+            return True
+        forbidden = self._proc_set if self.kind is FaultKind.TOTAL else frozenset()
+        src = normal[0]
+        if self.kind is FaultKind.PARTIAL:
+            # Partial faults forward traffic, so connectivity over normal
+            # nodes is trivially that of Q_n minus nothing.
+            return True
+        reach = shortest_paths_avoiding(self.n, src, forbidden)
+        return all(p in reach for p in normal)
+
+    # -- dunder ------------------------------------------------------------
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._proc_set
+
+    def __len__(self) -> int:
+        return len(self._processors)
+
+    def __iter__(self):
+        return iter(self._processors)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultSet):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and self._processors == other._processors
+            and self.kind == other.kind
+            and self._links == other._links
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self._processors, self.kind, self._links))
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"FaultSet(n={self.n}, processors={list(self._processors)}, "
+            f"kind={self.kind.value!r}, links={list(self._links)})"
+        )

@@ -1,0 +1,95 @@
+"""Named canonical fault scenarios.
+
+Shared by tests, benchmarks and examples so "the paper's Example-1
+placement" or "a worst-case clustered placement" means the same thing
+everywhere.  Each scenario is a factory taking the cube dimension and
+returning a :class:`FaultSet` (raising if the dimension can't host it).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.cube.address import validate_dimension
+from repro.faults.model import FaultKind, FaultSet
+
+__all__ = ["SCENARIOS", "make_scenario", "scenario_names"]
+
+
+def _paper_example1(n: int, kind: FaultKind) -> FaultSet:
+    if n != 5:
+        raise ValueError("paper-example1 is defined on Q_5")
+    return FaultSet(5, [3, 5, 16, 24], kind=kind)
+
+
+def _single_corner(n: int, kind: FaultKind) -> FaultSet:
+    validate_dimension(n)
+    if n < 1:
+        raise ValueError("need n >= 1")
+    return FaultSet(n, [0], kind=kind)
+
+
+def _antipodal_pair(n: int, kind: FaultKind) -> FaultSet:
+    if n < 2:
+        raise ValueError("need n >= 2")
+    return FaultSet(n, [0, (1 << n) - 1], kind=kind)
+
+
+def _adjacent_pair(n: int, kind: FaultKind) -> FaultSet:
+    if n < 2:
+        raise ValueError("need n >= 2")
+    return FaultSet(n, [0, 1], kind=kind)
+
+
+def _clustered(n: int, kind: FaultKind) -> FaultSet:
+    """``n - 1`` faults packed around processor 0 (0 and its low neighbors).
+
+    The hardest shape for the partition: faults pairwise at distance <= 2
+    force many cutting dimensions.
+    """
+    if n < 3:
+        raise ValueError("need n >= 3")
+    faults = [0] + [1 << d for d in range(n - 2)]
+    return FaultSet(n, faults, kind=kind)
+
+
+def _scattered(n: int, kind: FaultKind) -> FaultSet:
+    """``n - 1`` faults spread maximally (greedy far-apart placement)."""
+    if n < 3:
+        raise ValueError("need n >= 3")
+    size = 1 << n
+    chosen = [0]
+    while len(chosen) < n - 1:
+        best, best_d = None, -1
+        for cand in range(size):
+            if cand in chosen:
+                continue
+            d = min(bin(cand ^ c).count("1") for c in chosen)
+            if d > best_d:
+                best, best_d = cand, d
+        chosen.append(best)
+    return FaultSet(n, chosen, kind=kind)
+
+
+SCENARIOS: dict[str, Callable[[int, FaultKind], FaultSet]] = {
+    "paper-example1": _paper_example1,
+    "single-corner": _single_corner,
+    "antipodal-pair": _antipodal_pair,
+    "adjacent-pair": _adjacent_pair,
+    "clustered": _clustered,
+    "scattered": _scattered,
+}
+
+
+def scenario_names() -> list[str]:
+    """All registered scenario names."""
+    return sorted(SCENARIOS)
+
+
+def make_scenario(name: str, n: int, kind: FaultKind = FaultKind.PARTIAL) -> FaultSet:
+    """Instantiate a named scenario on ``Q_n``."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(f"unknown scenario {name!r}; pick from {scenario_names()}")
+    return factory(n, kind)

@@ -1,0 +1,18 @@
+"""Host-side workflow: distribute, sort, collect.
+
+The paper's Step 2 says "the host processor distributes each normal
+processor ``floor(M/N')`` elements"; its timing excludes that distribution
+(and the final collection), as NCUBE-era measurements conventionally did.
+This package makes the host a real component so the excluded cost can be
+*measured* instead of ignored:
+
+* :func:`repro.host.session.sort_session` — full workflow on the
+  discrete-event machine: the host (a designated working processor)
+  scatters key blocks down the binomial tree, the fault-tolerant sort
+  runs, and the sorted blocks are gathered back — with separate timing for
+  each segment.
+"""
+
+from repro.host.session import HostSession, sort_session
+
+__all__ = ["HostSession", "sort_session"]

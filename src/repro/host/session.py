@@ -1,0 +1,177 @@
+"""The full host workflow on the discrete-event machine.
+
+One combined SPMD program per working processor: receive your key block
+from the host (tree scatter), run the fault-tolerant sort's comparator
+schedule, return your sorted block (tree gather).  Per-segment times are
+measured at the barrier-free boundaries (max over processor clocks after
+each segment), which quantifies exactly the cost the paper's measurements
+exclude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.ftcollect import fault_free_bfs_tree, tree_gather, tree_scatter
+from repro.core.blocks import pad_and_chunk, strip_padding
+from repro.core.ftsort import plan_partition
+from repro.core.schedule import SortSchedule, build_ft_schedule, build_plain_schedule
+from repro.core.spmd_sort import _cx_program_step
+from repro.cube.address import validate_dimension
+from repro.faults.linkplan import absorb_link_faults
+from repro.faults.model import FaultKind, FaultSet
+from repro.simulator.params import MachineParams
+from repro.simulator.spmd import Proc, SpmdMachine
+from repro.sorting.heapsort import heapsort
+
+__all__ = ["HostSession", "sort_session"]
+
+
+@dataclass(frozen=True)
+class HostSession:
+    """Outcome of a full distribute-sort-collect session.
+
+    Attributes:
+        sorted_keys: the ascending result, as assembled on the host.
+        host: the host processor's address.
+        distribution_time: max processor clock after the scatter.
+        sort_time: additional time spent in the sort proper.
+        collection_time: additional time for the gather.
+        total_time: machine finish time (= sum of the three segments up to
+            overlap slack).
+        machine: the SPMD machine.
+        schedule: the executed comparator schedule.
+    """
+
+    sorted_keys: np.ndarray
+    host: int
+    distribution_time: float
+    sort_time: float
+    collection_time: float
+    total_time: float
+    machine: SpmdMachine
+    schedule: SortSchedule
+
+
+def sort_session(
+    keys: np.ndarray | list,
+    n: int,
+    faults: FaultSet | list[int] | tuple[int, ...],
+    params: MachineParams | None = None,
+    fault_kind: FaultKind = FaultKind.PARTIAL,
+    host: int | None = None,
+) -> HostSession:
+    """Distribute ``keys`` from a host, sort fault-tolerantly, collect back.
+
+    ``host`` defaults to the lowest-addressed working processor.  The sort
+    segment reproduces :func:`repro.core.spmd_sort.spmd_fault_tolerant_sort`
+    exactly; the scatter/gather segments add the tree-collective costs the
+    paper excludes from its measurements.
+    """
+    validate_dimension(n)
+    fault_set = faults if isinstance(faults, FaultSet) else FaultSet(n, faults, kind=fault_kind)
+    if fault_set.n != n:
+        raise ValueError(f"fault set is for Q_{fault_set.n}, expected Q_{n}")
+    if fault_set.links:
+        fault_set = absorb_link_faults(fault_set)
+    if not fault_set.satisfies_paper_model():
+        raise ValueError(f"{fault_set.r} faults on Q_{n} violate the paper's model")
+    r = fault_set.r
+    if r == 0:
+        schedule = build_plain_schedule(n, None)
+    elif r == 1:
+        schedule = build_plain_schedule(n, fault_set.processors[0])
+    else:
+        _, selection = plan_partition(n, fault_set)
+        schedule = build_ft_schedule(selection)
+
+    if host is None:
+        host = min(schedule.output_order)
+    if host not in schedule.output_order:
+        raise ValueError(f"host {host} must be a working processor")
+    tree = fault_free_bfs_tree(fault_set, host)
+
+    keys_arr = np.asarray(keys, dtype=float)
+    chunks, block_size = pad_and_chunk(keys_arr, schedule.workers)
+    chunk_of = {rank: chunk for rank, chunk in zip(schedule.output_order, chunks)}
+
+    # Per-rank comparator plan, exactly as in spmd_sort.
+    plan: dict[int, list[tuple[int, object]]] = {rank: [] for rank in schedule.output_order}
+    for idx, substage in enumerate(schedule.substages):
+        for pair in substage.pairs:
+            if substage.kind == "cx":
+                plan[pair.low].append((idx, ("cx", pair.high, True, pair.keep_min)))
+                plan[pair.high].append((idx, ("cx", pair.low, False, pair.keep_min)))
+            else:
+                plan[pair.low].append((idx, ("mirror", pair.high)))
+                plan[pair.high].append((idx, ("mirror", pair.low)))
+
+    checkpoints: dict[int, tuple[float, float]] = {}
+    gathered_holder: dict[str, dict[int, np.ndarray] | None] = {"blocks": None}
+    workers = set(schedule.output_order)
+
+    def program(proc: Proc):
+        # Segment 1 — distribution (host-held chunks travel the tree).
+        payload = chunk_of if proc.rank == tree.root else None
+        my_chunk = yield from tree_scatter(proc, tree, payload, chunk_size=block_size)
+        if proc.rank in workers:
+            block = np.asarray(my_chunk if my_chunk is not None else np.empty(0))
+        else:
+            block = np.empty(0)
+        t_after_scatter = proc.clock
+
+        # Segment 2 — the sort.
+        if proc.rank in workers and block.size:
+            block, comps = heapsort(block)
+            yield proc.compute(comps)
+        for idx, op in plan.get(proc.rank, ()):
+            if op[0] == "cx":
+                _, partner, i_am_low, keep_min = op
+                if block.size == 0:
+                    continue
+                block = yield from _cx_program_step(
+                    proc, block, partner, i_am_low, keep_min, tag_base=1000 + idx * 4
+                )
+            else:
+                _, partner = op
+                yield proc.send(partner, payload=block.copy(), size=int(block.size),
+                                tag=1000 + idx * 4)
+                block = np.asarray((yield proc.recv(src=partner, tag=1000 + idx * 4)))
+        t_after_sort = proc.clock
+        checkpoints[proc.rank] = (t_after_scatter, t_after_sort)
+
+        # Segment 3 — collection.
+        result = yield from tree_gather(proc, tree, block, chunk_size=block_size)
+        if result is not None:
+            gathered_holder["blocks"] = {
+                rank: np.asarray(v) for rank, v in result.items()
+            }
+
+    machine = SpmdMachine(n, faults=fault_set, params=params)
+    # Relay-only ranks (normal processors outside the working set, e.g.
+    # dangling ones) also run the program so the tree stays connected.
+    participants = sorted(tree.members())
+    finish = machine.run({rank: program for rank in participants})
+
+    blocks = gathered_holder["blocks"]
+    assert blocks is not None, "gather never completed"
+    flat = np.concatenate(
+        [blocks[rank] for rank in schedule.output_order]
+    ) if schedule.workers else np.empty(0)
+    sorted_keys = strip_padding(flat, int(keys_arr.size))
+
+    dist_t = max(t for t, _ in checkpoints.values())
+    sort_t = max(t for _, t in checkpoints.values()) - dist_t
+    coll_t = finish - dist_t - sort_t
+    return HostSession(
+        sorted_keys=sorted_keys,
+        host=host,
+        distribution_time=dist_t,
+        sort_time=sort_t,
+        collection_time=coll_t,
+        total_time=finish,
+        machine=machine,
+        schedule=schedule,
+    )

@@ -1,0 +1,43 @@
+"""Simulated hypercube multicomputer (NCUBE/7 stand-in).
+
+Two complementary engines, per DESIGN.md:
+
+* :mod:`repro.simulator.phases` — the *phase-level* synchronous engine.
+  Algorithms execute as a sequence of parallel phases; within a phase each
+  processor is charged compute (``t_c`` per comparison) and communication
+  (``t_sr`` per element per hop, plus per-message startup) and the global
+  clock advances by the maximum charge.  This is exactly the accounting the
+  paper's own cost analysis uses, and it is fast enough for the Figure-7
+  sweeps (``M`` up to hundreds of thousands of keys).
+
+* :mod:`repro.simulator.engine` / :mod:`repro.simulator.spmd` — a
+  discrete-event machine with store-and-forward links, FIFO link contention
+  and per-hop routing (:mod:`repro.simulator.router`), on which SPMD
+  programs run as coroutines exchanging real messages.  It validates the
+  phase engine's accounting on small cubes and measures the *total* versus
+  *partial* fault routing penalty (paper Section 4).
+
+:class:`MachineParams` carries the cost constants shared by both engines.
+"""
+
+from repro.simulator.params import MachineParams
+from repro.simulator.phases import PhaseMachine, PhaseRecord
+from repro.simulator.router import Router, RouteError
+from repro.simulator.engine import EventEngine, Message
+from repro.simulator.spmd import SpmdMachine, Proc, ProgramError
+from repro.simulator.trace import LinkInterval, LinkTracer
+
+__all__ = [
+    "EventEngine",
+    "LinkInterval",
+    "LinkTracer",
+    "MachineParams",
+    "Message",
+    "PhaseMachine",
+    "PhaseRecord",
+    "Proc",
+    "ProgramError",
+    "RouteError",
+    "Router",
+    "SpmdMachine",
+]

@@ -1,0 +1,191 @@
+"""Discrete-event simulation kernel with store-and-forward links.
+
+The NCUBE/7-era machines forwarded whole messages hop by hop
+(store-and-forward), each hop paying a software startup plus a per-element
+transfer time, with one message occupying a directed link at a time.  This
+module provides exactly that:
+
+* :class:`EventEngine` — a time-ordered event queue plus per-directed-link
+  FIFO occupancy,
+* :class:`Message` — a routed transfer of ``size`` elements with an opaque
+  payload.
+
+Messages are injected with a precomputed path (from
+:class:`repro.simulator.router.Router`); the engine serializes transmissions
+on contended links and invokes a delivery callback when the message is
+fully received at its destination.  The SPMD layer
+(:mod:`repro.simulator.spmd`) builds blocking ``send``/``recv`` on top.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from collections.abc import Callable
+
+from repro.simulator.params import MachineParams
+
+__all__ = ["EventEngine", "Message"]
+
+
+@dataclass
+class Message:
+    """One point-to-point transfer.
+
+    Attributes:
+        src: source node address.
+        dst: destination node address.
+        size: number of elements (keys) carried; transfer time per hop is
+            ``t_startup + size * t_element``.
+        payload: opaque data handed to the delivery callback.
+        tag: integer tag for SPMD matching.
+        path: node addresses from ``src`` to ``dst`` inclusive.
+        sent_at: injection time.
+        delivered_at: completion time (set by the engine).
+        hops_taken: number of links traversed.
+    """
+
+    src: int
+    dst: int
+    size: int
+    payload: object = None
+    tag: int = 0
+    path: list[int] = field(default_factory=list)
+    sent_at: float = 0.0
+    delivered_at: float | None = None
+
+    @property
+    def hops_taken(self) -> int:
+        return max(len(self.path) - 1, 0)
+
+    @property
+    def latency(self) -> float | None:
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.sent_at
+
+
+class EventEngine:
+    """Store-and-forward discrete-event network simulator.
+
+    Args:
+        params: cost constants (transfer times).
+
+    The engine knows nothing about topology — it trusts each message's
+    ``path`` — and models one in-flight message per *directed* link with
+    FIFO queueing.  Statistics: completed messages, per-link busy time,
+    and the simulation clock.
+    """
+
+    def __init__(self, params: MachineParams | None = None):
+        self.params = params if params is not None else MachineParams.ncube7()
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        # Directed link -> time at which it becomes free.
+        self._link_free_at: dict[tuple[int, int], float] = {}
+        self.link_busy_time: dict[tuple[int, int], float] = {}
+        self.delivered: list[Message] = []
+
+    # -- event queue --------------------------------------------------------
+
+    def schedule(self, time: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at absolute time ``time`` (>= now)."""
+        if time < self.now - 1e-9:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        heapq.heappush(self._queue, (time, next(self._seq), fn))
+
+    def run(self, until: float | None = None) -> float:
+        """Process events (optionally only up to time ``until``).
+
+        Returns the clock after the run.  The engine is re-entrant: more
+        work can be injected and ``run`` called again.
+        """
+        while self._queue:
+            t, _, fn = self._queue[0]
+            if until is not None and t > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = t
+            fn()
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued events."""
+        return len(self._queue)
+
+    # -- message transport ----------------------------------------------------
+
+    def hop_time(self, size: int) -> float:
+        """Transmission time of a ``size``-element message over one link."""
+        return self.params.t_startup + size * self.params.t_element
+
+    def send(
+        self,
+        message: Message,
+        on_delivered: Callable[[Message], None],
+        at: float | None = None,
+    ) -> None:
+        """Inject ``message`` (with a populated path) at time ``at``.
+
+        ``on_delivered`` fires when the last hop completes.  A zero-hop
+        path (self-send) delivers immediately.
+        """
+        if not message.path or message.path[0] != message.src or message.path[-1] != message.dst:
+            raise ValueError(
+                f"message path must run {message.src}->{message.dst}, got {message.path}"
+            )
+        start = self.now if at is None else at
+        message.sent_at = start
+        if len(message.path) == 1:
+            def deliver_now() -> None:
+                message.delivered_at = self.now
+                self.delivered.append(message)
+                on_delivered(message)
+
+            self.schedule(start, deliver_now)
+            return
+        self._advance_hop(message, hop_index=0, ready_at=start, on_delivered=on_delivered)
+
+    def _advance_hop(
+        self,
+        message: Message,
+        hop_index: int,
+        ready_at: float,
+        on_delivered: Callable[[Message], None],
+    ) -> None:
+        u = message.path[hop_index]
+        v = message.path[hop_index + 1]
+        link = (u, v)
+        free_at = self._link_free_at.get(link, 0.0)
+        begin = max(ready_at, free_at)
+        duration = self.hop_time(message.size)
+        end = begin + duration
+        self._link_free_at[link] = end
+        self.link_busy_time[link] = self.link_busy_time.get(link, 0.0) + duration
+
+        def on_hop_done() -> None:
+            if hop_index + 1 == len(message.path) - 1:
+                message.delivered_at = self.now
+                self.delivered.append(message)
+                on_delivered(message)
+            else:
+                # Store-and-forward: only after full reception does the next
+                # hop start contending.
+                self._advance_hop(message, hop_index + 1, self.now, on_delivered)
+
+        self.schedule(end, on_hop_done)
+
+    # -- statistics -----------------------------------------------------------
+
+    def total_link_busy(self) -> float:
+        """Sum of busy time over all directed links."""
+        return sum(self.link_busy_time.values())
+
+    def max_link_busy(self) -> float:
+        """Busy time of the most occupied directed link (the hotspot)."""
+        return max(self.link_busy_time.values(), default=0.0)

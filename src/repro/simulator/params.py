@@ -1,0 +1,132 @@
+"""Machine cost parameters.
+
+The paper expresses every cost in two constants (Section 3):
+
+* ``t_s/r`` — time to send or receive one element between neighbors, and
+* ``t_c`` — time to compare a pair of keys,
+
+plus, implicitly, a per-message startup dominated by the NCUBE/7's software
+messaging layer.  The NCUBE/7 (1987-era, 512 KB/node, VERTEX OS) never
+published exact figures in this paper; the defaults below are era-plausible
+(communication two orders of magnitude slower than a register compare,
+large per-message startup) and EXPERIMENTS.md compares *shapes*, not
+absolute milliseconds.  All times are in microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineParams"]
+
+
+SWITCHING_MODES = ("store_forward", "cut_through")
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Cost constants of the simulated hypercube multicomputer.
+
+    Attributes:
+        t_compare: time to compare two keys (``t_c``), microseconds.
+        t_element: time to move one element across one link (``t_s/r``),
+            microseconds.
+        t_startup: fixed software overhead per message, microseconds
+            (store-and-forward: paid at every hop).
+        switching: ``"store_forward"`` (NCUBE/7, the default: the whole
+            message is received and retransmitted at every hop) or
+            ``"cut_through"`` (NCUBE/2-generation wormhole-style: the
+            header pays per-hop latency, the payload pipelines behind it).
+            Cut-through applies to the phase engine's
+            :meth:`transfer_time`; the discrete-event engine models
+            store-and-forward link occupancy only.
+    """
+
+    t_compare: float = 10.0
+    t_element: float = 10.0
+    t_startup: float = 350.0
+    switching: str = "store_forward"
+
+    def __post_init__(self) -> None:
+        for name in ("t_compare", "t_element", "t_startup"):
+            v = getattr(self, name)
+            if v < 0:
+                raise ValueError(f"{name} must be non-negative, got {v}")
+        if self.switching not in SWITCHING_MODES:
+            raise ValueError(
+                f"switching must be one of {SWITCHING_MODES}, got {self.switching!r}"
+            )
+
+    @classmethod
+    def ncube7(cls) -> "MachineParams":
+        """Era-plausible NCUBE/7 constants.
+
+        Contemporary measurements of first-generation NCUBE hardware report
+        roughly 300-400 us message startup and ~385 KB/s per link under
+        VERTEX, i.e. ~10 us to move a 4-byte key one hop.  The custom CPU
+        runs at 8 MHz (~2 MIPS); one compare-exchange inner-loop iteration
+        (compare, conditional swap, index updates) is ~20 instructions,
+        again ~10 us.  ``t_c ≈ t_s/r`` is thus the right regime for this
+        machine — and, as EXPERIMENTS.md shows, the regime in which every
+        qualitative Figure-7 claim of the paper reproduces.
+        """
+        return cls(t_compare=10.0, t_element=10.0, t_startup=350.0)
+
+    @classmethod
+    def ncube2(cls) -> "MachineParams":
+        """Next-generation constants (NCUBE/2 era): cut-through switching,
+        faster links and CPU, lower startup.  Used by the switching
+        ablation to show how the partition's multi-hop penalty shrinks
+        when messages pipeline through intermediate nodes."""
+        return cls(t_compare=2.0, t_element=2.0, t_startup=100.0, switching="cut_through")
+
+    @classmethod
+    def unit(cls) -> "MachineParams":
+        """Unit costs: 1 per comparison, 1 per element-hop, 0 startup.
+
+        Handy in tests, where phase durations then equal raw operation
+        counts.
+        """
+        return cls(t_compare=1.0, t_element=1.0, t_startup=0.0)
+
+    def with_record_bytes(self, record_bytes: int, key_bytes: int = 4) -> "MachineParams":
+        """Cost constants for sorting *records* instead of bare keys.
+
+        The paper sorts bare keys; real sorts carry satellite data.  A
+        record of ``record_bytes`` costs proportionally more to move (the
+        per-element transfer time scales by ``record_bytes / key_bytes``)
+        while a comparison still looks only at the key.  Returns a scaled
+        copy; startup and switching are unchanged.
+        """
+        if record_bytes < key_bytes:
+            raise ValueError(
+                f"record_bytes ({record_bytes}) must be >= key_bytes ({key_bytes})"
+            )
+        return MachineParams(
+            t_compare=self.t_compare,
+            t_element=self.t_element * record_bytes / key_bytes,
+            t_startup=self.t_startup,
+            switching=self.switching,
+        )
+
+    def transfer_time(self, elements: int, hops: int) -> float:
+        """Time for one message of ``elements`` keys across ``hops`` links.
+
+        Store-and-forward: the full message is retransmitted (and pays
+        startup) at every hop.  Cut-through: one startup, then the payload
+        pipelines — extra hops add only one element-time of header latency
+        each.
+        """
+        if elements < 0 or hops < 0:
+            raise ValueError("elements and hops must be non-negative")
+        if elements == 0 or hops == 0:
+            return 0.0
+        if self.switching == "cut_through":
+            return self.t_startup + elements * self.t_element + (hops - 1) * self.t_element
+        return hops * (self.t_startup + elements * self.t_element)
+
+    def compare_time(self, comparisons: int) -> float:
+        """Time for ``comparisons`` key comparisons."""
+        if comparisons < 0:
+            raise ValueError("comparisons must be non-negative")
+        return comparisons * self.t_compare

@@ -1,0 +1,278 @@
+"""Phase-level synchronous simulation of a hypercube multicomputer.
+
+The sorting algorithms in this repository are *synchronous* at the phase
+granularity: every compare-split substage is a barrier-separated parallel
+phase in which disjoint processor pairs exchange and compute.  The paper's
+own cost analysis models exactly this — per-phase cost is the maximum over
+participating processors of (communication + comparisons), and total time
+is the sum over phases.
+
+:class:`PhaseMachine` provides that accounting plus central storage of each
+node's key block.  Algorithms:
+
+1. hold keys with :meth:`set_block` / :meth:`get_block`,
+2. open a phase (:meth:`phase` context manager),
+3. charge per-node costs with :meth:`charge_transfer` / :meth:`charge_compute`,
+4. close the phase — the global clock advances by the max charge.
+
+Hop counts honor the fault model: with *partial* faults the VERTEX-style
+router passes through faulty processors, so a transfer between nodes ``a``
+and ``b`` takes ``HD(a, b)`` hops; with *total* faults the route must avoid
+faulty nodes, and hops come from breadth-first distances on the surviving
+subgraph (cached per machine).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cube.address import hamming_distance, validate_address
+from repro.cube.topology import Hypercube
+from repro.faults.model import FaultKind, FaultSet
+from repro.simulator.params import MachineParams
+
+__all__ = ["PhaseMachine", "PhaseRecord"]
+
+
+@dataclass
+class PhaseRecord:
+    """Cost summary of one completed phase.
+
+    Attributes:
+        label: caller-supplied phase name (e.g. ``"intra[i=0,j=1]"``).
+        duration: max over nodes of charged time in this phase.
+        comparisons: total comparisons charged across all nodes.
+        elements_sent: total element transfers (element count, not weighted
+            by hops).
+        element_hops: total element*hop products (link occupancy).
+        messages: number of point-to-point transfers charged.
+    """
+
+    label: str
+    duration: float = 0.0
+    comparisons: int = 0
+    elements_sent: int = 0
+    element_hops: int = 0
+    messages: int = 0
+
+
+class PhaseMachine:
+    """Synchronous phase-accounted hypercube machine.
+
+    Args:
+        n: hypercube dimension (``2**n`` processors).
+        params: cost constants; defaults to :meth:`MachineParams.ncube7`.
+        faults: optional fault configuration; affects hop counts (see
+            module docstring) and forbids storing keys on faulty nodes.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        params: MachineParams | None = None,
+        faults: FaultSet | None = None,
+    ):
+        self.cube = Hypercube(n)
+        self.n = n
+        self.params = params if params is not None else MachineParams.ncube7()
+        if faults is not None and faults.n != n:
+            raise ValueError(f"fault set is for Q_{faults.n}, machine is Q_{n}")
+        self.faults = faults if faults is not None else FaultSet(n)
+        self.blocks: dict[int, np.ndarray] = {}
+        self.elapsed: float = 0.0
+        self.phases: list[PhaseRecord] = []
+        self._current: PhaseRecord | None = None
+        self._node_time: dict[int, float] = {}
+        self._hop_cache: dict[int, dict[int, int]] = {}
+        #: Optional hook called as ``on_phase_end(machine, record)`` after
+        #: every phase closes — used by walkthrough/teaching tools to
+        #: snapshot block states without touching the algorithms.
+        self.on_phase_end = None
+
+    # -- key storage -----------------------------------------------------
+
+    def set_block(self, addr: int, values: np.ndarray) -> None:
+        """Install node ``addr``'s key block (copied)."""
+        validate_address(addr, self.n)
+        if self.faults.is_faulty(addr):
+            raise ValueError(f"cannot store keys on faulty processor {addr}")
+        arr = np.array(values, dtype=float, copy=True)
+        if arr.ndim != 1:
+            raise ValueError(f"blocks must be 1-D, got shape {arr.shape}")
+        self.blocks[addr] = arr
+
+    def get_block(self, addr: int) -> np.ndarray:
+        """Node ``addr``'s current block (empty array if none)."""
+        validate_address(addr, self.n)
+        return self.blocks.get(addr, np.empty(0, dtype=float))
+
+    def clear_blocks(self) -> None:
+        """Drop all stored blocks (clocks and phase history are kept)."""
+        self.blocks.clear()
+
+    def total_keys(self) -> int:
+        """Total number of keys currently stored across all nodes."""
+        return sum(b.size for b in self.blocks.values())
+
+    # -- hop metric --------------------------------------------------------
+
+    def hops(self, a: int, b: int) -> int:
+        """Routing hops between ``a`` and ``b`` under the fault model.
+
+        Partial faults with no link faults (or no faults at all): e-cube
+        distance ``HD(a, b)``.  Total faults and/or link faults: shortest
+        surviving path (faulty nodes are impassable only under the total
+        model; faulty links always are).  Endpoints must be fault-free.
+        """
+        validate_address(a, self.n)
+        validate_address(b, self.n)
+        if a == b:
+            return 0
+        detour_needed = self.faults.links or (
+            self.faults.r > 0 and self.faults.kind is FaultKind.TOTAL
+        )
+        if not detour_needed:
+            return hamming_distance(a, b)
+        if self.faults.is_faulty(a) or self.faults.is_faulty(b):
+            raise ValueError(f"cannot route between faulty endpoints {a}, {b}")
+        dist = self._hop_cache.get(a)
+        if dist is None:
+            dist = self._surviving_distances(a)
+            self._hop_cache[a] = dist
+        if b not in dist:
+            raise ValueError(f"node {b} unreachable from {a} under the fault model")
+        return dist[b]
+
+    def _surviving_distances(self, src: int) -> dict[int, int]:
+        """BFS distances from ``src`` honoring node *and* link faults."""
+        from collections import deque
+
+        blocked_nodes = (
+            set(self.faults.processors) if self.faults.kind is FaultKind.TOTAL else set()
+        )
+        dist = {src: 0}
+        queue: deque[int] = deque([src])
+        while queue:
+            cur = queue.popleft()
+            for d in range(self.n):
+                nxt = cur ^ (1 << d)
+                if nxt in dist or nxt in blocked_nodes:
+                    continue
+                if self.faults.is_link_faulty(cur, nxt):
+                    continue
+                dist[nxt] = dist[cur] + 1
+                queue.append(nxt)
+        return dist
+
+    # -- phase accounting --------------------------------------------------
+
+    @contextmanager
+    def phase(self, label: str):
+        """Open a barrier-separated parallel phase.
+
+        All charges inside the ``with`` block belong to this phase; on exit
+        the machine clock advances by the maximum per-node charge.
+        """
+        if self._current is not None:
+            raise RuntimeError(f"phase {self._current.label!r} is already open")
+        self._current = PhaseRecord(label=label)
+        self._node_time = {}
+        try:
+            yield self._current
+        finally:
+            rec = self._current
+            rec.duration = max(self._node_time.values(), default=0.0)
+            self.elapsed += rec.duration
+            self.phases.append(rec)
+            self._current = None
+            self._node_time = {}
+            if self.on_phase_end is not None:
+                self.on_phase_end(self, rec)
+
+    def _require_phase(self) -> PhaseRecord:
+        if self._current is None:
+            raise RuntimeError("charges require an open phase (use machine.phase(...))")
+        return self._current
+
+    def charge_compute(self, addr: int, comparisons: int) -> None:
+        """Charge ``comparisons`` key comparisons to node ``addr``."""
+        rec = self._require_phase()
+        validate_address(addr, self.n)
+        if comparisons < 0:
+            raise ValueError("comparisons must be non-negative")
+        rec.comparisons += comparisons
+        self._node_time[addr] = self._node_time.get(addr, 0.0) + self.params.compare_time(
+            comparisons
+        )
+
+    def charge_transfer(self, src: int, dst: int, elements: int, hops: int | None = None) -> None:
+        """Charge a transfer of ``elements`` keys from ``src`` to ``dst``.
+
+        Both endpoints are busy for the full transfer (the paper's
+        ``t_s/r`` covers "sending or receiving").  ``hops`` defaults to
+        :meth:`hops`.
+        """
+        rec = self._require_phase()
+        validate_address(src, self.n)
+        validate_address(dst, self.n)
+        if elements < 0:
+            raise ValueError("elements must be non-negative")
+        if elements == 0:
+            return
+        if hops is None:
+            hops = self.hops(src, dst)
+        t = self.params.transfer_time(elements, hops)
+        rec.elements_sent += elements
+        rec.element_hops += elements * hops
+        rec.messages += 1
+        for endpoint in (src, dst):
+            self._node_time[endpoint] = self._node_time.get(endpoint, 0.0) + t
+
+    def charge_swap(self, a: int, b: int, elements: int, hops: int | None = None) -> None:
+        """Charge a *simultaneous* bidirectional exchange of ``elements``.
+
+        NCUBE-era links are full-duplex DMA channels: when two processors
+        swap equal-size messages, both directions overlap in time, so each
+        endpoint is busy for one transfer duration — this is exactly how
+        the paper's cost model counts each exchange leg (one
+        ``ceil(M/2N') t_s/r`` term, not two).  Counters record the traffic
+        of both directions.
+        """
+        rec = self._require_phase()
+        validate_address(a, self.n)
+        validate_address(b, self.n)
+        if elements < 0:
+            raise ValueError("elements must be non-negative")
+        if elements == 0:
+            return
+        if hops is None:
+            hops = self.hops(a, b)
+        t = self.params.transfer_time(elements, hops)
+        rec.elements_sent += 2 * elements
+        rec.element_hops += 2 * elements * hops
+        rec.messages += 2
+        for endpoint in (a, b):
+            self._node_time[endpoint] = self._node_time.get(endpoint, 0.0) + t
+
+    # -- summaries ---------------------------------------------------------
+
+    def total_comparisons(self) -> int:
+        """Comparisons across the whole run."""
+        return sum(p.comparisons for p in self.phases)
+
+    def total_elements_sent(self) -> int:
+        """Element transfers across the whole run (unweighted by hops)."""
+        return sum(p.elements_sent for p in self.phases)
+
+    def total_element_hops(self) -> int:
+        """Element*hop products across the whole run (link occupancy)."""
+        return sum(p.element_hops for p in self.phases)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"PhaseMachine(n={self.n}, elapsed={self.elapsed:.1f}us, "
+            f"phases={len(self.phases)}, faults={self.faults.r})"
+        )

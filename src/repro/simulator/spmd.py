@@ -1,0 +1,254 @@
+"""SPMD process layer over the discrete-event engine.
+
+Programs are written as Python generators, one per processor, in the style
+of mpi4py's per-rank code (the hpc-parallel guide's idiom): the generator
+receives a :class:`Proc` handle and *yields* effect objects —
+
+* ``proc.send(dst, payload, size)`` — non-blocking injection; the sender is
+  busy for the first-hop transmission time,
+* ``proc.recv(src=..., tag=...)`` — blocks until a matching message has
+  fully arrived; evaluates to the message payload,
+* ``proc.compute(comparisons)`` — advances the local clock by compute time.
+
+Example::
+
+    def program(proc: Proc):
+        if proc.rank == 0:
+            yield proc.send(1, payload={"hello": 1}, size=4)
+        else:
+            data = yield proc.recv(src=0)
+
+    machine = SpmdMachine(n=1, faults=FaultSet(1))
+    machine.run({0: program, 1: program})
+
+Each processor has its own local clock; the machine's ``finish_time`` is
+the max over processors.  Faulty processors run no program (their compute
+portion is dead under both fault kinds); whether they *forward* messages is
+the router's business.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections import deque
+from collections.abc import Callable, Generator
+
+from repro.faults.model import FaultSet
+from repro.simulator.engine import EventEngine, Message
+from repro.simulator.params import MachineParams
+from repro.simulator.router import Router
+
+__all__ = ["Proc", "ProgramError", "SpmdMachine"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class ProgramError(RuntimeError):
+    """An SPMD program misbehaved (deadlock, bad effect, faulty target)."""
+
+
+@dataclass(frozen=True)
+class _SendEffect:
+    dst: int
+    payload: object
+    size: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class _RecvEffect:
+    src: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class _ComputeEffect:
+    comparisons: int
+
+
+class Proc:
+    """Per-processor handle passed to SPMD program generators."""
+
+    def __init__(self, machine: "SpmdMachine", rank: int):
+        self._machine = machine
+        self.rank = rank
+        self.clock: float = 0.0
+        self.sent_messages = 0
+        self.received_messages = 0
+
+    def send(self, dst: int, payload: object = None, size: int = 1, tag: int = 0) -> _SendEffect:
+        """Effect: transmit ``size`` elements to ``dst`` (yield it)."""
+        return _SendEffect(dst=dst, payload=payload, size=size, tag=tag)
+
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> _RecvEffect:
+        """Effect: block for a matching message (yield it; evaluates to payload)."""
+        return _RecvEffect(src=src, tag=tag)
+
+    def compute(self, comparisons: int) -> _ComputeEffect:
+        """Effect: charge local compute time for ``comparisons`` comparisons."""
+        return _ComputeEffect(comparisons=comparisons)
+
+
+class _ProcState:
+    def __init__(self, proc: Proc, gen: Generator):
+        self.proc = proc
+        self.gen = gen
+        self.inbox: deque[Message] = deque()
+        self.waiting: _RecvEffect | None = None
+        self.done = False
+
+
+class SpmdMachine:
+    """Run one generator program per fault-free processor of ``Q_n``.
+
+    Args:
+        n: hypercube dimension.
+        faults: fault configuration (decides routing and which ranks run).
+        params: cost constants.
+        router: optional router override (default ``Router(faults)``).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        faults: FaultSet | None = None,
+        params: MachineParams | None = None,
+        router: Router | None = None,
+    ):
+        self.n = n
+        self.size = 1 << n
+        self.faults = faults if faults is not None else FaultSet(n)
+        if self.faults.n != n:
+            raise ValueError(f"fault set is for Q_{self.faults.n}, expected Q_{n}")
+        self.params = params if params is not None else MachineParams.ncube7()
+        self.engine = EventEngine(self.params)
+        self.router = router if router is not None else Router(self.faults)
+        self._states: dict[int, _ProcState] = {}
+        self.finish_time: float = 0.0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def run(
+        self,
+        programs: dict[int, Callable[[Proc], Generator]] | Callable[[Proc], Generator],
+        max_events: int | None = None,
+    ) -> float:
+        """Execute programs to completion; returns the finish time.
+
+        ``programs`` is either one callable used for every fault-free rank
+        (true SPMD) or a dict rank -> callable (ranks omitted run nothing).
+        Raises :class:`ProgramError` on deadlock (some program still waits
+        on ``recv`` after the event queue drains).
+        """
+        if callable(programs):
+            table = {
+                rank: programs for rank in range(self.size) if not self.faults.is_faulty(rank)
+            }
+        else:
+            table = dict(programs)
+        for rank in table:
+            if self.faults.is_faulty(rank):
+                raise ProgramError(f"cannot run a program on faulty processor {rank}")
+        self._states = {}
+        for rank, factory in sorted(table.items()):
+            proc = Proc(self, rank)
+            gen = factory(proc)
+            if not isinstance(gen, Generator):
+                raise ProgramError(
+                    f"program for rank {rank} must be a generator function, got {type(gen)}"
+                )
+            self._states[rank] = _ProcState(proc, gen)
+        for state in list(self._states.values()):
+            self._step(state, first=True)
+        self.engine.run()
+        stuck = [r for r, s in self._states.items() if not s.done]
+        if stuck:
+            raise ProgramError(
+                f"deadlock: ranks {stuck} still blocked after the event queue drained"
+            )
+        self.finish_time = max(
+            (s.proc.clock for s in self._states.values()), default=self.engine.now
+        )
+        return self.finish_time
+
+    # -- program driving -----------------------------------------------------
+
+    def _step(self, state: _ProcState, value: object = None, first: bool = False) -> None:
+        """Resume one program until it blocks on recv or finishes."""
+        while True:
+            try:
+                effect = state.gen.send(None if first else value)
+            except StopIteration:
+                state.done = True
+                return
+            first = False
+            value = None
+            if isinstance(effect, _ComputeEffect):
+                if effect.comparisons < 0:
+                    self._fail(state, "negative compute charge")
+                state.proc.clock += self.params.compare_time(effect.comparisons)
+                continue
+            if isinstance(effect, _SendEffect):
+                self._do_send(state, effect)
+                continue
+            if isinstance(effect, _RecvEffect):
+                msg = self._match(state, effect)
+                if msg is not None:
+                    state.proc.clock = max(state.proc.clock, msg.delivered_at or 0.0)
+                    state.proc.received_messages += 1
+                    value = msg.payload
+                    continue
+                state.waiting = effect
+                return
+            self._fail(state, f"unknown effect {effect!r} (yield proc.send/recv/compute)")
+
+    def _fail(self, state: _ProcState, why: str) -> None:
+        raise ProgramError(f"rank {state.proc.rank}: {why}")
+
+    def _do_send(self, state: _ProcState, eff: _SendEffect) -> None:
+        rank = state.proc.rank
+        if eff.size < 0:
+            self._fail(state, "negative message size")
+        if self.faults.is_faulty(eff.dst):
+            self._fail(state, f"send target {eff.dst} is faulty")
+        path = self.router.route(rank, eff.dst)
+        msg = Message(
+            src=rank, dst=eff.dst, size=eff.size, payload=eff.payload, tag=eff.tag, path=path
+        )
+        # The sender's NIC is busy for the first hop's transmission.
+        depart = state.proc.clock
+        if len(path) > 1:
+            state.proc.clock += self.engine.hop_time(eff.size)
+        state.proc.sent_messages += 1
+        self.engine.send(msg, self._on_delivered, at=depart)
+
+    def _on_delivered(self, msg: Message) -> None:
+        state = self._states.get(msg.dst)
+        if state is None:
+            return  # fire-and-forget to a rank running no program
+        state.inbox.append(msg)
+        if state.waiting is not None:
+            eff = state.waiting
+            matched = self._match(state, eff)
+            if matched is not None:
+                state.waiting = None
+                state.proc.clock = max(state.proc.clock, matched.delivered_at or 0.0)
+                state.proc.received_messages += 1
+                self._step(state, value=matched.payload)
+
+    def _match(self, state: _ProcState, eff: _RecvEffect) -> Message | None:
+        for idx, msg in enumerate(state.inbox):
+            if eff.src not in (ANY_SOURCE, msg.src):
+                continue
+            if eff.tag not in (ANY_TAG, msg.tag):
+                continue
+            del state.inbox[idx]
+            return msg
+        return None
+
+    # -- results ----------------------------------------------------------------
+
+    def proc(self, rank: int) -> Proc:
+        """The :class:`Proc` handle of a finished rank (clocks, counters)."""
+        return self._states[rank].proc

@@ -1,0 +1,50 @@
+"""Sequential and parallel sorting kernels.
+
+* :mod:`repro.sorting.heapsort` — from-scratch heapsort with exact
+  comparison counting (the paper's step-3 local sort) plus the paper's
+  worst-case comparison formula.
+* :mod:`repro.sorting.merge` — the compare-split kernels: the paper's
+  half-traffic exchange protocol between a processor pair, with exact
+  element/comparison accounting.
+* :mod:`repro.sorting.bitonic_seq` — Batcher's bitonic sorting network on a
+  single array; reference implementation used as an oracle and by the
+  sequential baselines.
+* :mod:`repro.sorting.bitonic_cube` — block bitonic sort across the nodes of
+  a (possibly single-fault) hypercube, written against the phase-level
+  machine.
+"""
+
+from repro.sorting.heapsort import heapsort, heapsort_comparisons_worst_case
+from repro.sorting.merge import (
+    CompareSplitResult,
+    compare_split,
+    compare_split_counts,
+    merge_split_reference,
+)
+from repro.sorting.bitonic_seq import (
+    bitonic_merge_inplace,
+    bitonic_sort,
+    is_bitonic,
+    next_pow2,
+)
+from repro.sorting.odd_even import (
+    comparator_count,
+    comparators,
+    odd_even_merge_sort,
+)
+
+__all__ = [
+    "CompareSplitResult",
+    "comparator_count",
+    "comparators",
+    "odd_even_merge_sort",
+    "bitonic_merge_inplace",
+    "bitonic_sort",
+    "compare_split",
+    "compare_split_counts",
+    "heapsort",
+    "heapsort_comparisons_worst_case",
+    "is_bitonic",
+    "merge_split_reference",
+    "next_pow2",
+]

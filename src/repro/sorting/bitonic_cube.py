@@ -1,0 +1,290 @@
+"""Block bitonic sort across the nodes of a (sub)hypercube.
+
+This is the parallel sorting workhorse: Batcher's bitonic network applied
+to *blocks*, with every comparator realized as the half-traffic
+compare-split of :mod:`repro.sorting.merge`.  By the classical blockwise
+network theorem (replace each comparator of a sorting network by an exact
+merge-split and any arrangement of sorted blocks gets globally sorted), the
+result is sorted in *logical position order* regardless of the initial
+block arrangement, as long as each block is internally sorted.
+
+Dead nodes
+----------
+The paper's single-fault insight (Section 2.1): a dead (faulty or dangling)
+processor holding zero keys behaves exactly like a block of sentinel keys
+*if* the sentinels would sit still at its position through every stage of
+the network.  That holds only at logical position 0 — the one position
+whose comparator direction bit is constant through all stages, and whose
+enclosing sub-block is first (hence sorted in the overall direction) at
+every stage — with ``-inf`` sentinels in an ascending network and ``+inf``
+in a descending one.  This is exactly why the paper XOR-reindexes the fault
+to address 0, and why a *descending* subcube must run a direction-inverted
+network rather than an ascending network read backwards (a dead node at the
+top position is **not** exact; the test suite pins this down).
+
+Block representation
+--------------------
+Blocks are canonically ascending.  After an ascending sort, logical
+position ``l`` holds content-rank ``l``'s chunk; after a descending sort it
+holds content-rank ``(2**q - 1) - l``'s chunk (chunks reversed across
+positions, each chunk still ascending inside) — equivalent to the paper's
+genuinely-descending layout up to free local reversals, with identical
+communication pattern and cost.
+
+Lockstep groups
+---------------
+The fault-tolerant sort runs ``2**m`` subcubes *in parallel*; their
+identical substage sequences must share phases (phase time is a max, not a
+sum).  :func:`block_bitonic_sort_groups` runs any number of equal-dimension
+logical cubes through the network in lockstep, each with its own direction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.sorting.merge import compare_split
+from repro.simulator.phases import PhaseMachine
+
+__all__ = [
+    "block_bitonic_merge_groups",
+    "block_bitonic_sort",
+    "block_bitonic_sort_groups",
+    "exchange_pair",
+    "substage_pairs",
+]
+
+
+def substage_pairs(q: int, i: int, j: int, descending: bool = False) -> list[tuple[int, int, bool]]:
+    """Comparator pairs of bitonic substage ``(i, j)`` on ``2**q`` positions.
+
+    Returns ``(low_logical, high_logical, low_keeps_min)`` triples: at merge
+    stage ``i`` (``0 <= i < q``), substage dimension ``j`` (``i >= j >= 0``),
+    position ``l`` (bit ``j`` clear) pairs with ``l | 2**j``; in the
+    ascending network the pair sorts ascending iff bit ``i + 1`` of ``l``
+    is 0, and the descending network inverts every direction.
+    """
+    if not 0 <= i < q or not 0 <= j <= i:
+        raise ValueError(f"invalid substage (i={i}, j={j}) for q={q}")
+    pairs = []
+    for low in range(1 << q):
+        if (low >> j) & 1:
+            continue
+        high = low | (1 << j)
+        low_keeps_min = ((low >> (i + 1)) & 1) == 0
+        if descending:
+            low_keeps_min = not low_keeps_min
+        pairs.append((low, high, low_keeps_min))
+    return pairs
+
+
+def exchange_pair(
+    machine: PhaseMachine,
+    addr_low: int,
+    addr_high: int,
+    low_keeps_min: bool,
+    hops: int | None = 1,
+    probe: bool = True,
+) -> None:
+    """One compare-split between two physical nodes, with cost charging.
+
+    The node at ``addr_low`` ends with the smaller half of the union iff
+    ``low_keeps_min``.  A pair with an empty side is the dead-node
+    comparator: the live partner keeps its block and nothing is charged
+    (the paper's "keeps its elements without doing any operation").
+
+    With ``probe=True`` (default) the pair first exchanges one boundary key
+    each way and skips the block exchange entirely when the blocks are
+    already correctly split — the standard MIMD implementation trick that
+    keeps measured time far below the oblivious worst case on the
+    nearly-sorted data that Step 8's re-sorts see.  The paper's closed-form
+    ``T`` charges the no-skip worst case (:mod:`repro.core.cost`); its
+    *measured* Figure-7 curves, like ours, sit well below it.  The
+    comparator's result is unchanged either way, so network correctness is
+    unaffected.
+
+    Must be called inside an open machine phase.
+    """
+    a = machine.get_block(addr_low)
+    b = machine.get_block(addr_high)
+    if a.size == 0 or b.size == 0:
+        return
+    if probe:
+        # Boundary exchange: each side ships the key its partner needs to
+        # decide whether any element must move (simultaneous, full-duplex).
+        machine.charge_swap(addr_low, addr_high, 1, hops=hops)
+        machine.charge_compute(addr_low, 1)
+        machine.charge_compute(addr_high, 1)
+        if low_keeps_min:
+            if a[-1] <= b[0]:
+                return
+        else:
+            if b[-1] <= a[0]:
+                return
+    res = compare_split(a, b)
+    if low_keeps_min:
+        machine.blocks[addr_low] = res.low
+        machine.blocks[addr_high] = res.high
+    else:
+        machine.blocks[addr_low] = res.high
+        machine.blocks[addr_high] = res.low
+    k = int(a.size)
+    first_leg = (k + 1) // 2
+    return_leg = k // 2
+    # Half-exchange protocol: both sides ship half simultaneously, then
+    # return the losers simultaneously (full-duplex links; each swap leg
+    # costs one transfer, matching the paper's single t_s/r term per leg).
+    machine.charge_swap(addr_low, addr_high, first_leg, hops=hops)
+    if return_leg:
+        machine.charge_swap(addr_low, addr_high, return_leg, hops=hops)
+    # Pairwise comparisons: ceil(k/2) at one endpoint, floor(k/2) at the
+    # other; then each merges its two runs at (k - 1) comparisons (the
+    # paper's step-7(c) charge).
+    machine.charge_compute(addr_low, first_leg + max(k - 1, 0))
+    machine.charge_compute(addr_high, return_leg + max(k - 1, 0))
+
+
+def _validate_group(
+    machine: PhaseMachine,
+    addr_of_logical: Sequence[int],
+    dead_logical: frozenset[int],
+) -> int:
+    size = len(addr_of_logical)
+    if size == 0 or size & (size - 1):
+        raise ValueError(f"addr_of_logical length must be a power of two, got {size}")
+    if not dead_logical <= {0}:
+        raise ValueError(
+            f"dead logical positions {sorted(dead_logical)} must be within {{0}}; "
+            "reindex the dead processor to logical address 0 first (the only "
+            "position where the skip rule is exact)"
+        )
+    live_sizes = {
+        machine.get_block(addr_of_logical[l]).size
+        for l in range(size)
+        if l not in dead_logical
+    }
+    if len(live_sizes) > 1:
+        raise ValueError(f"live blocks must have equal sizes, got {sorted(live_sizes)}")
+    for l in dead_logical:
+        if machine.get_block(addr_of_logical[l]).size:
+            raise ValueError(f"dead logical position {l} holds keys")
+    return size.bit_length() - 1
+
+
+def block_bitonic_sort_groups(
+    machine: PhaseMachine,
+    groups: Sequence[tuple[Sequence[int], frozenset[int] | set[int], bool]],
+    label: str = "bitonic",
+    uniform_hops: int | None = 1,
+) -> None:
+    """Sort several equal-dimension logical cubes in lockstep phases.
+
+    Args:
+        machine: the phase machine holding every node's block.
+        groups: ``(addr_of_logical, dead_logical, descending)`` per logical
+            cube; all must share one power-of-two length and their physical
+            address sets must be disjoint.  ``dead_logical`` ⊆ ``{0}``.
+        label: phase-label prefix.
+        uniform_hops: hop count per exchange (1 when logical neighbors are
+            physical neighbors, as with any XOR reindexing); ``None`` uses
+            the machine's fault-aware metric.
+
+    After the call each ascending group's logical-order chunk ranks are
+    ``0, 1, 2, ...`` and each descending group's are reversed (see module
+    docstring).
+    """
+    if not groups:
+        return
+    norm = [(list(a), frozenset(d), bool(desc)) for a, d, desc in groups]
+    qs = {_validate_group(machine, a, d) for a, d, _ in norm}
+    if len(qs) != 1:
+        raise ValueError(f"all groups must share one dimension, got {sorted(qs)}")
+    q = qs.pop()
+    seen: set[int] = set()
+    for a, _, _ in norm:
+        dup = seen.intersection(a)
+        if dup:
+            raise ValueError(f"groups overlap on physical addresses {sorted(dup)}")
+        seen.update(a)
+    if q == 0:
+        return
+    for i in range(q):
+        for j in range(i, -1, -1):
+            with machine.phase(f"{label}[i={i},j={j}]"):
+                for addr_of_logical, dead, descending in norm:
+                    for low, high, low_keeps_min in substage_pairs(q, i, j, descending):
+                        if low in dead and high in dead:
+                            continue
+                        exchange_pair(
+                            machine,
+                            addr_of_logical[low],
+                            addr_of_logical[high],
+                            low_keeps_min,
+                            hops=uniform_hops,
+                        )
+
+
+def block_bitonic_merge_groups(
+    machine: PhaseMachine,
+    groups: Sequence[tuple[Sequence[int], frozenset[int] | set[int], bool]],
+    label: str = "bitonic-merge",
+    uniform_hops: int | None = 1,
+) -> None:
+    """One bitonic *merge* pass over each group, in lockstep phases.
+
+    A merge is the final stage of the bitonic sort alone: substages
+    ``j = q-1 .. 0`` with every comparator pointing the group's direction.
+    It sorts the group iff the virtual sequence — the live blocks plus the
+    dead node's sentinel block (``-inf`` for ascending, ``+inf`` for
+    descending, always at logical 0) — is cyclically bitonic.  The
+    fault-tolerant sort's Step 8 establishes that precondition analytically
+    (see :mod:`repro.core.ftsort`); callers with arbitrary data must use
+    :func:`block_bitonic_sort_groups` instead.
+
+    Arguments are exactly those of :func:`block_bitonic_sort_groups`.
+    """
+    if not groups:
+        return
+    norm = [(list(a), frozenset(d), bool(desc)) for a, d, desc in groups]
+    qs = {_validate_group(machine, a, d) for a, d, _ in norm}
+    if len(qs) != 1:
+        raise ValueError(f"all groups must share one dimension, got {sorted(qs)}")
+    q = qs.pop()
+    if q == 0:
+        return
+    i = q - 1
+    for j in range(i, -1, -1):
+        with machine.phase(f"{label}[j={j}]"):
+            for addr_of_logical, dead, descending in norm:
+                for low, high, low_keeps_min in substage_pairs(q, i, j, descending):
+                    if low in dead and high in dead:
+                        continue
+                    exchange_pair(
+                        machine,
+                        addr_of_logical[low],
+                        addr_of_logical[high],
+                        low_keeps_min,
+                        hops=uniform_hops,
+                    )
+
+
+def block_bitonic_sort(
+    machine: PhaseMachine,
+    addr_of_logical: Sequence[int],
+    dead_logical: frozenset[int] | set[int] = frozenset(),
+    descending: bool = False,
+    label: str = "bitonic",
+    uniform_hops: int | None = 1,
+) -> None:
+    """Sort one logical cube of blocks (see :func:`block_bitonic_sort_groups`).
+
+    Single-group convenience wrapper: after the call (ascending), reading
+    the blocks at ``addr_of_logical[0], addr_of_logical[1], ...`` and
+    concatenating gives the keys in ascending order.
+    """
+    block_bitonic_sort_groups(
+        machine,
+        [(addr_of_logical, frozenset(dead_logical), descending)],
+        label=label,
+        uniform_hops=uniform_hops,
+    )

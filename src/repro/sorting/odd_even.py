@@ -1,0 +1,81 @@
+"""Batcher's odd-even merge sort (reference network).
+
+A second classical sorting network, alongside the bitonic network the
+paper builds on.  Odd-even merge sort uses asymptotically fewer
+comparators (~``n/4 log^2 n`` vs bitonic's ``n/2 log^2 n``... precisely,
+fewer by a constant factor), but — unlike bitonic — its comparator pairs
+are not all hypercube-neighbor pairs, which is exactly why hypercube
+machines (and this paper) use bitonic.  We implement it sequentially as:
+
+* an independent *oracle* for the other sorts,
+* a comparator-count datum for the network-choice discussion, and
+* a :func:`comparators` generator exposing the raw network for tests that
+  check the neighbor-mapping claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sorting.bitonic_seq import next_pow2
+
+__all__ = ["odd_even_merge_sort", "comparators", "comparator_count"]
+
+
+def comparators(n: int) -> list[tuple[int, int]]:
+    """The comparator list of the odd-even merge sorting network on ``n``.
+
+    ``n`` must be a power of two.  Returned in execution order; each pair
+    ``(i, j)`` with ``i < j`` orders positions ascending.
+    """
+    if n <= 0 or n & (n - 1):
+        raise ValueError(f"network size must be a power of two, got {n}")
+    out: list[tuple[int, int]] = []
+
+    def merge(lo: int, length: int, step: int) -> None:
+        jump = step * 2
+        if jump < length:
+            merge(lo, length, jump)
+            merge(lo + step, length, jump)
+            for i in range(lo + step, lo + length - step, jump):
+                out.append((i, i + step))
+        else:
+            out.append((lo, lo + step))
+
+    def sort(lo: int, length: int) -> None:
+        if length > 1:
+            half = length // 2
+            sort(lo, half)
+            sort(lo + half, half)
+            merge(lo, length, 1)
+
+    sort(0, n)
+    return out
+
+
+def comparator_count(n: int) -> int:
+    """Number of comparators in the odd-even merge sort network."""
+    return len(comparators(n))
+
+
+def odd_even_merge_sort(values: np.ndarray | list) -> tuple[np.ndarray, int]:
+    """Sort via the odd-even merge network; returns (sorted, comparisons).
+
+    Non-power-of-two inputs are padded with ``+inf`` sentinels, as in the
+    paper's dummy-key convention.
+    """
+    src = np.asarray(values, dtype=float)
+    if src.ndim != 1:
+        raise ValueError(f"expected a 1-D array, got shape {src.shape}")
+    n = int(src.size)
+    if n == 0:
+        return src.copy(), 0
+    padded = next_pow2(n)
+    a = np.full(padded, np.inf)
+    a[:n] = src
+    count = 0
+    for i, j in comparators(padded):
+        count += 1
+        if a[i] > a[j]:
+            a[i], a[j] = a[j], a[i]
+    return a[:n], count

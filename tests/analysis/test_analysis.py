@@ -1,0 +1,107 @@
+"""Tests for repro.analysis — metrics and breakdowns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.breakdown import phase_breakdown
+from repro.analysis.metrics import (
+    crossover_keys,
+    efficiency,
+    model_accuracy,
+    speedup_vs_baseline,
+)
+from repro.core.ftsort import fault_tolerant_sort
+from repro.simulator.params import MachineParams
+
+PAPER_FAULTS = [3, 5, 16, 24]
+
+
+class TestSpeedup:
+    def test_large_m_beats_baseline(self):
+        s = speedup_vs_baseline(32 * 4000, 5, PAPER_FAULTS)
+        assert s > 1.0
+
+    def test_small_m_baseline_wins(self):
+        s = speedup_vs_baseline(32, 5, PAPER_FAULTS)
+        assert s < 1.0
+
+    def test_deterministic(self):
+        a = speedup_vs_baseline(2048, 5, PAPER_FAULTS, seed=3)
+        b = speedup_vs_baseline(2048, 5, PAPER_FAULTS, seed=3)
+        assert a == b
+
+
+class TestEfficiency:
+    def test_single_fault_efficiency_near_one(self):
+        # One fault out of 32: per-processor work barely changes.
+        e = efficiency(32 * 2000, 5, [7])
+        assert 0.7 < e <= 1.2
+
+    def test_multi_fault_efficiency_degrades(self):
+        e1 = efficiency(32 * 2000, 5, [7])
+        e4 = efficiency(32 * 2000, 5, PAPER_FAULTS)
+        assert e4 < e1
+
+
+class TestCrossover:
+    def test_crossover_exists_and_separates(self):
+        m_star = crossover_keys(5, PAPER_FAULTS, lo=16, hi=1 << 18)
+        assert m_star is not None
+        assert speedup_vs_baseline(m_star, 5, PAPER_FAULTS) > 1.0
+        if m_star > 16:
+            assert speedup_vs_baseline(m_star // 2, 5, PAPER_FAULTS) <= 1.05
+
+    def test_crossover_lo_already_winning(self):
+        # With r=1 the proposed scheme wins even at tiny M against Q_{n-1}:
+        m_star = crossover_keys(5, [0], lo=4096, hi=1 << 18)
+        assert m_star is not None
+
+    def test_none_when_never_winning(self):
+        # Against itself (no faults), "baseline" is the same machine: the
+        # speedup hovers around 1 and never strictly exceeds it... use a
+        # rigged fast-baseline case instead: unreachable in practice, so
+        # simply check hi respected via a tiny hi.
+        m_star = crossover_keys(5, PAPER_FAULTS, lo=16, hi=32)
+        assert m_star is None
+
+
+class TestModelAccuracy:
+    def test_worst_case_is_sound(self):
+        acc = model_accuracy(24 * 1000, 5, PAPER_FAULTS)
+        assert acc.ratio <= 1.0
+        assert acc.measured > 0 and acc.model_bound > 0
+
+    def test_sound_across_fault_counts(self):
+        for faults in ([], [7], [7, 20], PAPER_FAULTS):
+            acc = model_accuracy(24 * 500, 5, faults)
+            assert acc.ratio <= 1.0, faults
+
+    def test_model_not_absurdly_loose_for_fault_free(self):
+        acc = model_accuracy(32 * 1000, 5, [])
+        assert acc.ratio > 0.3
+
+
+class TestBreakdown:
+    def test_stages_cover_all_phases(self, rng):
+        res = fault_tolerant_sort(rng.random(24 * 200), 5, PAPER_FAULTS)
+        stages = phase_breakdown(res.machine)
+        assert sum(s.phases for s in stages.values()) == len(res.machine.phases)
+        assert sum(s.duration for s in stages.values()) == pytest.approx(res.elapsed)
+
+    def test_expected_stage_names(self, rng):
+        res = fault_tolerant_sort(rng.random(24 * 200), 5, PAPER_FAULTS)
+        stages = phase_breakdown(res.machine)
+        assert "local sort (step 3a)" in stages
+        assert "inter-subcube exchange (step 7)" in stages
+        assert "subcube re-sort (step 8)" in stages
+
+    def test_sorted_by_duration(self, rng):
+        res = fault_tolerant_sort(rng.random(24 * 200), 5, PAPER_FAULTS)
+        durations = [s.duration for s in phase_breakdown(res.machine).values()]
+        assert durations == sorted(durations, reverse=True)
+
+    def test_fault_free_uses_bitonic_stage(self, rng):
+        res = fault_tolerant_sort(rng.random(64), 3, [])
+        stages = phase_breakdown(res.machine)
+        assert "full-cube bitonic" in stages

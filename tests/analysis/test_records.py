@@ -1,0 +1,56 @@
+"""Tests for repro.analysis.records and MachineParams.with_record_bytes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.records import record_size_sensitivity
+from repro.simulator.params import MachineParams
+
+
+class TestWithRecordBytes:
+    def test_scales_transfer_only(self):
+        p = MachineParams(t_compare=10, t_element=10, t_startup=350)
+        q = p.with_record_bytes(16)
+        assert q.t_element == 40.0
+        assert q.t_compare == p.t_compare
+        assert q.t_startup == p.t_startup
+
+    def test_identity_for_key_size(self):
+        p = MachineParams.ncube7()
+        assert p.with_record_bytes(4) == p
+
+    def test_preserves_switching(self):
+        p = MachineParams.ncube2()
+        assert p.with_record_bytes(64).switching == "cut_through"
+
+    def test_rejects_sub_key_records(self):
+        with pytest.raises(ValueError):
+            MachineParams.ncube7().with_record_bytes(2)
+
+
+class TestRecordSensitivity:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return record_size_sensitivity(
+            5, [3, 5, 16, 24], 24 * 400, record_sizes=(4, 32, 256), seed=2
+        )
+
+    def test_times_grow_with_record_size(self, rows):
+        assert rows[0].proposed_time < rows[1].proposed_time < rows[2].proposed_time
+        assert rows[0].baseline_time < rows[1].baseline_time < rows[2].baseline_time
+
+    def test_speedup_erodes_with_record_size(self, rows):
+        # The proposed scheme is multi-hop-heavier: big records favor the
+        # single-hop baseline.
+        assert rows[0].speedup > rows[-1].speedup
+
+    def test_small_records_favor_proposed(self):
+        rows = record_size_sensitivity(
+            5, [3, 5, 16, 24], 24 * 4000, record_sizes=(4,), seed=3
+        )
+        assert rows[0].speedup > 1.0
+
+    def test_speedup_property(self, rows):
+        for r in rows:
+            assert r.speedup == pytest.approx(r.baseline_time / r.proposed_time)

@@ -1,0 +1,50 @@
+"""Tests for repro.analysis.reliability — expected-capacity comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reliability import expected_capacity
+from repro.baselines.spares import SpareScheme
+
+
+class TestExpectedCapacity:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return expected_capacity(5, 0.02, placements_per_r=120, rng=1)
+
+    def test_capacities_in_unit_interval(self, curve):
+        for v in (curve.proposed, curve.max_subcube, curve.spares):
+            assert 0.0 <= v <= 1.0
+
+    def test_proposed_beats_subcube(self, curve):
+        # The paper's utilization thesis, in expectation.
+        assert curve.proposed > curve.max_subcube
+
+    def test_no_failures_full_capacity(self):
+        c = expected_capacity(4, 0.0, placements_per_r=10, rng=0)
+        assert c.proposed == c.max_subcube == c.spares == pytest.approx(1.0)
+
+    def test_capacity_decreases_with_p(self):
+        lo = expected_capacity(5, 0.01, placements_per_r=80, rng=2)
+        hi = expected_capacity(5, 0.08, placements_per_r=80, rng=2)
+        assert hi.proposed < lo.proposed
+        assert hi.max_subcube < lo.max_subcube
+        assert hi.spares < lo.spares
+
+    def test_spares_overhead_reported(self, curve):
+        assert curve.spare_overhead > 0
+
+    def test_custom_spare_scheme(self):
+        rich = SpareScheme(5, module_dim=3, spares_per_module=2)
+        poor = SpareScheme(5, module_dim=3, spares_per_module=1)
+        c_rich = expected_capacity(5, 0.05, spare_scheme=rich, placements_per_r=60, rng=3)
+        c_poor = expected_capacity(5, 0.05, spare_scheme=poor, placements_per_r=60, rng=3)
+        assert c_rich.spares > c_poor.spares
+        assert c_rich.spare_overhead > c_poor.spare_overhead
+
+    def test_bad_p_rejected(self):
+        with pytest.raises(ValueError):
+            expected_capacity(4, 1.0)
+        with pytest.raises(ValueError):
+            expected_capacity(4, -0.1)

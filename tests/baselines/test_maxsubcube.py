@@ -1,0 +1,120 @@
+"""Tests for repro.baselines.maxsubcube — Özgüner's reconfiguration method."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.maxsubcube import (
+    all_max_fault_free_subcubes,
+    max_fault_free_dim,
+    max_fault_free_subcube,
+)
+from repro.cube.subcube import enumerate_subcubes
+from repro.faults.inject import random_faulty_processors
+from repro.faults.model import FaultSet
+
+
+def brute_force_max_dim(n: int, faults) -> int:
+    fault_set = set(faults)
+    for k in range(n, -1, -1):
+        for sub in enumerate_subcubes(n, k):
+            if not any(sub.contains(f) for f in fault_set):
+                return k
+    raise AssertionError("no fault-free subcube at all")
+
+
+class TestMaxDim:
+    def test_no_faults(self):
+        assert max_fault_free_dim(4, []) == 4
+
+    def test_single_fault_gives_n_minus_1(self):
+        for f in range(8):
+            assert max_fault_free_dim(3, [f]) == 2
+
+    def test_paper_example1_gives_q3(self):
+        # Section 4: faults {3, 5, 16, 24} in Q_5 leave at most a Q_3.
+        assert max_fault_free_dim(5, [3, 5, 16, 24]) == 3
+
+    def test_antipodal_pair(self):
+        # Faults 0 and 2^n - 1: every (n-1)-subcube fixes one dimension,
+        # and the two faults cover both values of it, so no Q_{n-1}
+        # survives; fixing two dimensions leaves values 01/10 free -> Q_{n-2}.
+        assert max_fault_free_dim(4, [0, 15]) == 2
+
+    def test_adjacent_pair_leaves_q_n_minus_1(self):
+        # Faults 0 and 1 agree on every dimension but 0; fixing any other
+        # dimension to 1 excludes both.
+        assert max_fault_free_dim(4, [0, 1]) == 3
+
+    def test_matches_brute_force(self, rng):
+        for _ in range(40):
+            n = int(rng.integers(2, 6))
+            r = int(rng.integers(0, min(6, 1 << n)))
+            faults = random_faulty_processors(n, r, rng)
+            assert max_fault_free_dim(n, faults) == brute_force_max_dim(n, faults)
+
+    def test_all_faulty_rejected(self):
+        with pytest.raises(ValueError):
+            max_fault_free_dim(2, [0, 1, 2, 3])
+
+    def test_accepts_fault_set(self):
+        assert max_fault_free_dim(4, FaultSet(4, [3])) == 3
+
+    def test_lower_bound_log(self):
+        # With r faults, dimension >= n - ceil(log2(r+1)).
+        import math
+
+        rng_local = __import__("numpy").random.default_rng(5)
+        for _ in range(30):
+            n = int(rng_local.integers(3, 7))
+            r = int(rng_local.integers(1, n))
+            faults = random_faulty_processors(n, r, rng_local)
+            dim = max_fault_free_dim(n, faults)
+            assert dim >= n - math.ceil(math.log2(r + 1))
+
+
+class TestMaxSubcube:
+    def test_returned_subcube_is_fault_free_and_maximal(self, rng):
+        for _ in range(30):
+            n = int(rng.integers(2, 6))
+            r = int(rng.integers(1, min(5, 1 << n)))
+            faults = random_faulty_processors(n, r, rng)
+            sub = max_fault_free_subcube(n, faults)
+            assert not any(sub.contains(f) for f in faults)
+            assert sub.dim == max_fault_free_dim(n, faults)
+
+    def test_no_faults_whole_cube(self):
+        sub = max_fault_free_subcube(3, [])
+        assert sub.dim == 3
+
+    def test_deterministic(self):
+        a = max_fault_free_subcube(5, [3, 5, 16, 24])
+        b = max_fault_free_subcube(5, [3, 5, 16, 24])
+        assert a == b
+
+
+class TestAllMaxSubcubes:
+    def test_all_are_fault_free_and_maximal(self, rng):
+        faults = random_faulty_processors(5, 3, rng)
+        subs = all_max_fault_free_subcubes(5, faults)
+        best = max_fault_free_dim(5, faults)
+        assert subs
+        for sub in subs:
+            assert sub.dim == best
+            assert not any(sub.contains(f) for f in faults)
+
+    def test_exhaustive_against_enumeration(self, rng):
+        for _ in range(10):
+            faults = random_faulty_processors(4, 2, rng)
+            best = max_fault_free_dim(4, faults)
+            expected = {
+                (s.fixed_mask, s.fixed_value)
+                for s in enumerate_subcubes(4, best)
+                if not any(s.contains(f) for f in faults)
+            }
+            got = {(s.fixed_mask, s.fixed_value) for s in all_max_fault_free_subcubes(4, faults)}
+            assert got == expected
+
+    def test_no_faults(self):
+        subs = all_max_fault_free_subcubes(3, [])
+        assert len(subs) == 1 and subs[0].dim == 3

@@ -1,0 +1,103 @@
+"""Tests for repro.baselines.spares — modular hardware spare allocation."""
+
+from __future__ import annotations
+
+from math import comb
+
+import numpy as np
+import pytest
+
+from repro.baselines.spares import SpareScheme
+from repro.faults.model import FaultSet
+
+
+class TestScheme:
+    def test_structure(self):
+        s = SpareScheme(6, module_dim=4, spares_per_module=1)
+        assert s.num_modules == 4
+        assert s.module_size == 16
+        assert s.total_spares == 4
+        assert s.hardware_overhead == pytest.approx(4 / 64)
+
+    def test_module_of(self):
+        s = SpareScheme(4, module_dim=2, spares_per_module=1)
+        assert s.module_of(0) == 0
+        assert s.module_of(3) == 0
+        assert s.module_of(4) == 1
+        assert s.module_of(15) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpareScheme(4, module_dim=5, spares_per_module=1)
+        with pytest.raises(ValueError):
+            SpareScheme(4, module_dim=2, spares_per_module=-1)
+        with pytest.raises(ValueError):
+            SpareScheme(3, 1, 1).module_of(8)
+
+
+class TestRepair:
+    def test_spread_faults_repairable(self):
+        s = SpareScheme(4, module_dim=2, spares_per_module=1)
+        res = s.repair([0, 5, 10, 15])  # one per module
+        assert res.success
+        assert set(res.replaced) == {0, 5, 10, 15}
+        assert res.overloaded_modules == ()
+
+    def test_clustered_faults_overload(self):
+        s = SpareScheme(4, module_dim=2, spares_per_module=1)
+        res = s.repair([0, 1])  # both in module 0
+        assert not res.success
+        assert res.overloaded_modules == (0,)
+        assert res.replaced == {}
+
+    def test_two_spares_absorb_pairs(self):
+        s = SpareScheme(4, module_dim=2, spares_per_module=2)
+        assert s.repair([0, 1]).success
+
+    def test_accepts_fault_set(self):
+        s = SpareScheme(4, module_dim=2, spares_per_module=1)
+        assert s.repair(FaultSet(4, [2, 7])).success
+
+
+class TestCoverage:
+    def test_zero_faults(self):
+        assert SpareScheme(4, 2, 1).coverage(0) == 1.0
+
+    def test_one_fault_always_covered(self):
+        assert SpareScheme(5, 3, 1).coverage(1) == 1.0
+
+    def test_more_faults_than_spares_zero(self):
+        s = SpareScheme(4, module_dim=2, spares_per_module=1)
+        assert s.coverage(5) == 0.0  # only 4 spares exist
+
+    def test_exact_small_case(self):
+        # Q_2 (4 processors) in 2 modules of 2, one spare each: 2 faults
+        # repairable iff they land in different modules: C(2,1)*C(2,1)=4
+        # of C(4,2)=6 placements.
+        s = SpareScheme(2, module_dim=1, spares_per_module=1)
+        assert s.coverage(2) == pytest.approx(4 / 6)
+
+    def test_matches_monte_carlo(self, rng):
+        s = SpareScheme(5, module_dim=3, spares_per_module=1)
+        r = 3
+        trials = 4000
+        hits = 0
+        for _ in range(trials):
+            faults = rng.choice(32, size=r, replace=False)
+            hits += s.repair([int(f) for f in faults]).success
+        mc = hits / trials
+        assert abs(mc - s.coverage(r)) < 0.04
+
+    def test_coverage_monotone_decreasing_in_r(self):
+        s = SpareScheme(6, module_dim=4, spares_per_module=1)
+        covs = [s.coverage(r) for r in range(0, 6)]
+        assert all(a >= b for a, b in zip(covs, covs[1:]))
+
+    def test_more_spares_more_coverage(self):
+        lo = SpareScheme(5, module_dim=3, spares_per_module=1)
+        hi = SpareScheme(5, module_dim=3, spares_per_module=2)
+        assert hi.coverage(3) > lo.coverage(3)
+
+    def test_bad_r_rejected(self):
+        with pytest.raises(ValueError):
+            SpareScheme(3, 1, 1).coverage(-1)

@@ -1,0 +1,193 @@
+"""Tests for repro.comm.collectives — binomial-tree collectives."""
+
+from __future__ import annotations
+
+import operator
+
+import pytest
+
+from repro.comm.collectives import allreduce, barrier, broadcast, gather, reduce, scatter
+from repro.faults.model import FaultKind, FaultSet
+from repro.simulator.params import MachineParams
+from repro.simulator.spmd import Proc, SpmdMachine
+
+
+def machine(n, faults=None, t_element=1.0, t_startup=0.0):
+    return SpmdMachine(
+        n,
+        faults=faults,
+        params=MachineParams(t_compare=1.0, t_element=t_element, t_startup=t_startup),
+    )
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_all_ranks_receive(self, n, root):
+        if root >= (1 << n):
+            pytest.skip("root outside cube")
+        received = {}
+
+        def program(proc: Proc):
+            value = yield from broadcast(
+                proc, n, root=root, payload="data" if proc.rank == root else None, size=8
+            )
+            received[proc.rank] = value
+
+        machine(n).run(program)
+        assert received == {rank: "data" for rank in range(1 << n)}
+
+    def test_latency_is_n_hops(self):
+        # Binomial broadcast completes in n sequential transfers.
+        n = 4
+        m = machine(n, t_element=1.0)
+
+        def program(proc: Proc):
+            yield from broadcast(proc, n, root=0, payload=0, size=10)
+
+        finish = m.run(program)
+        assert finish == n * 10.0
+
+
+class TestGather:
+    def test_root_collects_everything(self):
+        n = 3
+        result = {}
+
+        def program(proc: Proc):
+            out = yield from gather(proc, n, root=0, value=proc.rank * 2)
+            if out is not None:
+                result.update(out)
+
+        machine(n).run(program)
+        assert result == {rank: rank * 2 for rank in range(8)}
+
+    def test_nonzero_root(self):
+        n = 2
+        result = {}
+
+        def program(proc: Proc):
+            out = yield from gather(proc, n, root=3, value=proc.rank)
+            if out is not None:
+                result.update(out)
+
+        machine(n).run(program)
+        assert result == {0: 0, 1: 1, 2: 2, 3: 3}
+
+
+class TestScatter:
+    def test_each_rank_gets_its_chunk(self):
+        n = 3
+        got = {}
+
+        def program(proc: Proc):
+            chunks = {rank: rank * 10 for rank in range(8)} if proc.rank == 0 else None
+            mine = yield from scatter(proc, n, root=0, chunks=chunks)
+            got[proc.rank] = mine
+
+        machine(n).run(program)
+        assert got == {rank: rank * 10 for rank in range(8)}
+
+    def test_missing_chunks_are_none(self):
+        n = 2
+        got = {}
+
+        def program(proc: Proc):
+            chunks = {1: "only"} if proc.rank == 0 else None
+            got[proc.rank] = yield from scatter(proc, n, root=0, chunks=chunks)
+
+        machine(n).run(program)
+        assert got == {0: None, 1: "only", 2: None, 3: None}
+
+    def test_scatter_from_nonzero_root(self):
+        n = 2
+        got = {}
+
+        def program(proc: Proc):
+            chunks = {rank: rank + 100 for rank in range(4)} if proc.rank == 2 else None
+            got[proc.rank] = yield from scatter(proc, n, root=2, chunks=chunks)
+
+        machine(n).run(program)
+        assert got == {rank: rank + 100 for rank in range(4)}
+
+
+class TestReduce:
+    def test_sum_at_root(self):
+        n = 3
+        result = {}
+
+        def program(proc: Proc):
+            out = yield from reduce(proc, n, root=0, value=proc.rank, op=operator.add)
+            if out is not None:
+                result["sum"] = out
+
+        machine(n).run(program)
+        assert result["sum"] == sum(range(8))
+
+    def test_max_reduce(self):
+        n = 2
+        result = {}
+
+        def program(proc: Proc):
+            out = yield from reduce(proc, n, root=0, value=proc.rank * 7 % 5, op=max)
+            if out is not None:
+                result["max"] = out
+
+        machine(n).run(program)
+        assert result["max"] == max(r * 7 % 5 for r in range(4))
+
+    def test_allreduce_everywhere(self):
+        n = 3
+        got = {}
+
+        def program(proc: Proc):
+            got[proc.rank] = yield from allreduce(proc, n, value=1, op=operator.add)
+
+        machine(n).run(program)
+        assert all(v == 8 for v in got.values())
+        assert len(got) == 8
+
+
+class TestBarrier:
+    def test_barrier_synchronizes_clocks(self):
+        n = 2
+        m = machine(n, t_element=1.0)
+
+        def program(proc: Proc):
+            yield proc.compute(proc.rank * 100)  # rank 3 is slowest
+            yield from barrier(proc, n)
+            # after the barrier everyone is at least at rank 3's time
+            assert proc.clock >= 300.0
+
+        m.run(program)
+
+    def test_barrier_completes(self):
+        n = 3
+        done = []
+
+        def program(proc: Proc):
+            yield from barrier(proc, n)
+            done.append(proc.rank)
+
+        machine(n).run(program)
+        assert sorted(done) == list(range(8))
+
+
+class TestCollectivesWithFaults:
+    def test_broadcast_rooted_away_from_partial_fault(self):
+        # A partial fault forwards traffic; collectives over the remaining
+        # programs still work when the faulty rank is excluded.
+        n = 3
+        fs = FaultSet(n, [5], kind=FaultKind.PARTIAL)
+        received = {}
+
+        def program(proc: Proc):
+            # A reduced cube: only fault-free ranks participate; we use a
+            # 2-dim subtree rooted at 0 covering ranks 0..3.
+            value = yield from broadcast(proc, 2, root=0, payload="v", size=1)
+            received[proc.rank] = value
+
+        SpmdMachine(n, faults=fs, params=MachineParams.unit()).run(
+            {rank: program for rank in range(4)}
+        )
+        assert received == {0: "v", 1: "v", 2: "v", 3: "v"}

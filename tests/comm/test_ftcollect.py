@@ -1,0 +1,121 @@
+"""Tests for repro.comm.ftcollect — fault-tolerant tree collectives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.ftcollect import fault_free_bfs_tree, tree_gather, tree_scatter
+from repro.faults.inject import random_faulty_processors
+from repro.faults.model import FaultKind, FaultSet
+from repro.simulator.params import MachineParams
+from repro.simulator.spmd import Proc, SpmdMachine
+
+
+def machine(n, faults=None):
+    return SpmdMachine(n, faults=faults, params=MachineParams.unit())
+
+
+class TestSpanningTree:
+    def test_fault_free_spans_cube(self):
+        tree = fault_free_bfs_tree(FaultSet(3), root=0)
+        assert tree.members() == frozenset(range(8))
+        assert tree.root == 0
+        assert 0 not in tree.parent
+
+    def test_tree_edges_are_neighbors(self):
+        tree = fault_free_bfs_tree(FaultSet(4, [3, 9]), root=0)
+        for child, par in tree.parent.items():
+            assert ((child ^ par) & ((child ^ par) - 1)) == 0
+
+    def test_excludes_faulty(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(3, 6))
+            r = int(rng.integers(1, n))
+            fs = FaultSet(n, random_faulty_processors(n, r, rng), kind=FaultKind.TOTAL)
+            root = fs.fault_free_processors()[0]
+            tree = fault_free_bfs_tree(fs, root)
+            assert tree.members() == frozenset(fs.fault_free_processors())
+
+    def test_partial_faults_not_relayed_through(self):
+        # Even under the partial model the tree avoids faulty *nodes* as
+        # members (they run no program); routing below may still pass them.
+        fs = FaultSet(3, [5], kind=FaultKind.PARTIAL)
+        tree = fault_free_bfs_tree(fs, root=0)
+        assert 5 not in tree.members()
+
+    def test_link_faults_avoided(self):
+        fs = FaultSet(2, links=[(0, 1)])
+        tree = fault_free_bfs_tree(fs, root=0)
+        # 1 must hang off 3 (or via 2-3), not off 0 directly
+        assert tree.parent[1] != 0
+
+    def test_faulty_root_rejected(self):
+        with pytest.raises(ValueError):
+            fault_free_bfs_tree(FaultSet(3, [2]), root=2)
+
+    def test_subtree_consistency(self):
+        tree = fault_free_bfs_tree(FaultSet(4, [7]), root=0)
+        for rank, ch in tree.children.items():
+            expected = frozenset({rank}).union(*(tree.subtree[c] for c in ch)) \
+                if ch else frozenset({rank})
+            assert tree.subtree[rank] == expected
+
+
+class TestTreeScatterGather:
+    def test_scatter_delivers_chunks(self, rng):
+        fs = FaultSet(3, [6], kind=FaultKind.TOTAL)
+        tree = fault_free_bfs_tree(fs, root=0)
+        got = {}
+
+        def program(proc: Proc):
+            chunks = {r: r * 10 for r in tree.members()} if proc.rank == 0 else None
+            got[proc.rank] = yield from tree_scatter(proc, tree, chunks)
+
+        machine(3, fs).run({rank: program for rank in tree.members()})
+        assert got == {r: r * 10 for r in tree.members()}
+
+    def test_gather_collects_everything(self, rng):
+        fs = FaultSet(3, [1, 2], kind=FaultKind.PARTIAL)
+        root = 0
+        tree = fault_free_bfs_tree(fs, root)
+        result = {}
+
+        def program(proc: Proc):
+            out = yield from tree_gather(proc, tree, value=proc.rank + 100)
+            if out is not None:
+                result.update(out)
+
+        machine(3, fs).run({rank: program for rank in tree.members()})
+        assert result == {r: r + 100 for r in tree.members()}
+
+    def test_scatter_then_gather_roundtrip(self, rng):
+        fs = FaultSet(4, random_faulty_processors(4, 3, rng), kind=FaultKind.TOTAL)
+        root = fs.fault_free_processors()[0]
+        tree = fault_free_bfs_tree(fs, root)
+        echoed = {}
+
+        def program(proc: Proc):
+            chunks = (
+                {r: f"payload-{r}" for r in tree.members()}
+                if proc.rank == root
+                else None
+            )
+            mine = yield from tree_scatter(proc, tree, chunks)
+            out = yield from tree_gather(proc, tree, value=mine)
+            if out is not None:
+                echoed.update(out)
+
+        machine(4, fs).run({rank: program for rank in tree.members()})
+        assert echoed == {r: f"payload-{r}" for r in tree.members()}
+
+    def test_missing_chunks_give_none(self):
+        tree = fault_free_bfs_tree(FaultSet(2), root=0)
+        got = {}
+
+        def program(proc: Proc):
+            chunks = {1: "only"} if proc.rank == 0 else None
+            got[proc.rank] = yield from tree_scatter(proc, tree, chunks)
+
+        machine(2).run({rank: program for rank in tree.members()})
+        assert got[1] == "only"
+        assert got[0] is None and got[2] is None and got[3] is None

@@ -1,0 +1,26 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulator.params import MachineParams
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; reseeded per test function."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def unit_params() -> MachineParams:
+    """Unit cost constants so durations equal raw operation counts."""
+    return MachineParams.unit()
+
+
+def assert_sorted_output(result, keys):
+    """Common oracle: result.sorted_keys equals numpy's sort of the input."""
+    expected = np.sort(np.asarray(keys, dtype=float), kind="stable")
+    np.testing.assert_array_equal(result.sorted_keys, expected)

@@ -1,0 +1,159 @@
+"""Edge-case and regression tests across the core algorithms.
+
+Each test here pins down a boundary the main suites cross only
+incidentally: extreme fault counts, degenerate key distributions, subcube
+dimension extremes, and the specific regressions found while building the
+implementation (documented inline).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ftsort import fault_tolerant_sort
+from repro.core.partition import find_min_cuts
+from repro.core.selection import select_cut_sequence
+from repro.core.single_fault import single_fault_bitonic_sort
+from repro.faults.model import FaultKind, FaultSet
+
+from tests.conftest import assert_sorted_output
+
+
+class TestExtremeFaultCounts:
+    def test_n_minus_1_faults_every_small_cube(self, rng):
+        for n in (3, 4, 5):
+            for _ in range(3):
+                faults = rng.choice(1 << n, size=n - 1, replace=False).tolist()
+                keys = rng.random(50)
+                res = fault_tolerant_sort(keys, n, [int(f) for f in faults])
+                assert_sorted_output(res, keys)
+
+    def test_half_machine_faulty_when_separable(self, rng):
+        # r = N/4 faults, one per Q_2 block: mincut = n-2 exactly, every
+        # subcube a Q_2 with one dead — the paper's worst-case structure.
+        n = 4
+        faults = [0, 4, 8, 12]  # one per dim-(2,3) block
+        res = find_min_cuts(n, faults)
+        assert res.mincut == 2
+        keys = rng.random(40)
+        out = fault_tolerant_sort(keys, n, faults)
+        assert_sorted_output(out, keys)
+        assert out.working_processors == 12
+
+    def test_s_equals_1_subcubes(self, rng):
+        # Beyond the paper's bound: faults forcing Q_1 subcubes (one
+        # worker each) still sort.
+        faults = [0, 3, 7]  # Q_3: mincut 2 -> s = 1, nobody isolated
+        res = find_min_cuts(3, faults)
+        assert res.mincut == 2
+        keys = rng.random(17)
+        out = fault_tolerant_sort(keys, 3, faults)
+        assert_sorted_output(out, keys)
+
+
+class TestDegenerateKeys:
+    def test_single_key_multi_fault(self):
+        res = fault_tolerant_sort([42.0], 5, [3, 5, 16, 24])
+        assert res.sorted_keys.tolist() == [42.0]
+
+    def test_fewer_keys_than_workers(self, rng):
+        keys = rng.random(5)
+        res = fault_tolerant_sort(keys, 5, [3, 5, 16, 24])  # 24 workers
+        assert_sorted_output(res, keys)
+
+    def test_all_identical_keys(self):
+        keys = np.full(100, 3.14)
+        res = fault_tolerant_sort(keys, 4, [1, 6])
+        assert (res.sorted_keys == 3.14).all()
+
+    def test_two_value_alternation(self):
+        keys = np.array([1.0, 0.0] * 50)
+        res = fault_tolerant_sort(keys, 4, [1, 6])
+        assert res.sorted_keys.tolist() == sorted(keys.tolist())
+
+    def test_denormal_floats(self):
+        keys = np.array([5e-324, 0.0, -5e-324, 1.0, -1.0] * 4)
+        res = fault_tolerant_sort(keys, 3, [2])
+        np.testing.assert_array_equal(res.sorted_keys, np.sort(keys))
+
+
+class TestSelectionCorners:
+    def test_all_faults_same_w(self):
+        # Faults share their local address under the cut: every h_i is 0
+        # and the dangling vote is unanimous.
+        faults = [0b000, 0b001]  # Q_3, D=(0,) -> both w = 00
+        sel = select_cut_sequence(find_min_cuts(3, faults))
+        assert sel.cost == 0
+        assert sel.dangling_w == 0
+
+    def test_unique_minimal_cut(self):
+        # Faults 0 and 1 differ only in bit 0: Psi = {(0,)} exactly.
+        res = find_min_cuts(4, [0, 1])
+        assert res.cutting_set == ((0,),)
+
+    def test_many_equal_cost_sequences_tie_break(self):
+        # Antipodal pair: every single dim separates, all costs equal;
+        # the first (lexicographically smallest) wins.
+        res = find_min_cuts(4, [0, 15])
+        sel = select_cut_sequence(res)
+        assert len(res.cutting_set) == 4
+        assert sel.cut_dims == (0,)
+
+
+class TestRegressions:
+    def test_dead_at_top_is_not_exact(self):
+        """Regression: an ascending network with the dead node at the TOP
+        logical position mis-sorts (the sentinel argument fails there);
+        the implementation must reject that configuration."""
+        from repro.simulator.params import MachineParams
+        from repro.simulator.phases import PhaseMachine
+        from repro.sorting.bitonic_cube import block_bitonic_sort
+
+        m = PhaseMachine(2, params=MachineParams.unit())
+        for addr, block in [(0, [1.0]), (1, [2.0]), (2, [3.0])]:
+            m.set_block(addr, np.array(block))
+        with pytest.raises(ValueError, match="logical address 0"):
+            block_bitonic_sort(m, [0, 1, 2, 3], dead_logical={3})
+
+    def test_merge_only_step8_was_wrong(self, rng):
+        """Regression: replacing Step 8 by a single target-direction merge
+        breaks sorting (the valley + wrong sentinel case).  The shipped
+        two-merge mode must not."""
+        keys = rng.integers(0, 100, size=60).astype(float)
+        res = fault_tolerant_sort(keys, 3, [0, 7])
+        assert_sorted_output(res, keys)
+
+    def test_probe_tie_keys_skip_correctly(self):
+        """Regression guard: boundary probe with equal boundary keys must
+        treat the pair as already split (<=, not <)."""
+        from repro.simulator.params import MachineParams
+        from repro.simulator.phases import PhaseMachine
+        from repro.sorting.bitonic_cube import exchange_pair
+
+        m = PhaseMachine(1, params=MachineParams.unit())
+        m.set_block(0, np.array([1.0, 2.0]))
+        m.set_block(1, np.array([2.0, 3.0]))
+        with m.phase("x") as rec:
+            exchange_pair(m, 0, 1, low_keeps_min=True)
+        assert rec.elements_sent == 2  # probe only
+        assert m.get_block(0).tolist() == [1.0, 2.0]
+
+    def test_figure6_padding_count(self, rng):
+        """Regression: 47 keys on 24 workers must pad with exactly one
+        dummy (the paper's Fig. 6 walkthrough)."""
+        keys = rng.random(47)
+        res = fault_tolerant_sort(keys, 5, [3, 5, 16, 24])
+        total_stored = sum(
+            res.machine.get_block(a).size for a in res.output_order
+        )
+        assert total_stored == 48
+
+    def test_total_fault_unreachable_pair_raises_not_hangs(self):
+        """Total faults that disconnect the cube must fail loudly."""
+        fs = FaultSet(2, [1, 2], kind=FaultKind.TOTAL)
+        from repro.simulator.phases import PhaseMachine
+
+        m = PhaseMachine(2, faults=fs)
+        with pytest.raises(ValueError, match="unreachable"):
+            m.hops(0, 3)

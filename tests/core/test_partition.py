@@ -1,0 +1,207 @@
+"""Tests for repro.core.partition — Section 2.2's partition algorithm."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.partition import (
+    CheckingTree,
+    find_min_cuts,
+    is_single_fault_partition,
+    max_dangling_bound,
+)
+from repro.cube.subcube import AddressSplit
+from repro.faults.inject import random_faulty_processors
+from repro.faults.model import FaultSet
+
+
+class TestFeasibility:
+    def test_empty_cut_single_fault(self):
+        assert is_single_fault_partition(4, (), [7])
+        assert is_single_fault_partition(4, (), [])
+        assert not is_single_fault_partition(4, (), [1, 2])
+
+    def test_separating_dimension(self):
+        # Faults 0 and 1 differ only in bit 0.
+        assert is_single_fault_partition(3, (0,), [0, 1])
+        assert not is_single_fault_partition(3, (1,), [0, 1])
+        assert not is_single_fault_partition(3, (2,), [0, 1])
+
+    def test_matches_direct_subcube_count(self):
+        # Cross-check against literally counting faults per subcube.
+        faults = [0, 6, 9, 15]
+        for dims in [(0, 1), (1, 3), (0, 2, 3)]:
+            split = AddressSplit(4, dims)
+            counts: dict[int, int] = {}
+            for f in faults:
+                counts[split.v_of(f)] = counts.get(split.v_of(f), 0) + 1
+            direct = all(c <= 1 for c in counts.values())
+            assert is_single_fault_partition(4, dims, faults) == direct
+
+    def test_duplicate_dims_rejected(self):
+        with pytest.raises(ValueError):
+            is_single_fault_partition(3, (1, 1), [0, 5])
+
+    def test_dim_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            is_single_fault_partition(3, (3,), [0])
+
+    def test_accepts_fault_set(self):
+        assert is_single_fault_partition(3, (0,), FaultSet(3, [0, 1]))
+
+
+class TestCheckingTree:
+    def test_paper_figure4(self):
+        # Q_4 with faults {0, 6, 9}, D = (1, 3): root splits along dim 1
+        # into {0, 9} / {6}, then along dim 3.
+        tree = CheckingTree(4, (1, 3), [0, 6, 9])
+        level1 = tree.levels[1]
+        assert sorted(level1[0]) == [0, 9]
+        assert sorted(level1[1]) == [6]
+        assert tree.is_single_fault()
+        leaves = tree.leaves()
+        assert leaves[0b00] == [0]
+        assert leaves[0b10] == [9]
+        assert leaves[0b01] == [6]
+        assert leaves[0b11] == []
+
+    def test_infeasible_detected(self):
+        tree = CheckingTree(4, (1,), [0, 6, 9])
+        assert not tree.is_single_fault()
+
+    def test_leaf_addresses_match_address_split(self):
+        faults = [3, 5, 16, 24]
+        dims = (0, 1, 3)
+        tree = CheckingTree(5, dims, faults)
+        split = AddressSplit(5, dims)
+        for v, flist in tree.leaves().items():
+            for f in flist:
+                assert split.v_of(f) == v
+
+    def test_agrees_with_fast_predicate(self, rng):
+        for _ in range(60):
+            n = int(rng.integers(3, 7))
+            r = int(rng.integers(0, n))
+            faults = random_faulty_processors(n, r, rng)
+            k = int(rng.integers(0, n + 1))
+            dims = tuple(sorted(rng.choice(n, size=k, replace=False).tolist()))
+            assert (
+                CheckingTree(n, dims, faults).is_single_fault()
+                == is_single_fault_partition(n, dims, faults)
+            )
+
+
+class TestFindMinCuts:
+    def test_paper_example1(self):
+        # Q_5, faults 00011, 00101, 10000, 11000: mincut 3 and the exact
+        # cutting set of the paper.
+        res = find_min_cuts(5, [0b00011, 0b00101, 0b10000, 0b11000])
+        assert res.mincut == 3
+        assert set(res.cutting_set) == {
+            (0, 1, 3),
+            (0, 2, 3),
+            (1, 2, 3),
+            (1, 3, 4),
+            (2, 3, 4),
+        }
+
+    def test_zero_and_one_fault_trivial(self):
+        assert find_min_cuts(4, []).mincut == 0
+        res = find_min_cuts(4, [9])
+        assert res.mincut == 0 and res.cutting_set == ((),)
+
+    def test_two_faults_mincut_one(self, rng):
+        # Any two distinct faults are separated by one of their differing
+        # bits; mincut is always 1.
+        for _ in range(30):
+            faults = random_faulty_processors(5, 2, rng)
+            res = find_min_cuts(5, faults)
+            assert res.mincut == 1
+            diff = faults[0] ^ faults[1]
+            assert all(diff >> d & 1 for (d,) in res.cutting_set)
+
+    def test_every_cutting_sequence_is_feasible_and_minimal(self, rng):
+        for _ in range(30):
+            n = int(rng.integers(3, 7))
+            r = int(rng.integers(2, n))
+            faults = random_faulty_processors(n, r, rng)
+            res = find_min_cuts(n, faults)
+            for dims in res.cutting_set:
+                assert len(dims) == res.mincut
+                assert is_single_fault_partition(n, dims, faults)
+                # minimality: no proper subset is feasible
+                for drop in range(len(dims)):
+                    sub = dims[:drop] + dims[drop + 1 :]
+                    assert not is_single_fault_partition(n, sub, faults) or not sub
+
+    def test_cutting_set_is_complete(self, rng):
+        # Brute-force all subsets of the minimal size and compare.
+        from itertools import combinations
+
+        for _ in range(20):
+            n = int(rng.integers(3, 6))
+            r = int(rng.integers(2, n))
+            faults = random_faulty_processors(n, r, rng)
+            res = find_min_cuts(n, faults)
+            brute = {
+                dims
+                for dims in combinations(range(n), res.mincut)
+                if is_single_fault_partition(n, dims, faults)
+            }
+            assert set(res.cutting_set) == brute
+
+    def test_mincut_bound_r_minus_1(self, rng):
+        # Paper: r <= n-1 faults partition with at most r-1 <= n-2 cuts.
+        for _ in range(60):
+            n = int(rng.integers(3, 8))
+            r = int(rng.integers(2, n))
+            faults = random_faulty_processors(n, r, rng)
+            res = find_min_cuts(n, faults)
+            assert res.mincut <= r - 1 <= n - 2
+
+    def test_dangling_count_and_bound(self, rng):
+        for _ in range(40):
+            n = int(rng.integers(3, 7))
+            r = int(rng.integers(2, n))
+            faults = random_faulty_processors(n, r, rng)
+            res = find_min_cuts(n, faults)
+            assert res.dangling_count == res.num_subcubes - r
+            assert res.dangling_count <= max_dangling_bound(n)
+
+    def test_working_processors(self):
+        res = find_min_cuts(6, [0, 1, 2])  # mincut 2 here (0,1 and 2 split)
+        assert res.working_processors == 64 - res.num_subcubes
+
+    def test_adjacent_fault_chain_worst_case(self):
+        # n-1 faults packed in one subcube force larger cuts but never
+        # beyond n-2 (paper's worst case).
+        n = 5
+        faults = [0b00000, 0b00001, 0b00010, 0b00100]
+        res = find_min_cuts(n, faults)
+        assert res.mincut <= n - 2
+
+    def test_max_depth_too_small_raises(self):
+        with pytest.raises(ValueError):
+            find_min_cuts(4, [0, 1, 2, 3], max_depth=1)
+
+    def test_duplicate_fault_addresses_deduped(self):
+        res = find_min_cuts(4, [3, 3, 3])
+        assert res.mincut == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_partition_property(self, data):
+        n = data.draw(st.integers(3, 7))
+        r = data.draw(st.integers(2, n - 1))
+        faults = data.draw(
+            st.lists(st.integers(0, (1 << n) - 1), min_size=r, max_size=r, unique=True)
+        )
+        res = find_min_cuts(n, faults)
+        # every returned cut yields <= 1 fault per subcube
+        for dims in res.cutting_set:
+            split = AddressSplit(n, dims)
+            per_v: dict[int, int] = {}
+            for f in faults:
+                per_v[split.v_of(f)] = per_v.get(split.v_of(f), 0) + 1
+            assert max(per_v.values()) <= 1

@@ -1,0 +1,96 @@
+"""Tests for repro.core.partition_fast — vectorized batch mincut."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.partition import find_min_cuts
+from repro.core.partition_fast import mincut_batch, mincut_distribution_fast
+from repro.faults.inject import random_faulty_processors
+
+
+class TestMincutBatch:
+    def test_matches_dfs_exhaustively_small(self):
+        # every 2-fault placement on Q_3
+        rows = [
+            (a, b) for a in range(8) for b in range(8) if a < b
+        ]
+        batch = mincut_batch(3, np.array(rows))
+        for row, got in zip(rows, batch):
+            assert got == find_min_cuts(3, list(row)).mincut
+
+    def test_matches_dfs_random(self, rng):
+        for n in (4, 5, 6):
+            for r in (2, 3, n - 1):
+                rows = [random_faulty_processors(n, r, rng) for _ in range(50)]
+                batch = mincut_batch(n, np.array(rows))
+                for row, got in zip(rows, batch):
+                    assert got == find_min_cuts(n, list(row)).mincut, (n, row)
+
+    def test_r_le_1_zero(self):
+        assert mincut_batch(4, np.array([[3]])).tolist() == [0]
+        assert mincut_batch(4, np.zeros((5, 0), dtype=int)).tolist() == [0] * 5
+
+    def test_empty_trials(self):
+        assert mincut_batch(4, np.zeros((0, 3), dtype=int)).size == 0
+
+    def test_duplicate_faults_rejected(self):
+        with pytest.raises(ValueError):
+            mincut_batch(3, np.array([[1, 1]]))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            mincut_batch(3, np.array([[1, 8]]))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            mincut_batch(3, np.array([1, 2]))
+
+    def test_paper_example1_row(self):
+        batch = mincut_batch(5, np.array([[3, 5, 16, 24]]))
+        assert batch.tolist() == [3]
+
+
+class TestDistributionFast:
+    def test_matches_slow_distribution(self):
+        from repro.experiments.table1 import compute_table1
+
+        fast = mincut_distribution_fast(6, 5, trials=4000, rng=77)
+        slow = compute_table1(ns=(6,), trials=4000, seed=77)
+        cell = next(c for c in slow if c.r == 5)
+        # Different sampling streams: agreement within Monte-Carlo noise.
+        for m, pct in fast.items():
+            assert abs(cell.percent(m) - pct) < 3.0, (m, pct, cell.percent(m))
+
+    def test_r0(self):
+        assert mincut_distribution_fast(4, 0, trials=10) == {0: 100.0}
+
+    def test_placements_are_distinct_samples(self):
+        # sampling-without-replacement sanity: no crash over many draws
+        out = mincut_distribution_fast(3, 2, trials=2000, rng=1)
+        assert out == {1: 100.0}
+
+    def test_percentages_sum(self):
+        out = mincut_distribution_fast(6, 5, trials=1000, rng=3)
+        assert sum(out.values()) == pytest.approx(100.0)
+
+    def test_structural_exactness_n5_r4(self):
+        out = mincut_distribution_fast(5, 4, trials=3000, rng=5)
+        assert set(out) == {2, 3}
+
+
+class TestSpeed:
+    def test_batch_is_much_faster_than_dfs(self, rng):
+        import time
+
+        rows = np.array([random_faulty_processors(6, 5, rng) for _ in range(2000)])
+        t0 = time.perf_counter()
+        mincut_batch(6, rows)
+        fast = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for row in rows[:200]:
+            find_min_cuts(6, list(row))
+        slow_per = (time.perf_counter() - t0) / 200
+        # conservative: vectorized must beat 2000x the per-DFS time by 5x+
+        assert fast < 2000 * slow_per / 5

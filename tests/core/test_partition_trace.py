@@ -1,0 +1,73 @@
+"""Tests for repro.core.partition_trace — the Figure-2 DFS trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.partition import find_min_cuts
+from repro.core.partition_trace import render_cutting_tree, trace_cutting_tree
+from repro.faults.inject import random_faulty_processors
+
+PAPER_FAULTS = [3, 5, 16, 24]
+
+
+class TestTrace:
+    def test_trace_agrees_with_find_min_cuts(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(3, 7))
+            r = int(rng.integers(2, n))
+            faults = random_faulty_processors(n, r, rng)
+            visits = trace_cutting_tree(n, faults)
+            feasible = [v.dims for v in visits if v.verdict == "feasible"]
+            ref = find_min_cuts(n, faults)
+            m = min(len(d) for d in feasible)
+            assert m == ref.mincut
+            assert {d for d in feasible if len(d) == m} == set(ref.cutting_set)
+
+    def test_paper_example1_trace(self):
+        visits = trace_cutting_tree(5, PAPER_FAULTS)
+        feasible = {v.dims for v in visits if v.verdict == "feasible"}
+        minimal = {d for d in feasible if len(d) == 3}
+        assert minimal == {(0, 1, 3), (0, 2, 3), (1, 2, 3), (1, 3, 4), (2, 3, 4)}
+
+    def test_node_budget_respects_paper_bound(self, rng):
+        # The tree has at most 2^n - 1 nodes; pruning visits far fewer.
+        for _ in range(10):
+            n = int(rng.integers(3, 7))
+            faults = random_faulty_processors(n, n - 1, rng)
+            visits = trace_cutting_tree(n, faults)
+            assert 0 < len(visits) <= (1 << n) - 1
+
+    def test_no_descent_below_feasible(self):
+        # A feasible node is a leaf: no visit extends a feasible prefix.
+        visits = trace_cutting_tree(5, PAPER_FAULTS)
+        feasible = [v.dims for v in visits if v.verdict == "feasible"]
+        for v in visits:
+            for f in feasible:
+                assert not (len(v.dims) > len(f) and v.dims[: len(f)] == f)
+
+    def test_cutoffs_only_at_or_past_mincut(self):
+        visits = trace_cutting_tree(5, PAPER_FAULTS)
+        for v in visits:
+            if v.verdict == "cutoff":
+                assert len(v.dims) >= v.mincut_at_visit
+
+    def test_single_fault_empty_trace(self):
+        assert trace_cutting_tree(4, [7]) == []
+
+
+class TestRender:
+    def test_render_paper_example(self):
+        out = render_cutting_tree(5, PAPER_FAULTS)
+        assert "mincut = 3" in out
+        assert "[0, 1, 3]" in out
+        assert "feasible" in out
+
+    def test_render_trivial(self):
+        out = render_cutting_tree(4, [2])
+        assert "no partition needed" in out
+
+    def test_render_shows_cutoffs(self):
+        # Densely packed faults force cutoffs once mincut is known.
+        out = render_cutting_tree(5, [0, 1, 2, 4])
+        assert "cutoff" in out

@@ -1,0 +1,74 @@
+"""Tests for repro.core.recovery — mid-run fault arrival (extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.recovery import sort_with_midrun_fault
+from repro.faults.inject import random_faulty_processors
+
+from tests.conftest import assert_sorted_output
+
+
+class TestMidrunRecovery:
+    def test_result_correct(self, rng):
+        keys = rng.integers(0, 1000, size=300).astype(float)
+        report = sort_with_midrun_fault(keys, 5, [3, 5], victim=10, strike_phase=4)
+        assert_sorted_output(report, keys)
+
+    def test_report_anatomy(self, rng):
+        keys = rng.integers(0, 1000, size=300).astype(float)
+        report = sort_with_midrun_fault(keys, 5, [3, 5], victim=10, strike_phase=4)
+        assert report.wasted_time > 0
+        assert report.rescue_time > 0
+        assert report.redistribution_time > 0
+        assert report.total_time == pytest.approx(
+            report.wasted_time
+            + report.rescue_time
+            + report.redistribution_time
+            + report.resort.elapsed
+        )
+        assert report.overhead_vs_oracle > 1.0
+
+    def test_late_strike_costs_more(self, rng):
+        keys = rng.integers(0, 1000, size=400).astype(float)
+        early = sort_with_midrun_fault(keys, 5, [3], victim=9, strike_phase=0)
+        late = sort_with_midrun_fault(keys, 5, [3], victim=9, strike_phase=10)
+        assert late.wasted_time > early.wasted_time
+        assert late.total_time > early.total_time
+
+    def test_victim_from_fault_free_start(self, rng):
+        # The sort was running fault-free; the first fault ever strikes.
+        keys = rng.integers(0, 500, size=128).astype(float)
+        report = sort_with_midrun_fault(keys, 4, [], victim=7, strike_phase=2)
+        assert_sorted_output(report, keys)
+        assert report.resort.partition is not None
+
+    def test_already_faulty_victim_rejected(self):
+        with pytest.raises(ValueError):
+            sort_with_midrun_fault([1.0], 4, [7], victim=7, strike_phase=0)
+
+    def test_model_violation_rejected(self):
+        # Q_2 can only survive one fault.
+        with pytest.raises(ValueError):
+            sort_with_midrun_fault([1.0], 2, [1], victim=2, strike_phase=0)
+
+    def test_bad_strike_phase_rejected(self, rng):
+        keys = rng.random(40)
+        with pytest.raises(ValueError):
+            sort_with_midrun_fault(keys, 4, [], victim=3, strike_phase=10_000)
+
+    def test_random_sweep(self, rng):
+        for _ in range(6):
+            n = int(rng.integers(4, 6))
+            r = int(rng.integers(0, n - 2))
+            faults = list(random_faulty_processors(n, r, rng))
+            normal = [p for p in range(1 << n) if p not in faults]
+            victim = int(rng.choice(normal[1:]))
+            keys = rng.integers(0, 500, size=int(rng.integers(10, 200))).astype(float)
+            report = sort_with_midrun_fault(
+                keys, n, faults, victim=victim, strike_phase=int(rng.integers(0, 3))
+            )
+            assert_sorted_output(report, keys)
+            assert report.resort.working_processors < (1 << n) - r + 1

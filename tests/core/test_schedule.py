@@ -1,0 +1,124 @@
+"""Tests for repro.core.schedule — static oblivious sort schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ftsort import plan_partition
+from repro.core.schedule import (
+    CxPair,
+    SortSchedule,
+    Substage,
+    build_ft_schedule,
+    build_plain_schedule,
+)
+from repro.faults.inject import random_faulty_processors
+
+PAPER_FAULTS = [3, 5, 16, 24]
+
+
+class TestSubstage:
+    def test_disjoint_pairs_enforced(self):
+        with pytest.raises(ValueError):
+            Substage("x", "cx", (CxPair(0, 1, True), CxPair(1, 2, True)))
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ValueError):
+            Substage("x", "cx", (CxPair(3, 3, True),))
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Substage("x", "teleport", ())
+
+    def test_participants(self):
+        s = Substage("x", "cx", (CxPair(0, 1, True), CxPair(4, 6, False)))
+        assert s.participants() == {0, 1, 4, 6}
+
+
+class TestPlainSchedule:
+    def test_fault_free_structure(self):
+        sch = build_plain_schedule(3)
+        assert sch.workers == 8
+        assert len(sch.substages) == 6  # 3*(3+1)/2
+        assert sch.output_order == tuple(range(8))
+
+    def test_comparator_count(self):
+        # Each substage pairs all 2^n nodes: 2^(n-1) comparators.
+        sch = build_plain_schedule(4)
+        assert sch.comparator_count() == 10 * 8
+
+    def test_single_fault_excludes_dead(self):
+        sch = build_plain_schedule(3, faulty=5)
+        assert 5 not in sch.output_order
+        assert sch.workers == 7
+        for s in sch.substages:
+            assert 5 not in s.participants()
+
+    def test_single_fault_reindexing(self):
+        sch = build_plain_schedule(2, faulty=2)
+        # logical order: l XOR 2 for l in 1..3
+        assert sch.output_order == (3, 0, 1)
+
+    def test_q0(self):
+        sch = build_plain_schedule(0)
+        assert sch.workers == 1 and sch.substages == ()
+
+    def test_q0_with_fault_rejected(self):
+        with pytest.raises(ValueError):
+            build_plain_schedule(0, faulty=0)
+
+
+class TestFtSchedule:
+    def test_paper_scenario_structure(self):
+        _, sel = plan_partition(5, PAPER_FAULTS)
+        sch = build_ft_schedule(sel)
+        assert sch.workers == 24
+        # dead processors appear nowhere
+        dead = set(sel.dead_of_subcube)
+        for s in sch.substages:
+            assert not dead & s.participants()
+
+    def test_output_order_subcube_major(self):
+        _, sel = plan_partition(5, PAPER_FAULTS)
+        sch = build_ft_schedule(sel)
+        split = sel.split
+        vs = [split.v_of(a) for a in sch.output_order]
+        assert vs == sorted(vs)
+
+    def test_substage_kinds(self):
+        _, sel = plan_partition(5, PAPER_FAULTS)
+        sch = build_ft_schedule(sel)
+        kinds = {s.kind for s in sch.substages}
+        assert kinds <= {"cx", "mirror"}
+        assert any(s.kind == "mirror" for s in sch.substages)
+
+    def test_inter_substage_count(self):
+        _, sel = plan_partition(5, PAPER_FAULTS)
+        sch = build_ft_schedule(sel)
+        inter = [s for s in sch.substages if s.label.startswith("inter")]
+        m = sel.m
+        assert len(inter) == m * (m + 1) // 2
+
+    def test_inter_pairs_same_reindexed_address(self):
+        _, sel = plan_partition(5, PAPER_FAULTS)
+        sch = build_ft_schedule(sel)
+        split = sel.split
+        dead_w = [split.w_of(d) for d in sel.dead_of_subcube]
+        for s in sch.substages:
+            if not s.label.startswith("inter"):
+                continue
+            for pr in s.pairs:
+                va, vb = split.v_of(pr.low), split.v_of(pr.high)
+                rho_a = split.w_of(pr.low) ^ dead_w[va]
+                rho_b = split.w_of(pr.high) ^ dead_w[vb]
+                assert rho_a == rho_b != 0
+
+    def test_random_plans_build(self, rng):
+        for _ in range(15):
+            n = int(rng.integers(3, 7))
+            r = int(rng.integers(2, n))
+            faults = random_faulty_processors(n, r, rng)
+            _, sel = plan_partition(n, list(faults))
+            sch = build_ft_schedule(sel)
+            assert sch.workers == sel.working_processors
+            assert isinstance(sch, SortSchedule)

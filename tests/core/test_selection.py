@@ -1,0 +1,119 @@
+"""Tests for repro.core.selection — Eq. (1) and the dangling heuristic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.partition import find_min_cuts
+from repro.core.selection import (
+    choose_dangling_w,
+    extra_comm_cost,
+    fault_of_subcube,
+    select_cut_sequence,
+)
+from repro.faults.inject import random_faulty_processors
+
+PAPER_FAULTS = [0b00011, 0b00101, 0b10000, 0b11000]  # 3, 5, 16, 24
+
+
+class TestExtraCommCost:
+    def test_paper_example2_costs(self):
+        # Eq. (1) costs for the five sequences of Example 1/2: 3, 3, 4, 3, 3.
+        expected = {
+            (0, 1, 3): 3,
+            (0, 2, 3): 3,
+            (1, 2, 3): 4,
+            (1, 3, 4): 3,
+            (2, 3, 4): 3,
+        }
+        for dims, cost in expected.items():
+            assert extra_comm_cost(5, dims, PAPER_FAULTS) == cost, dims
+
+    def test_infeasible_cut_rejected(self):
+        with pytest.raises(ValueError):
+            extra_comm_cost(5, (0,), PAPER_FAULTS)
+
+    def test_no_faulty_pairs_costs_zero(self):
+        # Two faults in subcubes that are NOT adjacent along any cut dim
+        # pair with fault-free subcubes only: cost 0.
+        # Q_3, faults 0 (v=00) and 3 (v=11) under D=(0,1): v's differ in
+        # both bits -> never adjacent.
+        assert extra_comm_cost(3, (0, 1), [0, 3]) == 0
+
+    def test_single_pair_cost_is_w_distance(self):
+        # Q_3, D=(0,): faults 0 (v=0, w=00) and 7 (v=1, w=11): HD(w)=2.
+        assert extra_comm_cost(3, (0,), [0, 7]) == 2
+
+    def test_max_over_pairs_per_dimension(self):
+        # Q_4, D=(0,1): faults 0b0000 (v=00,w=00), 0b0001 (v=01,w=00),
+        # 0b1110 (v=10,w=11): dim-0 pair (00,01): HD(00,00)=0; dim-1 pair
+        # (00,10): HD(00,11)=2 -> total 2.
+        assert extra_comm_cost(4, (0, 1), [0b0000, 0b0001, 0b1110]) == 2
+
+
+class TestFaultOfSubcube:
+    def test_paper_mapping(self):
+        by_v = fault_of_subcube(5, (0, 1, 3), PAPER_FAULTS)
+        assert by_v == {0b011: 3, 0b001: 5, 0b000: 16, 0b100: 24}
+
+    def test_requires_single_fault_partition(self):
+        with pytest.raises(ValueError):
+            fault_of_subcube(5, (0, 1), PAPER_FAULTS)
+
+
+class TestDanglingW:
+    def test_paper_example2_most_frequent_w(self):
+        # Fault w's under D=(0,1,3) are 00, 01, 10, 10: majority 10 (=2).
+        assert choose_dangling_w(5, (0, 1, 3), PAPER_FAULTS) == 0b10
+
+    def test_tie_breaks_smallest(self):
+        # Q_3 D=(0,): faults 0 (w=00) and 5 (w=10): tie -> smallest w = 0.
+        assert choose_dangling_w(3, (0,), [0, 5]) == 0
+
+    def test_no_faults(self):
+        assert choose_dangling_w(3, (0,), []) == 0
+
+
+class TestSelectCutSequence:
+    def test_paper_example2_selection(self):
+        partition = find_min_cuts(5, PAPER_FAULTS)
+        sel = select_cut_sequence(partition)
+        assert sel.cut_dims == (0, 1, 3)  # first minimal-cost sequence
+        assert sel.cost == 3
+        assert sel.dangling_w == 0b10
+        assert sel.dangling_processors == (18, 25, 26, 27)  # paper's numbers
+
+    def test_dead_of_subcube_covers_all_subcubes(self):
+        partition = find_min_cuts(5, PAPER_FAULTS)
+        sel = select_cut_sequence(partition)
+        assert len(sel.dead_of_subcube) == 8
+        # faulty subcubes keep their fault as the dead processor
+        split = sel.split
+        for v, dead in enumerate(sel.dead_of_subcube):
+            assert split.v_of(dead) == v
+            if dead not in PAPER_FAULTS:
+                assert split.w_of(dead) == sel.dangling_w
+
+    def test_working_processors(self):
+        partition = find_min_cuts(5, PAPER_FAULTS)
+        sel = select_cut_sequence(partition)
+        assert sel.working_processors == 32 - 8
+        assert sel.m == 3 and sel.s == 2
+
+    def test_selection_minimizes_cost(self, rng):
+        for _ in range(30):
+            n = int(rng.integers(3, 7))
+            r = int(rng.integers(2, n))
+            faults = random_faulty_processors(n, r, rng)
+            partition = find_min_cuts(n, faults)
+            sel = select_cut_sequence(partition)
+            costs = [extra_comm_cost(n, d, faults) for d in partition.cutting_set]
+            assert sel.cost == min(costs)
+            # tie-break: the first minimizer in DFS order
+            assert sel.cut_dims == partition.cutting_set[costs.index(min(costs))]
+
+    def test_single_fault_trivial_selection(self):
+        partition = find_min_cuts(4, [6])
+        sel = select_cut_sequence(partition)
+        assert sel.m == 0
+        assert sel.dead_of_subcube == (6,)

@@ -1,0 +1,129 @@
+"""Tests for repro.core.single_fault — Section 2.1's one-fault bitonic sort."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.single_fault import fault_free_bitonic_sort, single_fault_bitonic_sort
+from repro.simulator.params import MachineParams
+
+from tests.conftest import assert_sorted_output
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 4])
+    def test_sorts(self, n, rng):
+        keys = rng.integers(0, 1000, size=57).astype(float)
+        res = fault_free_bitonic_sort(keys, n)
+        assert_sorted_output(res, keys)
+
+    def test_empty_input(self):
+        res = fault_free_bitonic_sort([], 3)
+        assert res.sorted_keys.size == 0
+
+    def test_single_key(self):
+        res = fault_free_bitonic_sort([42.0], 3)
+        assert res.sorted_keys.tolist() == [42.0]
+
+    def test_output_order_is_address_order(self, rng):
+        res = fault_free_bitonic_sort(rng.random(32), 3)
+        assert res.output_order == tuple(range(8))
+
+    def test_block_size_is_ceil(self, rng):
+        res = fault_free_bitonic_sort(rng.random(17), 3)
+        assert res.block_size == 3  # ceil(17/8)
+
+    def test_blocks_are_chunks_of_sorted(self, rng):
+        keys = rng.random(16)
+        res = fault_free_bitonic_sort(keys, 2)
+        expected = np.sort(keys)
+        for i, addr in enumerate(res.output_order):
+            np.testing.assert_array_equal(
+                res.machine.get_block(addr), expected[i * 4 : (i + 1) * 4]
+            )
+
+    def test_elapsed_positive_with_real_params(self, rng):
+        res = fault_free_bitonic_sort(rng.random(64), 3, params=MachineParams.ncube7())
+        assert res.elapsed > 0
+
+    def test_q0_sorts_locally(self, rng):
+        keys = rng.random(9)
+        res = fault_free_bitonic_sort(keys, 0)
+        assert_sorted_output(res, keys)
+
+    def test_rejects_inf_keys(self):
+        with pytest.raises(ValueError):
+            fault_free_bitonic_sort([1.0, np.inf], 2)
+
+    def test_exact_counts_mode(self, rng):
+        keys = rng.random(32)
+        res_model = fault_free_bitonic_sort(keys, 2, params=MachineParams.unit())
+        res_exact = fault_free_bitonic_sort(
+            keys, 2, params=MachineParams.unit(), exact_counts=True
+        )
+        assert_sorted_output(res_exact, keys)
+        # both charge nonzero local-sort comparisons, with different models
+        ph_model = res_model.machine.phases[0]
+        ph_exact = res_exact.machine.phases[0]
+        assert ph_model.comparisons > 0 and ph_exact.comparisons > 0
+
+
+class TestSingleFault:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_sorts_any_fault_location(self, n, rng):
+        keys = rng.integers(0, 100, size=23).astype(float)
+        for faulty in range(1 << n):
+            res = single_fault_bitonic_sort(keys, n, faulty)
+            assert_sorted_output(res, keys)
+
+    def test_fault_holds_no_keys(self, rng):
+        res = single_fault_bitonic_sort(rng.random(14), 3, faulty=5)
+        assert res.machine.get_block(5).size == 0
+        assert 5 not in res.output_order
+
+    def test_output_order_is_reindexed(self):
+        res = single_fault_bitonic_sort([1.0, 2.0], 2, faulty=2)
+        # logical l at physical l XOR 2; dead logical 0 skipped
+        assert res.output_order == (3, 0, 1)
+
+    def test_workers_is_n_minus_1(self, rng):
+        res = single_fault_bitonic_sort(rng.random(21), 3, faulty=0)
+        assert len(res.output_order) == 7
+        assert res.block_size == 3  # ceil(21/7)
+
+    def test_q0_with_fault_rejected(self):
+        with pytest.raises(ValueError):
+            single_fault_bitonic_sort([1.0], 0, faulty=0)
+
+    def test_bad_fault_address_rejected(self):
+        with pytest.raises(ValueError):
+            single_fault_bitonic_sort([1.0], 2, faulty=4)
+
+    def test_single_fault_slower_than_fault_free(self, rng):
+        # Same machine size: the fault removes a worker, so blocks grow and
+        # the sort takes at least as long.
+        keys = rng.random(4096)
+        p = MachineParams.ncube7()
+        free = fault_free_bitonic_sort(keys, 4, params=p)
+        faulty = single_fault_bitonic_sort(keys, 4, faulty=9, params=p)
+        assert faulty.elapsed >= free.elapsed
+
+    def test_faster_than_halved_cube(self, rng):
+        # The paper's whole point: one fault costs far less than dropping
+        # to the fault-free subcube Q_{n-1}.
+        keys = rng.random(16384)
+        p = MachineParams.ncube7()
+        faulty = single_fault_bitonic_sort(keys, 5, faulty=3, params=p)
+        halved = fault_free_bitonic_sort(keys, 4, params=p)
+        assert faulty.elapsed < halved.elapsed
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_sort_property(self, data):
+        n = data.draw(st.integers(1, 4))
+        faulty = data.draw(st.integers(0, (1 << n) - 1))
+        keys = data.draw(st.lists(st.integers(-50, 50), min_size=1, max_size=60))
+        res = single_fault_bitonic_sort(keys, n, faulty)
+        assert res.sorted_keys.tolist() == sorted(float(k) for k in keys)

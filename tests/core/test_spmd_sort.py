@@ -1,0 +1,115 @@
+"""Tests for repro.core.spmd_sort — message-level execution + engine cross-validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ftsort import fault_tolerant_sort
+from repro.core.spmd_sort import spmd_fault_tolerant_sort
+from repro.faults.inject import random_faulty_processors
+from repro.faults.model import FaultKind, FaultSet
+from repro.simulator.params import MachineParams
+
+from tests.conftest import assert_sorted_output
+
+
+class TestSpmdSortCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_fault_free(self, n, rng):
+        keys = rng.integers(0, 500, size=37).astype(float)
+        res = spmd_fault_tolerant_sort(keys, n, [])
+        assert_sorted_output(res, keys)
+
+    @pytest.mark.parametrize("faulty", [0, 3, 7])
+    def test_single_fault(self, faulty, rng):
+        keys = rng.integers(0, 500, size=29).astype(float)
+        res = spmd_fault_tolerant_sort(keys, 3, [faulty])
+        assert_sorted_output(res, keys)
+
+    def test_paper_scenario(self, rng):
+        keys = rng.integers(0, 1000, size=47).astype(float)
+        res = spmd_fault_tolerant_sort(keys, 5, [3, 5, 16, 24])
+        assert_sorted_output(res, keys)
+
+    def test_total_faults(self, rng):
+        keys = rng.integers(0, 500, size=50).astype(float)
+        res = spmd_fault_tolerant_sort(keys, 4, [1, 6, 12], fault_kind=FaultKind.TOTAL)
+        assert_sorted_output(res, keys)
+
+    def test_random_sweep(self, rng):
+        for _ in range(8):
+            n = int(rng.integers(2, 5))
+            r = int(rng.integers(0, n))
+            faults = random_faulty_processors(n, r, rng)
+            keys = rng.integers(0, 100, size=int(rng.integers(1, 60))).astype(float)
+            res = spmd_fault_tolerant_sort(keys, n, list(faults))
+            assert_sorted_output(res, keys)
+
+    def test_blocks_hold_chunks(self, rng):
+        keys = rng.random(28)
+        res = spmd_fault_tolerant_sort(keys, 3, [2, 5])
+        expected = np.sort(keys)
+        flat = np.concatenate([res.blocks[r] for r in res.schedule.output_order])
+        np.testing.assert_array_equal(flat[: keys.size], expected)
+
+    def test_model_violation_rejected(self):
+        with pytest.raises(ValueError):
+            spmd_fault_tolerant_sort([1.0], 2, [1, 2])
+
+    def test_empty_keys(self):
+        res = spmd_fault_tolerant_sort([], 3, [1, 2])
+        assert res.sorted_keys.size == 0
+
+
+class TestEngineCrossValidation:
+    """The same algorithm through both backends must agree."""
+
+    def test_outputs_identical(self, rng):
+        for _ in range(6):
+            n = int(rng.integers(3, 5))
+            r = int(rng.integers(0, n))
+            faults = list(random_faulty_processors(n, r, rng))
+            keys = rng.integers(0, 1000, size=int(rng.integers(5, 90))).astype(float)
+            phase = fault_tolerant_sort(keys, n, faults)
+            spmd = spmd_fault_tolerant_sort(keys, n, faults)
+            np.testing.assert_array_equal(phase.sorted_keys, spmd.sorted_keys)
+
+    def test_block_placement_identical(self, rng):
+        keys = rng.random(60)
+        faults = [3, 5, 16, 24]
+        phase = fault_tolerant_sort(keys, 5, faults)
+        spmd = spmd_fault_tolerant_sort(keys, 5, faults)
+        assert phase.output_order == spmd.schedule.output_order
+        for addr in phase.output_order:
+            np.testing.assert_array_equal(
+                phase.machine.get_block(addr), spmd.blocks[addr]
+            )
+
+    def test_times_correlate_across_scales(self, rng):
+        # The event-driven time and the phase-accounted time won't match
+        # exactly (contention, asynchrony), but both must grow with M and
+        # stay within a modest constant factor of each other.
+        p = MachineParams.ncube7()
+        ratios = []
+        for m_keys in (64, 256, 1024):
+            keys = rng.random(m_keys)
+            phase = fault_tolerant_sort(keys, 3, [1, 6], params=p)
+            spmd = spmd_fault_tolerant_sort(keys, 3, [1, 6], params=p)
+            ratios.append(spmd.finish_time / phase.elapsed)
+        assert all(0.2 < r < 5.0 for r in ratios)
+
+    def test_partial_vs_total_penalty_visible_in_both(self, rng):
+        keys = rng.random(512)
+        p = MachineParams.ncube7()
+        faults = [0, 9, 20]
+        ph_partial = fault_tolerant_sort(keys, 5, faults, params=p,
+                                         fault_kind=FaultKind.PARTIAL).elapsed
+        ph_total = fault_tolerant_sort(keys, 5, faults, params=p,
+                                       fault_kind=FaultKind.TOTAL).elapsed
+        sp_partial = spmd_fault_tolerant_sort(keys, 5, faults, params=p,
+                                              fault_kind=FaultKind.PARTIAL).finish_time
+        sp_total = spmd_fault_tolerant_sort(keys, 5, faults, params=p,
+                                            fault_kind=FaultKind.TOTAL).finish_time
+        assert ph_total >= ph_partial
+        assert sp_total >= sp_partial

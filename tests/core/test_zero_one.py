@@ -1,0 +1,97 @@
+"""Zero-one-principle style exhaustive tests.
+
+An oblivious comparator network sorts every input iff it sorts every 0-1
+input.  Our implementation is oblivious by construction (the schedule never
+looks at keys; the probe short-circuit only skips provably no-op
+exchanges), so exhaustively driving all 0-1 inputs through the small
+configurations is a complete correctness proof for those shapes — much
+stronger than random sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ftsort import fault_tolerant_sort
+from repro.core.single_fault import single_fault_bitonic_sort
+from repro.core.spmd_sort import spmd_fault_tolerant_sort
+
+
+def all_binary_inputs(m: int):
+    for bits in range(1 << m):
+        yield np.array([(bits >> i) & 1 for i in range(m)], dtype=float)
+
+
+class TestZeroOneExhaustive:
+    @pytest.mark.parametrize("faulty", [0, 1, 2, 3])
+    def test_single_fault_q2_all_01_inputs(self, faulty):
+        # 3 workers x 2 keys: all 2^6 inputs, every fault location.
+        m = 6
+        for keys in all_binary_inputs(m):
+            res = single_fault_bitonic_sort(keys, 2, faulty)
+            assert res.sorted_keys.tolist() == sorted(keys.tolist()), (
+                faulty, keys.tolist()
+            )
+
+    @pytest.mark.parametrize("faults", [[0, 1], [0, 7], [2, 5], [3, 4], [1, 6]])
+    def test_two_faults_q3_all_01_inputs(self, faults):
+        # m = 1, s = 2: 6 workers x 2 keys = all 2^12 inputs is heavy, use
+        # 1 key per worker (2^6 inputs) plus 2 keys (2^12) for one config.
+        for keys in all_binary_inputs(6):
+            res = fault_tolerant_sort(keys, 3, faults)
+            assert res.sorted_keys.tolist() == sorted(keys.tolist()), (
+                faults, keys.tolist()
+            )
+
+    def test_two_faults_q3_deeper_blocks(self):
+        # One configuration at 2 keys/worker, all 2^12 binary inputs.
+        for keys in all_binary_inputs(12):
+            res = fault_tolerant_sort(keys, 3, [0, 7])
+            assert res.sorted_keys.tolist() == sorted(keys.tolist()), keys.tolist()
+
+    def test_three_faults_q4_sampled_01(self, rng):
+        # Q_4 with 3 faults: 12 workers; exhaustive is 2^12 at 1 key each.
+        for keys in all_binary_inputs(12):
+            res = fault_tolerant_sort(keys, 4, [0, 6, 9])
+            assert res.sorted_keys.tolist() == sorted(keys.tolist())
+
+    def test_spmd_engine_01_inputs(self):
+        # The message-level backend on all 2^6 binary inputs, Q_3 r=2.
+        for keys in all_binary_inputs(6):
+            res = spmd_fault_tolerant_sort(keys, 3, [1, 6])
+            assert res.sorted_keys.tolist() == sorted(keys.tolist()), keys.tolist()
+
+
+class TestAdversarialPatterns:
+    """Classic worst-case arrangements beyond 0-1."""
+
+    PATTERNS = {
+        "reverse": lambda m: np.arange(m, 0, -1, dtype=float),
+        "sawtooth": lambda m: np.array([i % 4 for i in range(m)], dtype=float),
+        "organ-pipe": lambda m: np.array(
+            [min(i, m - 1 - i) for i in range(m)], dtype=float
+        ),
+        "all-equal": lambda m: np.full(m, 7.0),
+        "single-swap": lambda m: np.array(
+            [1.0 if i == m - 1 else 0.0 if i == 0 else i for i in range(m)][::-1],
+            dtype=float,
+        ),
+    }
+
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    @pytest.mark.parametrize("faults", [[5], [3, 5, 16, 24]])
+    def test_patterns(self, name, faults):
+        keys = self.PATTERNS[name](96)
+        res = fault_tolerant_sort(keys, 5, faults)
+        assert res.sorted_keys.tolist() == sorted(keys.tolist()), name
+
+    def test_negative_and_fractional_keys(self, rng):
+        keys = rng.standard_normal(100) * 1e6
+        res = fault_tolerant_sort(keys, 4, [1, 14])
+        np.testing.assert_array_equal(res.sorted_keys, np.sort(keys))
+
+    def test_extreme_magnitudes(self):
+        keys = np.array([1e308, -1e308, 0.0, 1e-308, -1e-308, 42.0] * 5)
+        res = fault_tolerant_sort(keys, 4, [2, 9])
+        np.testing.assert_array_equal(res.sorted_keys, np.sort(keys))

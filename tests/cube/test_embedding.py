@@ -1,0 +1,62 @@
+"""Tests for repro.cube.embedding — Gray-code rings and meshes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cube.address import hamming_distance
+from repro.cube.embedding import mesh_embedding, mesh_node, ring_embedding, ring_position
+
+
+class TestRing:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_dilation_one(self, n):
+        ring = ring_embedding(n)
+        size = 1 << n
+        for i in range(size):
+            assert hamming_distance(ring[i], ring[(i + 1) % size]) == 1
+
+    def test_visits_every_node_once(self):
+        ring = ring_embedding(4)
+        assert sorted(ring) == list(range(16))
+
+    def test_position_inverts(self):
+        for addr in range(32):
+            ring = ring_embedding(5)
+            assert ring[ring_position(addr, 5)] == addr
+
+    def test_position_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ring_position(8, 3)
+
+
+class TestMesh:
+    def test_shape(self):
+        mesh = mesh_embedding(2, 3)
+        assert len(mesh) == 4 and len(mesh[0]) == 8
+
+    def test_dilation_one_both_axes(self):
+        mesh = mesh_embedding(2, 2)
+        for r in range(4):
+            for c in range(4):
+                if c + 1 < 4:
+                    assert hamming_distance(mesh[r][c], mesh[r][c + 1]) == 1
+                if r + 1 < 4:
+                    assert hamming_distance(mesh[r][c], mesh[r + 1][c]) == 1
+
+    def test_covers_cube(self):
+        mesh = mesh_embedding(2, 3)
+        flat = sorted(x for row in mesh for x in row)
+        assert flat == list(range(32))
+
+    def test_mesh_node_matches_matrix(self):
+        mesh = mesh_embedding(3, 2)
+        for r in range(8):
+            for c in range(4):
+                assert mesh_node(r, c, 3, 2) == mesh[r][c]
+
+    def test_mesh_node_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            mesh_node(4, 0, 2, 2)
+        with pytest.raises(ValueError):
+            mesh_node(0, 4, 2, 2)

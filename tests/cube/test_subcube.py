@@ -1,0 +1,159 @@
+"""Tests for repro.cube.subcube — subcube geometry and the v/w split."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cube.subcube import AddressSplit, Subcube, enumerate_subcubes, partition_by_dims
+
+
+class TestSubcube:
+    def test_dim_and_size(self):
+        sub = Subcube(4, fixed_mask=0b1010, fixed_value=0b1000)
+        assert sub.dim == 2
+        assert sub.size == 4
+
+    def test_free_and_fixed_dims(self):
+        sub = Subcube(4, fixed_mask=0b1010, fixed_value=0b0010)
+        assert sub.free_dims == (0, 2)
+        assert sub.fixed_dims == (1, 3)
+
+    def test_value_outside_mask_rejected(self):
+        with pytest.raises(ValueError):
+            Subcube(3, fixed_mask=0b001, fixed_value=0b010)
+
+    def test_contains(self):
+        sub = Subcube(3, fixed_mask=0b100, fixed_value=0b100)
+        assert sub.contains(0b100)
+        assert sub.contains(0b111)
+        assert not sub.contains(0b011)
+
+    def test_members_count_and_containment(self):
+        sub = Subcube(4, fixed_mask=0b0101, fixed_value=0b0001)
+        members = list(sub.members())
+        assert len(members) == sub.size
+        assert all(sub.contains(m) for m in members)
+        assert len(set(members)) == len(members)
+
+    def test_local_global_roundtrip(self):
+        sub = Subcube(5, fixed_mask=0b10100, fixed_value=0b00100)
+        for w in range(sub.size):
+            assert sub.global_to_local(sub.local_to_global(w)) == w
+
+    def test_local_order_follows_ascending_free_dims(self):
+        sub = Subcube(3, fixed_mask=0b010, fixed_value=0b010)
+        # free dims 0 and 2; local bit 0 toggles dim 0, bit 1 toggles dim 2
+        assert sub.local_to_global(0b01) == 0b011
+        assert sub.local_to_global(0b10) == 0b110
+
+    def test_global_to_local_rejects_nonmember(self):
+        sub = Subcube(3, fixed_mask=0b100, fixed_value=0b100)
+        with pytest.raises(ValueError):
+            sub.global_to_local(0b000)
+
+    def test_whole_cube_subcube(self):
+        sub = Subcube(3, 0, 0)
+        assert sub.dim == 3
+        assert list(sub.members()) == list(range(8))
+
+
+class TestPartitionByDims:
+    def test_partition_covers_cube_disjointly(self):
+        subs = partition_by_dims(4, (1, 3))
+        seen = set()
+        for sub in subs:
+            members = set(sub.members())
+            assert not members & seen
+            seen |= members
+        assert seen == set(range(16))
+
+    def test_partition_count(self):
+        assert len(partition_by_dims(5, (0, 2, 4))) == 8
+
+    def test_duplicate_dims_rejected(self):
+        with pytest.raises(ValueError):
+            partition_by_dims(4, (1, 1))
+
+    def test_out_of_range_dim_rejected(self):
+        with pytest.raises(ValueError):
+            partition_by_dims(3, (3,))
+
+
+class TestAddressSplit:
+    def test_paper_figure5_mapping(self):
+        # Paper: Q_5 with D = (0, 1, 3): v = u3 u1 u0, w = u4 u2.
+        split = AddressSplit(5, (0, 1, 3))
+        assert split.m == 3 and split.s == 2
+        assert split.rest_dims == (2, 4)
+        # FP1 = 00011 -> v = 011, w = 00
+        assert split.v_of(0b00011) == 0b011
+        assert split.w_of(0b00011) == 0b00
+        # FP3 = 10000 -> v = 000, w = 10
+        assert split.v_of(0b10000) == 0b000
+        assert split.w_of(0b10000) == 0b10
+
+    def test_paper_dangling_address_18(self):
+        # Example 2: subcube v=010 with w=10 is processor 18 (10010).
+        split = AddressSplit(5, (0, 1, 3))
+        assert split.combine(0b010, 0b10) == 18
+
+    def test_combine_inverts_split(self):
+        split = AddressSplit(6, (1, 4))
+        for addr in range(64):
+            assert split.combine(split.v_of(addr), split.w_of(addr)) == addr
+
+    def test_subcube_of_v_contains_exactly_that_v(self):
+        split = AddressSplit(5, (0, 2))
+        for v in range(4):
+            sub = split.subcube(v)
+            for member in sub.members():
+                assert split.v_of(member) == v
+
+    def test_subcubes_partition(self):
+        split = AddressSplit(5, (1, 3, 4))
+        all_members = [m for sub in split.subcubes() for m in sub.members()]
+        assert sorted(all_members) == list(range(32))
+
+    def test_v_bit_order_d1_is_lsb(self):
+        # v_{k-1} = u_{d_k}: the first cutting dimension supplies v's LSB.
+        split = AddressSplit(4, (2, 0))
+        addr = 0b0100  # bit2 = 1, bit0 = 0
+        assert split.v_of(addr) == 0b01
+
+    def test_out_of_range_inputs(self):
+        split = AddressSplit(4, (0,))
+        with pytest.raises(ValueError):
+            split.combine(2, 0)
+        with pytest.raises(ValueError):
+            split.combine(0, 8)
+
+    @given(st.data())
+    def test_split_bijection_property(self, data):
+        n = data.draw(st.integers(2, 7))
+        dims = data.draw(
+            st.lists(st.integers(0, n - 1), unique=True, min_size=1, max_size=n)
+        )
+        split = AddressSplit(n, dims)
+        addr = data.draw(st.integers(0, (1 << n) - 1))
+        v, w = split.v_of(addr), split.w_of(addr)
+        assert 0 <= v < (1 << split.m)
+        assert 0 <= w < (1 << split.s)
+        assert split.combine(v, w) == addr
+
+
+class TestEnumerateSubcubes:
+    def test_counts(self):
+        # C(n, k) * 2^(n-k) subcubes of dimension k.
+        from math import comb
+
+        for n, k in [(3, 1), (4, 2), (5, 0), (4, 4)]:
+            got = sum(1 for _ in enumerate_subcubes(n, k))
+            assert got == comb(n, k) * (1 << (n - k))
+
+    def test_each_has_right_dim(self):
+        assert all(sub.dim == 2 for sub in enumerate_subcubes(4, 2))
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            list(enumerate_subcubes(3, 4))

@@ -1,0 +1,116 @@
+"""Tests for repro.cube.topology — neighbors, links, routing paths."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cube.address import hamming_distance
+from repro.cube.topology import Hypercube, ecube_path, shortest_paths_avoiding
+
+
+class TestHypercube:
+    def test_size(self):
+        assert Hypercube(0).size == 1
+        assert Hypercube(6).size == 64
+
+    def test_neighbors_count_and_distance(self):
+        cube = Hypercube(4)
+        for node in cube.nodes():
+            nbs = cube.neighbors(node)
+            assert len(nbs) == 4
+            assert all(cube.distance(node, nb) == 1 for nb in nbs)
+            assert len(set(nbs)) == 4
+
+    def test_neighbor_along_dimension(self):
+        cube = Hypercube(3)
+        assert cube.neighbor(0b010, 0) == 0b011
+        assert cube.neighbor(0b010, 2) == 0b110
+
+    def test_neighbor_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            Hypercube(3).neighbor(0, 3)
+
+    def test_distance_is_hamming(self):
+        cube = Hypercube(5)
+        assert cube.distance(0b00000, 0b10101) == 3
+
+    def test_links_count(self):
+        for n in range(1, 6):
+            cube = Hypercube(n)
+            links = list(cube.links())
+            assert len(links) == cube.num_links() == n * 2 ** (n - 1)
+            assert len(set(links)) == len(links)
+
+    def test_links_have_bit_clear(self):
+        for node, d in Hypercube(4).links():
+            assert not (node >> d) & 1
+
+    def test_link_id_canonical(self):
+        cube = Hypercube(3)
+        assert cube.link_id(5, 7) == cube.link_id(7, 5) == (5, 1)
+
+    def test_link_id_rejects_non_neighbors(self):
+        cube = Hypercube(3)
+        with pytest.raises(ValueError):
+            cube.link_id(0, 3)
+        with pytest.raises(ValueError):
+            cube.link_id(2, 2)
+
+    def test_q0_has_no_links(self):
+        assert Hypercube(0).num_links() == 0
+
+
+class TestEcubePath:
+    def test_endpoints_and_length(self):
+        path = ecube_path(0b000, 0b101, 3)
+        assert path[0] == 0b000 and path[-1] == 0b101
+        assert len(path) == hamming_distance(0b000, 0b101) + 1
+
+    def test_corrects_lowest_dimension_first(self):
+        assert ecube_path(0b00, 0b11, 2) == [0b00, 0b01, 0b11]
+
+    def test_self_path(self):
+        assert ecube_path(5, 5, 3) == [5]
+
+    def test_consecutive_hops_are_neighbors(self):
+        path = ecube_path(0b10010, 0b01101, 5)
+        for a, b in zip(path, path[1:]):
+            assert hamming_distance(a, b) == 1
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_path_length_property(self, src, dst):
+        path = ecube_path(src, dst, 6)
+        assert len(path) == hamming_distance(src, dst) + 1
+        assert len(set(path)) == len(path)
+
+
+class TestShortestPathsAvoiding:
+    def test_no_faults_gives_hamming(self):
+        dist = shortest_paths_avoiding(4, 0)
+        assert all(dist[v] == hamming_distance(0, v) for v in range(16))
+
+    def test_forbidden_nodes_absent(self):
+        dist = shortest_paths_avoiding(3, 0, forbidden=[3, 5])
+        assert 3 not in dist and 5 not in dist
+
+    def test_detour_lengthens_path(self):
+        # In Q_2, route 0 -> 3 avoiding node 1 must go through 2: length 2.
+        dist = shortest_paths_avoiding(2, 0, forbidden=[1])
+        assert dist[3] == 2
+        # Avoiding both intermediate nodes disconnects 3.
+        dist2 = shortest_paths_avoiding(2, 0, forbidden=[1, 2])
+        assert 3 not in dist2
+
+    def test_connectivity_with_n_minus_1_faults(self, rng):
+        # Q_n is n-connected: r <= n-1 total faults never disconnect it.
+        n = 5
+        for _ in range(50):
+            faults = rng.choice(1 << n, size=n - 1, replace=False).tolist()
+            normal = [v for v in range(1 << n) if v not in faults]
+            dist = shortest_paths_avoiding(n, normal[0], forbidden=faults)
+            assert all(v in dist for v in normal)
+
+    def test_source_forbidden_rejected(self):
+        with pytest.raises(ValueError):
+            shortest_paths_avoiding(3, 2, forbidden=[2])

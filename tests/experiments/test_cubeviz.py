@@ -1,0 +1,108 @@
+"""Tests for repro.experiments.cubeviz — partition diagrams."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.ftsort import plan_partition
+from repro.cube.address import hamming_distance
+from repro.experiments.cubeviz import cube_layout, partition_diagram
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+class TestCubeLayout:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6])
+    def test_all_nodes_distinct_positions(self, n):
+        coords = cube_layout(n)
+        assert len(coords) == 1 << n
+        assert len(set(coords.values())) == 1 << n
+
+    def test_edges_axis_aligned(self):
+        # A bit flip changes one half of the address, so every hypercube
+        # edge is horizontal or vertical in the layout.
+        coords = cube_layout(4)
+        for a in range(16):
+            for d in range(4):
+                b = a ^ (1 << d)
+                assert hamming_distance(a, b) == 1
+                xa, ya = coords[a]
+                xb, yb = coords[b]
+                assert xa == xb or ya == yb
+
+    def test_lowest_dim_edges_are_unit_steps(self):
+        # Dimension-0 flips move between consecutive Gray ranks when the
+        # rank is even — spot-check that short edges exist.
+        coords = cube_layout(4)
+        short = 0
+        for a in range(16):
+            b = a ^ 1
+            xa, ya = coords[a]
+            xb, yb = coords[b]
+            if abs(xa - xb) + abs(ya - yb) == 86.0:
+                short += 1
+        assert short >= 8
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            cube_layout(9)
+
+
+class TestPartitionDiagram:
+    def test_valid_svg(self):
+        svg = partition_diagram(5, [3, 5, 16, 24], title="Example 1")
+        root = ET.fromstring(svg)
+        assert root.tag == f"{SVG_NS}svg"
+        assert "Example 1" in svg
+
+    def test_node_count(self):
+        svg = partition_diagram(4, [0, 6, 9])
+        root = ET.fromstring(svg)
+        circles = root.findall(f"{SVG_NS}circle")
+        assert len(circles) == 16
+
+    def test_fault_markers(self):
+        svg = partition_diagram(4, [0, 6, 9])
+        root = ET.fromstring(svg)
+        # each fault draws two cross strokes in black
+        cross = [
+            el for el in root.findall(f"{SVG_NS}line")
+            if el.get("stroke") == "#000000"
+        ]
+        assert len(cross) == 2 * 3
+
+    def test_dangling_hollow(self):
+        _, sel = plan_partition(5, [3, 5, 16, 24])
+        svg = partition_diagram(5, sel)
+        root = ET.fromstring(svg)
+        hollow = [
+            el for el in root.findall(f"{SVG_NS}circle") if el.get("fill") == "white"
+        ]
+        assert len(hollow) == len(sel.dangling_processors)
+
+    def test_accepts_selection_or_faults(self):
+        _, sel = plan_partition(5, [3, 5, 16, 24])
+        a = partition_diagram(5, sel)
+        b = partition_diagram(5, [3, 5, 16, 24])
+        assert a == b
+
+    def test_single_fault_no_partition(self):
+        svg = partition_diagram(3, [5])
+        ET.fromstring(svg)
+        # uncolored nodes
+        assert "#bbbbbb" in svg
+
+    def test_intra_subcube_edges_emphasized(self):
+        svg = partition_diagram(5, [3, 5, 16, 24])
+        root = ET.fromstring(svg)
+        dark = [el for el in root.findall(f"{SVG_NS}line") if el.get("stroke") == "#555555"]
+        light = [el for el in root.findall(f"{SVG_NS}line") if el.get("stroke") == "#dddddd"]
+        # D_beta = (0,1,3): 2 dims free per subcube -> within-subcube edges
+        # exist, and cut edges exist too.
+        assert dark and light
+        # Q_5 has 80 edges total; with s = 2 each of 8 subcubes has 4
+        # internal edges -> 32 dark, 48 light.
+        assert len(dark) == 32
+        assert len(light) == 48

@@ -1,0 +1,76 @@
+"""Tests for repro.experiments.exact — exhaustive table validation."""
+
+from __future__ import annotations
+
+from math import comb
+
+import pytest
+
+from repro.experiments.exact import (
+    exact_mincut_distribution,
+    exact_utilization_extremes,
+    placements,
+)
+from repro.experiments.table1 import compute_table1
+from repro.experiments.table2 import compute_table2
+
+
+class TestPlacements:
+    def test_count(self):
+        assert sum(1 for _ in placements(4, 3)) == comb(16, 3)
+
+    def test_bad_r(self):
+        with pytest.raises(ValueError):
+            list(placements(3, 9))
+
+
+class TestExactMincut:
+    def test_structural_cells(self):
+        assert exact_mincut_distribution(4, 0) == {0: 100.0}
+        assert exact_mincut_distribution(4, 1) == {0: 100.0}
+        assert exact_mincut_distribution(4, 2) == {1: 100.0}
+
+    def test_q4_r3_all_mincut_two(self):
+        # Every 3-fault placement on Q_4 partitions with exactly 2 cuts:
+        # 1 cut can't separate 3 faults, and 2 always can (r-1 bound).
+        assert exact_mincut_distribution(4, 3) == {2: 100.0}
+
+    def test_q5_r4_exact_split(self):
+        dist = exact_mincut_distribution(5, 4)
+        assert set(dist) == {2, 3}
+        assert dist[2] + dist[3] == pytest.approx(100.0)
+        # Monte-Carlo Table 1 measured ~58.4/41.6; exact must be close.
+        assert 55.0 < dist[2] < 62.0
+
+    def test_monte_carlo_agrees_with_exact(self):
+        exact = exact_mincut_distribution(5, 4)
+        sampled = compute_table1(ns=(5,), trials=4000, seed=123)
+        cell = next(c for c in sampled if c.r == 4)
+        for m, pct in exact.items():
+            # binomial std at 4000 trials is ~0.8%; allow 4 sigma
+            assert abs(cell.percent(m) - pct) < 3.5, (m, pct, cell.percent(m))
+
+
+class TestExactUtilization:
+    def test_q4_r3(self):
+        pb, pw, bb, bw = exact_utilization_extremes(4, 3)
+        # mincut always 2 -> working = 16 - 4 = 12 of 13 normal
+        assert pb == pw == pytest.approx(100 * 12 / 13)
+        # baseline: best Q_3 (8/13), worst Q_2 (4/13)
+        assert bb == pytest.approx(100 * 8 / 13)
+        assert bw == pytest.approx(100 * 4 / 13)
+
+    def test_monte_carlo_extremes_bounded_by_exact(self):
+        pb, pw, bb, bw = exact_utilization_extremes(4, 3)
+        sampled = compute_table2(ns=(4,), trials=500, seed=5)
+        cell = next(c for c in sampled if c.r == 3)
+        # sampling can only shrink the observed range
+        assert cell.proposed_best <= pb + 1e-9
+        assert cell.proposed_worst >= pw - 1e-9
+        assert cell.baseline_best <= bb + 1e-9
+        assert cell.baseline_worst >= bw - 1e-9
+
+    def test_proposed_dominates_exactly(self):
+        for r in (1, 2, 3):
+            pb, pw, bb, bw = exact_utilization_extremes(4, r)
+            assert pw >= bb - 1e-9

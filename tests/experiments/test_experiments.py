@@ -1,0 +1,141 @@
+"""Tests for repro.experiments — table/figure regenerators (reduced trials)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure7 import compute_figure7, default_m_values, render_figure7
+from repro.experiments.report import format_series, format_table
+from repro.experiments.table1 import compute_table1, render_table1
+from repro.experiments.table2 import compute_table2, render_table2
+from repro.simulator.params import MachineParams
+
+
+class TestReport:
+    def test_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.50" in out
+
+    def test_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_series(self):
+        out = format_series("x", [1, 2], {"y": [3.0, 4.0]})
+        assert "3.00" in out and "4.00" in out
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1], {"y": [1.0, 2.0]})
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return compute_table1(ns=(3, 4, 5), trials=150, seed=1)
+
+    def test_cells_cover_grid(self, cells):
+        pairs = {(c.n, c.r) for c in cells}
+        assert pairs == {(n, r) for n in (3, 4, 5) for r in range(n)}
+
+    def test_percentages_sum_to_100(self, cells):
+        for c in cells:
+            assert sum(c.percent_by_mincut.values()) == pytest.approx(100.0)
+
+    def test_r_le_1_always_mincut_zero(self, cells):
+        for c in cells:
+            if c.r <= 1:
+                assert c.percent(0) == 100.0
+
+    def test_r2_always_mincut_one(self, cells):
+        for c in cells:
+            if c.r == 2:
+                assert c.percent(1) == 100.0
+
+    def test_paper_shape_n5_r4(self):
+        # Paper Table 1 shape: for n = 5, r = 4 the mass splits between
+        # m = 2 and m = 3 with m = 2 dominating.
+        cells = compute_table1(ns=(5,), trials=400, seed=2)
+        cell = next(c for c in cells if c.r == 4)
+        assert cell.percent(2) > cell.percent(3) > 0
+        assert cell.percent(2) + cell.percent(3) == pytest.approx(100.0)
+
+    def test_render(self, cells):
+        out = render_table1(cells)
+        assert "Table 1" in out
+        assert "m=0 (%)" in out
+
+    def test_deterministic(self):
+        a = compute_table1(ns=(3,), trials=100, seed=9)
+        b = compute_table1(ns=(3,), trials=100, seed=9)
+        assert [c.percent_by_mincut for c in a] == [c.percent_by_mincut for c in b]
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return compute_table2(ns=(4, 5), trials=120, seed=3)
+
+    def test_proposed_dominates_baseline(self, cells):
+        for c in cells:
+            assert c.proposed_worst >= c.baseline_best - 1e-9 or c.r == 0
+            assert c.proposed_best >= c.baseline_best
+
+    def test_r0_everything_100(self, cells):
+        for c in cells:
+            if c.r == 0:
+                assert c.proposed_best == c.baseline_best == 100.0
+
+    def test_bounds_ordering(self, cells):
+        for c in cells:
+            assert c.proposed_best >= c.proposed_worst
+            assert c.baseline_best >= c.baseline_worst
+
+    def test_proposed_worst_at_least_75_percent_of_machine(self, cells):
+        # Paper: >= 3N/4 processors work in the worst case.
+        for c in cells:
+            working_fraction = c.proposed_worst / 100 * ((1 << c.n) - c.r) / (1 << c.n)
+            assert working_fraction >= 0.75 - 1e-9
+
+    def test_render(self, cells):
+        out = render_table2(cells)
+        assert "Table 2" in out and "max-subcube" in out
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def panel(self):
+        return compute_figure7(
+            4,
+            m_values=(800, 16 * 2000),
+            placements=2,
+            params=MachineParams.ncube7(),
+            seed=4,
+        )
+
+    def test_series_present(self, panel):
+        assert "ft r=1" in panel.series and "ft r=3" in panel.series
+        assert "fault-free Q_4" in panel.series
+
+    def test_times_grow_with_m(self, panel):
+        for series in panel.series.values():
+            assert series[-1] > series[0]
+
+    def test_paper_claims_at_large_m(self, panel):
+        # Q_4 panel: r=1,2 beat fault-free Q_3; r=3 beats fault-free Q_2.
+        last = {k: v[-1] for k, v in panel.series.items()}
+        assert last["ft r=1"] < last["fault-free Q_3"]
+        assert last["ft r=2"] < last["fault-free Q_3"]
+        assert last["ft r=3"] < last["fault-free Q_2"]
+
+    def test_default_m_values_scale(self):
+        vals = default_m_values(6, points=3)
+        assert len(vals) == 3
+        assert vals[0] == 50 * 64 and vals[-1] == 5000 * 64
+
+    def test_render(self, panel):
+        out = render_figure7(panel)
+        assert "Figure 7" in out and "Q_4" in out

@@ -1,0 +1,46 @@
+"""Tests for repro.experiments.modelcheck."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.modelcheck import (
+    compute_modelcheck,
+    render_modelcheck,
+)
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return compute_modelcheck(ns=(4, 5), keys_per_proc=200, placements=3, seed=9)
+
+
+class TestModelCheck:
+    def test_grid_covered(self, cells):
+        assert {(c.n, c.r) for c in cells} == {
+            (n, r) for n in (4, 5) for r in range(n)
+        }
+
+    def test_bound_sound_everywhere(self, cells):
+        for c in cells:
+            assert c.max_ratio <= 1.0, (c.n, c.r, c.max_ratio)
+
+    def test_bound_not_vacuous(self, cells):
+        for c in cells:
+            assert c.mean_ratio > 0.2, (c.n, c.r, c.mean_ratio)
+
+    def test_mean_le_max(self, cells):
+        for c in cells:
+            assert c.mean_ratio <= c.max_ratio + 1e-12
+
+    def test_multi_fault_slack_larger(self, cells):
+        # The worst-case formula is loosest for the partitioned path
+        # (full-sort charges vs our merge+mirror): multi-fault ratios sit
+        # well below the near-tight fault-free ones.
+        free = next(c for c in cells if (c.n, c.r) == (5, 0))
+        multi = next(c for c in cells if (c.n, c.r) == (5, 4))
+        assert multi.mean_ratio < free.mean_ratio
+
+    def test_render(self, cells):
+        out = render_modelcheck(cells)
+        assert "Model check" in out and "measured/bound" in out

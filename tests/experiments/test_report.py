@@ -1,0 +1,67 @@
+"""Tests for repro.experiments.report — table/series/CSV rendering."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.experiments.report import format_series, format_table, to_csv
+
+
+class TestFormatTable:
+    def test_columns_aligned(self):
+        out = format_table(["name", "v"], [["a", 1], ["longer", 22]])
+        lines = out.splitlines()
+        # separator row matches header width
+        assert len(lines[1]) == len(lines[0])
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_floats_two_decimals(self):
+        out = format_table(["x"], [[3.14159]])
+        assert "3.14" in out and "3.142" not in out
+
+    def test_ints_verbatim(self):
+        out = format_table(["x"], [[320000]])
+        assert "320000" in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_title_on_first_line(self):
+        out = format_table(["a"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+
+class TestToCsv:
+    def test_roundtrip(self):
+        text = to_csv(["n", "r", "pct"], [[6, 5, 93.82], [6, 4, 64.79]])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["n", "r", "pct"]
+        assert rows[1] == ["6", "5", "93.82"]
+
+    def test_quoting_of_commas(self):
+        text = to_csv(["label"], [["a, b"]])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[1] == ["a, b"]
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            to_csv(["a", "b"], [[1]])
+
+    def test_empty_table(self):
+        text = to_csv(["a"], [])
+        assert text == "a\n"
+
+
+class TestFormatSeries:
+    def test_headers_are_series_names(self):
+        out = format_series("M", [1, 2], {"s1": [1.0, 2.0], "s2": [3.0, 4.0]})
+        header = out.splitlines()[0]
+        assert "M" in header and "s1" in header and "s2" in header
+
+    def test_title_passthrough(self):
+        out = format_series("x", [1], {"y": [2.0]}, title="Series Title")
+        assert out.splitlines()[0] == "Series Title"

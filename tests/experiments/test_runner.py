@@ -1,0 +1,59 @@
+"""Tests for repro.experiments.runner — the reproduce-all command."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import main, run_all
+
+
+class TestRunAll:
+    @pytest.fixture(scope="class")
+    def out_dir(self, tmp_path_factory):
+        d = tmp_path_factory.mktemp("results")
+        run_all(str(d), quick=True, seed=7)
+        return d
+
+    def test_all_artifacts_written(self, out_dir):
+        names = set(os.listdir(out_dir))
+        expected = {
+            "MANIFEST.txt", "table1.txt", "table2.txt", "modelcheck.txt",
+            "data_sensitivity.txt", "table1.csv", "table2.csv",
+            "figure7a.txt", "figure7b.txt", "figure7c.txt", "figure7d.txt",
+            "figure7a.csv", "figure7b.csv", "figure7c.csv", "figure7d.csv",
+            "figure7a.svg", "figure7b.svg", "figure7c.svg", "figure7d.svg",
+            "figure3_partition_q4.svg", "figure5_partition_q5.svg",
+        }
+        assert expected <= names
+
+    def test_csv_parses(self, out_dir):
+        import csv as csvmod
+
+        with open(out_dir / "table2.csv", newline="") as fh:
+            rows = list(csvmod.reader(fh))
+        assert rows[0][:2] == ["n", "r"]
+        assert len(rows) > 5
+
+    def test_tables_contain_rows(self, out_dir):
+        table1 = (out_dir / "table1.txt").read_text()
+        assert "Table 1" in table1 and "m=3" in table1
+        table2 = (out_dir / "table2.txt").read_text()
+        assert "max-subcube" in table2
+
+    def test_svg_valid(self, out_dir):
+        import xml.etree.ElementTree as ET
+
+        ET.fromstring((out_dir / "figure7a.svg").read_text())
+
+    def test_manifest_lists_artifacts(self, out_dir):
+        manifest = (out_dir / "MANIFEST.txt").read_text()
+        assert "table1.txt" in manifest
+        assert "figure7d.svg" in manifest
+        assert "seed: 7" in manifest
+
+    def test_cli_main(self, tmp_path, capsys):
+        rc = main(["--out", str(tmp_path / "r"), "--quick", "--seed", "3"])
+        assert rc == 0
+        assert "artifacts" in capsys.readouterr().out

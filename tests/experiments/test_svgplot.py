@@ -1,0 +1,99 @@
+"""Tests for repro.experiments.svgplot — dependency-free SVG charts."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.figure7 import compute_figure7, render_figure7_svg
+from repro.experiments.svgplot import PALETTE, line_chart, save_chart
+from repro.simulator.params import MachineParams
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestLineChart:
+    def test_valid_xml(self):
+        svg = line_chart([1, 10, 100], {"a": [1.0, 10.0, 100.0]})
+        root = parse(svg)
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_polyline_per_series(self):
+        svg = line_chart([1, 10], {"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        root = parse(svg)
+        polylines = root.findall(f"{SVG_NS}polyline")
+        # one data polyline per series (legend swatches are <line>)
+        assert len(polylines) == 2
+
+    def test_legend_labels_present(self):
+        svg = line_chart([1, 10], {"ft r=1": [1.0, 2.0]}, title="T")
+        assert "ft r=1" in svg and ">T<" in svg
+
+    def test_baseline_series_dashed(self):
+        svg = line_chart(
+            [1, 10], {"fault-free Q_5": [1.0, 2.0], "ft r=1": [1.0, 2.0]}
+        )
+        root = parse(svg)
+        dashed = [
+            el for el in root.iter(f"{SVG_NS}polyline")
+            if el.get("stroke-dasharray")
+        ]
+        assert len(dashed) == 1
+
+    def test_markers_per_point(self):
+        svg = line_chart([1, 10, 100], {"a": [1.0, 2.0, 3.0]})
+        root = parse(svg)
+        assert len(root.findall(f"{SVG_NS}circle")) == 3
+
+    def test_title_escaped(self):
+        svg = line_chart([1, 10], {"a": [1.0, 2.0]}, title="a < b & c")
+        parse(svg)  # must stay valid XML
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 10], {})
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 10], {"a": [1.0]})
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            line_chart([1], {"a": [1.0]})
+
+    def test_rejects_nonpositive_on_log(self):
+        with pytest.raises(ValueError):
+            line_chart([0, 10], {"a": [1.0, 2.0]})
+
+    def test_linear_axes_allow_zero(self):
+        svg = line_chart([0, 10], {"a": [0.0, 2.0]}, log_x=False, log_y=False)
+        parse(svg)
+
+    def test_palette_cycles(self):
+        series = {f"s{i}": [1.0, 2.0] for i in range(len(PALETTE) + 2)}
+        svg = line_chart([1, 10], series)
+        parse(svg)
+
+    def test_save_chart(self, tmp_path):
+        svg = line_chart([1, 10], {"a": [1.0, 2.0]})
+        path = tmp_path / "chart.svg"
+        save_chart(str(path), svg)
+        assert path.read_text().startswith("<svg")
+
+
+class TestFigure7Svg:
+    def test_panel_renders(self):
+        panel = compute_figure7(
+            3, m_values=(400, 4000), placements=1,
+            params=MachineParams.ncube7(), seed=1,
+        )
+        svg = render_figure7_svg(panel)
+        root = parse(svg)
+        assert "Figure 7" in svg
+        # every series drawn
+        assert len(root.findall(f"{SVG_NS}polyline")) == len(panel.series)

@@ -1,0 +1,86 @@
+"""Tests for repro.experiments.workloads — generators + data sensitivity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.workloads import (
+    compute_data_sensitivity,
+    generate_workload,
+    render_data_sensitivity,
+    workload_names,
+)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", workload_names())
+    def test_shape_and_finiteness(self, name):
+        keys = generate_workload(name, 200, rng=1)
+        assert keys.shape == (200,)
+        assert np.isfinite(keys).all()
+
+    def test_sorted_is_sorted(self):
+        keys = generate_workload("sorted", 100, rng=2)
+        assert (np.diff(keys) >= 0).all()
+
+    def test_reversed_is_reversed(self):
+        keys = generate_workload("reversed", 100, rng=2)
+        assert (np.diff(keys) <= 0).all()
+
+    def test_nearly_sorted_is_mostly_sorted(self):
+        keys = generate_workload("nearly-sorted", 1000, rng=3)
+        inversions = int((np.diff(keys) < 0).sum())
+        assert 0 < inversions < 60
+
+    def test_few_distinct(self):
+        keys = generate_workload("few-distinct", 500, rng=4)
+        assert len(np.unique(keys)) <= 8
+
+    def test_organ_pipe_shape(self):
+        keys = generate_workload("organ-pipe", 10, rng=0)
+        assert keys.tolist() == [0, 1, 2, 3, 4, 4, 3, 2, 1, 0]
+
+    def test_deterministic_per_seed(self):
+        a = generate_workload("uniform", 50, rng=9)
+        b = generate_workload("uniform", 50, rng=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            generate_workload("adversarial-quantum", 10)
+
+
+class TestDataSensitivity:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return compute_data_sensitivity(m_keys=24 * 100, seed=5)
+
+    def test_all_workloads_present(self, rows):
+        assert {r.workload for r in rows} == set(workload_names())
+
+    def test_sorted_fastest(self, rows):
+        # Probe skips make pre-sorted input the clear best case.
+        by_name = {r.workload: r for r in rows}
+        assert by_name["sorted"].elapsed < by_name["uniform"].elapsed
+        assert by_name["sorted"].elements_sent < by_name["uniform"].elements_sent
+
+    def test_relative_column_consistent(self, rows):
+        by_name = {r.workload: r for r in rows}
+        uniform = by_name["uniform"]
+        for r in rows:
+            assert r.relative_to_uniform == pytest.approx(r.elapsed / uniform.elapsed)
+
+    def test_sensitivity_is_bounded(self, rows):
+        # Obliviousness bounds the spread: no workload can exceed the
+        # no-skip worst case, which is within ~2x of uniform here.
+        rel = [r.relative_to_uniform for r in rows]
+        assert max(rel) < 2.0 and min(rel) > 0.3
+
+    def test_sorted_by_time(self, rows):
+        times = [r.elapsed for r in rows]
+        assert times == sorted(times)
+
+    def test_render(self, rows):
+        out = render_data_sensitivity(rows)
+        assert "Data sensitivity" in out and "uniform" in out

@@ -1,0 +1,76 @@
+"""Tests for repro.faults.diagnosis — the PMC off-line diagnosis substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.diagnosis import diagnose_pmc, pmc_syndrome
+from repro.faults.inject import random_faulty_processors
+from repro.faults.model import FaultSet
+
+
+class TestSyndrome:
+    def test_fault_free_syndrome_all_pass(self):
+        syndrome = pmc_syndrome(FaultSet(3), rng=0)
+        assert all(v == 0 for v in syndrome.values())
+        # every directed neighbor test appears exactly once
+        assert len(syndrome) == 8 * 3
+
+    def test_truthful_reports_about_faulty(self):
+        fs = FaultSet(3, [5])
+        syndrome = pmc_syndrome(fs, rng=0)
+        for (tester, tested), outcome in syndrome.items():
+            if not fs.is_faulty(tester):
+                assert outcome == (1 if tested == 5 else 0)
+
+    def test_faulty_tester_reports_random(self):
+        fs = FaultSet(4, [3])
+        outs = set()
+        for seed in range(16):
+            syndrome = pmc_syndrome(fs, rng=seed)
+            outs.add(tuple(syndrome[(3, t)] for t in fs.cube.neighbors(3)))
+        assert len(outs) > 1  # not deterministic
+
+
+class TestDiagnosis:
+    def test_no_faults(self):
+        syndrome = pmc_syndrome(FaultSet(4), rng=1)
+        result = diagnose_pmc(4, syndrome)
+        assert result.identified == ()
+        assert result.consistent
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_identifies_up_to_n_minus_1_faults(self, n):
+        rng = np.random.default_rng(99)
+        for trial in range(40):
+            r = int(rng.integers(1, n))
+            fs = FaultSet(n, random_faulty_processors(n, r, rng))
+            syndrome = pmc_syndrome(fs, rng=rng)
+            result = diagnose_pmc(n, syndrome)
+            assert result.matches(fs), (
+                f"n={n} faults={fs.processors} identified={result.identified}"
+            )
+            assert result.consistent
+
+    def test_single_fault_every_location(self):
+        for f in range(16):
+            fs = FaultSet(4, [f])
+            syndrome = pmc_syndrome(fs, rng=f)
+            result = diagnose_pmc(4, syndrome)
+            assert result.identified == (f,)
+
+    def test_consistency_flag_checks_budget(self):
+        # Hand-build a syndrome where nobody accuses anyone: diagnosis is
+        # empty and trivially consistent.
+        fs = FaultSet(3)
+        syndrome = pmc_syndrome(fs, rng=0)
+        result = diagnose_pmc(3, syndrome, max_faults=0)
+        assert result.consistent
+
+    def test_result_matches_api(self):
+        fs = FaultSet(3, [2])
+        syndrome = pmc_syndrome(fs, rng=3)
+        result = diagnose_pmc(3, syndrome)
+        assert result.matches(fs)
+        assert not result.matches(FaultSet(3, [1]))

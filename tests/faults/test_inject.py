@@ -1,0 +1,78 @@
+"""Tests for repro.faults.inject — seeded random fault placement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.inject import random_fault_set, random_faulty_processors, random_link_faults
+from repro.faults.model import FaultKind
+
+
+class TestRandomProcessors:
+    def test_count_and_range(self, rng):
+        faults = random_faulty_processors(5, 4, rng)
+        assert len(faults) == 4
+        assert len(set(faults)) == 4
+        assert all(0 <= f < 32 for f in faults)
+
+    def test_sorted_output(self, rng):
+        faults = random_faulty_processors(6, 5, rng)
+        assert list(faults) == sorted(faults)
+
+    def test_deterministic_for_seed(self):
+        a = random_faulty_processors(6, 3, 123)
+        b = random_faulty_processors(6, 3, 123)
+        assert a == b
+
+    def test_different_seeds_differ_sometimes(self):
+        draws = {random_faulty_processors(6, 3, seed) for seed in range(20)}
+        assert len(draws) > 1
+
+    def test_zero_faults(self, rng):
+        assert random_faulty_processors(4, 0, rng) == ()
+
+    def test_all_faulty_allowed_at_injection_level(self, rng):
+        assert len(random_faulty_processors(2, 4, rng)) == 4
+
+    def test_too_many_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_faulty_processors(2, 5, rng)
+
+    def test_uniformity_rough(self):
+        # Each address should appear roughly r/2^n of the time.
+        rng = np.random.default_rng(7)
+        counts = np.zeros(8)
+        trials = 4000
+        for _ in range(trials):
+            for f in random_faulty_processors(3, 2, rng):
+                counts[f] += 1
+        expected = trials * 2 / 8
+        assert np.all(np.abs(counts - expected) < 5 * np.sqrt(expected))
+
+
+class TestRandomLinks:
+    def test_count_and_form(self, rng):
+        links = random_link_faults(4, 5, rng)
+        assert len(links) == 5
+        assert len(set(links)) == 5
+        for a, b in links:
+            assert a < b
+            assert ((a ^ b) & (a ^ b) - 1) == 0  # neighbors: one differing bit
+
+    def test_too_many_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_link_faults(2, 5, rng)
+
+
+class TestRandomFaultSet:
+    def test_combined(self, rng):
+        fs = random_fault_set(4, 3, kind=FaultKind.PARTIAL, link_faults=2, rng=rng)
+        assert fs.r == 3
+        assert len(fs.links) == 2
+        assert fs.kind is FaultKind.PARTIAL
+
+    def test_single_seed_fixes_everything(self):
+        a = random_fault_set(5, 4, link_faults=3, rng=42)
+        b = random_fault_set(5, 4, link_faults=3, rng=42)
+        assert a == b

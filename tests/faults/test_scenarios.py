@@ -1,0 +1,63 @@
+"""Tests for repro.faults.scenarios — named canonical fault placements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.partition import find_min_cuts
+from repro.faults.model import FaultKind
+from repro.faults.scenarios import SCENARIOS, make_scenario, scenario_names
+
+
+class TestScenarios:
+    def test_names_listed(self):
+        assert "paper-example1" in scenario_names()
+        assert set(scenario_names()) == set(SCENARIOS)
+
+    def test_paper_example1(self):
+        fs = make_scenario("paper-example1", 5)
+        assert fs.processors == (3, 5, 16, 24)
+
+    def test_paper_example1_wrong_dim_rejected(self):
+        with pytest.raises(ValueError):
+            make_scenario("paper-example1", 6)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_scenario("meteor-strike", 5)
+
+    def test_kind_propagates(self):
+        fs = make_scenario("antipodal-pair", 4, kind=FaultKind.TOTAL)
+        assert fs.kind is FaultKind.TOTAL
+
+    @pytest.mark.parametrize("name", ["single-corner", "antipodal-pair",
+                                      "adjacent-pair", "clustered", "scattered"])
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    def test_all_valid_on_common_dims(self, name, n):
+        fs = make_scenario(name, n)
+        assert fs.satisfies_paper_model()
+        assert all(0 <= p < (1 << n) for p in fs.processors)
+
+    def test_clustered_needs_more_cuts_than_scattered(self):
+        # The structural point of the two shapes.
+        n = 6
+        clustered = find_min_cuts(n, make_scenario("clustered", n)).mincut
+        scattered = find_min_cuts(n, make_scenario("scattered", n)).mincut
+        assert clustered >= scattered
+
+    def test_scattered_is_spread_out(self):
+        fs = make_scenario("scattered", 6)
+        from repro.cube.address import hamming_distance
+
+        pairs = [
+            hamming_distance(a, b)
+            for i, a in enumerate(fs.processors)
+            for b in fs.processors[i + 1:]
+        ]
+        assert min(pairs) >= 2
+
+    def test_clustered_is_tight(self):
+        fs = make_scenario("clustered", 6)
+        from repro.cube.address import hamming_distance
+
+        assert all(hamming_distance(0, p) <= 1 for p in fs.processors)

@@ -1,0 +1,133 @@
+"""Tests for repro.simulator.engine — the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.engine import EventEngine, Message
+from repro.simulator.params import MachineParams
+
+
+def params(t_element=1.0, t_startup=10.0):
+    return MachineParams(t_compare=1.0, t_element=t_element, t_startup=t_startup)
+
+
+class TestEventQueue:
+    def test_events_run_in_time_order(self):
+        eng = EventEngine(params())
+        seen = []
+        eng.schedule(5.0, lambda: seen.append("b"))
+        eng.schedule(1.0, lambda: seen.append("a"))
+        eng.schedule(9.0, lambda: seen.append("c"))
+        eng.run()
+        assert seen == ["a", "b", "c"]
+        assert eng.now == 9.0
+
+    def test_ties_fifo(self):
+        eng = EventEngine(params())
+        seen = []
+        eng.schedule(1.0, lambda: seen.append(1))
+        eng.schedule(1.0, lambda: seen.append(2))
+        eng.run()
+        assert seen == [1, 2]
+
+    def test_run_until(self):
+        eng = EventEngine(params())
+        seen = []
+        eng.schedule(1.0, lambda: seen.append(1))
+        eng.schedule(5.0, lambda: seen.append(5))
+        eng.run(until=2.0)
+        assert seen == [1]
+        assert eng.pending_events == 1
+        eng.run()
+        assert seen == [1, 5]
+
+    def test_past_scheduling_rejected(self):
+        eng = EventEngine(params())
+        eng.schedule(5.0, lambda: None)
+        eng.run()
+        with pytest.raises(ValueError):
+            eng.schedule(1.0, lambda: None)
+
+    def test_reentrant_scheduling(self):
+        eng = EventEngine(params())
+        seen = []
+
+        def first():
+            seen.append("first")
+            eng.schedule(eng.now + 1, lambda: seen.append("second"))
+
+        eng.schedule(1.0, first)
+        eng.run()
+        assert seen == ["first", "second"]
+
+
+class TestMessageTransport:
+    def test_single_hop_latency(self):
+        eng = EventEngine(params(t_element=2.0, t_startup=10.0))
+        msg = Message(src=0, dst=1, size=5, path=[0, 1])
+        done = []
+        eng.send(msg, done.append)
+        eng.run()
+        assert msg.delivered_at == 10.0 + 5 * 2.0
+        assert msg.latency == 20.0
+        assert done == [msg]
+
+    def test_store_and_forward_multi_hop(self):
+        eng = EventEngine(params(t_element=1.0, t_startup=10.0))
+        msg = Message(src=0, dst=3, size=5, path=[0, 1, 3])
+        eng.send(msg, lambda m: None)
+        eng.run()
+        assert msg.delivered_at == 2 * (10 + 5)
+        assert msg.hops_taken == 2
+
+    def test_self_send_immediate(self):
+        eng = EventEngine(params())
+        msg = Message(src=2, dst=2, size=9, path=[2])
+        eng.send(msg, lambda m: None)
+        eng.run()
+        assert msg.delivered_at == 0.0
+
+    def test_link_contention_serializes(self):
+        eng = EventEngine(params(t_element=1.0, t_startup=0.0))
+        m1 = Message(src=0, dst=1, size=10, path=[0, 1])
+        m2 = Message(src=0, dst=1, size=10, path=[0, 1])
+        eng.send(m1, lambda m: None)
+        eng.send(m2, lambda m: None)
+        eng.run()
+        assert m1.delivered_at == 10.0
+        assert m2.delivered_at == 20.0  # queued behind m1
+
+    def test_opposite_directions_dont_contend(self):
+        eng = EventEngine(params(t_element=1.0, t_startup=0.0))
+        m1 = Message(src=0, dst=1, size=10, path=[0, 1])
+        m2 = Message(src=1, dst=0, size=10, path=[1, 0])
+        eng.send(m1, lambda m: None)
+        eng.send(m2, lambda m: None)
+        eng.run()
+        assert m1.delivered_at == 10.0
+        assert m2.delivered_at == 10.0  # full duplex
+
+    def test_bad_path_rejected(self):
+        eng = EventEngine(params())
+        with pytest.raises(ValueError):
+            eng.send(Message(src=0, dst=1, size=1, path=[0, 2]), lambda m: None)
+        with pytest.raises(ValueError):
+            eng.send(Message(src=0, dst=1, size=1, path=[]), lambda m: None)
+
+    def test_deferred_injection(self):
+        eng = EventEngine(params(t_element=1.0, t_startup=0.0))
+        msg = Message(src=0, dst=1, size=4, path=[0, 1])
+        eng.send(msg, lambda m: None, at=100.0)
+        eng.run()
+        assert msg.sent_at == 100.0
+        assert msg.delivered_at == 104.0
+
+    def test_statistics(self):
+        eng = EventEngine(params(t_element=1.0, t_startup=0.0))
+        eng.send(Message(src=0, dst=3, size=10, path=[0, 1, 3]), lambda m: None)
+        eng.send(Message(src=0, dst=1, size=10, path=[0, 1]), lambda m: None)
+        eng.run()
+        assert len(eng.delivered) == 2
+        assert eng.total_link_busy() == 30.0
+        assert eng.max_link_busy() == 20.0  # link (0,1) carried both

@@ -1,0 +1,66 @@
+"""Tests for the PhaseMachine observer hook (used by the walkthroughs)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ftsort import fault_tolerant_sort
+from repro.simulator.params import MachineParams
+from repro.simulator.phases import PhaseMachine
+
+
+class TestObserverHook:
+    def test_called_once_per_phase(self):
+        m = PhaseMachine(2, params=MachineParams.unit())
+        seen = []
+        m.on_phase_end = lambda machine, rec: seen.append(rec.label)
+        with m.phase("a"):
+            m.charge_compute(0, 1)
+        with m.phase("b"):
+            pass
+        assert seen == ["a", "b"]
+
+    def test_observer_sees_final_record(self):
+        m = PhaseMachine(2, params=MachineParams.unit())
+        captured = {}
+
+        def hook(machine, rec):
+            captured["duration"] = rec.duration
+            captured["elapsed"] = machine.elapsed
+
+        m.on_phase_end = hook
+        with m.phase("x"):
+            m.charge_compute(1, 7)
+        assert captured["duration"] == 7.0
+        assert captured["elapsed"] == 7.0
+
+    def test_observer_fires_even_on_exception(self):
+        m = PhaseMachine(2, params=MachineParams.unit())
+        seen = []
+        m.on_phase_end = lambda machine, rec: seen.append(rec.label)
+        try:
+            with m.phase("boom"):
+                raise RuntimeError("injected")
+        except RuntimeError:
+            pass
+        assert seen == ["boom"]
+
+    def test_ftsort_observer_snapshots_blocks(self, rng):
+        keys = rng.integers(0, 100, size=47).astype(float)
+        snapshots = []
+
+        def observer(machine, rec):
+            snapshots.append((rec.label, machine.total_keys()))
+
+        res = fault_tolerant_sort(keys, 5, [3, 5, 16, 24], observer=observer)
+        assert len(snapshots) == len(res.machine.phases)
+        # key conservation at every phase boundary (padding included)
+        total = snapshots[0][1]
+        assert all(count == total for _, count in snapshots)
+        np.testing.assert_array_equal(res.sorted_keys, np.sort(keys))
+
+    def test_no_observer_by_default(self):
+        m = PhaseMachine(2, params=MachineParams.unit())
+        assert m.on_phase_end is None
+        with m.phase("quiet"):
+            pass  # must not raise

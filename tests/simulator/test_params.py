@@ -1,0 +1,75 @@
+"""Tests for repro.simulator.params."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.params import MachineParams
+
+
+class TestMachineParams:
+    def test_defaults_match_ncube7(self):
+        assert MachineParams() == MachineParams.ncube7()
+
+    def test_unit(self):
+        p = MachineParams.unit()
+        assert p.t_compare == 1.0 and p.t_element == 1.0 and p.t_startup == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MachineParams(t_compare=-1.0)
+
+    def test_frozen(self):
+        p = MachineParams.unit()
+        with pytest.raises(AttributeError):
+            p.t_compare = 2.0  # type: ignore[misc]
+
+    def test_transfer_time_store_and_forward(self):
+        p = MachineParams(t_compare=1, t_element=2, t_startup=10)
+        # 3 hops, 5 elements: 3 * (10 + 5*2) = 60
+        assert p.transfer_time(5, 3) == 60
+
+    def test_transfer_time_zero_cases(self):
+        p = MachineParams.ncube7()
+        assert p.transfer_time(0, 4) == 0.0
+        assert p.transfer_time(4, 0) == 0.0
+
+    def test_transfer_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MachineParams.unit().transfer_time(-1, 1)
+
+    def test_compare_time(self):
+        p = MachineParams(t_compare=3)
+        assert p.compare_time(7) == 21
+
+    def test_compare_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MachineParams.unit().compare_time(-1)
+
+    def test_ncube7_regime_compute_comparable_to_comm(self):
+        # The calibration argument: t_c ~ t_s/r on this machine.
+        p = MachineParams.ncube7()
+        assert 0.5 <= p.t_compare / p.t_element <= 2.0
+        assert p.t_startup > 10 * p.t_element
+
+    def test_switching_validation(self):
+        with pytest.raises(ValueError):
+            MachineParams(switching="wormhole-ish")
+
+    def test_cut_through_single_hop_equals_store_forward(self):
+        sf = MachineParams(t_element=2, t_startup=10, switching="store_forward")
+        ct = MachineParams(t_element=2, t_startup=10, switching="cut_through")
+        assert sf.transfer_time(5, 1) == ct.transfer_time(5, 1)
+
+    def test_cut_through_pipelines_multi_hop(self):
+        sf = MachineParams(t_element=2, t_startup=10, switching="store_forward")
+        ct = MachineParams(t_element=2, t_startup=10, switching="cut_through")
+        # 4 hops, 100 elements: SF = 4*(10+200) = 840; CT = 10+200+3*2 = 216
+        assert sf.transfer_time(100, 4) == 840
+        assert ct.transfer_time(100, 4) == 216
+        assert ct.transfer_time(100, 4) < sf.transfer_time(100, 4)
+
+    def test_ncube2_preset(self):
+        p = MachineParams.ncube2()
+        assert p.switching == "cut_through"
+        assert p.t_element < MachineParams.ncube7().t_element

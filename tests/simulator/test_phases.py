@@ -1,0 +1,176 @@
+"""Tests for repro.simulator.phases — the synchronous phase engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.model import FaultKind, FaultSet
+from repro.simulator.params import MachineParams
+from repro.simulator.phases import PhaseMachine
+
+
+def unit_machine(n=3, faults=None):
+    return PhaseMachine(n, params=MachineParams.unit(), faults=faults)
+
+
+class TestBlocks:
+    def test_set_get_roundtrip(self):
+        m = unit_machine()
+        m.set_block(3, [3.0, 1.0])
+        assert m.get_block(3).tolist() == [3.0, 1.0]
+
+    def test_set_copies(self):
+        m = unit_machine()
+        arr = np.array([1.0, 2.0])
+        m.set_block(0, arr)
+        arr[0] = 99.0
+        assert m.get_block(0)[0] == 1.0
+
+    def test_missing_block_empty(self):
+        assert unit_machine().get_block(5).size == 0
+
+    def test_faulty_node_cannot_store(self):
+        m = unit_machine(faults=FaultSet(3, [2]))
+        with pytest.raises(ValueError):
+            m.set_block(2, [1.0])
+
+    def test_total_keys_and_clear(self):
+        m = unit_machine()
+        m.set_block(0, [1.0, 2.0])
+        m.set_block(1, [3.0])
+        assert m.total_keys() == 3
+        m.clear_blocks()
+        assert m.total_keys() == 0
+
+    def test_rejects_2d_blocks(self):
+        with pytest.raises(ValueError):
+            unit_machine().set_block(0, np.zeros((2, 2)))
+
+    def test_fault_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            PhaseMachine(3, faults=FaultSet(4, [1]))
+
+
+class TestPhaseAccounting:
+    def test_phase_duration_is_max_over_nodes(self):
+        m = unit_machine()
+        with m.phase("p") as rec:
+            m.charge_compute(0, 10)
+            m.charge_compute(1, 3)
+        assert rec.duration == 10.0
+        assert m.elapsed == 10.0
+
+    def test_phases_accumulate(self):
+        m = unit_machine()
+        with m.phase("a"):
+            m.charge_compute(0, 4)
+        with m.phase("b"):
+            m.charge_compute(1, 6)
+        assert m.elapsed == 10.0
+        assert [p.label for p in m.phases] == ["a", "b"]
+
+    def test_nested_phase_rejected(self):
+        m = unit_machine()
+        with m.phase("outer"):
+            with pytest.raises(RuntimeError):
+                with m.phase("inner"):
+                    pass
+
+    def test_charge_outside_phase_rejected(self):
+        m = unit_machine()
+        with pytest.raises(RuntimeError):
+            m.charge_compute(0, 1)
+        with pytest.raises(RuntimeError):
+            m.charge_transfer(0, 1, 1)
+
+    def test_transfer_charges_both_endpoints(self):
+        m = unit_machine()
+        with m.phase("t") as rec:
+            m.charge_transfer(0, 1, 5, hops=1)
+        assert rec.duration == 5.0  # 5 elements x 1 hop x unit cost
+        assert rec.elements_sent == 5
+        assert rec.element_hops == 5
+        assert rec.messages == 1
+
+    def test_transfer_accumulates_on_shared_node(self):
+        m = unit_machine()
+        with m.phase("t") as rec:
+            m.charge_transfer(0, 1, 5, hops=1)
+            m.charge_transfer(0, 2, 5, hops=1)
+        assert rec.duration == 10.0  # node 0 did both transfers serially
+
+    def test_swap_charges_once_per_node(self):
+        m = unit_machine()
+        with m.phase("s") as rec:
+            m.charge_swap(0, 1, 5, hops=1)
+        assert rec.duration == 5.0  # full duplex: one transfer interval
+        assert rec.elements_sent == 10  # both directions counted as traffic
+        assert rec.messages == 2
+
+    def test_zero_element_transfer_free(self):
+        m = unit_machine()
+        with m.phase("t") as rec:
+            m.charge_transfer(0, 1, 0)
+            m.charge_swap(0, 1, 0)
+        assert rec.duration == 0.0 and rec.messages == 0
+
+    def test_negative_charges_rejected(self):
+        m = unit_machine()
+        with m.phase("t"):
+            with pytest.raises(ValueError):
+                m.charge_compute(0, -1)
+            with pytest.raises(ValueError):
+                m.charge_transfer(0, 1, -1)
+
+    def test_startup_in_transfer(self):
+        m = PhaseMachine(2, params=MachineParams(t_compare=0, t_element=1, t_startup=100))
+        with m.phase("t") as rec:
+            m.charge_transfer(0, 1, 10, hops=2)
+        # 2 hops x (100 + 10) = 220
+        assert rec.duration == 220.0
+
+    def test_totals(self):
+        m = unit_machine()
+        with m.phase("a"):
+            m.charge_compute(0, 3)
+            m.charge_transfer(0, 1, 2, hops=2)
+        assert m.total_comparisons() == 3
+        assert m.total_elements_sent() == 2
+        assert m.total_element_hops() == 4
+
+
+class TestHops:
+    def test_fault_free_hamming(self):
+        m = unit_machine(4)
+        assert m.hops(0b0000, 0b1011) == 3
+        assert m.hops(5, 5) == 0
+
+    def test_partial_faults_route_through(self):
+        fs = FaultSet(3, [1, 3], kind=FaultKind.PARTIAL)
+        m = unit_machine(3, faults=fs)
+        # e-cube 0 -> 7 passes nodes 1, 3; partial faults forward anyway.
+        assert m.hops(0, 7) == 3
+
+    def test_total_faults_detour(self):
+        fs = FaultSet(3, [1], kind=FaultKind.TOTAL)
+        m = unit_machine(3, faults=fs)
+        # 0 -> 3: direct routes via 1 or 2; avoiding 1 still gives 2 hops
+        assert m.hops(0, 3) == 2
+        # 0 -> 1 impossible (endpoint faulty)
+        with pytest.raises(ValueError):
+            m.hops(0, 1)
+
+    def test_total_fault_longer_path(self):
+        # Q_2: 0 -> 3 avoiding node 1 must go 0-2-3; avoiding both 1 and 2
+        # is impossible, but that needs r = n faults.
+        fs = FaultSet(2, [1], kind=FaultKind.TOTAL)
+        m = unit_machine(2, faults=fs)
+        assert m.hops(0, 3) == 2
+
+    def test_hop_cache_consistency(self):
+        fs = FaultSet(4, [3, 5, 9], kind=FaultKind.TOTAL)
+        m = unit_machine(4, faults=fs)
+        first = m.hops(0, 15)
+        second = m.hops(0, 15)
+        assert first == second

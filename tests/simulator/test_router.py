@@ -1,0 +1,134 @@
+"""Tests for repro.simulator.router — e-cube, adaptive and oracle routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cube.address import hamming_distance
+from repro.faults.inject import random_faulty_processors
+from repro.faults.model import FaultKind, FaultSet
+from repro.simulator.router import RouteError, Router
+
+
+def path_is_valid(path, n):
+    for a, b in zip(path, path[1:]):
+        assert hamming_distance(a, b) == 1, f"non-neighbor hop {a}->{b}"
+
+
+class TestStrategySelection:
+    def test_auto_partial_is_ecube(self):
+        r = Router(FaultSet(3, [1], kind=FaultKind.PARTIAL))
+        assert r.strategy == "ecube"
+
+    def test_auto_total_is_adaptive(self):
+        r = Router(FaultSet(3, [1], kind=FaultKind.TOTAL))
+        assert r.strategy == "adaptive"
+
+    def test_auto_fault_free_is_ecube(self):
+        assert Router(FaultSet(3)).strategy == "ecube"
+
+    def test_auto_link_faults_adaptive(self):
+        r = Router(FaultSet(3, links=[(0, 1)], kind=FaultKind.PARTIAL))
+        assert r.strategy == "adaptive"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            Router(FaultSet(2), strategy="warp")
+
+
+class TestEcube:
+    def test_fault_free_paths(self):
+        r = Router(FaultSet(4), strategy="ecube")
+        for src, dst in [(0, 15), (3, 12), (7, 7)]:
+            path = r.route(src, dst)
+            path_is_valid(path, 4)
+            assert len(path) == hamming_distance(src, dst) + 1
+
+    def test_partial_fault_passthrough(self):
+        r = Router(FaultSet(3, [1], kind=FaultKind.PARTIAL), strategy="ecube")
+        path = r.route(0, 3)
+        assert path == [0, 1, 3]  # passes through the partial fault
+
+    def test_total_fault_blocks_ecube(self):
+        r = Router(FaultSet(3, [1], kind=FaultKind.TOTAL), strategy="ecube")
+        with pytest.raises(RouteError):
+            r.route(0, 3)
+
+    def test_link_fault_blocks_ecube(self):
+        r = Router(FaultSet(3, links=[(0, 1)]), strategy="ecube")
+        with pytest.raises(RouteError):
+            r.route(0, 1)
+
+
+class TestShortest:
+    def test_matches_hamming_fault_free(self):
+        r = Router(FaultSet(4), strategy="shortest")
+        for src in (0, 7):
+            for dst in range(16):
+                assert r.hops(src, dst) == hamming_distance(src, dst)
+
+    def test_detours_around_total_faults(self):
+        r = Router(FaultSet(2, [1], kind=FaultKind.TOTAL), strategy="shortest")
+        assert r.route(0, 3) == [0, 2, 3]
+
+    def test_raises_when_disconnected(self):
+        r = Router(FaultSet(2, [1, 2], kind=FaultKind.TOTAL), strategy="shortest")
+        with pytest.raises(RouteError):
+            r.route(0, 3)
+
+    def test_avoids_faulty_links(self):
+        r = Router(FaultSet(2, links=[(0, 1)]), strategy="shortest")
+        assert r.route(0, 1) == [0, 2, 3, 1]
+
+
+class TestAdaptive:
+    def test_fault_free_is_minimal(self):
+        r = Router(FaultSet(4), strategy="adaptive")
+        for src, dst in [(0, 15), (5, 10), (1, 1)]:
+            assert len(r.route(src, dst)) == hamming_distance(src, dst) + 1
+
+    def test_always_delivers_under_model_faults(self, rng):
+        # r <= n-1 total faults: Q_n stays connected, adaptive must deliver.
+        for _ in range(40):
+            n = int(rng.integers(3, 6))
+            r_faults = int(rng.integers(1, n))
+            faults = FaultSet(
+                n, random_faulty_processors(n, r_faults, rng), kind=FaultKind.TOTAL
+            )
+            router = Router(faults, strategy="adaptive")
+            normal = faults.fault_free_processors()
+            src = int(rng.choice(normal))
+            dst = int(rng.choice(normal))
+            path = router.route(src, dst)
+            path_is_valid(path, n)
+            assert path[0] == src and path[-1] == dst
+            assert not any(faults.is_faulty(p) for p in path)
+
+    def test_path_not_much_longer_than_shortest(self, rng):
+        # The greedy DFS usually finds near-minimal simple paths.
+        stretch = []
+        for _ in range(30):
+            n = 5
+            faults = FaultSet(
+                n, random_faulty_processors(n, n - 1, rng), kind=FaultKind.TOTAL
+            )
+            adaptive = Router(faults, strategy="adaptive")
+            oracle = Router(faults, strategy="shortest")
+            normal = faults.fault_free_processors()
+            src, dst = int(rng.choice(normal)), int(rng.choice(normal))
+            stretch.append(adaptive.hops(src, dst) - oracle.hops(src, dst))
+        assert max(stretch) <= 2 * 5  # simple-path bound
+        assert sum(stretch) / len(stretch) <= 2.0
+
+    def test_detour_example(self):
+        r = Router(FaultSet(2, [1], kind=FaultKind.TOTAL), strategy="adaptive")
+        assert r.route(0, 3) == [0, 2, 3]
+
+    def test_raises_when_disconnected(self):
+        r = Router(FaultSet(2, [1, 2], kind=FaultKind.TOTAL), strategy="adaptive")
+        with pytest.raises(RouteError):
+            r.route(0, 3)
+
+    def test_self_route(self):
+        r = Router(FaultSet(3, [1], kind=FaultKind.TOTAL))
+        assert r.route(5, 5) == [5]

@@ -1,0 +1,101 @@
+"""Edge-case tests for the routing layer and diagnosis under stress."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.diagnosis import diagnose_pmc, pmc_syndrome
+from repro.faults.model import FaultKind, FaultSet
+from repro.simulator.router import RouteError, Router
+
+
+class TestRouterEdges:
+    def test_route_to_faulty_destination_partial(self):
+        # Partial model: the destination's comm portion is alive, so the
+        # router can deliver (whether anyone reads it is the SPMD layer's
+        # check, which rejects sends to faulty ranks).
+        r = Router(FaultSet(3, [3], kind=FaultKind.PARTIAL), strategy="ecube")
+        assert r.route(0, 3)[-1] == 3
+
+    def test_adaptive_prefers_productive_dims(self):
+        # Fault-free: adaptive = lowest-dimension-first e-cube order.
+        r = Router(FaultSet(4), strategy="adaptive")
+        assert r.route(0b0000, 0b0101) == [0b0000, 0b0001, 0b0101]
+
+    def test_adaptive_spare_dimension_detour(self):
+        # Q_3, total fault at 1 blocks e-cube 0->3's first hop; adaptive
+        # goes through 2 instead.
+        r = Router(FaultSet(3, [1], kind=FaultKind.TOTAL), strategy="adaptive")
+        path = r.route(0, 3)
+        assert 1 not in path
+        assert len(path) == 3
+
+    def test_adaptive_backtracks_out_of_pockets(self):
+        # Construct a pocket: in Q_4, faults around the greedy route force
+        # at least one non-greedy move; adaptive must still deliver.
+        faults = FaultSet(4, [1, 2, 4], kind=FaultKind.TOTAL)
+        r = Router(faults, strategy="adaptive")
+        path = r.route(0, 15)
+        assert path[0] == 0 and path[-1] == 15
+        assert not any(faults.is_faulty(p) for p in path)
+
+    def test_all_strategies_agree_fault_free_length(self):
+        fs = FaultSet(5)
+        for src, dst in [(0, 31), (7, 24), (12, 12)]:
+            lengths = {
+                Router(fs, strategy=s).hops(src, dst)
+                for s in ("ecube", "adaptive", "shortest")
+            }
+            assert len(lengths) == 1
+
+    def test_hops_zero_for_self(self):
+        r = Router(FaultSet(4, [3], kind=FaultKind.TOTAL))
+        assert r.hops(5, 5) == 0
+
+    def test_link_fault_only_detour(self):
+        fs = FaultSet(3, links=[(0, 1)], kind=FaultKind.PARTIAL)
+        r = Router(fs)  # auto -> adaptive because of the link fault
+        path = r.route(0, 1)
+        assert len(path) == 4  # detour around the dead link
+        for a, b in zip(path, path[1:]):
+            assert not fs.is_link_faulty(a, b)
+
+
+class TestDiagnosisStress:
+    def test_adversarially_lying_testers(self):
+        # Force the worst syndrome: every faulty tester accuses every
+        # fault-free neighbor and clears every faulty one.
+        n = 4
+        fs = FaultSet(n, [0, 5, 10])
+        syndrome = {}
+        for tester in fs.cube.nodes():
+            for tested in fs.cube.neighbors(tester):
+                if fs.is_faulty(tester):
+                    # lie maximally
+                    syndrome[(tester, tested)] = 0 if fs.is_faulty(tested) else 1
+                else:
+                    syndrome[(tester, tested)] = 1 if fs.is_faulty(tested) else 0
+        result = diagnose_pmc(n, syndrome)
+        assert result.matches(fs)
+
+    def test_diagnosis_stable_across_random_lies(self):
+        n = 5
+        fs = FaultSet(n, [2, 9, 17, 30])
+        for seed in range(10):
+            syndrome = pmc_syndrome(fs, rng=seed)
+            assert diagnose_pmc(n, syndrome).matches(fs)
+
+    def test_diagnose_then_route_pipeline(self, rng):
+        # Full loop: diagnose, then route around the identified faults.
+        n = 4
+        fs = FaultSet(n, [6, 9], kind=FaultKind.TOTAL)
+        syndrome = pmc_syndrome(fs, rng=rng)
+        result = diagnose_pmc(n, syndrome)
+        assert result.matches(fs)
+        router = Router(FaultSet(n, result.identified, kind=FaultKind.TOTAL))
+        normal = fs.fault_free_processors()
+        for _ in range(10):
+            s, d = int(rng.choice(normal)), int(rng.choice(normal))
+            path = router.route(s, d)
+            assert not any(p in result.identified for p in path)

@@ -1,0 +1,195 @@
+"""Tests for repro.simulator.spmd — coroutine SPMD programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.model import FaultKind, FaultSet
+from repro.simulator.params import MachineParams
+from repro.simulator.spmd import ANY_SOURCE, Proc, ProgramError, SpmdMachine
+
+
+def machine(n=2, faults=None, t_element=1.0, t_startup=0.0):
+    return SpmdMachine(
+        n,
+        faults=faults,
+        params=MachineParams(t_compare=1.0, t_element=t_element, t_startup=t_startup),
+    )
+
+
+class TestBasics:
+    def test_ping(self):
+        got = {}
+
+        def program(proc: Proc):
+            if proc.rank == 0:
+                yield proc.send(1, payload="hello", size=4)
+            else:
+                got[proc.rank] = yield proc.recv(src=0)
+
+        machine(1).run(program)
+        assert got == {1: "hello"}
+
+    def test_ping_pong_clocks(self):
+        m = machine(1, t_element=1.0)
+
+        def program(proc: Proc):
+            if proc.rank == 0:
+                yield proc.send(1, payload=None, size=10)
+                yield proc.recv(src=1)
+            else:
+                yield proc.recv(src=0)
+                yield proc.send(0, payload=None, size=10)
+
+        finish = m.run(program)
+        assert finish == 20.0  # two sequential 10-element hops
+
+    def test_compute_advances_clock(self):
+        m = machine(1)
+
+        def program(proc: Proc):
+            yield proc.compute(25)
+
+        m.run({0: program})
+        assert m.proc(0).clock == 25.0
+
+    def test_recv_any_source(self):
+        order = []
+
+        def program(proc: Proc):
+            if proc.rank == 3:
+                a = yield proc.recv(src=ANY_SOURCE)
+                b = yield proc.recv(src=ANY_SOURCE)
+                order.extend([a, b])
+            elif proc.rank in (1, 2):
+                yield proc.compute(proc.rank * 5)
+                yield proc.send(3, payload=proc.rank, size=1)
+
+        machine(2).run({1: program, 2: program, 3: program})
+        assert sorted(order) == [1, 2]
+
+    def test_tag_matching(self):
+        got = []
+
+        def program(proc: Proc):
+            if proc.rank == 0:
+                yield proc.send(1, payload="late", size=1, tag=7)
+                yield proc.send(1, payload="early", size=1, tag=9)
+            else:
+                got.append((yield proc.recv(src=0, tag=9)))
+                got.append((yield proc.recv(src=0, tag=7)))
+
+        machine(1).run(program)
+        assert got == ["early", "late"]
+
+    def test_multihop_through_router(self):
+        m = machine(3, t_element=1.0)
+
+        def program(proc: Proc):
+            if proc.rank == 0:
+                yield proc.send(7, payload="x", size=10)
+            elif proc.rank == 7:
+                yield proc.recv(src=0)
+
+        m.run({0: program, 7: program})
+        # 3 store-and-forward hops of 10 elements each
+        assert m.proc(7).clock == 30.0
+
+    def test_counters(self):
+        m = machine(1)
+
+        def program(proc: Proc):
+            if proc.rank == 0:
+                yield proc.send(1, size=1)
+                yield proc.send(1, size=1)
+            else:
+                yield proc.recv()
+                yield proc.recv()
+
+        m.run(program)
+        assert m.proc(0).sent_messages == 2
+        assert m.proc(1).received_messages == 2
+
+
+class TestErrors:
+    def test_deadlock_detected(self):
+        def program(proc: Proc):
+            yield proc.recv(src=0)
+
+        with pytest.raises(ProgramError, match="deadlock"):
+            machine(1).run({1: program})
+
+    def test_send_to_faulty_rejected(self):
+        fs = FaultSet(2, [3], kind=FaultKind.PARTIAL)
+
+        def program(proc: Proc):
+            yield proc.send(3, size=1)
+
+        with pytest.raises(ProgramError, match="faulty"):
+            machine(2, faults=fs).run({0: program})
+
+    def test_program_on_faulty_rank_rejected(self):
+        fs = FaultSet(2, [1])
+
+        def program(proc: Proc):
+            yield proc.compute(1)
+
+        with pytest.raises(ProgramError):
+            machine(2, faults=fs).run({1: program})
+
+    def test_non_generator_rejected(self):
+        with pytest.raises(ProgramError):
+            machine(1).run({0: lambda proc: 42})
+
+    def test_bad_effect_rejected(self):
+        def program(proc: Proc):
+            yield "nonsense"
+
+        with pytest.raises(ProgramError, match="unknown effect"):
+            machine(1).run({0: program})
+
+    def test_negative_compute_rejected(self):
+        def program(proc: Proc):
+            yield proc.compute(-1)
+
+        with pytest.raises(ProgramError):
+            machine(1).run({0: program})
+
+
+class TestFaultRouting:
+    def test_spmd_over_total_faults_detours(self):
+        # Q_3 with a total fault on the e-cube path: adaptive routing
+        # delivers anyway, at higher latency.
+        fs_free = FaultSet(3)
+        fs_total = FaultSet(3, [1], kind=FaultKind.TOTAL)
+
+        def program(proc: Proc):
+            if proc.rank == 0:
+                yield proc.send(3, size=10)
+            elif proc.rank == 3:
+                yield proc.recv(src=0)
+
+        m_free = machine(3, t_element=1.0)
+        m_free.run({0: program, 3: program})
+        m_faulty = SpmdMachine(
+            3, faults=fs_total, params=MachineParams(t_compare=1, t_element=1, t_startup=0)
+        )
+        m_faulty.run({0: program, 3: program})
+        assert m_faulty.finish_time == m_free.finish_time  # detour same length here
+        assert m_faulty.engine.delivered[0].hops_taken >= 2
+
+    def test_spmd_true_single_program(self):
+        # One program body for every rank, mpi4py style.
+        results = {}
+
+        def program(proc: Proc):
+            if proc.rank == 0:
+                total = 0
+                for _ in range(3):
+                    total += yield proc.recv()
+                results["sum"] = total
+            else:
+                yield proc.send(0, payload=proc.rank, size=1)
+
+        machine(2).run(program)
+        assert results["sum"] == 1 + 2 + 3

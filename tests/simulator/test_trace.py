@@ -1,0 +1,105 @@
+"""Tests for repro.simulator.trace — link occupancy tracing."""
+
+from __future__ import annotations
+
+from repro.core.spmd_sort import spmd_fault_tolerant_sort
+from repro.faults.model import FaultSet
+from repro.simulator.engine import EventEngine, Message
+from repro.simulator.params import MachineParams
+from repro.simulator.spmd import SpmdMachine
+from repro.simulator.trace import LinkTracer
+
+
+def params():
+    return MachineParams(t_compare=1.0, t_element=1.0, t_startup=0.0)
+
+
+class TestLinkTracer:
+    def test_records_every_hop(self):
+        eng = EventEngine(params())
+        tracer = LinkTracer(eng)
+        eng.send(Message(src=0, dst=3, size=10, path=[0, 1, 3]), lambda m: None)
+        eng.run()
+        assert len(tracer.intervals) == 2
+        assert tracer.intervals[0].link == (0, 1)
+        assert tracer.intervals[1].link == (1, 3)
+
+    def test_queue_delay_measured(self):
+        eng = EventEngine(params())
+        tracer = LinkTracer(eng)
+        eng.send(Message(src=0, dst=1, size=10, path=[0, 1]), lambda m: None)
+        eng.send(Message(src=0, dst=1, size=10, path=[0, 1]), lambda m: None)
+        eng.run()
+        delays = [iv.queue_delay for iv in tracer.intervals]
+        assert delays == [0.0, 10.0]
+        assert tracer.waiting_time() == 10.0
+
+    def test_busiest_links(self):
+        eng = EventEngine(params())
+        tracer = LinkTracer(eng)
+        eng.send(Message(src=0, dst=1, size=30, path=[0, 1]), lambda m: None)
+        eng.send(Message(src=2, dst=3, size=10, path=[2, 3]), lambda m: None)
+        eng.run()
+        top = tracer.busiest_links(top=2)
+        assert top[0] == ((0, 1), 30.0)
+        assert top[1] == ((2, 3), 10.0)
+
+    def test_utilization(self):
+        eng = EventEngine(params())
+        tracer = LinkTracer(eng)
+        eng.send(Message(src=0, dst=1, size=10, path=[0, 1]), lambda m: None)
+        eng.schedule(40.0, lambda: None)  # extend horizon
+        eng.run()
+        assert tracer.utilization((0, 1)) == 0.25
+
+    def test_detach_stops_recording(self):
+        eng = EventEngine(params())
+        tracer = LinkTracer(eng)
+        tracer.detach()
+        eng.send(Message(src=0, dst=1, size=10, path=[0, 1]), lambda m: None)
+        eng.run()
+        assert tracer.intervals == []
+
+    def test_trace_does_not_change_timing(self):
+        def run(traced: bool) -> float:
+            eng = EventEngine(params())
+            if traced:
+                LinkTracer(eng)
+            for i in range(4):
+                eng.send(Message(src=0, dst=3, size=5, path=[0, 1, 3]), lambda m: None)
+            return eng.run()
+
+        assert run(True) == run(False)
+
+    def test_report_renders(self):
+        eng = EventEngine(params())
+        tracer = LinkTracer(eng)
+        eng.send(Message(src=0, dst=1, size=10, path=[0, 1]), lambda m: None)
+        eng.run()
+        out = tracer.report()
+        assert "link trace" in out and "0 ->" in out
+
+
+class TestTracerOnFullSort:
+    def test_full_sort_trace(self, rng):
+        # Attach a tracer to a real SPMD sort and confirm conservation:
+        # traced transmissions equal the engine's delivered hop count.
+        keys = rng.integers(0, 100, size=40).astype(float)
+        machine = SpmdMachine(3, faults=FaultSet(3, [2]), params=params())
+        tracer = LinkTracer(machine.engine)
+        from repro.core.schedule import build_plain_schedule
+        from repro.core.spmd_sort import run_schedule_spmd
+
+        # run via the low-level API so we control the machine instance
+        schedule = build_plain_schedule(3, faulty=2)
+        import numpy as np
+        from repro.core.blocks import pad_and_chunk
+        from repro.core.spmd_sort import _make_program
+
+        chunks, _ = pad_and_chunk(np.asarray(keys, dtype=float), schedule.workers)
+        blocks = {rank: chunk for rank, chunk in zip(schedule.output_order, chunks)}
+        program = _make_program(schedule, blocks)
+        machine.run({rank: program for rank in schedule.output_order})
+        total_hops = sum(m.hops_taken for m in machine.engine.delivered)
+        assert len(tracer.intervals) == total_hops
+        assert tracer.busiest_links(top=1)[0][1] > 0

@@ -1,0 +1,112 @@
+"""Tests for repro.sorting.bitonic_seq — Batcher's network on one array."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sorting.bitonic_seq import (
+    bitonic_merge_inplace,
+    bitonic_sort,
+    is_bitonic,
+    next_pow2,
+)
+
+
+class TestNextPow2:
+    def test_values(self):
+        assert next_pow2(0) == 1
+        assert next_pow2(1) == 1
+        assert next_pow2(2) == 2
+        assert next_pow2(3) == 4
+        assert next_pow2(1025) == 2048
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            next_pow2(-1)
+
+
+class TestIsBitonic:
+    def test_monotone_is_bitonic(self):
+        assert is_bitonic([1, 2, 3])
+        assert is_bitonic([3, 2, 1])
+
+    def test_up_down(self):
+        assert is_bitonic([1, 5, 9, 4, 2])
+
+    def test_rotation_of_bitonic(self):
+        assert is_bitonic([4, 2, 1, 5, 9])
+
+    def test_non_bitonic(self):
+        assert not is_bitonic([1, 5, 2, 6, 3])
+
+    def test_tiny_and_constant(self):
+        assert is_bitonic([])
+        assert is_bitonic([1])
+        assert is_bitonic([2, 2, 2])
+
+
+class TestBitonicMerge:
+    def test_merges_bitonic_range(self):
+        a = np.array([1.0, 3.0, 4.0, 2.0])
+        comps = bitonic_merge_inplace(a, 0, 4, ascending=True)
+        assert a.tolist() == [1.0, 2.0, 3.0, 4.0]
+        assert comps == 4  # 2 substages x 2 comparisons
+
+    def test_descending(self):
+        a = np.array([1.0, 3.0, 4.0, 2.0])
+        bitonic_merge_inplace(a, 0, 4, ascending=False)
+        assert a.tolist() == [4.0, 3.0, 2.0, 1.0]
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            bitonic_merge_inplace(np.zeros(6), 0, 6, True)
+
+    def test_subrange_untouched_outside(self):
+        a = np.array([9.0, 2.0, 1.0, 9.0])
+        bitonic_merge_inplace(a, 1, 2, ascending=True)
+        assert a[0] == 9.0 and a[3] == 9.0
+
+
+class TestBitonicSort:
+    def test_empty(self):
+        out, comps = bitonic_sort([])
+        assert out.size == 0 and comps == 0
+
+    def test_power_of_two(self):
+        out, _ = bitonic_sort([4, 1, 3, 2])
+        assert out.tolist() == [1, 2, 3, 4]
+
+    def test_non_power_of_two_padding(self):
+        out, _ = bitonic_sort([3, 1, 2])
+        assert out.tolist() == [1, 2, 3]
+
+    def test_descending(self):
+        out, _ = bitonic_sort([1, 3, 2], descending=True)
+        assert out.tolist() == [3, 2, 1]
+
+    def test_comparison_count_formula(self):
+        # n/2 * log n * (log n + 1)/2 comparisons for power-of-two n.
+        n = 16
+        _, comps = bitonic_sort(np.arange(n)[::-1])
+        log_n = 4
+        assert comps == (n // 2) * log_n * (log_n + 1) // 2
+
+    def test_oblivious_count_independent_of_data(self, rng):
+        counts = {bitonic_sort(rng.random(32))[1] for _ in range(5)}
+        assert len(counts) == 1
+
+    @given(st.lists(st.integers(-100, 100), max_size=130))
+    def test_sorts_property(self, values):
+        out, _ = bitonic_sort(values)
+        assert out.tolist() == sorted(values)
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), max_size=64))
+    def test_matches_numpy(self, values):
+        out, _ = bitonic_sort(values)
+        np.testing.assert_array_equal(out, np.sort(np.asarray(values, dtype=float)))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            bitonic_sort(np.zeros((2, 2)))

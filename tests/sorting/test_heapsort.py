@@ -1,0 +1,93 @@
+"""Tests for repro.sorting.heapsort."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sorting.heapsort import heapsort, heapsort_comparisons_worst_case
+
+
+class TestHeapsort:
+    def test_empty(self):
+        out, comps = heapsort([])
+        assert out.size == 0 and comps == 0
+
+    def test_single(self):
+        out, comps = heapsort([5.0])
+        assert out.tolist() == [5.0] and comps == 0
+
+    def test_sorted_input(self):
+        out, _ = heapsort([1, 2, 3, 4, 5])
+        assert out.tolist() == [1, 2, 3, 4, 5]
+
+    def test_reverse_input(self):
+        out, _ = heapsort([5, 4, 3, 2, 1])
+        assert out.tolist() == [1, 2, 3, 4, 5]
+
+    def test_duplicates(self):
+        out, _ = heapsort([2, 2, 1, 1, 3, 3])
+        assert out.tolist() == [1, 1, 2, 2, 3, 3]
+
+    def test_descending(self):
+        out, _ = heapsort([3, 1, 2], descending=True)
+        assert out.tolist() == [3, 2, 1]
+
+    def test_input_not_modified(self):
+        arr = np.array([3.0, 1.0, 2.0])
+        heapsort(arr)
+        assert arr.tolist() == [3.0, 1.0, 2.0]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            heapsort(np.zeros((2, 2)))
+
+    def test_handles_inf_padding_keys(self):
+        out, _ = heapsort([np.inf, 1.0, np.inf, 0.0])
+        assert out.tolist() == [0.0, 1.0, np.inf, np.inf]
+
+    @given(st.lists(st.integers(-1000, 1000), max_size=200))
+    def test_sorts_property(self, values):
+        out, comps = heapsort(values)
+        assert out.tolist() == sorted(values)
+        assert comps >= 0
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False), min_size=2, max_size=100))
+    def test_comparison_count_within_worst_case(self, values):
+        _, comps = heapsort(values)
+        # Heapsort's comparison count is at most ~2 n log n; the paper's
+        # formula bounds the extraction phase.  Sanity bound: 4 n log n.
+        n = len(values)
+        assert comps <= 4 * n * max(math.ceil(math.log2(n)), 1)
+
+    def test_comparisons_monotone_tendency(self, rng):
+        small = np.mean([heapsort(rng.random(64))[1] for _ in range(5)])
+        large = np.mean([heapsort(rng.random(512))[1] for _ in range(5)])
+        assert large > small
+
+
+class TestWorstCaseFormula:
+    def test_small_values(self):
+        assert heapsort_comparisons_worst_case(0) == 0
+        assert heapsort_comparisons_worst_case(1) == 0
+        # (2-1)*ceil(log2 2) + 1 = 2
+        assert heapsort_comparisons_worst_case(2) == 2
+
+    def test_paper_expression(self):
+        m = 1000
+        expected = (m - 1) * math.ceil(math.log2(m)) + 1
+        assert heapsort_comparisons_worst_case(m) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            heapsort_comparisons_worst_case(-1)
+
+    def test_formula_is_a_rough_upper_envelope(self, rng):
+        # Actual heapsort comparisons should be within ~2x of the paper's
+        # worst-case expression (it ignores heap construction).
+        for m in (32, 128, 1024):
+            _, comps = heapsort(rng.random(m))
+            assert comps <= 2 * heapsort_comparisons_worst_case(m) + m

@@ -1,0 +1,128 @@
+"""Tests for repro.sorting.merge — the half-traffic compare-split kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sorting.merge import (
+    compare_split,
+    compare_split_counts,
+    merge_split_reference,
+)
+
+sorted_block = st.lists(
+    st.floats(allow_nan=False, allow_infinity=False, width=32), min_size=1, max_size=64
+).map(sorted)
+
+
+class TestReference:
+    def test_basic(self):
+        low, high = merge_split_reference([1, 3, 5], [2, 4, 6])
+        assert low.tolist() == [1, 2, 3]
+        assert high.tolist() == [4, 5, 6]
+
+    def test_unequal_lengths(self):
+        low, high = merge_split_reference([5], [1, 2, 3])
+        assert low.tolist() == [1]
+        assert high.tolist() == [2, 3, 5]
+
+
+class TestCounts:
+    def test_zero_block(self):
+        assert compare_split_counts(0) == (0, 0, 0)
+
+    def test_even_block(self):
+        sent, comps, merges = compare_split_counts(8)
+        assert sent == 8  # 4 first leg + 4 returned
+        assert comps == 8
+        assert merges == 14  # (k-1) per side
+
+    def test_odd_block(self):
+        sent, comps, merges = compare_split_counts(5)
+        assert sent == 3 + 2
+        assert comps == 5
+        assert merges == 8
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            compare_split_counts(-1)
+
+
+class TestCompareSplit:
+    def test_disjoint_ranges(self):
+        res = compare_split(np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+        assert res.low.tolist() == [1.0, 2.0]
+        assert res.high.tolist() == [3.0, 4.0]
+
+    def test_interleaved(self):
+        res = compare_split(np.array([1.0, 4.0]), np.array([2.0, 3.0]))
+        assert res.low.tolist() == [1.0, 2.0]
+        assert res.high.tolist() == [3.0, 4.0]
+
+    def test_exchange_split_lemma_example(self):
+        # The exchange-split lemma holds for ANY two sorted blocks, not
+        # just bitonic arrangements.
+        a = np.array([0.0, 5.0, 6.0])
+        b = np.array([1.0, 2.0, 7.0])
+        res = compare_split(a, b)
+        ref_low, ref_high = merge_split_reference(a, b)
+        np.testing.assert_array_equal(res.low, ref_low)
+        np.testing.assert_array_equal(res.high, ref_high)
+
+    def test_empty_side_short_circuits(self):
+        a = np.array([3.0, 1.0, 2.0])  # even unsorted survives: dead-node rule
+        res = compare_split(np.empty(0), a)
+        assert res.comparisons == 0
+        assert res.sent_low_to_high == 0
+        assert res.high.tolist() == sorted(a.tolist())
+
+    def test_unequal_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            compare_split(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            compare_split(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_counts_match_protocol(self):
+        res = compare_split(np.arange(6.0), np.arange(6.0) + 0.5)
+        sent, comps, merges = compare_split_counts(6)
+        assert res.sent_low_to_high == res.sent_high_to_low == sent
+        assert res.comparisons == comps
+        assert res.merge_comparisons == merges
+
+    def test_duplicates_preserved_as_multiset(self):
+        a = np.array([1.0, 1.0, 2.0])
+        b = np.array([1.0, 2.0, 2.0])
+        res = compare_split(a, b)
+        combined = sorted(res.low.tolist() + res.high.tolist())
+        assert combined == sorted(a.tolist() + b.tolist())
+
+    def test_padding_keys_go_high(self):
+        a = np.array([1.0, np.inf])
+        b = np.array([2.0, np.inf])
+        res = compare_split(a, b)
+        assert res.low.tolist() == [1.0, 2.0]
+        assert np.isinf(res.high).all()
+
+    @given(sorted_block, sorted_block)
+    def test_matches_reference_property(self, a, b):
+        # Pad to equal length by trimming the longer block.
+        k = min(len(a), len(b))
+        a, b = np.array(a[:k], dtype=float), np.array(b[:k], dtype=float)
+        res = compare_split(a, b)
+        ref_low, ref_high = merge_split_reference(a, b)
+        np.testing.assert_array_equal(res.low, ref_low)
+        np.testing.assert_array_equal(res.high, ref_high)
+
+    @given(sorted_block, sorted_block)
+    def test_outputs_sorted_and_separated(self, a, b):
+        k = min(len(a), len(b))
+        a, b = np.array(a[:k], dtype=float), np.array(b[:k], dtype=float)
+        res = compare_split(a, b)
+        assert (np.diff(res.low) >= 0).all()
+        assert (np.diff(res.high) >= 0).all()
+        if res.low.size and res.high.size:
+            assert res.low[-1] <= res.high[0]

@@ -1,0 +1,80 @@
+"""Tests for repro.sorting.odd_even — Batcher's odd-even merge network."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cube.address import hamming_distance
+from repro.sorting.bitonic_seq import bitonic_sort
+from repro.sorting.odd_even import comparator_count, comparators, odd_even_merge_sort
+
+
+class TestNetworkStructure:
+    def test_small_networks_sort_all_01(self):
+        # zero-one principle, exhaustively, for n up to 16
+        for n in (2, 4, 8, 16):
+            net = comparators(n)
+            for bits in range(1 << n):
+                a = [(bits >> i) & 1 for i in range(n)]
+                for i, j in net:
+                    if a[i] > a[j]:
+                        a[i], a[j] = a[j], a[i]
+                assert a == sorted(a), (n, bits)
+
+    def test_comparator_counts(self):
+        # Batcher's classical counts: C(n) = C(n/2)*2 + M(n) with
+        # M(n) = n/2 (log2 n - 1) + 1 merge comparators.
+        assert [comparator_count(n) for n in (2, 4, 8, 16, 32)] == [1, 5, 19, 63, 191]
+
+    def test_fewer_comparators_than_bitonic(self):
+        for n in (8, 16, 32, 64):
+            bitonic = (n // 2) * (n.bit_length() - 1) * n.bit_length() // 2
+            assert comparator_count(n) < bitonic
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            comparators(6)
+
+    def test_not_all_pairs_are_hypercube_neighbors(self):
+        # The reason hypercube machines prefer bitonic: odd-even merge
+        # compares positions at non-power-of-two offsets.
+        net = comparators(8)
+        non_neighbors = [(i, j) for i, j in net if hamming_distance(i, j) != 1]
+        assert non_neighbors  # e.g. (1, 2) style pairs exist
+
+    def test_bitonic_all_pairs_are_hypercube_neighbors(self):
+        # Contrast: every bitonic comparator is a dimension exchange.
+        from repro.sorting.bitonic_cube import substage_pairs
+
+        for i in range(3):
+            for j in range(i, -1, -1):
+                for low, high, _ in substage_pairs(3, i, j):
+                    assert hamming_distance(low, high) == 1
+
+
+class TestOddEvenSort:
+    def test_basic(self):
+        out, comps = odd_even_merge_sort([3, 1, 2])
+        assert out.tolist() == [1, 2, 3]
+        assert comps == comparator_count(4)
+
+    def test_empty(self):
+        out, comps = odd_even_merge_sort([])
+        assert out.size == 0 and comps == 0
+
+    def test_oblivious_comparison_count(self, rng):
+        counts = {odd_even_merge_sort(rng.random(20))[1] for _ in range(5)}
+        assert len(counts) == 1
+
+    @given(st.lists(st.integers(-100, 100), max_size=100))
+    def test_sorts_property(self, values):
+        out, _ = odd_even_merge_sort(values)
+        assert out.tolist() == sorted(values)
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), max_size=50))
+    def test_agrees_with_bitonic(self, values):
+        a, _ = odd_even_merge_sort(values)
+        b, _ = bitonic_sort(values)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,97 @@
+"""Tests for repro.cli — the unified command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import _parse_faults, main
+
+
+class TestParseFaults:
+    def test_empty(self):
+        assert _parse_faults("") == []
+
+    def test_list(self):
+        assert _parse_faults("3,5,16") == [3, 5, 16]
+
+    def test_spaces_tolerated(self):
+        assert _parse_faults("3, 5 ,16") == [3, 5, 16]
+
+
+class TestSortCommand:
+    def test_sort_ok(self, capsys):
+        rc = main(["sort", "--n", "4", "--faults", "1,6", "--keys", "500"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verified : True" in out
+        assert "D_beta" in out
+        assert "breakdown" in out
+
+    def test_sort_fault_free(self, capsys):
+        rc = main(["sort", "--n", "3", "--keys", "100"])
+        assert rc == 0
+        assert "verified : True" in capsys.readouterr().out
+
+    def test_sort_total_kind(self, capsys):
+        rc = main(["sort", "--n", "4", "--faults", "2,9", "--keys", "200",
+                   "--kind", "total"])
+        assert rc == 0
+        assert "(total)" in capsys.readouterr().out
+
+    def test_sort_spmd_engine(self, capsys):
+        rc = main(["sort", "--n", "3", "--faults", "1,6", "--keys", "60", "--spmd"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "message-level engine" in out
+        assert "messages" in out
+
+
+class TestPlanCommand:
+    def test_paper_example(self, capsys):
+        rc = main(["plan", "--n", "5", "--faults", "3,5,16,24"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "mincut m = 3" in out
+        assert "[0, 1, 3]" in out
+
+    def test_single_fault_plan(self, capsys):
+        rc = main(["plan", "--n", "4", "--faults", "9"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no partition needed" in out
+
+
+class TestDiagnoseCommand:
+    def test_roundtrip(self, capsys):
+        rc = main(["diagnose", "--n", "5", "--faults", "3,5,16,24"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "diagnosis correct: True" in out
+
+
+class TestPassthrough:
+    def test_table1_passthrough(self, capsys):
+        rc = main(["table1", "--trials", "20", "--ns", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Table 1" in out
+
+    def test_figure7_passthrough(self, capsys):
+        rc = main(["figure7", "--n", "3", "--points", "2", "--placements", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Figure 7" in out
+
+
+class TestErrors:
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_required(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "--n", "4"])
+
+    def test_unknown_extra_args(self):
+        with pytest.raises(SystemExit):
+            main(["sort", "--n", "3", "--bogus"])

@@ -1,0 +1,127 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Properties that span modules: obliviousness of the cost structure,
+permutation invariance, plan determinism, and a stateful exercise of the
+discrete-event engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.ftsort import fault_tolerant_sort
+from repro.core.partition import find_min_cuts
+from repro.core.selection import select_cut_sequence
+from repro.simulator.engine import EventEngine, Message
+from repro.simulator.params import MachineParams
+
+
+class TestPermutationInvariance:
+    @given(st.permutations(list(range(24))))
+    @settings(max_examples=20, deadline=None)
+    def test_output_independent_of_input_order(self, perm):
+        keys = np.asarray(perm, dtype=float)
+        res = fault_tolerant_sort(keys, 4, [1, 6])
+        assert res.sorted_keys.tolist() == sorted(float(p) for p in perm)
+
+    @given(st.permutations(list(range(24))))
+    @settings(max_examples=10, deadline=None)
+    def test_phase_structure_independent_of_data(self, perm):
+        # The network is oblivious: phase labels and comparator traffic
+        # structure don't depend on key values (probe skips change traffic
+        # volume, never the phase sequence).
+        keys = np.asarray(perm, dtype=float)
+        res = fault_tolerant_sort(keys, 4, [1, 6])
+        ref = fault_tolerant_sort(np.arange(24, dtype=float), 4, [1, 6])
+        assert [p.label for p in res.machine.phases] == [
+            p.label for p in ref.machine.phases
+        ]
+
+
+class TestPlanDeterminism:
+    @given(st.sets(st.integers(0, 31), min_size=2, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_deterministic(self, faults):
+        a = find_min_cuts(5, sorted(faults))
+        b = find_min_cuts(5, sorted(faults))
+        assert a == b
+
+    @given(st.sets(st.integers(0, 31), min_size=2, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_selection_cost_minimal_over_psi(self, faults):
+        from repro.core.selection import extra_comm_cost
+
+        partition = find_min_cuts(5, sorted(faults))
+        sel = select_cut_sequence(partition)
+        for dims in partition.cutting_set:
+            assert sel.cost <= extra_comm_cost(5, dims, sorted(faults))
+
+
+class TestCostMonotonicity:
+    @given(st.integers(1, 6))
+    @settings(max_examples=6, deadline=None)
+    def test_elapsed_monotone_in_keys(self, scale):
+        p = MachineParams.ncube7()
+        rng = np.random.default_rng(scale)
+        small = fault_tolerant_sort(rng.random(100 * scale), 4, [3], params=p).elapsed
+        large = fault_tolerant_sort(rng.random(400 * scale), 4, [3], params=p).elapsed
+        assert large > small
+
+
+class EventEngineMachine(RuleBasedStateMachine):
+    """Stateful fuzz of the discrete-event kernel.
+
+    Invariants: the clock never runs backwards, deliveries never exceed
+    injections, and every delivered message took exactly its path length
+    in hops.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.engine = EventEngine(MachineParams(t_compare=1, t_element=1, t_startup=2))
+        self.sent = 0
+        self.last_now = 0.0
+
+    @rule(src=st.integers(0, 7), dim_path=st.lists(st.integers(0, 2), max_size=3),
+          size=st.integers(0, 20))
+    def send_message(self, src, dim_path, size):
+        path = [src]
+        for d in dim_path:
+            nxt = path[-1] ^ (1 << d)
+            path.append(nxt)
+        msg = Message(src=path[0], dst=path[-1], size=size, path=path)
+        self.engine.send(msg, lambda m: None)
+        self.sent += 1
+
+    @rule(horizon=st.floats(0, 500))
+    def run_until(self, horizon):
+        self.engine.run(until=self.engine.now + horizon)
+
+    @rule()
+    def drain(self):
+        self.engine.run()
+
+    @invariant()
+    def clock_monotone(self):
+        assert self.engine.now >= self.last_now
+        self.last_now = self.engine.now
+
+    @invariant()
+    def conservation(self):
+        assert len(self.engine.delivered) <= self.sent
+
+    @invariant()
+    def delivered_messages_complete(self):
+        for m in self.engine.delivered:
+            assert m.delivered_at is not None
+            assert m.delivered_at >= m.sent_at
+            assert m.hops_taken == len(m.path) - 1
+
+    def teardown(self):
+        self.engine.run()
+        assert len(self.engine.delivered) == self.sent
+
+
+TestEventEngineStateful = EventEngineMachine.TestCase
