@@ -4,14 +4,24 @@ Benchmarks are sized to finish in seconds while preserving the paper's
 qualitative comparisons; the full-scale regenerators are the CLI entry
 points (``python -m repro.experiments.table1`` etc., or the installed
 ``repro-table1``/``repro-table2``/``repro-figure7`` scripts).
+
+Machine-readable results: the :func:`bench_json` fixture collects one JSON
+document per benchmark family and writes it to ``BENCH_<name>.json`` at the
+repository root when the session ends, so CI runs leave a diffable record
+of the measured numbers next to the human-readable terminal output.
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.simulator.params import MachineParams
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture
@@ -22,3 +32,23 @@ def rng() -> np.random.Generator:
 @pytest.fixture(scope="session")
 def ncube7() -> MachineParams:
     return MachineParams.ncube7()
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Session-wide recorder: ``bench_json(name, key, value)``.
+
+    Each distinct ``name`` becomes one ``BENCH_<name>.json`` file at the
+    repo root, written once at session teardown; ``value`` must be
+    JSON-serializable.
+    """
+    records: dict[str, dict] = {}
+
+    def record(name: str, key: str, value) -> None:
+        records.setdefault(name, {})[key] = value
+
+    yield record
+    for name, payload in records.items():
+        path = _REPO_ROOT / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")

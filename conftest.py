@@ -1,0 +1,26 @@
+"""Repository-level pytest configuration.
+
+Lives at the rootdir so its options cover both ``tests/`` and
+``benchmarks/``.  The ``--fast`` flag is the CI smoke mode: benchmarks
+shrink their workloads to finish in seconds while still exercising every
+code path and writing their ``BENCH_*.json`` result files.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--fast",
+        action="store_true",
+        default=False,
+        help="shrink benchmark workloads to CI smoke size",
+    )
+
+
+@pytest.fixture(scope="session")
+def fast_mode(request: pytest.FixtureRequest) -> bool:
+    """True when the run was invoked with ``--fast``."""
+    return bool(request.config.getoption("--fast"))

@@ -3,6 +3,7 @@
 Subcommands::
 
     repro sort    --n 6 --faults 3,5,16 --keys 10000 [--kind total] [--spmd]
+    repro trace   --n 6 --faults 7,25,52 --out trace.json [--spmd]
     repro plan    --n 5 --faults 3,5,16,24
     repro diagnose --n 6 --faults 3,5,16 [--seed 7]
     repro table1  [--trials N]        (same as repro-table1)
@@ -11,6 +12,10 @@ Subcommands::
 
 ``sort`` runs the fault-tolerant sort on random keys, verifies the output
 against numpy, and prints the plan plus a stage-level cost breakdown.
+``trace`` runs the sort with the observability tracer attached and writes a
+Chrome/Perfetto ``trace_event`` JSON file (load it at ui.perfetto.dev or
+chrome://tracing), then prints per-step durations, a flame-style self-time
+report, and the metrics registry.
 ``plan`` prints the partition/selection artifacts without sorting.
 ``diagnose`` runs the PMC pipeline against hidden faults.
 """
@@ -27,6 +32,7 @@ from repro.core.ftsort import fault_tolerant_sort, plan_partition
 from repro.core.spmd_sort import spmd_fault_tolerant_sort
 from repro.faults.diagnosis import diagnose_pmc, pmc_syndrome
 from repro.faults.model import FaultKind, FaultSet
+from repro.obs import Tracer, flame_report, step_report, write_chrome_trace
 
 __all__ = ["main"]
 
@@ -64,6 +70,36 @@ def _cmd_sort(args: argparse.Namespace) -> int:
     for stage in phase_breakdown(res.machine).values():
         share = 100 * stage.duration / res.elapsed if res.elapsed else 0.0
         print(f"    {stage.stage:<34} {stage.duration / 1e3:10.2f} ms  ({share:4.1f}%)")
+    return 0 if ok else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    keys = rng.integers(0, 10**6, size=args.keys).astype(float)
+    faults = _parse_faults(args.faults)
+    kind = FaultKind.TOTAL if args.kind == "total" else FaultKind.PARTIAL
+    obs = Tracer()
+    if args.spmd:
+        res = spmd_fault_tolerant_sort(keys, args.n, faults, fault_kind=kind, obs=obs)
+        elapsed = res.finish_time
+    else:
+        res = fault_tolerant_sort(keys, args.n, faults, fault_kind=kind, obs=obs)
+        elapsed = res.elapsed
+    ok = bool(np.array_equal(res.sorted_keys, np.sort(keys)))
+    events = write_chrome_trace(args.out, obs)
+    engine = "message-level" if args.spmd else "phase"
+    print(f"traced {args.keys} keys on Q_{args.n} with faults {faults} "
+          f"({kind.value}, {engine} engine)")
+    print(f"  verified : {ok}")
+    print(f"  elapsed  : {elapsed / 1e3:.2f} simulated ms")
+    print(f"  trace    : {events} events -> {args.out} "
+          "(open at ui.perfetto.dev or chrome://tracing)")
+    print()
+    print(step_report(obs))
+    print()
+    print(flame_report(obs, top=args.top))
+    print()
+    print(obs.metrics.summary())
     return 0 if ok else 1
 
 
@@ -118,6 +154,22 @@ def main(argv: list[str] | None = None) -> int:
     p_sort.add_argument("--spmd", action="store_true",
                         help="run on the discrete-event message-passing engine")
     p_sort.set_defaults(func=_cmd_sort)
+
+    p_trace = sub.add_parser(
+        "trace", help="run the sort with tracing, write Perfetto JSON"
+    )
+    p_trace.add_argument("--n", type=int, required=True)
+    p_trace.add_argument("--faults", type=str, default="")
+    p_trace.add_argument("--keys", type=int, default=10_000)
+    p_trace.add_argument("--kind", choices=("partial", "total"), default="partial")
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--out", type=str, default="trace.json",
+                         help="Chrome trace_event JSON output path")
+    p_trace.add_argument("--top", type=int, default=10,
+                         help="rows in the flame-style self-time report")
+    p_trace.add_argument("--spmd", action="store_true",
+                         help="trace the discrete-event message-passing engine")
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_plan = sub.add_parser("plan", help="partition + selection only")
     p_plan.add_argument("--n", type=int, required=True)

@@ -23,6 +23,7 @@ from __future__ import annotations
 import operator
 from collections.abc import Callable, Generator
 
+from repro.obs.spans import PID_SIM, TID_RANK_BASE
 from repro.simulator.spmd import Proc
 
 __all__ = ["allreduce", "barrier", "broadcast", "gather", "reduce", "scatter"]
@@ -46,6 +47,22 @@ def _parent(rho: int) -> int:
     return rho & (rho - 1)
 
 
+def _record(proc: Proc, name: str, started_at: float) -> None:
+    """Span + call counter for one finished collective (tracing enabled only)."""
+    if not proc.obs.enabled:
+        return
+    proc.obs.complete(
+        name,
+        ts=started_at,
+        dur=max(proc.clock - started_at, 0.0),
+        cat="collective",
+        pid=PID_SIM,
+        tid=TID_RANK_BASE + proc.rank,
+        args={"rank": proc.rank},
+    )
+    proc.obs.metrics.inc(f"collective.{name}.calls")
+
+
 def _children(rho: int, n: int) -> list[int]:
     return [rho | (1 << d) for d in range(_lsb_index(rho, n)) if not (rho >> d) & 1]
 
@@ -55,11 +72,13 @@ def broadcast(
 ) -> Generator:
     """One-to-all broadcast; every rank returns the root's payload."""
     rho = proc.rank ^ root
+    started_at = proc.clock
     value = payload
     if rho != 0:
         value = yield proc.recv(src=_parent(rho) ^ root, tag=tag)
     for child in reversed(_children(rho, n)):
         yield proc.send(child ^ root, payload=value, size=size, tag=tag)
+    _record(proc, "broadcast", started_at)
     return value
 
 
@@ -77,6 +96,7 @@ def gather(
     grow with subtree size, as on a real machine).
     """
     rho = proc.rank ^ root
+    started_at = proc.clock
     collected: dict[int, object] = {proc.rank: value}
     total_size = size
     for child in _children(rho, n):
@@ -85,7 +105,9 @@ def gather(
         total_size += size * len(sub)
     if rho != 0:
         yield proc.send(_parent(rho) ^ root, payload=collected, size=total_size, tag=tag)
+        _record(proc, "gather", started_at)
         return None
+    _record(proc, "gather", started_at)
     return collected
 
 
@@ -104,6 +126,7 @@ def scatter(
     subtree's chunks (sizes shrink down the tree).
     """
     rho = proc.rank ^ root
+    started_at = proc.clock
     if rho == 0:
         mine: dict[int, object] = dict(chunks or {})
     else:
@@ -121,6 +144,7 @@ def scatter(
         for rank in sub:
             mine.pop(rank)
         yield proc.send(child ^ root, payload=sub, size=max(size * len(sub), 1), tag=tag)
+    _record(proc, "scatter", started_at)
     return mine.get(proc.rank)
 
 
@@ -135,13 +159,16 @@ def reduce(
 ) -> Generator:
     """All-to-one reduction; the root returns the folded value, others ``None``."""
     rho = proc.rank ^ root
+    started_at = proc.clock
     acc = value
     for child in _children(rho, n):
         sub = yield proc.recv(src=child ^ root, tag=tag)
         acc = op(acc, sub)
     if rho != 0:
         yield proc.send(_parent(rho) ^ root, payload=acc, size=size, tag=tag)
+        _record(proc, "reduce", started_at)
         return None
+    _record(proc, "reduce", started_at)
     return acc
 
 
@@ -153,14 +180,17 @@ def allreduce(
     size: int = 1,
 ) -> Generator:
     """Reduce to rank 0 then broadcast; every rank returns the folded value."""
+    started_at = proc.clock
     acc = yield from reduce(proc, n, root=0, value=value, op=op, size=size)
     result = yield from broadcast(proc, n, root=0, payload=acc, size=size)
+    _record(proc, "allreduce", started_at)
     return result
 
 
 def barrier(proc: Proc, n: int, root: int = 0) -> Generator:
     """Tree barrier: empty gather up, empty broadcast down."""
     rho = proc.rank ^ root
+    started_at = proc.clock
     for child in _children(rho, n):
         yield proc.recv(src=child ^ root, tag=_TAG_BARRIER_UP)
     if rho != 0:
@@ -168,4 +198,5 @@ def barrier(proc: Proc, n: int, root: int = 0) -> Generator:
         yield proc.recv(src=_parent(rho) ^ root, tag=_TAG_BARRIER_DOWN)
     for child in _children(rho, n):
         yield proc.send(child ^ root, payload=None, size=0, tag=_TAG_BARRIER_DOWN)
+    _record(proc, "barrier", started_at)
     return None

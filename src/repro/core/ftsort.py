@@ -50,6 +50,7 @@ from repro.core.single_fault import (
 from repro.cube.address import bit_of, validate_dimension
 from repro.faults.linkplan import absorb_link_faults
 from repro.faults.model import FaultKind, FaultSet
+from repro.obs.spans import NULL_TRACER, PID_SIM, TID_ALGO
 from repro.simulator.params import MachineParams
 from repro.simulator.phases import PhaseMachine
 from repro.sorting.bitonic_cube import (
@@ -188,6 +189,10 @@ def _mirror_subcubes(
                 machine.blocks[pa] = block_b
                 machine.blocks[pb] = block_a
                 machine.charge_swap(pa, pb, int(block_a.size))
+                if machine.obs.enabled:
+                    met = machine.obs.metrics
+                    met.inc("sort.mirror.pairs")
+                    met.inc("sort.messages", 2)
 
 
 def fault_tolerant_sort(
@@ -200,6 +205,7 @@ def fault_tolerant_sort(
     exact_counts: bool = False,
     step8: str = "two-merge",
     observer=None,
+    obs=None,
 ) -> FtSortResult:
     """Sort ``keys`` on ``Q_n`` in the presence of up to ``n - 1`` faults.
 
@@ -216,6 +222,12 @@ def fault_tolerant_sort(
         observer: optional ``f(machine, phase_record)`` callback fired after
             every phase — used by the Figure-6 walkthrough example to print
             intermediate block states; ignored on the ``r <= 1`` paths.
+        obs: optional :class:`repro.obs.Tracer`.  When enabled, the sort
+            records one simulated-time span per algorithm step (``step1``
+            .. ``step8``, plus a root ``ftsort`` span) on the algorithm
+            timeline, the phase machine records per-phase spans, and the
+            logical ``sort.*`` counters accumulate (compare-exchanges
+            executed/skipped, mirror pairs, messages).
         step8: how the intra-subcube re-sort of Step 8 is realized.
             ``"two-merge"`` (default): one bitonic merge pass in the
             direction the exchange's kept half makes bitonic, then — only
@@ -268,13 +280,16 @@ def fault_tolerant_sort(
             "(r <= n-1, or no normal processor fully surrounded by faults)"
         )
     r = fault_set.r
+    obs = obs if obs is not None else NULL_TRACER
 
     if r == 0:
-        return _wrap_simple(fault_free_bitonic_sort(keys, n, params, exact_counts), None)
+        return _wrap_simple(
+            fault_free_bitonic_sort(keys, n, params, exact_counts, obs=obs), None
+        )
     if r == 1:
         partition = find_min_cuts(n, fault_set)
         res = single_fault_bitonic_sort(
-            keys, n, fault_set.processors[0], params, exact_counts
+            keys, n, fault_set.processors[0], params, exact_counts, obs=obs
         )
         return _wrap_simple(res, partition)
 
@@ -285,11 +300,32 @@ def fault_tolerant_sort(
     flip = p - 1
     dead_w = [split.w_of(dead) for dead in selection.dead_of_subcube]
 
-    machine = PhaseMachine(n, params=params, faults=fault_set)
+    machine = PhaseMachine(n, params=params, faults=fault_set, obs=obs)
     machine.on_phase_end = observer
+    if obs.enabled:
+        obs.name_thread(TID_ALGO, "algorithm steps", pid=PID_SIM)
+
+    def _step(name: str, started_at: float, **args) -> None:
+        obs.complete(
+            name,
+            ts=started_at,
+            dur=machine.elapsed - started_at,
+            cat="step",
+            pid=PID_SIM,
+            tid=TID_ALGO,
+            args=args or None,
+        )
+
     keys_arr = np.asarray(keys, dtype=float)
     workers = selection.working_processors
     chunks, block_size = pad_and_chunk(keys_arr, workers)
+    if obs.enabled:
+        # Steps 1-2 are host-side planning/distribution: no simulated cost,
+        # recorded as zero-duration markers so the step report is complete.
+        _step("step1:partition+select", machine.elapsed,
+              m=m, s=s, mincut=partition.mincut, cut_dims=list(selection.cut_dims))
+        _step("step2:distribute", machine.elapsed,
+              workers=workers, block_size=block_size)
 
     # Steps 1-2: reindex and distribute.  Working processor order: subcube
     # address major, reindexed local address (1..P-1) minor.
@@ -304,15 +340,28 @@ def fault_tolerant_sort(
 
     # Step 3: local heapsort, then per-subcube bitonic sort; even subcube
     # addresses ascending, odd descending.
+    t0 = machine.elapsed
     local_sort_blocks(machine, assignments, exact_counts=exact_counts)
+    if obs.enabled:
+        _step("step3a:local-heapsort", t0)
     ascending = [(v & 1) == 0 for v in range(1 << m)]
+    t0 = machine.elapsed
     block_bitonic_sort_groups(
         machine, _subcube_groups(selection, dead_w, ascending), label="intra-init"
     )
+    if obs.enabled:
+        _step("step3b:intra-init", t0)
 
     # Steps 4-8: bitonic-like merge over the 2**m subcubes.
     for i in range(m):
+        t_stage = machine.elapsed
         for j in range(i, -1, -1):
+            if obs.enabled:
+                # Steps 5-6 pick partners and comparison directions — pure
+                # host-side bookkeeping with no simulated cost.
+                _step(f"step5:partner[i={i},j={j}]", machine.elapsed)
+                _step(f"step6:direction[i={i},j={j}]", machine.elapsed)
+            t7 = machine.elapsed
             kept_min = [False] * (1 << m)  # which side each subcube took
             with machine.phase(f"inter[i={i},j={j}]"):
                 for v_low in range(1 << m):
@@ -337,6 +386,9 @@ def fault_tolerant_sort(
                         # hops=None: fault-aware metric (1 + HD of dead-w
                         # under partial faults; detours under total).
                         exchange_pair(machine, pa, pb, low_keeps_min, hops=None)
+            if obs.enabled:
+                _step(f"step7:inter[i={i},j={j}]", t7)
+            t8 = machine.elapsed
             # Step 8: re-sort every subcube; target direction ascending iff
             # v_{j-1} == mask (v_{-1} = 0), which flips orientations into
             # opposition for the next substage along dimension j-1.
@@ -368,10 +420,16 @@ def fault_tolerant_sort(
                     _mirror_subcubes(
                         machine, selection, dead_w, flips, label=f"intra[i={i},j={j}]b"
                     )
+            if obs.enabled:
+                _step(f"step8:intra[i={i},j={j}]", t8)
+        if obs.enabled:
+            _step(f"step4:stage[i={i}]", t_stage)
 
     if not all(ascending):
         raise AssertionError("final orientation must be ascending everywhere")
 
+    if obs.enabled:
+        _step("ftsort", 0.0, n=n, r=r, keys=int(keys_arr.size))
     gathered = (
         np.concatenate([machine.get_block(a) for a in output_order])
         if output_order

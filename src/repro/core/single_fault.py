@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.blocks import pad_and_chunk, strip_padding
 from repro.cube.address import validate_address, validate_dimension
 from repro.faults.model import FaultSet
+from repro.obs.spans import NULL_TRACER, PID_SIM, TID_ALGO
 from repro.simulator.params import MachineParams
 from repro.simulator.phases import PhaseMachine
 from repro.sorting.bitonic_cube import block_bitonic_sort
@@ -88,11 +89,12 @@ def _run_cube_sort(
     faulty: int | None,
     params: MachineParams | None,
     exact_counts: bool,
+    obs=None,
 ) -> SingleFaultSortResult:
     validate_dimension(n)
     size = 1 << n
     fault_set = FaultSet(n, () if faulty is None else (faulty,))
-    machine = PhaseMachine(n, params=params, faults=fault_set)
+    machine = PhaseMachine(n, params=params, faults=fault_set, obs=obs)
     mask = 0 if faulty is None else faulty
     # Logical position l lives on physical node l XOR mask; the fault sits
     # at logical 0 and is skipped.
@@ -107,8 +109,22 @@ def _run_cube_sort(
         if l in dead_logical:
             continue
         assignments[addr_of_logical[l]] = next(chunk_iter)
+    obs = obs if obs is not None else NULL_TRACER
+    if obs.enabled:
+        obs.name_thread(TID_ALGO, "algorithm steps", pid=PID_SIM)
+    t0 = machine.elapsed
     local_sort_blocks(machine, assignments, exact_counts=exact_counts)
+    if obs.enabled:
+        obs.complete("step3a:local-heapsort", ts=t0, dur=machine.elapsed - t0,
+                     cat="step", pid=PID_SIM, tid=TID_ALGO)
+    t0 = machine.elapsed
     block_bitonic_sort(machine, addr_of_logical, dead_logical=dead_logical)
+    if obs.enabled:
+        obs.complete("step3b:bitonic", ts=t0, dur=machine.elapsed - t0,
+                     cat="step", pid=PID_SIM, tid=TID_ALGO)
+        obs.complete("ftsort", ts=0.0, dur=machine.elapsed, cat="step",
+                     pid=PID_SIM, tid=TID_ALGO,
+                     args={"n": n, "r": fault_set.r, "keys": int(np.asarray(keys).size)})
     output_order = tuple(addr_of_logical[l] for l in range(size) if l not in dead_logical)
     gathered = np.concatenate([machine.get_block(a) for a in output_order]) if workers else np.empty(0)
     sorted_keys = strip_padding(gathered, int(keys_arr.size))
@@ -127,6 +143,7 @@ def single_fault_bitonic_sort(
     faulty: int,
     params: MachineParams | None = None,
     exact_counts: bool = False,
+    obs=None,
 ) -> SingleFaultSortResult:
     """Sort ``keys`` on ``Q_n`` with one faulty processor (paper §2.1).
 
@@ -146,7 +163,7 @@ def single_fault_bitonic_sort(
     if n == 0:
         raise ValueError("Q_0 with a fault has no working processor")
     validate_address(faulty, n)
-    return _run_cube_sort(keys, n, faulty, params, exact_counts)
+    return _run_cube_sort(keys, n, faulty, params, exact_counts, obs=obs)
 
 
 def fault_free_bitonic_sort(
@@ -154,10 +171,11 @@ def fault_free_bitonic_sort(
     n: int,
     params: MachineParams | None = None,
     exact_counts: bool = False,
+    obs=None,
 ) -> SingleFaultSortResult:
     """Plain parallel block bitonic sort on a fault-free ``Q_n``.
 
     The thick-line baseline of the paper's Figure 7 (sorting on the
     maximal fault-free subcube) is this routine run on a smaller cube.
     """
-    return _run_cube_sort(keys, n, None, params, exact_counts)
+    return _run_cube_sort(keys, n, None, params, exact_counts, obs=obs)

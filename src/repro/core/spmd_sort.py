@@ -67,18 +67,24 @@ def _cx_program_step(proc: Proc, block: np.ndarray, partner: int, i_am_low: bool
     the high side keeps the complement.
     """
     k = int(block.size)
+    obs = proc.obs
     # Leg 0 — probe.
     my_boundary = float(block[-1] if (i_am_low == keep_min) else block[0])
     yield proc.send(partner, payload=my_boundary, size=1, tag=tag_base)
     other_boundary = yield proc.recv(src=partner, tag=tag_base)
     yield proc.compute(1)
+    if obs.enabled:
+        obs.metrics.inc("sort.messages")
     if i_am_low == keep_min:
         # I keep the small side: skip if my max <= partner's min.
-        if my_boundary <= other_boundary:
-            return block
+        skip = my_boundary <= other_boundary
     else:
-        if other_boundary <= my_boundary:
-            return block
+        skip = other_boundary <= my_boundary
+    if skip:
+        # The pair's logical counters are recorded once, on the low side.
+        if obs.enabled and i_am_low:
+            obs.metrics.inc("sort.cx.skipped")
+        return block
 
     # Leg 1 — halves.  Pairing: low_i against high_{k-1-i}.  The low side
     # evaluates pairs i in [h, k) (needs high's bottom k-h keys), the high
@@ -92,6 +98,8 @@ def _cx_program_step(proc: Proc, block: np.ndarray, partner: int, i_am_low: bool
         keep_part = block[k - h :]
     yield proc.send(partner, payload=send_part.copy(), size=int(send_part.size), tag=tag_base + 1)
     received = yield proc.recv(src=partner, tag=tag_base + 1)
+    if obs.enabled:
+        obs.metrics.inc("sort.messages")
 
     # Pairwise comparisons.  For the low side: my keep_part is a[h:k]
     # ascending; partner's bottom is b[0:k-h] ascending; pair a_i with
@@ -110,6 +118,10 @@ def _cx_program_step(proc: Proc, block: np.ndarray, partner: int, i_am_low: bool
     # Leg 2 — return the losers; receive the partner's losers.
     yield proc.send(partner, payload=losers.copy(), size=int(losers.size), tag=tag_base + 2)
     returned = yield proc.recv(src=partner, tag=tag_base + 2)
+    if obs.enabled:
+        obs.metrics.inc("sort.messages")
+        if i_am_low:
+            obs.metrics.inc("sort.cx.executed")
 
     merged = np.concatenate([winners, np.asarray(returned)])
     yield proc.compute(max(int(merged.size) - 1, 0))  # step 7(c) merge
@@ -152,6 +164,10 @@ def _make_program(schedule: SortSchedule, blocks: dict[int, np.ndarray]):
                 yield proc.send(partner, payload=block.copy(), size=int(block.size),
                                 tag=idx * 4)
                 block = np.asarray((yield proc.recv(src=partner, tag=idx * 4)))
+                if proc.obs.enabled:
+                    proc.obs.metrics.inc("sort.messages")
+                    if proc.rank < partner:
+                        proc.obs.metrics.inc("sort.mirror.pairs")
         blocks[proc.rank] = block
 
     return program
@@ -162,12 +178,19 @@ def run_schedule_spmd(
     keys: np.ndarray | list,
     faults: FaultSet,
     params: MachineParams | None = None,
+    obs=None,
 ) -> SpmdSortResult:
-    """Execute a sort schedule on the discrete-event SPMD machine."""
+    """Execute a sort schedule on the discrete-event SPMD machine.
+
+    ``obs`` is an optional :class:`repro.obs.Tracer` shared with the SPMD
+    machine and its event engine; the programs additionally accumulate the
+    same logical ``sort.*`` counters as the phase engine, which is what the
+    cross-backend parity tests compare.
+    """
     keys_arr = np.asarray(keys, dtype=float)
     chunks, _ = pad_and_chunk(keys_arr, schedule.workers)
     blocks = {rank: chunk for rank, chunk in zip(schedule.output_order, chunks)}
-    machine = SpmdMachine(schedule.n, faults=faults, params=params)
+    machine = SpmdMachine(schedule.n, faults=faults, params=params, obs=obs)
     program = _make_program(schedule, blocks)
     finish = machine.run({rank: program for rank in schedule.output_order})
     gathered = (
@@ -191,6 +214,7 @@ def spmd_fault_tolerant_sort(
     faults: FaultSet | list[int] | tuple[int, ...],
     params: MachineParams | None = None,
     fault_kind: FaultKind = FaultKind.PARTIAL,
+    obs=None,
 ) -> SpmdSortResult:
     """Message-level fault-tolerant sort on ``Q_n`` (mirrors the phase engine).
 
@@ -218,4 +242,4 @@ def spmd_fault_tolerant_sort(
     else:
         _, selection = plan_partition(n, fault_set)
         schedule = build_ft_schedule(selection)
-    return run_schedule_spmd(schedule, keys, fault_set, params=params)
+    return run_schedule_spmd(schedule, keys, fault_set, params=params, obs=obs)

@@ -22,6 +22,7 @@ from repro.core.spmd_sort import _cx_program_step
 from repro.cube.address import validate_dimension
 from repro.faults.linkplan import absorb_link_faults
 from repro.faults.model import FaultKind, FaultSet
+from repro.obs.spans import PID_SIM, TID_ALGO
 from repro.simulator.params import MachineParams
 from repro.simulator.spmd import Proc, SpmdMachine
 from repro.sorting.heapsort import heapsort
@@ -62,6 +63,7 @@ def sort_session(
     params: MachineParams | None = None,
     fault_kind: FaultKind = FaultKind.PARTIAL,
     host: int | None = None,
+    obs=None,
 ) -> HostSession:
     """Distribute ``keys`` from a host, sort fault-tolerantly, collect back.
 
@@ -69,6 +71,11 @@ def sort_session(
     segment reproduces :func:`repro.core.spmd_sort.spmd_fault_tolerant_sort`
     exactly; the scatter/gather segments add the tree-collective costs the
     paper excludes from its measurements.
+
+    ``obs`` is an optional :class:`repro.obs.Tracer`: the machine records
+    the full message lifecycle and the session adds one span per segment
+    (``host.distribute`` / ``host.sort`` / ``host.collect``) on the
+    algorithm timeline.
     """
     validate_dimension(n)
     fault_set = faults if isinstance(faults, FaultSet) else FaultSet(n, faults, kind=fault_kind)
@@ -149,7 +156,7 @@ def sort_session(
                 rank: np.asarray(v) for rank, v in result.items()
             }
 
-    machine = SpmdMachine(n, faults=fault_set, params=params)
+    machine = SpmdMachine(n, faults=fault_set, params=params, obs=obs)
     # Relay-only ranks (normal processors outside the working set, e.g.
     # dangling ones) also run the program so the tree stays connected.
     participants = sorted(tree.members())
@@ -165,6 +172,19 @@ def sort_session(
     dist_t = max(t for t, _ in checkpoints.values())
     sort_t = max(t for _, t in checkpoints.values()) - dist_t
     coll_t = finish - dist_t - sort_t
+    if machine.obs.enabled:
+        tracer = machine.obs
+        tracer.name_thread(TID_ALGO, "algorithm steps", pid=PID_SIM)
+        for name, ts, dur in (
+            ("host.distribute", 0.0, dist_t),
+            ("host.sort", dist_t, sort_t),
+            ("host.collect", dist_t + sort_t, coll_t),
+        ):
+            tracer.complete(name, ts=ts, dur=dur, cat="segment",
+                            pid=PID_SIM, tid=TID_ALGO)
+        tracer.metrics.set_gauge("host.distribution_time", dist_t)
+        tracer.metrics.set_gauge("host.sort_time", sort_t)
+        tracer.metrics.set_gauge("host.collection_time", coll_t)
     return HostSession(
         sorted_keys=sorted_keys,
         host=host,

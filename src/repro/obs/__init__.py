@@ -1,0 +1,66 @@
+"""repro.obs — unified observability: spans, metrics, trace export.
+
+The instrumentation layer every other subsystem reports into:
+
+* :mod:`repro.obs.spans` — hierarchical span tracer (:class:`Tracer`),
+  context-manager and retroactive APIs, simulated-time and wall-time
+  clocks, and the :data:`NULL_TRACER` disabled fast path (one attribute
+  check when tracing is off);
+* :mod:`repro.obs.metrics` — counters / gauges / histograms in a
+  :class:`MetricsRegistry` with ``to_dict()`` JSON export; the logical
+  ``sort.*`` counters are identical across both execution backends and are
+  what cross-backend validation compares;
+* :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event`` JSON export
+  (``chrome://tracing`` / ui.perfetto.dev) plus text flame and per-step
+  reports.
+
+Entry points accept an ``obs`` tracer: ``fault_tolerant_sort(...,
+obs=Tracer())``, ``spmd_fault_tolerant_sort(..., obs=...)``,
+``sort_session(..., obs=...)``, and the ``repro trace`` CLI subcommand
+runs a sort and writes ``trace.json`` + a metrics summary.  See
+docs/OBSERVABILITY.md for the span taxonomy and metric names.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    flame_report,
+    span_stats,
+    step_durations,
+    step_report,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from repro.obs.spans import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    wall_clock_us,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "flame_report",
+    "span_stats",
+    "step_durations",
+    "step_report",
+    "wall_clock_us",
+    "write_chrome_trace",
+]

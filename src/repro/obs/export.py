@@ -1,0 +1,178 @@
+"""Trace export: Chrome/Perfetto ``trace_event`` JSON and text reports.
+
+:func:`write_chrome_trace` writes a plain JSON *array* of ``trace_event``
+objects — the format both ``chrome://tracing`` and https://ui.perfetto.dev
+load directly.  Every span becomes a complete event (``"ph": "X"``) with
+``name``/``cat``/``ts``/``dur``/``pid``/``tid`` (+ optional ``args``);
+process and thread labels registered on the tracer become metadata events
+(``"ph": "M"``).
+
+Text-side, :func:`flame_report` aggregates spans by name with total/self
+time (self = duration minus directly nested child spans on the same
+``(pid, tid)`` row) — a one-terminal flame-style hotspot view — and
+:func:`step_durations` folds the fault-tolerant sort's ``stepK:...`` spans
+into per-paper-step durations (steps 1-8).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+
+from repro.obs.spans import Span, Tracer
+
+__all__ = [
+    "SpanStat",
+    "chrome_trace_events",
+    "flame_report",
+    "span_stats",
+    "step_durations",
+    "step_report",
+    "write_chrome_trace",
+]
+
+_STEP_RE = re.compile(r"^step(\d+)")
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """Render a tracer's spans as Chrome ``trace_event`` dicts.
+
+    Metadata (process/thread name) events come first, then one ``"X"``
+    (complete) event per span in recording order.  All timestamps are
+    microseconds, as the format requires.
+    """
+    events: list[dict] = []
+    for pid, name in sorted(tracer.pid_names.items()):
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": name},
+        })
+    for (pid, tid), name in sorted(tracer.tid_names.items()):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": name},
+        })
+    for sp in tracer.spans:
+        ev = {
+            "name": sp.name,
+            "cat": sp.cat or "default",
+            "ph": "X",
+            "ts": sp.ts,
+            "dur": sp.dur,
+            "pid": sp.pid,
+            "tid": sp.tid,
+        }
+        if sp.args:
+            ev["args"] = sp.args
+        events.append(ev)
+    return events
+
+
+def write_chrome_trace(path: str, tracer: Tracer) -> int:
+    """Write the trace as a JSON event array; returns the event count."""
+    events = chrome_trace_events(tracer)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(events, fh, indent=None, separators=(",", ":"))
+    return len(events)
+
+
+@dataclass
+class SpanStat:
+    """Aggregated timing of all spans sharing one name."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    self_time: float = 0.0
+
+    def add(self, dur: float, self_dur: float) -> None:
+        self.count += 1
+        self.total += dur
+        self.self_time += self_dur
+
+
+def _self_times(spans: list[Span]) -> list[tuple[Span, float]]:
+    """Self time per span: duration minus directly nested children.
+
+    Nesting is computed per ``(pid, tid)`` row from interval containment —
+    the same rule Perfetto uses to stack ``"X"`` events.
+    """
+    rows: dict[tuple[int, int], list[Span]] = {}
+    for sp in spans:
+        rows.setdefault((sp.pid, sp.tid), []).append(sp)
+    out: list[tuple[Span, float]] = []
+    eps = 1e-9
+    for row in rows.values():
+        row.sort(key=lambda s: (s.ts, -s.dur))
+        stack: list[list] = []  # [span, accumulated child duration]
+        for sp in row:
+            while stack and sp.ts >= stack[-1][0].end - eps:
+                done, child_dur = stack.pop()
+                out.append((done, max(done.dur - child_dur, 0.0)))
+            if stack:
+                stack[-1][1] += sp.dur
+            stack.append([sp, 0.0])
+        while stack:
+            done, child_dur = stack.pop()
+            out.append((done, max(done.dur - child_dur, 0.0)))
+    return out
+
+
+def span_stats(tracer: Tracer, cats: tuple[str, ...] | None = None) -> list[SpanStat]:
+    """Per-name aggregation of (optionally category-filtered) spans."""
+    spans = [sp for sp in tracer.spans if cats is None or sp.cat in cats]
+    stats: dict[str, SpanStat] = {}
+    for sp, self_dur in _self_times(spans):
+        st = stats.get(sp.name)
+        if st is None:
+            st = stats[sp.name] = SpanStat(name=sp.name)
+        st.add(sp.dur, self_dur)
+    return sorted(stats.values(), key=lambda s: -s.self_time)
+
+
+def flame_report(tracer: Tracer, top: int = 5,
+                 cats: tuple[str, ...] | None = None) -> str:
+    """Text flame-style report: the ``top`` hottest span names by self time."""
+    stats = span_stats(tracer, cats=cats)
+    total = sum(st.self_time for st in stats) or 1.0
+    lines = [f"hottest spans (self time, {len(stats)} distinct names):"]
+    for st in stats[:top]:
+        share = 100.0 * st.self_time / total
+        lines.append(
+            f"  {st.name:<40} self {st.self_time:12.1f}us "
+            f"({share:5.1f}%)  total {st.total:12.1f}us  x{st.count}"
+        )
+    if len(lines) == 1:
+        lines.append("  (no spans recorded)")
+    return "\n".join(lines)
+
+
+def step_durations(tracer: Tracer) -> dict[str, float]:
+    """Fold ``stepK:...`` spans into per-paper-step total durations.
+
+    Returns ``{"step1": ..., ..., "step8": ...}`` (only steps that emitted
+    spans appear).  Sub-step spans like ``step3a:local-heapsort`` and
+    ``step3b:intra-init`` fold into their parent step; ``step4`` spans
+    cover whole merge stages and therefore nest steps 5-8 (the paper's
+    "repeat" step).
+    """
+    steps: dict[str, float] = {}
+    for sp in tracer.spans:
+        m = _STEP_RE.match(sp.name)
+        if m is None:
+            continue
+        key = f"step{m.group(1)}"
+        steps[key] = steps.get(key, 0.0) + sp.dur
+    return dict(sorted(steps.items(), key=lambda kv: int(kv[0][4:])))
+
+
+def step_report(tracer: Tracer) -> str:
+    """Text table of :func:`step_durations` (simulated microseconds)."""
+    steps = step_durations(tracer)
+    lines = ["per-step simulated durations (us):"]
+    for name, dur in steps.items():
+        lines.append(f"  {name:<8} {dur:14.1f}")
+    if len(lines) == 1:
+        lines.append("  (no step spans recorded)")
+    return "\n".join(lines)

@@ -1,0 +1,262 @@
+"""Metrics registry: counters, gauges, and histograms with JSON export.
+
+One :class:`MetricsRegistry` per traced run collects everything both
+execution backends report — messages sent, elements (keys) moved per link,
+compare-exchange counts, queue delays, per-phase key movement — under
+dotted metric names (see docs/OBSERVABILITY.md for the taxonomy).  The
+registry is the unit of comparison for cross-backend validation: the same
+oblivious schedule executed on the phase engine and on the discrete-event
+SPMD machine must produce identical logical counters (``sort.*``).
+
+Instruments are created on first use::
+
+    reg = MetricsRegistry()
+    reg.inc("sort.messages", 2)
+    reg.observe("engine.queue_delay", 12.5)
+    reg.set_gauge("host.total_time", 3_200.0)
+    print(reg.summary())
+    json.dumps(reg.to_dict())
+
+:class:`NullMetrics` is the disabled-path stand-in: every method is a
+no-op, so instrumented code can call it unconditionally (though hot paths
+should guard on ``tracer.enabled`` and skip the call entirely).
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetrics",
+]
+
+
+class Counter:
+    """A monotonically increasing count (messages, comparisons, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: int | float = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Streaming distribution summary: count, sum, min, max, mean.
+
+    Constant memory — no buckets are kept; this is enough for the queue
+    delay / keys-moved style questions the reports answer.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: float = float("inf")
+        self.max: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.3g})"
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of named instruments.
+
+    Instrument creation is lock-protected (updates on an already-created
+    instrument are plain attribute arithmetic, safe under the GIL for the
+    single-writer simulations this repo runs).
+    """
+
+    def __init__(self):
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    # -- instrument access -------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            with self._lock:
+                c = self.counters.setdefault(name, Counter(name))
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            with self._lock:
+                g = self.gauges.setdefault(name, Gauge(name))
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            with self._lock:
+                h = self.histograms.setdefault(name, Histogram(name))
+        return h
+
+    # -- convenience write/read --------------------------------------------
+
+    def inc(self, name: str, amount: int | float = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value``."""
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into histogram ``name``."""
+        self.histogram(name).observe(value)
+
+    def value(self, name: str, default: int | float = 0) -> int | float:
+        """Current value of counter ``name`` (``default`` if absent)."""
+        c = self.counters.get(name)
+        return c.value if c is not None else default
+
+    # -- export -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot of every instrument."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
+            "histograms": {k: h.to_dict() for k, h in sorted(self.histograms.items())},
+        }
+
+    def summary(self, title: str = "metrics") -> str:
+        """Human-readable text table of the whole registry."""
+        lines = [f"{title}:"]
+        for name, c in sorted(self.counters.items()):
+            lines.append(f"  {name:<42} {c.value:>14g}")
+        for name, g in sorted(self.gauges.items()):
+            lines.append(f"  {name:<42} {g.value:>14g}")
+        for name, h in sorted(self.histograms.items()):
+            lines.append(
+                f"  {name:<42} n={h.count} mean={h.mean:.2f} "
+                f"min={0.0 if not h.count else h.min:.2f} "
+                f"max={0.0 if not h.count else h.max:.2f}"
+            )
+        if len(lines) == 1:
+            lines.append("  (empty)")
+        return "\n".join(lines)
+
+
+class NullMetrics:
+    """No-op registry used by :class:`repro.obs.spans.NullTracer`."""
+
+    __slots__ = ()
+
+    _COUNTER = None  # shared inert instruments, created lazily below
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def inc(self, name: str, amount: int | float = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def value(self, name: str, default: int | float = 0) -> int | float:
+        return default
+
+    def to_dict(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def summary(self, title: str = "metrics") -> str:
+        return f"{title}:\n  (disabled)"
+
+
+class _InertCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+
+class _InertGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _InertHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _InertCounter("null")
+_NULL_GAUGE = _InertGauge("null")
+_NULL_HISTOGRAM = _InertHistogram("null")
+
+NULL_METRICS = NullMetrics()

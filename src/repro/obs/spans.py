@@ -1,0 +1,282 @@
+"""Zero-dependency hierarchical span tracing.
+
+A :class:`Tracer` collects :class:`Span` records — named time intervals
+with a Perfetto-compatible ``(pid, tid, ts, dur)`` placement — from every
+layer of the stack: algorithm steps, machine phases, link transmissions,
+per-message lifecycles, host-session segments.  Two recording styles:
+
+* ``with tracer.span("name"):`` — live context manager, timed with the
+  tracer's ``clock`` (wall time in microseconds by default);
+* ``tracer.complete("name", ts=..., dur=...)`` — retroactive record for
+  simulated-time intervals whose duration the simulator already knows
+  (phase engines learn a phase's duration only at the barrier).
+
+Both simulated-time and wall-time spans can coexist in one tracer; the
+convention in this repo is that *pid 0 carries simulated time* (the
+exported trace opens in Perfetto with the simulation clock on the
+timeline) and wall-clock facts ride along in span ``args``.
+
+Disabled tracing must cost one attribute check on hot paths::
+
+    if machine.obs.enabled:          # False on NULL_TRACER
+        machine.obs.complete(...)
+
+:data:`NULL_TRACER` (a :class:`NullTracer`) is the shared disabled
+instance: ``enabled`` is ``False``, ``span()`` returns one reusable no-op
+context manager, every other method is a no-op, and its ``metrics`` is
+:data:`repro.obs.metrics.NULL_METRICS`.
+
+Thread safety: span appends are lock-protected and the live-span stack is
+per-thread, so concurrently traced threads interleave correctly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "PID_MESSAGES",
+    "PID_NETWORK",
+    "PID_SIM",
+    "Span",
+    "TID_ALGO",
+    "TID_PHASES",
+    "TID_RANK_BASE",
+    "Tracer",
+    "wall_clock_us",
+]
+
+#: Perfetto process/thread placement conventions used across the repo.
+PID_SIM = 0  #: simulated time: algorithm steps, machine phases, SPMD ranks
+PID_NETWORK = 1  #: per-directed-link transmission rows
+PID_MESSAGES = 2  #: per-message lifecycle rows (one row per destination)
+
+TID_ALGO = 0  #: algorithm-level step spans (ftsort steps 1-8, host segments)
+TID_PHASES = 1  #: phase-engine barrier phases
+TID_RANK_BASE = 10  #: SPMD rank ``r`` renders on tid ``TID_RANK_BASE + r``
+
+
+def wall_clock_us() -> float:
+    """Monotonic wall clock in microseconds (the default tracer clock)."""
+    return time.perf_counter() * 1e6
+
+
+@dataclass
+class Span:
+    """One completed named interval.
+
+    Attributes:
+        name: span name (e.g. ``"step7:inter[i=0,j=0]"``).
+        ts: start timestamp (microseconds — simulated or wall, by pid
+            convention).
+        dur: duration in the same unit (0 for instant markers).
+        cat: category tag (``"step"``, ``"phase"``, ``"link"``, ``"msg"``,
+            ``"collective"``, ...).
+        pid: Perfetto process row.
+        tid: Perfetto thread row within ``pid``.
+        args: optional JSON-able payload shown in the Perfetto detail pane.
+    """
+
+    name: str
+    ts: float
+    dur: float
+    cat: str = ""
+    pid: int = PID_SIM
+    tid: int = TID_ALGO
+    args: dict | None = None
+
+    @property
+    def end(self) -> float:
+        return self.ts + self.dur
+
+
+class _LiveSpan:
+    """Context manager for one in-flight :meth:`Tracer.span` interval."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "_pid", "_tid", "_args", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, pid: int, tid: int,
+                 args: dict | None):
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._pid = pid
+        self._tid = tid
+        self._args = args
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_LiveSpan":
+        self._t0 = self._tracer.clock()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._pop(self)
+        self._tracer.complete(
+            self._name,
+            ts=self._t0,
+            dur=self._tracer.clock() - self._t0,
+            cat=self._cat,
+            pid=self._pid,
+            tid=self._tid,
+            args=self._args,
+        )
+        return False
+
+
+class Tracer:
+    """Collects spans and owns a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+    Args:
+        clock: zero-argument callable returning the current time in
+            microseconds for live ``span()`` blocks; defaults to
+            :func:`wall_clock_us`.  Retroactive :meth:`complete` records
+            carry their own timestamps and ignore the clock.
+        metrics: registry to attach (a fresh one by default).
+        pid: default Perfetto process row for spans that do not specify one.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        metrics: MetricsRegistry | None = None,
+        pid: int = PID_SIM,
+    ):
+        self.clock = clock if clock is not None else wall_clock_us
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.pid = pid
+        self.spans: list[Span] = []
+        self.pid_names: dict[int, str] = {}
+        self.tid_names: dict[tuple[int, int], str] = {}
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- live spans ---------------------------------------------------------
+
+    def span(self, name: str, cat: str = "", pid: int | None = None,
+             tid: int = TID_ALGO, **args) -> _LiveSpan:
+        """Open a live span; use as ``with tracer.span("name"): ...``."""
+        return _LiveSpan(self, name, cat, self.pid if pid is None else pid,
+                         tid, args or None)
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, live: _LiveSpan) -> None:
+        self._stack().append(live)
+
+    def _pop(self, live: _LiveSpan) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is live:
+            stack.pop()
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth of live ``span()`` blocks on this thread."""
+        return len(self._stack())
+
+    # -- retroactive records ------------------------------------------------
+
+    def complete(self, name: str, ts: float, dur: float, cat: str = "",
+                 pid: int | None = None, tid: int = TID_ALGO,
+                 args: dict | None = None) -> Span:
+        """Record an already-finished interval (simulated-time spans)."""
+        sp = Span(name=name, ts=ts, dur=max(dur, 0.0), cat=cat,
+                  pid=self.pid if pid is None else pid, tid=tid, args=args)
+        with self._lock:
+            self.spans.append(sp)
+        return sp
+
+    def instant(self, name: str, ts: float | None = None, cat: str = "",
+                pid: int | None = None, tid: int = TID_ALGO,
+                args: dict | None = None) -> Span:
+        """Record a zero-duration marker (``ts`` defaults to the clock)."""
+        return self.complete(name, ts=self.clock() if ts is None else ts,
+                             dur=0.0, cat=cat, pid=pid, tid=tid, args=args)
+
+    # -- naming -------------------------------------------------------------
+
+    def name_process(self, pid: int, name: str) -> None:
+        """Label a Perfetto process row."""
+        self.pid_names[pid] = name
+
+    def name_thread(self, tid: int, name: str, pid: int | None = None) -> None:
+        """Label a Perfetto thread row."""
+        self.tid_names[(self.pid if pid is None else pid, tid)] = name
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return f"Tracer(spans={len(self.spans)}, enabled={self.enabled})"
+
+
+class _NullContext:
+    """Reusable no-op context manager returned by :meth:`NullTracer.span`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_CTX = _NullContext()
+
+
+class NullTracer:
+    """Disabled tracer: one attribute check (``enabled``) and no-ops.
+
+    All instrumented call sites guard with ``if obs.enabled:`` so the
+    disabled path never allocates; even unguarded calls bounce off the
+    shared no-op context/metrics objects.
+    """
+
+    enabled = False
+    depth = 0
+
+    def __init__(self):
+        self.metrics: NullMetrics = NULL_METRICS
+        self.spans: tuple = ()
+        self.pid_names: dict = {}
+        self.tid_names: dict = {}
+        self.pid = PID_SIM
+
+    def span(self, name: str, cat: str = "", pid: int | None = None,
+             tid: int = TID_ALGO, **args) -> _NullContext:
+        return _NULL_CTX
+
+    def complete(self, name: str, ts: float, dur: float, cat: str = "",
+                 pid: int | None = None, tid: int = TID_ALGO,
+                 args: dict | None = None) -> None:
+        return None
+
+    def instant(self, name: str, ts: float | None = None, cat: str = "",
+                pid: int | None = None, tid: int = TID_ALGO,
+                args: dict | None = None) -> None:
+        return None
+
+    def name_process(self, pid: int, name: str) -> None:
+        return None
+
+    def name_thread(self, tid: int, name: str, pid: int | None = None) -> None:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return "NullTracer()"
+
+
+#: Shared disabled tracer — the default ``obs`` of every engine.
+NULL_TRACER = NullTracer()

@@ -24,6 +24,7 @@ import itertools
 from dataclasses import dataclass, field
 from collections.abc import Callable
 
+from repro.obs.spans import NULL_TRACER, PID_MESSAGES, PID_NETWORK
 from repro.simulator.params import MachineParams
 
 __all__ = ["EventEngine", "Message"]
@@ -71,6 +72,13 @@ class EventEngine:
 
     Args:
         params: cost constants (transfer times).
+        obs: optional :class:`repro.obs.Tracer`.  When enabled, the engine
+            emits the full per-message lifecycle into it — one ``"link"``
+            span per hop transmission (with queue delay) and one ``"msg"``
+            span per delivered message — plus the ``engine.*`` metrics.
+            This is the event API that :class:`repro.simulator.trace
+            .LinkTracer` now rides on.  Defaults to the disabled
+            :data:`~repro.obs.NULL_TRACER` (one attribute check per hop).
 
     The engine knows nothing about topology — it trusts each message's
     ``path`` — and models one in-flight message per *directed* link with
@@ -78,8 +86,9 @@ class EventEngine:
     and the simulation clock.
     """
 
-    def __init__(self, params: MachineParams | None = None):
+    def __init__(self, params: MachineParams | None = None, obs=None):
         self.params = params if params is not None else MachineParams.ncube7()
+        self.obs = obs if obs is not None else NULL_TRACER
         self.now: float = 0.0
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
@@ -87,6 +96,7 @@ class EventEngine:
         self._link_free_at: dict[tuple[int, int], float] = {}
         self.link_busy_time: dict[tuple[int, int], float] = {}
         self.delivered: list[Message] = []
+        self._link_tids: dict[tuple[int, int], int] = {}
 
     # -- event queue --------------------------------------------------------
 
@@ -145,6 +155,8 @@ class EventEngine:
             def deliver_now() -> None:
                 message.delivered_at = self.now
                 self.delivered.append(message)
+                if self.obs.enabled:
+                    self._record_delivery(message)
                 on_delivered(message)
 
             self.schedule(start, deliver_now)
@@ -167,11 +179,15 @@ class EventEngine:
         end = begin + duration
         self._link_free_at[link] = end
         self.link_busy_time[link] = self.link_busy_time.get(link, 0.0) + duration
+        if self.obs.enabled:
+            self._record_hop(link, begin, duration, ready_at, message)
 
         def on_hop_done() -> None:
             if hop_index + 1 == len(message.path) - 1:
                 message.delivered_at = self.now
                 self.delivered.append(message)
+                if self.obs.enabled:
+                    self._record_delivery(message)
                 on_delivered(message)
             else:
                 # Store-and-forward: only after full reception does the next
@@ -179,6 +195,52 @@ class EventEngine:
                 self._advance_hop(message, hop_index + 1, self.now, on_delivered)
 
         self.schedule(end, on_hop_done)
+
+    # -- observability --------------------------------------------------------
+
+    def _record_hop(self, link: tuple[int, int], begin: float, duration: float,
+                    ready_at: float, message: Message) -> None:
+        """Emit one link-transmission span + metrics (tracing enabled only)."""
+        u, v = link
+        tid = self._link_tids.get(link)
+        if tid is None:
+            tid = 1 + len(self._link_tids)
+            self._link_tids[link] = tid
+            self.obs.name_process(PID_NETWORK, "links")
+            self.obs.name_thread(tid, f"link {u}->{v}", pid=PID_NETWORK)
+        delay = max(begin - ready_at, 0.0)
+        self.obs.complete(
+            f"hop {u}->{v}",
+            ts=begin,
+            dur=duration,
+            cat="link",
+            pid=PID_NETWORK,
+            tid=tid,
+            args={"link": [u, v], "src": message.src, "dst": message.dst,
+                  "size": message.size, "queue_delay": delay},
+        )
+        m = self.obs.metrics
+        m.inc("engine.hops")
+        m.inc(f"engine.link.elements[{u}->{v}]", message.size)
+        m.observe("engine.queue_delay", delay)
+
+    def _record_delivery(self, message: Message) -> None:
+        """Emit one message-lifecycle span + metrics (tracing enabled only)."""
+        self.obs.name_process(PID_MESSAGES, "messages")
+        self.obs.name_thread(message.dst, f"to rank {message.dst}", pid=PID_MESSAGES)
+        self.obs.complete(
+            f"msg {message.src}->{message.dst}",
+            ts=message.sent_at,
+            dur=(message.delivered_at or message.sent_at) - message.sent_at,
+            cat="msg",
+            pid=PID_MESSAGES,
+            tid=message.dst,
+            args={"size": message.size, "tag": message.tag,
+                  "hops": message.hops_taken},
+        )
+        m = self.obs.metrics
+        m.inc("engine.messages")
+        m.inc("engine.elements", message.size)
 
     # -- statistics -----------------------------------------------------------
 

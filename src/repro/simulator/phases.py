@@ -32,6 +32,7 @@ import numpy as np
 from repro.cube.address import hamming_distance, validate_address
 from repro.cube.topology import Hypercube
 from repro.faults.model import FaultKind, FaultSet
+from repro.obs.spans import NULL_TRACER, PID_SIM, TID_PHASES
 from repro.simulator.params import MachineParams
 
 __all__ = ["PhaseMachine", "PhaseRecord"]
@@ -67,6 +68,11 @@ class PhaseMachine:
         params: cost constants; defaults to :meth:`MachineParams.ncube7`.
         faults: optional fault configuration; affects hop counts (see
             module docstring) and forbids storing keys on faulty nodes.
+        obs: optional :class:`repro.obs.Tracer`; when enabled, every phase
+            is recorded as a simulated-time span (category ``"phase"``)
+            and its traffic folds into the ``phase.*`` metrics.  Defaults
+            to the disabled :data:`~repro.obs.NULL_TRACER` (one attribute
+            check per phase).
     """
 
     def __init__(
@@ -74,6 +80,7 @@ class PhaseMachine:
         n: int,
         params: MachineParams | None = None,
         faults: FaultSet | None = None,
+        obs=None,
     ):
         self.cube = Hypercube(n)
         self.n = n
@@ -81,6 +88,10 @@ class PhaseMachine:
         if faults is not None and faults.n != n:
             raise ValueError(f"fault set is for Q_{faults.n}, machine is Q_{n}")
         self.faults = faults if faults is not None else FaultSet(n)
+        self.obs = obs if obs is not None else NULL_TRACER
+        if self.obs.enabled:
+            self.obs.name_process(PID_SIM, "simulated machine")
+            self.obs.name_thread(TID_PHASES, "machine phases", pid=PID_SIM)
         self.blocks: dict[int, np.ndarray] = {}
         self.elapsed: float = 0.0
         self.phases: list[PhaseRecord] = []
@@ -180,6 +191,7 @@ class PhaseMachine:
             raise RuntimeError(f"phase {self._current.label!r} is already open")
         self._current = PhaseRecord(label=label)
         self._node_time = {}
+        started_at = self.elapsed
         try:
             yield self._current
         finally:
@@ -189,8 +201,34 @@ class PhaseMachine:
             self.phases.append(rec)
             self._current = None
             self._node_time = {}
+            if self.obs.enabled:
+                self._record_phase(rec, started_at)
             if self.on_phase_end is not None:
                 self.on_phase_end(self, rec)
+
+    def _record_phase(self, rec: PhaseRecord, started_at: float) -> None:
+        """Report a closed phase to the attached observability tracer."""
+        self.obs.complete(
+            rec.label,
+            ts=started_at,
+            dur=rec.duration,
+            cat="phase",
+            pid=PID_SIM,
+            tid=TID_PHASES,
+            args={
+                "comparisons": rec.comparisons,
+                "elements_sent": rec.elements_sent,
+                "element_hops": rec.element_hops,
+                "messages": rec.messages,
+            },
+        )
+        m = self.obs.metrics
+        m.inc("phase.count")
+        m.inc("phase.messages", rec.messages)
+        m.inc("phase.elements", rec.elements_sent)
+        m.inc("phase.element_hops", rec.element_hops)
+        m.inc("phase.comparisons", rec.comparisons)
+        m.observe("phase.keys_moved", rec.elements_sent)
 
     def _require_phase(self) -> PhaseRecord:
         if self._current is None:

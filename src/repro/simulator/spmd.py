@@ -34,6 +34,7 @@ from collections import deque
 from collections.abc import Callable, Generator
 
 from repro.faults.model import FaultSet
+from repro.obs.spans import NULL_TRACER, PID_SIM, TID_RANK_BASE
 from repro.simulator.engine import EventEngine, Message
 from repro.simulator.params import MachineParams
 from repro.simulator.router import Router
@@ -89,6 +90,11 @@ class Proc:
         """Effect: charge local compute time for ``comparisons`` comparisons."""
         return _ComputeEffect(comparisons=comparisons)
 
+    @property
+    def obs(self):
+        """The machine's observability tracer (NULL_TRACER when disabled)."""
+        return self._machine.obs
+
 
 class _ProcState:
     def __init__(self, proc: Proc, gen: Generator):
@@ -107,6 +113,10 @@ class SpmdMachine:
         faults: fault configuration (decides routing and which ranks run).
         params: cost constants.
         router: optional router override (default ``Router(faults)``).
+        obs: optional :class:`repro.obs.Tracer`, shared with the underlying
+            :class:`EventEngine` (link/message lifecycle events); the
+            machine additionally records one ``"proc"`` span per rank and
+            the ``spmd.*`` message totals.
     """
 
     def __init__(
@@ -115,6 +125,7 @@ class SpmdMachine:
         faults: FaultSet | None = None,
         params: MachineParams | None = None,
         router: Router | None = None,
+        obs=None,
     ):
         self.n = n
         self.size = 1 << n
@@ -122,7 +133,8 @@ class SpmdMachine:
         if self.faults.n != n:
             raise ValueError(f"fault set is for Q_{self.faults.n}, expected Q_{n}")
         self.params = params if params is not None else MachineParams.ncube7()
-        self.engine = EventEngine(self.params)
+        self.obs = obs if obs is not None else NULL_TRACER
+        self.engine = EventEngine(self.params, obs=self.obs)
         self.router = router if router is not None else Router(self.faults)
         self._states: dict[int, _ProcState] = {}
         self.finish_time: float = 0.0
@@ -170,7 +182,34 @@ class SpmdMachine:
         self.finish_time = max(
             (s.proc.clock for s in self._states.values()), default=self.engine.now
         )
+        if self.obs.enabled:
+            self._record_run()
         return self.finish_time
+
+    def _record_run(self) -> None:
+        """Per-rank program spans + message totals (tracing enabled only)."""
+        sent = received = 0
+        self.obs.name_process(PID_SIM, "simulated machine")
+        for rank, state in sorted(self._states.items()):
+            proc = state.proc
+            tid = TID_RANK_BASE + rank
+            self.obs.name_thread(tid, f"rank {rank}", pid=PID_SIM)
+            self.obs.complete(
+                f"program rank {rank}",
+                ts=0.0,
+                dur=proc.clock,
+                cat="proc",
+                pid=PID_SIM,
+                tid=tid,
+                args={"rank": rank, "sent": proc.sent_messages,
+                      "received": proc.received_messages},
+            )
+            sent += proc.sent_messages
+            received += proc.received_messages
+        m = self.obs.metrics
+        m.inc("spmd.messages_sent", sent)
+        m.inc("spmd.messages_received", received)
+        m.set_gauge("spmd.finish_time", self.finish_time)
 
     # -- program driving -----------------------------------------------------
 

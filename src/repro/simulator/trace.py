@@ -1,9 +1,15 @@
 """Event-engine tracing: link occupancy intervals and utilization reports.
 
 The discrete-event engine aggregates per-link busy time by default; for
-deeper inspection (hotspot hunting, contention visualization) wrap it in a
-:class:`LinkTracer`, which records every transmission interval and can
-render a compact text timeline.
+deeper inspection (hotspot hunting, contention visualization) attach a
+:class:`LinkTracer`.  Since the ``repro.obs`` subsystem landed, the engine
+itself emits per-hop ``"link"`` events into its ``obs`` tracer, and
+``LinkTracer`` is a thin compatibility shim over that event API: it
+installs a simulated-time :class:`~repro.obs.Tracer` on the engine (or
+reuses an already-attached one) and folds the link events into per-link
+aggregates *incrementally* — each event is visited exactly once, so
+``report()`` is ``O(links log links)`` instead of the old
+``O(intervals x links)`` rescans.
 
 Example::
 
@@ -17,7 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.simulator.engine import EventEngine, Message
+from repro.obs.spans import Tracer
+from repro.simulator.engine import EventEngine
 
 __all__ = ["LinkInterval", "LinkTracer"]
 
@@ -42,68 +49,102 @@ class LinkInterval:
 
 
 class LinkTracer:
-    """Records every link transmission interval of an :class:`EventEngine`.
+    """Per-link transmission intervals of an :class:`EventEngine`.
 
-    Installed by monkey-wrapping the engine's hop scheduler — the engine
-    itself stays trace-free and fast when no tracer is attached.
+    Attaching installs an enabled :class:`repro.obs.Tracer` as the
+    engine's ``obs`` (unless one is already enabled, which is then shared);
+    the engine records every hop through its normal event API — scheduling
+    behavior and timing are completely unchanged.  :meth:`detach` restores
+    the engine's previous tracer and freezes this view.
+
+    Aggregates (busy time per link, total queueing delay) are maintained
+    incrementally as events stream in, so the report methods no longer
+    rescan the interval list per link.
     """
 
-    def __init__(self, engine: EventEngine):
+    def __init__(self, engine: EventEngine, obs: Tracer | None = None):
         self.engine = engine
-        self.intervals: list[LinkInterval] = []
-        self._original = engine._advance_hop
-        engine._advance_hop = self._traced_advance_hop  # type: ignore[method-assign]
+        self._owns = False
+        self._prev_obs = None
+        if obs is not None:
+            self._obs = obs
+        elif engine.obs.enabled:
+            self._obs = engine.obs
+        else:
+            self._obs = Tracer(clock=lambda: engine.now)
+            self._prev_obs = engine.obs
+            engine.obs = self._obs
+            self._owns = True
+        self._intervals: list[LinkInterval] = []
+        self._busy: dict[tuple[int, int], float] = {}
+        self._waiting = 0.0
+        self._cursor = 0
+        self._frozen_at: int | None = None
 
     def detach(self) -> None:
-        """Stop tracing (restores the engine's original scheduler)."""
-        self.engine._advance_hop = self._original  # type: ignore[method-assign]
+        """Stop tracing (restores the engine's previous tracer)."""
+        self._sync()
+        self._frozen_at = self._cursor
+        if self._owns:
+            self.engine.obs = self._prev_obs
+            self._owns = False
 
-    def _traced_advance_hop(self, message: Message, hop_index: int, ready_at: float,
-                            on_delivered) -> None:
-        u = message.path[hop_index]
-        v = message.path[hop_index + 1]
-        link = (u, v)
-        free_at = self.engine._link_free_at.get(link, 0.0)
-        begin = max(ready_at, free_at)
-        end = begin + self.engine.hop_time(message.size)
-        self.intervals.append(
-            LinkInterval(
-                link=link,
-                start=begin,
-                end=end,
-                size=message.size,
-                queue_delay=max(begin - ready_at, 0.0),
+    # -- incremental aggregation ---------------------------------------------
+
+    def _sync(self) -> None:
+        """Fold link events recorded since the last call into the aggregates."""
+        spans = self._obs.spans
+        limit = len(spans) if self._frozen_at is None else self._frozen_at
+        for sp in spans[self._cursor:limit]:
+            if sp.cat != "link":
+                continue
+            args = sp.args or {}
+            iv = LinkInterval(
+                link=tuple(args.get("link", (0, 0))),
+                start=sp.ts,
+                end=sp.ts + sp.dur,
+                size=int(args.get("size", 0)),
+                queue_delay=float(args.get("queue_delay", 0.0)),
             )
-        )
-        self._original(message, hop_index, ready_at, on_delivered)
+            self._intervals.append(iv)
+            self._busy[iv.link] = self._busy.get(iv.link, 0.0) + iv.duration
+            self._waiting += iv.queue_delay
+        self._cursor = limit
+
+    @property
+    def intervals(self) -> list[LinkInterval]:
+        """Every recorded transmission interval, in schedule order."""
+        self._sync()
+        return self._intervals
 
     # -- reports -------------------------------------------------------------
 
     def busiest_links(self, top: int = 5) -> list[tuple[tuple[int, int], float]]:
         """The ``top`` directed links by total busy time."""
-        busy: dict[tuple[int, int], float] = {}
-        for iv in self.intervals:
-            busy[iv.link] = busy.get(iv.link, 0.0) + iv.duration
-        return sorted(busy.items(), key=lambda kv: -kv[1])[:top]
+        self._sync()
+        return sorted(self._busy.items(), key=lambda kv: -kv[1])[:top]
 
     def waiting_time(self) -> float:
         """Total time messages spent queued behind busy links."""
-        return sum(iv.queue_delay for iv in self.intervals)
+        self._sync()
+        return self._waiting
 
     def utilization(self, link: tuple[int, int], until: float | None = None) -> float:
         """Fraction of time a directed link was busy up to ``until``."""
+        self._sync()
         horizon = until if until is not None else self.engine.now
         if horizon <= 0:
             return 0.0
-        busy = sum(iv.duration for iv in self.intervals if iv.link == link)
-        return min(busy / horizon, 1.0)
+        return min(self._busy.get(link, 0.0) / horizon, 1.0)
 
     def report(self, top: int = 5) -> str:
         """Text report of the busiest links."""
-        lines = [f"link trace: {len(self.intervals)} transmissions, "
-                 f"horizon {self.engine.now:.1f}"]
+        self._sync()
+        horizon = self.engine.now
+        lines = [f"link trace: {len(self._intervals)} transmissions, "
+                 f"horizon {horizon:.1f}"]
         for link, busy in self.busiest_links(top):
-            util = self.utilization(link)
+            util = min(busy / horizon, 1.0) if horizon > 0 else 0.0
             lines.append(
                 f"  {link[0]:>3} -> {link[1]:<3} busy {busy:10.1f} ({100 * util:5.1f}%)"
             )

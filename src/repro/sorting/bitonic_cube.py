@@ -115,12 +115,13 @@ def exchange_pair(
         machine.charge_swap(addr_low, addr_high, 1, hops=hops)
         machine.charge_compute(addr_low, 1)
         machine.charge_compute(addr_high, 1)
-        if low_keeps_min:
-            if a[-1] <= b[0]:
-                return
-        else:
-            if b[-1] <= a[0]:
-                return
+        skip = a[-1] <= b[0] if low_keeps_min else b[-1] <= a[0]
+        if skip:
+            if machine.obs.enabled:
+                m = machine.obs.metrics
+                m.inc("sort.cx.skipped")
+                m.inc("sort.messages", 2)
+            return
     res = compare_split(a, b)
     if low_keeps_min:
         machine.blocks[addr_low] = res.low
@@ -142,6 +143,10 @@ def exchange_pair(
     # paper's step-7(c) charge).
     machine.charge_compute(addr_low, first_leg + max(k - 1, 0))
     machine.charge_compute(addr_high, return_leg + max(k - 1, 0))
+    if machine.obs.enabled:
+        m = machine.obs.metrics
+        m.inc("sort.cx.executed")
+        m.inc("sort.messages", (2 if probe else 0) + 2 + (2 if return_leg else 0))
 
 
 def _validate_group(

@@ -1,0 +1,93 @@
+"""Unit tests for trace export (repro.obs.export)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import (
+    chrome_trace_events,
+    flame_report,
+    span_stats,
+    step_durations,
+    step_report,
+    write_chrome_trace,
+)
+from repro.obs.spans import Tracer
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.name_process(0, "simulated machine")
+    tracer.name_thread(0, "algorithm steps", pid=0)
+    tracer.complete("ftsort", ts=0.0, dur=100.0, cat="step", pid=0, tid=0)
+    tracer.complete("step3a:local-heapsort", ts=0.0, dur=30.0, cat="step",
+                    pid=0, tid=0)
+    tracer.complete("step3b:intra-init", ts=30.0, dur=20.0, cat="step",
+                    pid=0, tid=0)
+    tracer.complete("step7:inter[i=0,j=0]", ts=50.0, dur=40.0, cat="step",
+                    pid=0, tid=0, args={"pairs": 4})
+    tracer.complete("hop 0->1", ts=5.0, dur=3.0, cat="link", pid=1, tid=1)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_schema(self):
+        events = chrome_trace_events(_sample_tracer())
+        meta = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(meta) == 2
+        assert len(spans) == 5
+        assert meta[0]["name"] == "process_name"
+        assert meta[0]["args"] == {"name": "simulated machine"}
+        for ev in spans:
+            for field in ("name", "cat", "ph", "ts", "dur", "pid", "tid"):
+                assert field in ev, field
+        by_name = {e["name"]: e for e in spans}
+        assert by_name["step7:inter[i=0,j=0]"]["args"] == {"pairs": 4}
+        assert "args" not in by_name["ftsort"]
+
+    def test_write_round_trip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(str(path), _sample_tracer())
+        data = json.loads(path.read_text())
+        assert isinstance(data, list)
+        assert len(data) == count == 7
+        assert {e["ph"] for e in data} == {"M", "X"}
+
+
+class TestSelfTime:
+    def test_nested_self_time(self):
+        stats = {s.name: s for s in span_stats(_sample_tracer(), cats=("step",))}
+        # ftsort covers 100us, its direct children cover 30 + 20 + 40.
+        assert stats["ftsort"].total == 100.0
+        assert stats["ftsort"].self_time == 10.0
+        assert stats["step3a:local-heapsort"].self_time == 30.0
+
+    def test_sorted_by_self_time(self):
+        stats = span_stats(_sample_tracer())
+        selfs = [s.self_time for s in stats]
+        assert selfs == sorted(selfs, reverse=True)
+
+    def test_flame_report_renders(self):
+        text = flame_report(_sample_tracer(), top=3)
+        assert "hottest spans" in text
+        assert "step7:inter[i=0,j=0]" in text
+        assert flame_report(Tracer()).endswith("(no spans recorded)")
+
+
+class TestStepDurations:
+    def test_folds_substeps(self):
+        steps = step_durations(_sample_tracer())
+        # step3a + step3b fold into step3; the root ftsort span is excluded.
+        assert steps == {"step3": 50.0, "step7": 40.0}
+
+    def test_report_renders(self):
+        text = step_report(_sample_tracer())
+        assert "step3" in text and "step7" in text
+        assert step_report(Tracer()).endswith("(no step spans recorded)")
+
+    def test_numeric_ordering(self):
+        tracer = Tracer()
+        for k in (10, 2, 1):
+            tracer.complete(f"step{k}:x", ts=0.0, dur=1.0)
+        assert list(step_durations(tracer)) == ["step1", "step2", "step10"]

@@ -1,0 +1,183 @@
+"""End-to-end observability tests across both execution backends.
+
+The heart of this module is the cross-backend parity check DESIGN.md
+promises: the same oblivious comparator schedule, executed on the phase
+engine and on the discrete-event SPMD machine, must report *identical*
+logical counters — compare-exchanges executed, compare-exchanges skipped
+by the boundary probe, mirror pairs, and total point-to-point messages.
+The probe decisions depend on block contents, so this parity is a strong
+statement that the two backends move exactly the same data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ftsort import fault_tolerant_sort
+from repro.core.spmd_sort import spmd_fault_tolerant_sort
+from repro.faults.model import FaultSet
+from repro.obs import Tracer, step_durations
+from repro.simulator.phases import PhaseMachine
+from repro.simulator.spmd import SpmdMachine
+
+PARITY_COUNTERS = (
+    "sort.cx.executed",
+    "sort.cx.skipped",
+    "sort.mirror.pairs",
+    "sort.messages",
+)
+
+
+def _sort_counters(metrics) -> dict[str, float]:
+    return {name: metrics.value(name) for name in PARITY_COUNTERS}
+
+
+class TestCrossBackendParity:
+    @pytest.mark.parametrize(
+        "n,faults",
+        [
+            (4, [1, 6]),        # r=2, partitioned path
+            (4, [3]),           # r=1, single-fault path
+            (3, []),            # r=0, plain bitonic
+            (5, [3, 9, 17]),    # r=3
+        ],
+        ids=["q4-r2", "q4-r1", "q3-r0", "q5-r3"],
+    )
+    def test_logical_counters_match(self, rng, n, faults):
+        # Block size >= 2 so the message-count equivalence of the two
+        # compare-split realizations holds (k = 1 diverges: the phase
+        # engine has no return leg to charge, the SPMD programs still
+        # exchange empty loser messages).
+        keys = rng.random(4 * (1 << n))
+        obs_phase, obs_spmd = Tracer(), Tracer()
+        res_a = fault_tolerant_sort(keys, n, faults, obs=obs_phase)
+        res_b = spmd_fault_tolerant_sort(keys, n, faults, obs=obs_spmd)
+        np.testing.assert_array_equal(res_a.sorted_keys, res_b.sorted_keys)
+        counters_a = _sort_counters(obs_phase.metrics)
+        counters_b = _sort_counters(obs_spmd.metrics)
+        assert counters_a == counters_b
+        assert counters_a["sort.cx.executed"] > 0
+
+    def test_message_counter_matches_engines(self, rng):
+        """sort.messages agrees with what each engine itself counted."""
+        keys = rng.random(4 * 16)
+        obs_phase, obs_spmd = Tracer(), Tracer()
+        fault_tolerant_sort(keys, 4, [1, 6], obs=obs_phase)
+        spmd_fault_tolerant_sort(keys, 4, [1, 6], obs=obs_spmd)
+        mp, ms = obs_phase.metrics, obs_spmd.metrics
+        assert mp.value("sort.messages") == mp.value("phase.messages")
+        assert ms.value("sort.messages") == ms.value("engine.messages")
+        assert ms.value("spmd.messages_sent") == ms.value("engine.messages")
+
+
+class TestStepSpans:
+    def test_all_eight_steps_recorded(self, rng):
+        keys = rng.random(4 * 64)
+        obs = Tracer()
+        fault_tolerant_sort(keys, 6, [7, 25, 52], obs=obs)
+        steps = step_durations(obs)
+        assert list(steps) == [f"step{k}" for k in range(1, 9)]
+        # Host-side planning steps carry no simulated time; the heavy
+        # steps must.
+        assert steps["step1"] == 0.0
+        assert steps["step2"] == 0.0
+        for heavy in ("step3", "step4", "step7", "step8"):
+            assert steps[heavy] > 0.0, heavy
+        # Step 4 spans cover whole merge stages, so they nest steps 5-8.
+        assert steps["step4"] >= steps["step7"]
+        root = [sp for sp in obs.spans if sp.name == "ftsort"]
+        assert len(root) == 1
+        assert root[0].dur == max(sp.end for sp in obs.spans)
+
+    def test_r1_path_records_spans(self, rng):
+        keys = rng.random(3 * 16)
+        obs = Tracer()
+        fault_tolerant_sort(keys, 4, [5], obs=obs)
+        steps = step_durations(obs)
+        assert steps["step3"] > 0.0
+        assert any(sp.name == "ftsort" for sp in obs.spans)
+        assert any(sp.cat == "phase" for sp in obs.spans)
+
+    def test_phase_spans_tile_the_timeline(self, rng):
+        """Phase spans are contiguous: each starts where the last ended."""
+        keys = rng.random(4 * 16)
+        obs = Tracer()
+        res = fault_tolerant_sort(keys, 4, [1, 6], obs=obs)
+        phases = [sp for sp in obs.spans if sp.cat == "phase"]
+        assert phases, "no phase spans recorded"
+        cursor = 0.0
+        for sp in phases:
+            assert sp.ts == pytest.approx(cursor)
+            cursor = sp.end
+        assert cursor == pytest.approx(res.elapsed)
+
+
+class TestTracerNeutrality:
+    def test_phase_engine_timing_unchanged(self, rng):
+        """Attaching a tracer must not change simulated results."""
+        keys = rng.random(4 * 16)
+        res_plain = fault_tolerant_sort(keys, 4, [1, 6])
+        res_traced = fault_tolerant_sort(keys, 4, [1, 6], obs=Tracer())
+        assert res_plain.elapsed == res_traced.elapsed
+        np.testing.assert_array_equal(res_plain.sorted_keys,
+                                      res_traced.sorted_keys)
+
+    def test_spmd_engine_timing_unchanged(self, rng):
+        keys = rng.random(4 * 16)
+        res_plain = spmd_fault_tolerant_sort(keys, 4, [1, 6])
+        res_traced = spmd_fault_tolerant_sort(keys, 4, [1, 6], obs=Tracer())
+        assert res_plain.finish_time == res_traced.finish_time
+        np.testing.assert_array_equal(res_plain.sorted_keys,
+                                      res_traced.sorted_keys)
+
+    def test_default_machines_use_null_tracer(self):
+        assert PhaseMachine(3).obs.enabled is False
+        assert SpmdMachine(3, faults=FaultSet(3)).obs.enabled is False
+
+
+class TestEngineLifecycleEvents:
+    def test_spmd_trace_has_all_layers(self, rng):
+        keys = rng.random(4 * 16)
+        obs = Tracer()
+        spmd_fault_tolerant_sort(keys, 4, [1, 6], obs=obs)
+        cats = {sp.cat for sp in obs.spans}
+        assert {"link", "msg", "proc"} <= cats
+        msgs = [sp for sp in obs.spans if sp.cat == "msg"]
+        assert len(msgs) == obs.metrics.value("engine.messages")
+        hops = [sp for sp in obs.spans if sp.cat == "link"]
+        assert len(hops) == obs.metrics.value("engine.hops")
+        # Every hop span carries its link and queue delay.
+        for sp in hops[:10]:
+            assert set(sp.args) >= {"link", "src", "dst", "size", "queue_delay"}
+
+    def test_host_session_segments(self, rng):
+        from repro.host.session import sort_session
+
+        keys = rng.random(3 * 16)
+        obs = Tracer()
+        session = sort_session(keys, 4, [5], obs=obs)
+        segs = {sp.name: sp for sp in obs.spans if sp.cat == "segment"}
+        assert set(segs) == {"host.distribute", "host.sort", "host.collect"}
+        assert segs["host.distribute"].dur == pytest.approx(
+            session.distribution_time
+        )
+        assert segs["host.collect"].end == pytest.approx(session.total_time)
+
+    def test_collectives_record_spans_and_counters(self):
+        from repro.comm.collectives import allreduce
+
+        obs = Tracer()
+        machine = SpmdMachine(3, faults=FaultSet(3), obs=obs)
+
+        def program(proc):
+            total = yield from allreduce(proc, 3, value=proc.rank)
+            assert total == sum(range(8))
+
+        machine.run(program)
+        m = obs.metrics
+        assert m.value("collective.allreduce.calls") == 8
+        assert m.value("collective.reduce.calls") == 8
+        assert m.value("collective.broadcast.calls") == 8
+        names = {sp.name for sp in obs.spans if sp.cat == "collective"}
+        assert names == {"allreduce", "reduce", "broadcast"}

@@ -1,0 +1,111 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_counter_math(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        c.inc(0)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        c = Counter("c")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_registry_inc_accumulates(self):
+        reg = MetricsRegistry()
+        for _ in range(3):
+            reg.inc("sort.messages", 2)
+        assert reg.value("sort.messages") == 6
+        assert reg.value("missing") == 0
+        assert reg.value("missing", default=7) == 7
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("g")
+        g.set(1.5)
+        g.set(2.5)
+        assert g.value == 2.5
+
+    def test_registry_set(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("finish", 123.0)
+        assert reg.gauge("finish").value == 123.0
+
+
+class TestHistogram:
+    def test_streaming_stats(self):
+        h = Histogram("h")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == 2.0
+
+    def test_empty_to_dict(self):
+        assert Histogram("h").to_dict() == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0
+        }
+
+
+class TestRegistry:
+    def test_create_on_use_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_to_dict_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.inc("z.count", 3)
+        reg.set_gauge("a.gauge", 1.25)
+        reg.observe("m.hist", 10.0)
+        snapshot = json.loads(json.dumps(reg.to_dict()))
+        assert snapshot["counters"] == {"z.count": 3}
+        assert snapshot["gauges"] == {"a.gauge": 1.25}
+        assert snapshot["histograms"]["m.hist"]["count"] == 1
+
+    def test_summary_renders_all_kinds(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.set_gauge("g", 2.0)
+        reg.observe("h", 5.0)
+        text = reg.summary()
+        for token in ("c", "g", "h", "metrics:"):
+            assert token in text
+        assert MetricsRegistry().summary() == "metrics:\n  (empty)"
+
+
+class TestNullMetrics:
+    def test_writes_are_dropped(self):
+        NULL_METRICS.inc("x", 100)
+        NULL_METRICS.set_gauge("y", 1.0)
+        NULL_METRICS.observe("z", 1.0)
+        assert NULL_METRICS.value("x") == 0
+        assert NULL_METRICS.to_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+    def test_inert_instruments_are_shared(self):
+        assert NULL_METRICS.counter("a") is NULL_METRICS.counter("b")
+        NULL_METRICS.counter("a").inc(10)
+        assert NULL_METRICS.counter("a").value == 0

@@ -1,0 +1,133 @@
+"""Unit tests for the span tracer (repro.obs.spans)."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.spans import (
+    NULL_TRACER,
+    PID_SIM,
+    TID_ALGO,
+    NullTracer,
+    Span,
+    Tracer,
+    wall_clock_us,
+)
+
+
+class TestLiveSpans:
+    def test_span_records_on_exit(self):
+        t = [0.0]
+        tracer = Tracer(clock=lambda: t[0])
+        with tracer.span("outer", cat="test"):
+            t[0] = 10.0
+        assert len(tracer.spans) == 1
+        sp = tracer.spans[0]
+        assert (sp.name, sp.ts, sp.dur, sp.cat) == ("outer", 0.0, 10.0, "test")
+
+    def test_nesting_depth_and_order(self):
+        t = [0.0]
+        tracer = Tracer(clock=lambda: t[0])
+        with tracer.span("outer"):
+            assert tracer.depth == 1
+            t[0] = 1.0
+            with tracer.span("inner"):
+                assert tracer.depth == 2
+                t[0] = 3.0
+            t[0] = 7.0
+        assert tracer.depth == 0
+        # Inner closes first, so it is recorded first.
+        assert [sp.name for sp in tracer.spans] == ["inner", "outer"]
+        inner, outer = tracer.spans
+        assert inner.ts >= outer.ts
+        assert inner.end <= outer.end
+
+    def test_span_survives_exception(self):
+        tracer = Tracer(clock=wall_clock_us)
+        try:
+            with tracer.span("risky"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert [sp.name for sp in tracer.spans] == ["risky"]
+        assert tracer.depth == 0
+
+    def test_span_args_recorded(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        with tracer.span("s", cat="c", tid=3, rank=5):
+            pass
+        sp = tracer.spans[0]
+        assert sp.args == {"rank": 5}
+        assert sp.tid == 3
+
+    def test_thread_local_stacks(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        depths = []
+
+        def worker():
+            with tracer.span("w"):
+                depths.append(tracer.depth)
+
+        with tracer.span("main"):
+            th = threading.Thread(target=worker)
+            th.start()
+            th.join()
+            # The worker's span must not count toward this thread's depth.
+            assert tracer.depth == 1
+        assert depths == [1]
+        assert len(tracer.spans) == 2
+
+
+class TestRetroactiveSpans:
+    def test_complete_records_verbatim(self):
+        tracer = Tracer()
+        sp = tracer.complete("phase", ts=100.0, dur=25.0, cat="phase",
+                             pid=PID_SIM, tid=TID_ALGO, args={"k": 1})
+        assert isinstance(sp, Span)
+        assert tracer.spans == [sp]
+        assert (sp.ts, sp.dur, sp.end) == (100.0, 25.0, 125.0)
+
+    def test_negative_duration_clamped(self):
+        tracer = Tracer()
+        sp = tracer.complete("x", ts=5.0, dur=-1.0)
+        assert sp.dur == 0.0
+
+    def test_instant_marker(self):
+        tracer = Tracer(clock=lambda: 42.0)
+        sp = tracer.instant("mark")
+        assert (sp.ts, sp.dur) == (42.0, 0.0)
+
+    def test_naming(self):
+        tracer = Tracer()
+        tracer.name_process(0, "sim")
+        tracer.name_thread(1, "phases", pid=0)
+        assert tracer.pid_names[0] == "sim"
+        assert tracer.tid_names[(0, 1)] == "phases"
+
+
+class TestNullTracer:
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer.enabled is True
+
+    def test_span_is_shared_noop_context(self):
+        ctx1 = NULL_TRACER.span("a")
+        ctx2 = NULL_TRACER.span("b", cat="c", tid=3, rank=1)
+        assert ctx1 is ctx2
+        with ctx1:
+            pass
+        assert NULL_TRACER.spans == ()
+
+    def test_all_methods_are_noops(self):
+        nt = NullTracer()
+        assert nt.complete("x", ts=0, dur=1) is None
+        assert nt.instant("x") is None
+        nt.name_process(0, "p")
+        nt.name_thread(0, "t")
+        assert nt.pid_names == {}
+        assert nt.tid_names == {}
+        assert nt.depth == 0
+
+    def test_null_metrics_attached(self):
+        NULL_TRACER.metrics.inc("anything", 5)
+        assert NULL_TRACER.metrics.value("anything") == 0

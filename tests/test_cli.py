@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import _parse_faults, main
@@ -44,6 +46,51 @@ class TestSortCommand:
         assert rc == 0
         assert "message-level engine" in out
         assert "messages" in out
+
+
+class TestTraceCommand:
+    def test_acceptance_invocation(self, capsys, tmp_path):
+        """The ISSUE's canonical invocation: Q_6, faults 7,25,52."""
+        out_path = tmp_path / "trace.json"
+        rc = main(["trace", "--n", "6", "--faults", "7,25,52",
+                   "--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verified : True" in out
+        # Per-step durations for steps 1-8 appear in the summary.
+        for k in range(1, 9):
+            assert f"step{k}" in out
+        assert "sort.messages" in out
+        assert "hottest spans" in out
+        # The file is a loadable Chrome trace_event JSON array.
+        events = json.loads(out_path.read_text())
+        assert isinstance(events, list) and events
+        complete = [e for e in events if e.get("ph") == "X"]
+        assert complete, "no complete events in trace"
+        for ev in complete:
+            for field in ("name", "ph", "ts", "dur", "pid", "tid"):
+                assert field in ev, field
+        names = {e["name"] for e in complete}
+        assert "ftsort" in names
+        assert any(n.startswith("step7") for n in names)
+
+    def test_trace_spmd_engine(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        rc = main(["trace", "--n", "4", "--faults", "1,6", "--keys", "240",
+                   "--out", str(out_path), "--spmd"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "message-level engine" in out
+        events = json.loads(out_path.read_text())
+        cats = {e.get("cat") for e in events if e.get("ph") == "X"}
+        assert {"link", "msg", "proc"} <= cats
+
+    def test_trace_fault_free(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        rc = main(["trace", "--n", "3", "--keys", "64", "--out", str(out_path)])
+        assert rc == 0
+        assert "verified : True" in capsys.readouterr().out
+        assert json.loads(out_path.read_text())
 
 
 class TestPlanCommand:

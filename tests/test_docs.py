@@ -58,7 +58,7 @@ class TestPublicApi:
         import importlib
 
         for pkg in ("cube", "faults", "simulator", "comm", "sorting", "core",
-                    "baselines", "experiments", "analysis", "host"):
+                    "baselines", "experiments", "analysis", "host", "obs"):
             mod = importlib.import_module(f"repro.{pkg}")
             for name in getattr(mod, "__all__", ()):
                 assert hasattr(mod, name), f"repro.{pkg}.{name}"
