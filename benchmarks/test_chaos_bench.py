@@ -1,0 +1,55 @@
+"""Chaos-campaign health benchmark — writes ``BENCH_chaos.json``.
+
+A seeded smoke campaign (both backends, arrival stratified over the whole
+run) asserting the robustness layer's contract — every scenario recovers
+and sorts correctly — and recording the aggregate telemetry (detection
+latency, retries, recovery overhead) as a diffable CI record.  The
+full-scale gate is ``repro chaos --scenarios 200``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import run_campaign
+
+SCENARIOS = 32
+SEED = 1992
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(count=SCENARIOS, seed=SEED, shrink_failures=False)
+
+
+class TestChaosCampaignHealth:
+    def test_every_scenario_passes(self, campaign):
+        assert campaign.scenarios == SCENARIOS
+        assert campaign.all_passed, campaign.failures
+
+    def test_both_backends_covered(self, campaign):
+        assert set(campaign.backends) == {"phase", "spmd"}
+        for per in campaign.backends.values():
+            assert per["passed"] == per["scenarios"]
+
+    def test_recoveries_actually_exercised(self, campaign):
+        # The generator guarantees at least one mid-run event per scenario;
+        # a campaign with no recoveries at all would mean the faults never
+        # landed inside the run — a harness bug, not a robustness success.
+        assert campaign.with_recovery > 0
+        assert campaign.mean_recovery_overhead >= 1.0
+
+    def test_record_results(self, campaign, bench_json):
+        bench_json("chaos", "scenarios", campaign.scenarios)
+        bench_json("chaos", "seed", SEED)
+        bench_json("chaos", "passed", campaign.passed)
+        bench_json("chaos", "all_passed", campaign.all_passed)
+        bench_json("chaos", "backends", campaign.backends)
+        bench_json("chaos", "recoveries", campaign.recoveries)
+        bench_json("chaos", "scenarios_with_recovery", campaign.with_recovery)
+        bench_json("chaos", "retries", campaign.retries)
+        bench_json("chaos", "false_suspicions", campaign.false_suspicions)
+        bench_json("chaos", "mean_detect_latency_us", campaign.mean_detect_latency)
+        bench_json("chaos", "max_detect_latency_us", campaign.max_detect_latency)
+        bench_json("chaos", "mean_recovery_overhead", campaign.mean_recovery_overhead)
+        bench_json("chaos", "max_recovery_overhead", campaign.max_recovery_overhead)

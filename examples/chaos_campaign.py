@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Faults striking mid-run, end to end: detect, recover, then prove it.
+
+Three acts:
+
+1. One supervised run, narrated — a processor dies mid-sort on the
+   discrete-event backend; the recv watchdog suspects it, neighbor tests
+   confirm it, the victim's block is rescued, the plan enlarges, the sort
+   re-runs.
+2. A link dies instead — reliable messaging retries, the adaptive router
+   detours, the dead link is confirmed by route probe and absorbed.
+3. A seeded mini chaos campaign — dozens of randomized scenarios, mixed
+   processor/link faults at every stage of the run, both backends, every
+   outcome differentially checked against numpy.sort.
+
+    python examples/chaos_campaign.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chaos import run_campaign
+from repro.core.ftsort import fault_tolerant_sort
+from repro.host import FaultEvent, supervised_sort
+from repro.obs import Tracer
+
+
+def act_one_processor_death() -> None:
+    print("=== act 1: a processor dies mid-sort (SPMD backend) ===")
+    rng = np.random.default_rng(7)
+    n, victim = 3, 5
+    keys = rng.integers(0, 10**6, size=64).astype(float)
+    strike = 0.4 * fault_tolerant_sort(keys, n, []).elapsed
+
+    obs = Tracer()
+    res = supervised_sort(keys, n,
+                          events=[FaultEvent("processor", victim, at=strike)],
+                          backend="spmd", rng=0, obs=obs)
+    assert np.array_equal(res.sorted_keys, np.sort(keys))
+    print(f"  victim {victim} struck at {strike / 1e3:.1f} ms")
+    for rec in res.detections:
+        verdict = "confirmed" if rec.faulty else "cleared"
+        lat = f", latency {rec.latency / 1e3:.1f} ms" if rec.latency else ""
+        print(f"  suspect {rec.subject}: {verdict} via {rec.method}{lat}")
+    print(f"  attempts {len(res.attempts)}, recoveries {res.recoveries}, "
+          f"overhead {res.recovery_overhead:.2f}x "
+          f"(wasted {res.wasted_time / 1e3:.1f} ms, "
+          f"rescue {res.rescue_time / 1e3:.1f} ms, "
+          f"redistribution {res.redistribution_time / 1e3:.1f} ms)")
+    print(f"  sorted correctly: True\n")
+
+
+def act_two_link_death() -> None:
+    print("=== act 2: a link dies; reliable messaging absorbs it ===")
+    rng = np.random.default_rng(8)
+    n, link = 3, (2, 6)
+    keys = rng.integers(0, 10**6, size=64).astype(float)
+    strike = 0.25 * fault_tolerant_sort(keys, n, []).elapsed
+
+    obs = Tracer()
+    res = supervised_sort(keys, n,
+                          events=[FaultEvent("link", link, at=strike)],
+                          backend="spmd", rng=0, obs=obs)
+    assert np.array_equal(res.sorted_keys, np.sort(keys))
+    m = obs.metrics
+    print(f"  link {link[0]}<->{link[1]} died at {strike / 1e3:.1f} ms")
+    print(f"  drops {m.value('robust.drops')}, "
+          f"timeouts {m.value('robust.timeouts')}, "
+          f"retries {m.value('robust.retries')}, "
+          f"acks {m.value('robust.acks')}")
+    print(f"  recoveries {res.recoveries}, sorted correctly: True\n")
+
+
+def act_three_campaign() -> None:
+    print("=== act 3: seeded chaos campaign (36 scenarios) ===")
+
+    def progress(idx, outcome):
+        if not outcome.passed:
+            print(f"  scenario {idx}: FAILED — {outcome.error}")
+
+    summary = run_campaign(count=36, seed=1992, shrink_failures=False,
+                           progress=progress)
+    per_backend = ", ".join(
+        "{}: {}/{}".format(b, p["passed"], p["scenarios"])
+        for b, p in sorted(summary.backends.items())
+    )
+    print(f"  passed {summary.passed}/{summary.scenarios} ({per_backend})")
+    print(f"  recoveries {summary.recoveries} across "
+          f"{summary.with_recovery} scenarios; retries {summary.retries}; "
+          f"false suspicions {summary.false_suspicions} (all cleared)")
+    print(f"  detect latency mean {summary.mean_detect_latency / 1e3:.1f} ms, "
+          f"max {summary.max_detect_latency / 1e3:.1f} ms")
+    print(f"  recovery overhead mean {summary.mean_recovery_overhead:.2f}x, "
+          f"max {summary.max_recovery_overhead:.2f}x")
+
+
+def main() -> None:
+    act_one_processor_death()
+    act_two_link_death()
+    act_three_campaign()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro.chaos — randomized fault-injection campaigns (chaos harness).
+
+The robustness layer's proof obligation: for *any* fault schedule the
+paper's model admits — mixed processor and link faults, arriving at any
+point of the run, on either execution backend — the supervised sort must
+finish with exactly ``np.sort(keys)``.  This package turns that claim into
+a seeded, reproducible campaign:
+
+* :mod:`repro.chaos.schedule` — scenario model and seeded generator
+  (victim, kind, arrival time drawn per scenario; arrival stratified over
+  the whole run so every step 1-8 plus distribution/collection gets hit);
+* :mod:`repro.chaos.campaign` — runs scenarios through
+  :func:`repro.host.supervised_sort`, differentially checks every outcome
+  against ``np.sort``, and writes a JSONL report with per-scenario
+  detection latency, retries, and recovery overhead;
+* :mod:`repro.chaos.shrink` — delta-debugging reduction of any failing
+  scenario to a minimal reproducer (fewer events, fewer static faults,
+  fewer keys).
+
+CLI: ``repro chaos --scenarios 200 --seed 0 --out chaos_report.jsonl``
+(``--fast`` for the CI smoke campaign).  See docs/ROBUSTNESS.md for the
+report schema.
+"""
+
+from repro.chaos.campaign import CampaignSummary, ChaosOutcome, run_campaign, run_scenario
+from repro.chaos.schedule import ChaosScenario, ScenarioEvent, random_scenario
+from repro.chaos.shrink import shrink_scenario
+
+__all__ = [
+    "CampaignSummary",
+    "ChaosOutcome",
+    "ChaosScenario",
+    "ScenarioEvent",
+    "random_scenario",
+    "run_campaign",
+    "run_scenario",
+    "shrink_scenario",
+]

@@ -1,0 +1,252 @@
+"""Campaign runner: execute scenarios, differentially check, report.
+
+Every scenario runs through :func:`repro.host.supervised_sort` with a
+fresh :class:`repro.obs.Tracer` attached, and its outcome is checked
+against the ``np.sort`` oracle.  The campaign emits one JSON line per
+scenario (schema in docs/ROBUSTNESS.md) carrying the scenario itself (so
+any line replays standalone), the verdict, and the robustness telemetry:
+detection latencies, retry/timeout counts, and recovery overhead.  Any
+failure is shrunk to a minimal reproducer before the summary is built.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.chaos.schedule import ChaosScenario, random_scenario
+from repro.faults.model import FaultKind, FaultSet
+from repro.host.session import FaultEvent, supervised_sort
+from repro.core.ftsort import fault_tolerant_sort
+from repro.obs import Tracer
+from repro.simulator.params import MachineParams
+from repro.simulator.spmd import ReliabilityPolicy
+
+__all__ = ["CampaignSummary", "ChaosOutcome", "run_campaign", "run_scenario"]
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """Verdict and telemetry of one executed scenario.
+
+    Attributes:
+        scenario: the scenario that ran.
+        sorted_correct: final keys equal ``np.sort(keys)`` exactly.
+        recovered: the supervisor completed without raising.
+        error: exception repr when ``recovered`` is False.
+        recoveries: detection-triggered re-plans.
+        detect_latencies: fault arrival -> confirmation, per confirmed fault.
+        retries: reliable-messaging retransmissions across the run.
+        timeouts: ACK timeouts across the run.
+        false_suspicions: suspicions cleared by neighbor tests.
+        recovery_overhead: supervised total / completing run (>= 1).
+        wasted_time: written-off attempt time.
+        total_time: supervised end-to-end simulated time.
+    """
+
+    scenario: ChaosScenario
+    sorted_correct: bool
+    recovered: bool
+    error: str | None = None
+    recoveries: int = 0
+    detect_latencies: tuple[float, ...] = ()
+    retries: int = 0
+    timeouts: int = 0
+    false_suspicions: int = 0
+    recovery_overhead: float = 1.0
+    wasted_time: float = 0.0
+    total_time: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return self.recovered and self.sorted_correct
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["scenario"] = self.scenario.to_dict()
+        d["detect_latencies"] = list(self.detect_latencies)
+        d["passed"] = self.passed
+        return d
+
+
+def scenario_events(
+    scenario: ChaosScenario, params: MachineParams | None = None
+) -> list[FaultEvent]:
+    """Materialize a scenario's arrival fractions into absolute times.
+
+    The nominal duration is the phase-engine run time over the static
+    faults alone — the denominator both backends share.
+    """
+    rng = np.random.default_rng(scenario.seed)
+    keys = rng.integers(0, 10**6, scenario.keys).astype(float)
+    static = FaultSet(
+        scenario.n, scenario.static_processors,
+        kind=FaultKind.PARTIAL, links=scenario.static_links,
+    )
+    nominal = fault_tolerant_sort(keys, scenario.n, static, params=params).elapsed
+    return [
+        FaultEvent(ev.kind, ev.subject, at=ev.frac * nominal)
+        for ev in scenario.events
+    ]
+
+
+def run_scenario(
+    scenario: ChaosScenario,
+    params: MachineParams | None = None,
+    reliability: ReliabilityPolicy | None = None,
+) -> ChaosOutcome:
+    """Execute one scenario and differentially check it against ``np.sort``."""
+    rng = np.random.default_rng(scenario.seed)
+    keys = rng.integers(0, 10**6, scenario.keys).astype(float)
+    static = FaultSet(
+        scenario.n, scenario.static_processors,
+        kind=FaultKind.PARTIAL, links=scenario.static_links,
+    )
+    if reliability is None:
+        # Snappier than the interactive default: campaign runs are many.
+        reliability = ReliabilityPolicy(timeout=8_000.0)
+    tracer = Tracer()
+    try:
+        events = scenario_events(scenario, params=params)
+        result = supervised_sort(
+            keys, scenario.n,
+            faults=static,
+            events=events,
+            backend=scenario.backend,
+            params=params,
+            obs=tracer,
+            rng=scenario.seed + 1,
+            reliability=reliability,
+        )
+    except Exception as exc:  # the campaign reports, the shrinker reproduces
+        return ChaosOutcome(
+            scenario=scenario, sorted_correct=False, recovered=False,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    correct = bool(np.array_equal(result.sorted_keys, np.sort(keys)))
+    metrics = tracer.metrics
+    latencies = tuple(
+        rec.latency for rec in result.detections if rec.latency is not None
+    )
+    false_susp = sum(1 for rec in result.detections if not rec.faulty)
+    return ChaosOutcome(
+        scenario=scenario,
+        sorted_correct=correct,
+        recovered=True,
+        recoveries=result.recoveries,
+        detect_latencies=latencies,
+        retries=int(metrics.value("robust.retries")),
+        timeouts=int(metrics.value("robust.timeouts")),
+        false_suspicions=false_susp,
+        recovery_overhead=float(result.recovery_overhead),
+        wasted_time=float(result.wasted_time),
+        total_time=float(result.total_time),
+    )
+
+
+@dataclass
+class CampaignSummary:
+    """Aggregate verdict of a campaign.
+
+    ``failures`` carries, per failing scenario, the original scenario dict,
+    the error, and the shrunk minimal reproducer (when shrinking ran).
+    """
+
+    scenarios: int = 0
+    passed: int = 0
+    with_recovery: int = 0
+    recoveries: int = 0
+    retries: int = 0
+    false_suspicions: int = 0
+    mean_detect_latency: float = 0.0
+    max_detect_latency: float = 0.0
+    mean_recovery_overhead: float = 1.0
+    max_recovery_overhead: float = 1.0
+    backends: dict = field(default_factory=dict)
+    failures: list = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        return self.passed == self.scenarios
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["all_passed"] = self.all_passed
+        return d
+
+
+def run_campaign(
+    count: int = 200,
+    seed: int = 0,
+    out: str | None = None,
+    params: MachineParams | None = None,
+    n_choices: tuple[int, ...] = (3, 4),
+    backends: tuple[str, ...] = ("phase", "spmd"),
+    max_keys: int = 96,
+    shrink_failures: bool = True,
+    progress=None,
+) -> CampaignSummary:
+    """Run ``count`` seeded scenarios; write a JSONL report to ``out``.
+
+    Each report line is one :meth:`ChaosOutcome.to_dict`.  ``progress``
+    (optional callable ``f(index, outcome)``) fires per scenario.  Failing
+    scenarios are shrunk to minimal reproducers unless ``shrink_failures``
+    is off.
+    """
+    from repro.chaos.shrink import shrink_scenario
+
+    outcomes: list[ChaosOutcome] = []
+    lines: list[str] = []
+    for idx in range(count):
+        scenario = random_scenario(
+            idx, seed, n_choices=n_choices, backends=backends, max_keys=max_keys
+        )
+        outcome = run_scenario(scenario, params=params)
+        outcomes.append(outcome)
+        lines.append(json.dumps(outcome.to_dict(), sort_keys=True))
+        if progress is not None:
+            progress(idx, outcome)
+
+    summary = CampaignSummary(scenarios=len(outcomes))
+    latencies: list[float] = []
+    overheads: list[float] = []
+    for outcome in outcomes:
+        backend = outcome.scenario.backend
+        per = summary.backends.setdefault(backend, {"scenarios": 0, "passed": 0})
+        per["scenarios"] += 1
+        if outcome.passed:
+            summary.passed += 1
+            per["passed"] += 1
+        if outcome.recoveries:
+            summary.with_recovery += 1
+        summary.recoveries += outcome.recoveries
+        summary.retries += outcome.retries
+        summary.false_suspicions += outcome.false_suspicions
+        latencies.extend(outcome.detect_latencies)
+        if outcome.recovered:
+            overheads.append(outcome.recovery_overhead)
+        if not outcome.passed:
+            entry = {
+                "scenario": outcome.scenario.to_dict(),
+                "error": outcome.error,
+                "sorted_correct": outcome.sorted_correct,
+            }
+            if shrink_failures:
+                reduced = shrink_scenario(outcome.scenario, params=params)
+                entry["minimal_reproducer"] = reduced.to_dict()
+            summary.failures.append(entry)
+    if latencies:
+        summary.mean_detect_latency = float(np.mean(latencies))
+        summary.max_detect_latency = float(np.max(latencies))
+    if overheads:
+        summary.mean_recovery_overhead = float(np.mean(overheads))
+        summary.max_recovery_overhead = float(np.max(overheads))
+
+    if out is not None:
+        with open(out, "w", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+            fh.write(json.dumps({"summary": summary.to_dict()}, sort_keys=True) + "\n")
+    return summary

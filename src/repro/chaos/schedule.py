@@ -1,0 +1,170 @@
+"""Chaos scenario model and seeded generation.
+
+A scenario is a complete, JSON-serializable description of one randomized
+run: cube size, key count, backend, statically known faults, and mid-run
+fault events.  Event arrival is stored as a *fraction* of the nominal
+(fault-free-of-surprises) run time rather than an absolute instant, so the
+same scenario is meaningful on both backends and arrival coverage can be
+stratified: fraction 0 strikes during distribution/planning, fractions in
+(0, 1) land inside sort steps 3-8, and fractions above 1 strike during
+collection or after completion.
+
+Generation keeps the total fault budget inside the paper's model
+(``r <= n - 1`` after link absorption) by drawing all victims — static
+processors, event processors, and both endpoints of event links — from
+disjoint processors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+__all__ = ["ChaosScenario", "ScenarioEvent", "random_scenario"]
+
+#: Arrival-fraction strata: early (distribution/planning), a dense interior
+#: sweep of the sort proper, and late (collection / post-completion).
+ARRIVAL_STRATA = (0.0, 0.08, 0.17, 0.25, 0.33, 0.42, 0.5, 0.58,
+                  0.67, 0.75, 0.83, 0.92, 1.0, 1.1)
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One scheduled mid-run fault.
+
+    Attributes:
+        kind: ``"processor"`` or ``"link"``.
+        subject: processor address, or ``[a, b]`` link endpoints.
+        frac: arrival time as a fraction of the nominal run duration.
+    """
+
+    kind: str
+    subject: int | tuple[int, int]
+    frac: float
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One randomized fault-injection scenario (fully seeded/reproducible).
+
+    Attributes:
+        scenario_id: index within the campaign.
+        seed: drives the keys, the diagnoser's test model, everything.
+        n: hypercube dimension.
+        keys: number of keys to sort.
+        backend: ``"phase"`` or ``"spmd"``.
+        static_processors: faults known before the run (off-line diagnosed).
+        static_links: dead links known before the run.
+        events: mid-run arrivals.
+    """
+
+    scenario_id: int
+    seed: int
+    n: int
+    keys: int
+    backend: str
+    static_processors: tuple[int, ...]
+    static_links: tuple[tuple[int, int], ...]
+    events: tuple[ScenarioEvent, ...]
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["events"] = [
+            {"kind": e.kind,
+             "subject": list(e.subject) if isinstance(e.subject, tuple) else e.subject,
+             "frac": e.frac}
+            for e in self.events
+        ]
+        d["static_links"] = [list(l) for l in self.static_links]
+        d["static_processors"] = list(self.static_processors)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ChaosScenario":
+        events = tuple(
+            ScenarioEvent(
+                kind=e["kind"],
+                subject=tuple(e["subject"]) if isinstance(e["subject"], list) else int(e["subject"]),
+                frac=float(e["frac"]),
+            )
+            for e in d["events"]
+        )
+        return cls(
+            scenario_id=int(d["scenario_id"]),
+            seed=int(d["seed"]),
+            n=int(d["n"]),
+            keys=int(d["keys"]),
+            backend=str(d["backend"]),
+            static_processors=tuple(int(p) for p in d["static_processors"]),
+            static_links=tuple(tuple(l) for l in d["static_links"]),
+            events=events,
+        )
+
+
+def random_scenario(
+    scenario_id: int,
+    seed: int,
+    n_choices: tuple[int, ...] = (3, 4),
+    backends: tuple[str, ...] = ("phase", "spmd"),
+    max_keys: int = 96,
+) -> ChaosScenario:
+    """Draw one scenario, deterministically from ``(scenario_id, seed)``.
+
+    The primary event's arrival fraction is stratified by ``scenario_id``
+    over :data:`ARRIVAL_STRATA` (with a small jitter), so even short
+    campaigns hit every stage of the run; additional events draw their
+    fraction uniformly.  Backends alternate with ``scenario_id`` so both
+    engines get equal coverage.
+    """
+    rng = np.random.default_rng((seed, scenario_id))
+    n = int(rng.choice(n_choices))
+    backend = backends[scenario_id % len(backends)]
+    keys = int(rng.integers(max(24, max_keys // 2), max_keys + 1))
+
+    budget = n - 1  # paper model: r <= n - 1 after link absorption
+    n_events = int(rng.integers(1, budget + 1))
+    n_static = int(rng.integers(0, budget - n_events + 1))
+
+    # Disjoint victims: static processors, event processors, and both
+    # endpoints of event links all come from distinct processors, so the
+    # absorbed fault count never exceeds the budget and no link ever
+    # connects two faulty endpoints.
+    free = list(rng.permutation(1 << n))
+    static_processors = tuple(sorted(int(free.pop()) for _ in range(n_static)))
+
+    events = []
+    for k in range(n_events):
+        if k == 0:
+            stratum = ARRIVAL_STRATA[scenario_id % len(ARRIVAL_STRATA)]
+            frac = float(max(0.0, stratum + rng.uniform(-0.03, 0.03)))
+        else:
+            frac = float(rng.uniform(0.0, 1.1))
+        if rng.random() < 0.35:
+            # Link event: pick a victim with a free neighbor.
+            a = None
+            for cand in list(free):
+                nbs = [cand ^ (1 << d) for d in range(n)]
+                free_nbs = [b for b in nbs if b in free]
+                if free_nbs:
+                    a = int(cand)
+                    b = int(free_nbs[int(rng.integers(0, len(free_nbs)))])
+                    break
+            if a is not None:
+                free.remove(a)
+                free.remove(b)
+                events.append(ScenarioEvent("link", (min(a, b), max(a, b)), frac))
+                continue
+        victim = int(free.pop())
+        events.append(ScenarioEvent("processor", victim, frac))
+
+    return ChaosScenario(
+        scenario_id=scenario_id,
+        seed=seed,
+        n=n,
+        keys=keys,
+        backend=backend,
+        static_processors=static_processors,
+        static_links=(),
+        events=tuple(events),
+    )

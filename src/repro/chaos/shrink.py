@@ -1,0 +1,98 @@
+"""Delta-debugging reduction of failing chaos scenarios.
+
+A campaign failure is only as useful as its reproducer is small.  The
+shrinker greedily removes whatever it can while the scenario *still
+fails*: mid-run events one at a time, statically known faults one at a
+time, then the key count by halving.  Each candidate is re-executed
+through the same :func:`repro.chaos.campaign.run_scenario` path, so the
+reduced scenario is guaranteed to reproduce the failure verbatim when
+replayed (e.g. via ``ChaosScenario.from_dict`` on the report line).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.chaos.schedule import ChaosScenario
+
+__all__ = ["shrink_scenario"]
+
+#: Never shrink the key count below this: degenerate inputs (fewer keys
+#: than working processors) exercise a different code path than the
+#: original failure.
+_MIN_KEYS = 8
+
+
+def _default_still_fails(params):
+    from repro.chaos.campaign import run_scenario
+
+    def predicate(scenario: ChaosScenario) -> bool:
+        return not run_scenario(scenario, params=params).passed
+
+    return predicate
+
+
+def shrink_scenario(
+    scenario: ChaosScenario,
+    params=None,
+    still_fails=None,
+    max_rounds: int = 10,
+) -> ChaosScenario:
+    """Reduce ``scenario`` to a (locally) minimal scenario that still fails.
+
+    ``still_fails(candidate) -> bool`` defaults to re-running the candidate
+    through the campaign path.  If the input scenario does not fail under
+    the predicate (flaky environment), it is returned unchanged.
+    """
+    if still_fails is None:
+        still_fails = _default_still_fails(params)
+    if not still_fails(scenario):
+        return scenario
+
+    current = scenario
+    for _ in range(max_rounds):
+        progressed = False
+
+        # Drop mid-run events, one at a time (keep at least the failure).
+        i = 0
+        while i < len(current.events):
+            events = current.events[:i] + current.events[i + 1:]
+            candidate = replace(current, events=events)
+            if still_fails(candidate):
+                current = candidate
+                progressed = True
+            else:
+                i += 1
+
+        # Drop statically known faults, one at a time.
+        i = 0
+        while i < len(current.static_processors):
+            procs = current.static_processors[:i] + current.static_processors[i + 1:]
+            candidate = replace(current, static_processors=procs)
+            if still_fails(candidate):
+                current = candidate
+                progressed = True
+            else:
+                i += 1
+        i = 0
+        while i < len(current.static_links):
+            links = current.static_links[:i] + current.static_links[i + 1:]
+            candidate = replace(current, static_links=links)
+            if still_fails(candidate):
+                current = candidate
+                progressed = True
+            else:
+                i += 1
+
+        # Halve the key count while the failure survives.
+        while current.keys > _MIN_KEYS:
+            candidate = replace(current, keys=max(_MIN_KEYS, current.keys // 2))
+            if still_fails(candidate):
+                current = candidate
+                progressed = True
+            else:
+                break
+
+        if not progressed:
+            break
+    return current

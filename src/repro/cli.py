@@ -6,6 +6,7 @@ Subcommands::
     repro trace   --n 6 --faults 7,25,52 --out trace.json [--spmd]
     repro plan    --n 5 --faults 3,5,16,24
     repro diagnose --n 6 --faults 3,5,16 [--seed 7]
+    repro chaos   --scenarios 200 --seed 0 --out chaos_report.jsonl [--fast]
     repro table1  [--trials N]        (same as repro-table1)
     repro table2  [--trials N]
     repro figure7 --n 6 [--points P]
@@ -18,6 +19,9 @@ chrome://tracing), then prints per-step durations, a flame-style self-time
 report, and the metrics registry.
 ``plan`` prints the partition/selection artifacts without sorting.
 ``diagnose`` runs the PMC pipeline against hidden faults.
+``chaos`` runs the randomized fault-injection campaign (see
+docs/ROBUSTNESS.md): seeded scenarios, differential check against numpy,
+JSONL report, failures shrunk to minimal reproducers.
 """
 
 from __future__ import annotations
@@ -43,10 +47,52 @@ def _parse_faults(text: str) -> list[int]:
     return [int(tok) for tok in text.replace(" ", "").split(",") if tok]
 
 
+def _fault_list(text: str, n: int, max_faults: int | None = None) -> list[int]:
+    """Parse and validate ``--faults`` for a Q_n run.
+
+    Exits with a one-line message (no traceback) on malformed input:
+    non-integer tokens, negative or out-of-range addresses, duplicates,
+    or more faults than the paper's model tolerates.
+    """
+    if n < 1:
+        raise SystemExit(f"repro: invalid --n: {n} (need a cube dimension >= 1)")
+    tokens = [tok for tok in text.replace(" ", "").split(",") if tok]
+    faults: list[int] = []
+    for tok in tokens:
+        try:
+            addr = int(tok)
+        except ValueError:
+            raise SystemExit(
+                f"repro: invalid --faults: {tok!r} is not an integer "
+                f"(expected a comma-separated list like 3,5,16)"
+            )
+        if addr < 0:
+            raise SystemExit(
+                f"repro: invalid --faults: address {addr} is negative"
+            )
+        if addr >= (1 << n):
+            raise SystemExit(
+                f"repro: invalid --faults: address {addr} is out of range "
+                f"for Q_{n} (valid addresses are 0..{(1 << n) - 1})"
+            )
+        if addr in faults:
+            raise SystemExit(
+                f"repro: invalid --faults: address {addr} listed twice"
+            )
+        faults.append(addr)
+    if max_faults is not None and len(faults) > max_faults:
+        raise SystemExit(
+            f"repro: invalid --faults: {len(faults)} faults on Q_{n}, but the "
+            f"paper's algorithm tolerates at most r = n - 1 = {max_faults} "
+            f"(use a larger --n or fewer faults)"
+        )
+    return faults
+
+
 def _cmd_sort(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     keys = rng.integers(0, 10**6, size=args.keys).astype(float)
-    faults = _parse_faults(args.faults)
+    faults = _fault_list(args.faults, args.n, max_faults=args.n - 1)
     kind = FaultKind.TOTAL if args.kind == "total" else FaultKind.PARTIAL
     if args.spmd:
         res = spmd_fault_tolerant_sort(keys, args.n, faults, fault_kind=kind)
@@ -76,7 +122,7 @@ def _cmd_sort(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     keys = rng.integers(0, 10**6, size=args.keys).astype(float)
-    faults = _parse_faults(args.faults)
+    faults = _fault_list(args.faults, args.n, max_faults=args.n - 1)
     kind = FaultKind.TOTAL if args.kind == "total" else FaultKind.PARTIAL
     obs = Tracer()
     if args.spmd:
@@ -104,7 +150,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
-    faults = _parse_faults(args.faults)
+    faults = _fault_list(args.faults, args.n, max_faults=args.n - 1)
     partition, selection = plan_partition(args.n, faults)
     if args.svg:
         from repro.experiments.cubeviz import partition_diagram
@@ -129,7 +175,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
-    faults = _parse_faults(args.faults)
+    faults = _fault_list(args.faults, args.n)
     hidden = FaultSet(args.n, faults)
     syndrome = pmc_syndrome(hidden, rng=args.seed)
     result = diagnose_pmc(args.n, syndrome)
@@ -138,6 +184,49 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     print(f"consistent       : {result.consistent}")
     print(f"diagnosis correct: {result.matches(hidden)}")
     return 0 if result.matches(hidden) else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import run_campaign
+
+    backends = ("phase", "spmd") if args.backend == "both" else (args.backend,)
+    count = args.scenarios
+    if count is None:
+        count = 24 if args.fast else 200
+
+    def progress(idx: int, outcome) -> None:
+        if not outcome.passed:
+            print(f"  scenario {idx}: FAIL ({outcome.error or 'mis-sorted'})")
+        elif (idx + 1) % 50 == 0:
+            print(f"  ... {idx + 1}/{count} scenarios")
+
+    print(f"chaos campaign: {count} scenarios, seed {args.seed}, "
+          f"backends {'/'.join(backends)}")
+    summary = run_campaign(
+        count=count,
+        seed=args.seed,
+        out=args.out,
+        backends=backends,
+        shrink_failures=not args.no_shrink,
+        progress=progress,
+    )
+    print(f"  passed            : {summary.passed}/{summary.scenarios}")
+    for backend, per in sorted(summary.backends.items()):
+        print(f"    {backend:<6}          : {per['passed']}/{per['scenarios']}")
+    print(f"  recoveries        : {summary.recoveries} "
+          f"(in {summary.with_recovery} scenarios)")
+    print(f"  retries           : {summary.retries}")
+    print(f"  false suspicions  : {summary.false_suspicions} (all cleared)")
+    print(f"  detect latency    : mean {summary.mean_detect_latency / 1e3:.2f} ms, "
+          f"max {summary.max_detect_latency / 1e3:.2f} ms")
+    print(f"  recovery overhead : mean {summary.mean_recovery_overhead:.2f}x, "
+          f"max {summary.max_recovery_overhead:.2f}x")
+    if args.out:
+        print(f"  report            : {args.out}")
+    if summary.failures:
+        print(f"  FAILURES: {len(summary.failures)} "
+              "(minimal reproducers in the report)")
+    return 0 if summary.all_passed else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -183,6 +272,22 @@ def main(argv: list[str] | None = None) -> int:
     p_diag.add_argument("--faults", type=str, required=True)
     p_diag.add_argument("--seed", type=int, default=0)
     p_diag.set_defaults(func=_cmd_diagnose)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="randomized fault-injection campaign"
+    )
+    p_chaos.add_argument("--scenarios", type=int, default=None,
+                         help="scenario count (default 200; 24 with --fast)")
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("--out", type=str, default="chaos_report.jsonl",
+                         help="JSONL report path")
+    p_chaos.add_argument("--backend", choices=("both", "phase", "spmd"),
+                         default="both")
+    p_chaos.add_argument("--fast", action="store_true",
+                         help="short smoke campaign (CI)")
+    p_chaos.add_argument("--no-shrink", action="store_true",
+                         help="skip shrinking failures to minimal reproducers")
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     for name in ("table1", "table2", "figure7"):
         p = sub.add_parser(name, help=f"regenerate {name} (see repro-{name})")

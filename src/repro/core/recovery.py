@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.ftsort import FtSortResult, fault_tolerant_sort
 from repro.cube.address import hamming_distance, validate_address, validate_dimension
+from repro.faults.linkplan import absorb_link_faults
 from repro.faults.model import FaultKind, FaultSet
 from repro.simulator.params import MachineParams
 from repro.simulator.phases import PhaseMachine
@@ -79,31 +80,53 @@ class RecoveryReport:
 def sort_with_midrun_fault(
     keys: np.ndarray | list,
     n: int,
-    initial_faults: list[int] | tuple[int, ...],
+    initial_faults: FaultSet | list[int] | tuple[int, ...],
     victim: int,
     strike_phase: int,
     params: MachineParams | None = None,
 ) -> RecoveryReport:
     """Sort ``keys`` on ``Q_n`` while ``victim`` dies after ``strike_phase``.
 
-    ``victim`` must be a working processor of the initial plan and the
-    enlarged fault set must still satisfy the paper's model.  Faults are
-    *partial* (the victim's memory and links survive — the recovery story
-    depends on it).
+    ``initial_faults`` may be a plain list of processor addresses or a full
+    :class:`FaultSet` (processor *and* link faults — the paper's static
+    scenarios), so mid-run arrival composes with pre-existing faults.  The
+    fault model must be *partial* (the victim's memory and links survive —
+    the recovery story depends on it); ``victim`` must be a working
+    processor of the initial plan and the enlarged fault set must still
+    satisfy the paper's model.
     """
     validate_dimension(n)
     validate_address(victim, n)
     params = params if params is not None else MachineParams.ncube7()
-    initial = FaultSet(n, initial_faults, kind=FaultKind.PARTIAL)
+    if isinstance(initial_faults, FaultSet):
+        if initial_faults.n != n:
+            raise ValueError(f"fault set is for Q_{initial_faults.n}, expected Q_{n}")
+        if initial_faults.kind is not FaultKind.PARTIAL:
+            raise ValueError(
+                "mid-run recovery requires the partial fault model "
+                "(the victim's memory and links must survive)"
+            )
+        initial = initial_faults
+    else:
+        initial = FaultSet(n, initial_faults, kind=FaultKind.PARTIAL)
     if initial.is_faulty(victim):
         raise ValueError(f"victim {victim} is already faulty")
-    enlarged = FaultSet(n, list(initial.processors) + [victim], kind=FaultKind.PARTIAL)
-    if not enlarged.satisfies_paper_model():
+    link_pairs = [(node, node | (1 << dim)) for node, dim in initial.links]
+    enlarged = FaultSet(
+        n,
+        list(initial.processors) + [victim],
+        kind=FaultKind.PARTIAL,
+        links=link_pairs,
+    )
+    effective = absorb_link_faults(enlarged) if enlarged.links else enlarged
+    if not effective.satisfies_paper_model():
         raise ValueError("the enlarged fault set violates the paper's model")
 
     # First attempt: run in full to learn its phase structure, then charge
-    # only the phases up to the strike point as wasted work.
-    first = fault_tolerant_sort(keys, n, list(initial.processors), params=params)
+    # only the phases up to the strike point as wasted work.  Passing the
+    # FaultSet keeps link faults in play (ftsort absorbs them into
+    # designated endpoints for planning).
+    first = fault_tolerant_sort(keys, n, initial, params=params)
     if victim not in first.output_order:
         raise ValueError(f"victim {victim} is not a working processor of the plan")
     if not 0 <= strike_phase < len(first.machine.phases):
@@ -119,9 +142,9 @@ def sort_with_midrun_fault(
     rescuer = min(survivors, key=lambda p: (hamming_distance(p, victim), p))
     rescue_machine = PhaseMachine(n, params=params, faults=initial)
     with rescue_machine.phase("rescue"):
-        rescue_machine.charge_transfer(
-            victim, rescuer, first.block_size, hops=hamming_distance(victim, rescuer)
-        )
+        # hops=None: fault-aware metric (HD under pure-processor partial
+        # faults, shortest surviving path when links have died).
+        rescue_machine.charge_transfer(victim, rescuer, first.block_size, hops=None)
     rescue_time = rescue_machine.elapsed
 
     # Re-plan and redistribute: every key moves from its pre-crash holder
@@ -129,7 +152,7 @@ def sort_with_midrun_fault(
     # hop distance and take the parallel max per (source, destination)
     # round — modeled as one phase (all transfers concurrent, each node's
     # time the sum of its own sends/receives).
-    second = fault_tolerant_sort(keys, n, list(enlarged.processors), params=params)
+    second = fault_tolerant_sort(keys, n, enlarged, params=params)
     redist_machine = PhaseMachine(n, params=params, faults=enlarged)
     old_holders = [p if p != victim else rescuer for p in first.output_order]
     new_holders = list(second.output_order)
@@ -137,9 +160,7 @@ def sort_with_midrun_fault(
         for src, dst in zip(old_holders, new_holders):
             if src == dst:
                 continue
-            redist_machine.charge_transfer(
-                src, dst, first.block_size, hops=hamming_distance(src, dst)
-            )
+            redist_machine.charge_transfer(src, dst, first.block_size, hops=None)
     redistribution_time = redist_machine.elapsed
 
     return RecoveryReport(

@@ -1,0 +1,226 @@
+"""Incremental on-line fault diagnosis (drops the paper's off-line assumption).
+
+The paper assumes every fault location is known *before* the sort starts
+(off-line PMC diagnosis, Section 1).  This module is the on-line variant
+that the runtime robustness layer feeds: when the execution engines
+*suspect* a processor mid-run (a receive timed out, a reliable send gave
+up), the suspicion is confirmed by actual neighbor tests instead of being
+trusted blindly — a timeout can just as well mean congestion, a slow peer,
+or a transitive stall behind some other fault.
+
+Protocol (per suspicion)
+------------------------
+1. **Local round** — every neighbor of the suspect not already known to be
+   faulty probes it.  Actually fault-free testers report the truth; faulty
+   testers answer arbitrarily (sampled, the same adversary-free model as
+   :func:`repro.faults.diagnosis.pmc_syndrome`).  A unanimous panel decides
+   on the spot.
+2. **Escalation** — any disagreement (some tester is lying) escalates to a
+   full PMC syndrome over the whole cube, decoded with
+   :func:`repro.faults.diagnosis.diagnose_pmc` — exact for ``|F| <= n``.
+   A panel made up entirely of liars can return a unanimous wrong answer,
+   but the runtime re-suspects on the next timeout and independent
+   re-samples break the tie, so the protocol terminates with probability 1
+   and in practice within a round or two.
+
+The diagnoser is *incremental*: confirmed faults accumulate in
+:attr:`OnlineDiagnoser.known` (and dead links in :attr:`known_links`), are
+excluded from later test panels, and every decision is appended to
+:attr:`log` as a :class:`DetectionRecord` — detection latency is
+``confirmed_at - occurred_at`` and is what the chaos campaign reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cube.address import validate_address, validate_dimension
+from repro.cube.topology import Hypercube
+from repro.faults.diagnosis import diagnose_pmc, pmc_syndrome
+from repro.faults.model import FaultSet
+
+__all__ = ["DetectionRecord", "OnlineDiagnoser"]
+
+
+@dataclass(frozen=True)
+class DetectionRecord:
+    """One confirmed-or-cleared suspicion.
+
+    Attributes:
+        kind: ``"processor"`` or ``"link"``.
+        subject: processor address, or ``(a, b)`` link endpoints.
+        occurred_at: when the fault actually arrived (``None`` for cleared
+            false suspicions — nothing occurred).
+        suspected_at: when the runtime first raised the suspicion.
+        confirmed_at: when the verdict was reached (includes test time).
+        faulty: the verdict.
+        method: ``"local"`` (unanimous neighbor panel), ``"global"`` (full
+            PMC syndrome decode), or ``"route-probe"`` (link located by
+            probing a dropped message's path).
+        rounds: local test rounds spent.
+    """
+
+    kind: str
+    subject: int | tuple[int, int]
+    occurred_at: float | None
+    suspected_at: float
+    confirmed_at: float
+    faulty: bool
+    method: str
+    rounds: int = 1
+
+    @property
+    def latency(self) -> float | None:
+        """Fault-arrival to confirmation, or ``None`` for false suspicions."""
+        if self.occurred_at is None or not self.faulty:
+            return None
+        return self.confirmed_at - self.occurred_at
+
+
+class OnlineDiagnoser:
+    """Accumulating on-line diagnosis state shared by one supervised run.
+
+    Args:
+        n: hypercube dimension.
+        known: processor addresses already known faulty (the off-line
+            diagnosed set the run started with).
+        known_links: links already known dead, as ``(a, b)`` endpoint pairs.
+        probe_rtt: charged time of one parallel neighbor-test round
+            (probe + reply); the global escalation costs two rounds plus a
+            syndrome gather.
+        rng: seeded generator driving the faulty testers' arbitrary reports.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        known: FaultSet | tuple[int, ...] | list[int] = (),
+        known_links: tuple[tuple[int, int], ...] = (),
+        probe_rtt: float = 0.0,
+        rng: np.random.Generator | int | None = None,
+    ):
+        self.n = validate_dimension(n)
+        self.cube = Hypercube(n)
+        if isinstance(known, FaultSet):
+            known_links = tuple(known_links) + tuple(
+                (node, node | (1 << dim)) for node, dim in known.links
+            )
+            known = known.processors
+        self.known: set[int] = {validate_address(p, n) for p in known}
+        self.known_links: set[tuple[int, int]] = {
+            (min(a, b), max(a, b)) for a, b in known_links
+        }
+        self.probe_rtt = float(probe_rtt)
+        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.log: list[DetectionRecord] = []
+
+    # -- processor suspicions ------------------------------------------------
+
+    def confirm_processor(
+        self,
+        suspect: int,
+        truth,
+        suspected_at: float,
+        occurred_at: float | None = None,
+    ) -> DetectionRecord:
+        """Test a suspected processor; returns the appended record.
+
+        ``truth`` is the ground-truth oracle ``truth(addr) -> bool`` the
+        simulation provides (a real machine provides it by *being* the
+        machine); the diagnoser only reads it through the test model —
+        fault-free testers relay it, faulty testers garble it.
+        """
+        validate_address(suspect, self.n)
+        if suspect in self.known:
+            record = DetectionRecord(
+                kind="processor", subject=suspect, occurred_at=occurred_at,
+                suspected_at=suspected_at, confirmed_at=suspected_at,
+                faulty=True, method="known", rounds=0,
+            )
+            self.log.append(record)
+            return record
+        testers = [nb for nb in self.cube.neighbors(suspect) if nb not in self.known]
+        actual = bool(truth(suspect))
+        verdict: bool | None = None
+        method = "global"
+        rounds = 1
+        reports = [
+            (int(self.rng.integers(0, 2)) == 1) if truth(nb) else actual
+            for nb in testers
+        ]
+        if reports and all(r == reports[0] for r in reports):
+            # Unanimous panel decides.  (A panel of nothing but liars can
+            # produce a unanimous wrong answer; the runtime re-suspects on
+            # the next timeout and independent resamples break the tie.)
+            verdict = reports[0]
+            method = "local"
+        elapsed = rounds * self.probe_rtt
+        if verdict is None:
+            verdict = self._global_decode(suspect, truth)
+            method = "global"
+            elapsed += 2 * self.probe_rtt + self.n * self.probe_rtt
+        if verdict:
+            self.known.add(suspect)
+        record = DetectionRecord(
+            kind="processor", subject=suspect, occurred_at=occurred_at,
+            suspected_at=suspected_at, confirmed_at=suspected_at + elapsed,
+            faulty=bool(verdict), method=method, rounds=rounds,
+        )
+        self.log.append(record)
+        return record
+
+    def _global_decode(self, suspect: int, truth) -> bool:
+        """Full PMC sweep: synthesize the whole cube's syndrome and decode."""
+        hidden = FaultSet(self.n, [p for p in self.cube.nodes() if truth(p)])
+        syndrome = pmc_syndrome(hidden, rng=self.rng)
+        result = diagnose_pmc(self.n, syndrome, max_faults=self.n)
+        return suspect in result.identified
+
+    # -- link suspicions -----------------------------------------------------
+
+    def confirm_link(
+        self,
+        a: int,
+        b: int,
+        suspected_at: float,
+        occurred_at: float | None = None,
+        confirmed_at: float | None = None,
+    ) -> DetectionRecord:
+        """Record a dead link located by probing a dropped message's path."""
+        link = (min(a, b), max(a, b))
+        already = link in self.known_links
+        self.known_links.add(link)
+        record = DetectionRecord(
+            kind="link", subject=link, occurred_at=occurred_at,
+            suspected_at=suspected_at,
+            confirmed_at=suspected_at if confirmed_at is None else confirmed_at,
+            faulty=True, method="known" if already else "route-probe", rounds=1,
+        )
+        self.log.append(record)
+        return record
+
+    # -- views ---------------------------------------------------------------
+
+    def fault_view(self, base: FaultSet) -> FaultSet:
+        """``base`` enlarged with everything confirmed so far (same kind)."""
+        links = {
+            (node, node | (1 << dim)) for node, dim in base.links
+        } | self.known_links
+        return FaultSet(
+            base.n,
+            sorted(set(base.processors) | self.known),
+            kind=base.kind,
+            links=sorted(links),
+        )
+
+    def confirmed_processors(self) -> tuple[int, ...]:
+        """All processors confirmed faulty so far, ascending."""
+        return tuple(sorted(self.known))
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"OnlineDiagnoser(n={self.n}, known={sorted(self.known)}, "
+            f"links={sorted(self.known_links)}, decisions={len(self.log)})"
+        )

@@ -158,6 +158,45 @@ def diagnose_pmc(
                 if len(guess) > cube.size:  # pragma: no cover - safety valve
                     break
 
+    # Pruning pass: the majority initialization can over-accuse — e.g. a
+    # fault-free unit all of whose n testers are faulty (possible once
+    # |F| = n) is unanimously accused and nothing above clears it.  Removing
+    # a member is sound iff the syndrome stays consistent with the smaller
+    # set (the removed unit's own reports become trusted and must then be
+    # truthful); by one-step diagnosability any consistent set of size
+    # <= max_faults is *the* fault set, so greedy removal cannot overshoot.
+    if len(guess) > max_faults or not _consistent(n, frozenset(guess), syndrome):
+        shrinking = True
+        while shrinking:
+            shrinking = False
+            for x in sorted(guess):
+                candidate = frozenset(guess) - {x}
+                if _consistent(n, candidate, syndrome):
+                    guess.discard(x)
+                    shrinking = True
+                    break
+
+    # Last resort for small systems: exhaustive search over accused units.
+    # Every faulty unit has a fault-free tester (for |F| <= n), hence at
+    # least one accusation, so the true set is a subset of the accused pool.
+    if (
+        (len(guess) > max_faults or not _consistent(n, frozenset(guess), syndrome))
+        and cube.size <= 32
+    ):
+        from itertools import combinations
+
+        pool = sorted({tested for (_, tested), out in syndrome.items() if out == 1})
+        found = None
+        for k in range(max_faults + 1):
+            for comb in combinations(pool, k):
+                if _consistent(n, frozenset(comb), syndrome):
+                    found = set(comb)
+                    break
+            if found is not None:
+                break
+        if found is not None:
+            guess = found
+
     identified = tuple(sorted(guess))
     ok = _consistent(n, frozenset(guess), syndrome) and len(guess) <= max_faults
     return DiagnosisResult(identified=identified, consistent=ok)

@@ -58,7 +58,14 @@ class FaultSet:
         if not isinstance(kind, FaultKind):
             raise TypeError(f"kind must be a FaultKind, got {kind!r}")
         self.kind = kind
-        canon = {self.cube.link_id(a, b) for a, b in links}
+        canon: set[tuple[int, int]] = set()
+        for a, b in links:
+            lid = self.cube.link_id(a, b)
+            if lid in canon:
+                raise ValueError(
+                    f"duplicate link fault: ({a}, {b}) names link {lid} twice"
+                )
+            canon.add(lid)
         self._links = tuple(sorted(canon))
         self._link_set = frozenset(canon)
 

@@ -11,8 +11,26 @@ This package makes the host a real component so the excluded cost can be
   scatters key blocks down the binomial tree, the fault-tolerant sort
   runs, and the sorted blocks are gathered back — with separate timing for
   each segment.
+* :func:`repro.host.session.supervised_sort` — the same workflow under a
+  recovery supervisor: mid-run processor/link faults are detected on-line,
+  victim blocks rescued, the plan enlarged, and the sort re-run until it
+  completes (see docs/ROBUSTNESS.md).
 """
 
-from repro.host.session import HostSession, sort_session
+from repro.host.session import (
+    FaultEvent,
+    HostSession,
+    RecoveryAttempt,
+    SupervisedSort,
+    sort_session,
+    supervised_sort,
+)
 
-__all__ = ["HostSession", "sort_session"]
+__all__ = [
+    "FaultEvent",
+    "HostSession",
+    "RecoveryAttempt",
+    "SupervisedSort",
+    "sort_session",
+    "supervised_sort",
+]

@@ -15,6 +15,16 @@ Messages are injected with a precomputed path (from
 on contended links and invokes a delivery callback when the message is
 fully received at its destination.  The SPMD layer
 (:mod:`repro.simulator.spmd`) builds blocking ``send``/``recv`` on top.
+
+Robustness extensions (see docs/ROBUSTNESS.md): links can *die mid-run*
+(:meth:`EventEngine.fail_link`) — a message reaching a dead link is dropped
+silently, exactly like real store-and-forward hardware losing a frame — and
+:meth:`EventEngine.send_reliable` layers an ACK/timeout/retry protocol with
+exponential backoff on top of the unreliable transport.  A ``reroute``
+callback lets the sender pick a fresh path per attempt (the SPMD layer uses
+it to probe for the dead link and detour through the adaptive fault-tolerant
+router).  :meth:`EventEngine.stop` aborts the event loop early, which the
+failure-detection layer uses to cut a run at detection time.
 """
 
 from __future__ import annotations
@@ -27,7 +37,7 @@ from collections.abc import Callable
 from repro.obs.spans import NULL_TRACER, PID_MESSAGES, PID_NETWORK
 from repro.simulator.params import MachineParams
 
-__all__ = ["EventEngine", "Message"]
+__all__ = ["EventEngine", "Message", "ReliableSend"]
 
 
 @dataclass
@@ -55,6 +65,8 @@ class Message:
     path: list[int] = field(default_factory=list)
     sent_at: float = 0.0
     delivered_at: float | None = None
+    dropped_at: float | None = None
+    dropped_link: tuple[int, int] | None = None
 
     @property
     def hops_taken(self) -> int:
@@ -65,6 +77,31 @@ class Message:
         if self.delivered_at is None:
             return None
         return self.delivered_at - self.sent_at
+
+
+@dataclass
+class ReliableSend:
+    """Bookkeeping of one :meth:`EventEngine.send_reliable` exchange.
+
+    Attributes:
+        message: the logical message (its ``path`` is the *last* attempted
+            route; ``delivered_at`` is set on the first successful copy).
+        attempts: number of transmissions injected so far (>= 1).
+        acked_at: time the sender learned of the delivery (delivery time
+            plus the ACK's return trip), or ``None`` while in flight.
+        gave_up_at: time the sender exhausted its retries, or ``None``.
+        dropped_links: links that swallowed an attempt, in drop order.
+    """
+
+    message: Message
+    attempts: int = 0
+    acked_at: float | None = None
+    gave_up_at: float | None = None
+    dropped_links: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def retries(self) -> int:
+        return max(self.attempts - 1, 0)
 
 
 class EventEngine:
@@ -96,7 +133,12 @@ class EventEngine:
         self._link_free_at: dict[tuple[int, int], float] = {}
         self.link_busy_time: dict[tuple[int, int], float] = {}
         self.delivered: list[Message] = []
+        self.dropped: list[Message] = []
         self._link_tids: dict[tuple[int, int], int] = {}
+        # Undirected (min, max) endpoint pairs of links that died mid-run,
+        # mapped to the time of death.
+        self._dead_links: dict[tuple[int, int], float] = {}
+        self._stopped = False
 
     # -- event queue --------------------------------------------------------
 
@@ -110,23 +152,79 @@ class EventEngine:
         """Process events (optionally only up to time ``until``).
 
         Returns the clock after the run.  The engine is re-entrant: more
-        work can be injected and ``run`` called again.
+        work can be injected and ``run`` called again.  A :meth:`stop` call
+        from inside an event handler breaks out immediately (pending events
+        stay queued).
         """
-        while self._queue:
+        self._stopped = False
+        while self._queue and not self._stopped:
             t, _, fn = self._queue[0]
             if until is not None and t > until:
                 break
             heapq.heappop(self._queue)
             self.now = t
             fn()
-        if until is not None and until > self.now:
+        if until is not None and until > self.now and not self._stopped:
             self.now = until
         return self.now
+
+    def stop(self) -> None:
+        """Abort the current :meth:`run` after the in-flight event handler.
+
+        Used by the failure-detection layer to cut a simulation at the
+        moment a fault is confirmed; queued events are preserved so state
+        can still be inspected.
+        """
+        self._stopped = True
+
+    @property
+    def stopped(self) -> bool:
+        """Whether the last :meth:`run` was cut short by :meth:`stop`."""
+        return self._stopped
 
     @property
     def pending_events(self) -> int:
         """Number of queued events."""
         return len(self._queue)
+
+    # -- dynamic failures ------------------------------------------------------
+
+    def fail_link(self, a: int, b: int, at: float | None = None) -> None:
+        """Kill the (undirected) link between ``a`` and ``b``.
+
+        From ``at`` (default: now) onward, any message that tries to start a
+        hop over the link is silently dropped — the sender is not told,
+        exactly as on real store-and-forward hardware.  A transmission
+        already in progress completes (the frame was committed to the wire).
+        Recovery is the reliable layer's job (:meth:`send_reliable`).
+        """
+        link = (min(a, b), max(a, b))
+        when = self.now if at is None else at
+
+        def kill() -> None:
+            self._dead_links.setdefault(link, self.now)
+            if self.obs.enabled:
+                self.obs.instant(f"link-fault {link[0]}<->{link[1]}",
+                                 ts=self.now, cat="fault", pid=PID_NETWORK)
+                self.obs.metrics.inc("robust.link_faults")
+
+        if when <= self.now:
+            kill()
+        else:
+            self.schedule(when, kill)
+
+    def link_dead(self, a: int, b: int) -> bool:
+        """Whether the undirected link ``a``-``b`` has died mid-run."""
+        return (min(a, b), max(a, b)) in self._dead_links
+
+    def link_died_at(self, a: int, b: int) -> float | None:
+        """Time the link died, or ``None`` if it is alive."""
+        return self._dead_links.get((min(a, b), max(a, b)))
+
+    @property
+    def dead_links(self) -> tuple[tuple[int, int], ...]:
+        """Undirected links that died mid-run, sorted."""
+        return tuple(sorted(self._dead_links))
 
     # -- message transport ----------------------------------------------------
 
@@ -173,6 +271,13 @@ class EventEngine:
         u = message.path[hop_index]
         v = message.path[hop_index + 1]
         link = (u, v)
+        if (min(u, v), max(u, v)) in self._dead_links:
+            message.dropped_at = max(ready_at, self.now)
+            message.dropped_link = (u, v)
+            self.dropped.append(message)
+            if self.obs.enabled:
+                self.obs.metrics.inc("robust.drops")
+            return
         free_at = self._link_free_at.get(link, 0.0)
         begin = max(ready_at, free_at)
         duration = self.hop_time(message.size)
@@ -195,6 +300,98 @@ class EventEngine:
                 self._advance_hop(message, hop_index + 1, self.now, on_delivered)
 
         self.schedule(end, on_hop_done)
+
+    # -- reliable transport ----------------------------------------------------
+
+    def send_reliable(
+        self,
+        message: Message,
+        on_delivered: Callable[[Message], None],
+        timeout: float,
+        max_retries: int = 4,
+        backoff: float = 2.0,
+        reroute: Callable[["ReliableSend"], list[int] | None] | None = None,
+        on_giveup: Callable[["ReliableSend"], None] | None = None,
+        at: float | None = None,
+    ) -> ReliableSend:
+        """Send with ACK/timeout/retry semantics over the unreliable links.
+
+        Each attempt injects a fresh copy of ``message``; on delivery a
+        1-element ACK travels the reverse path (lost if a link on it has
+        died).  If no ACK arrives within ``timeout * backoff**k`` of attempt
+        ``k``'s injection, the sender retries — asking ``reroute`` for a
+        fresh path first (return ``None`` to reuse the previous one), which
+        is how dead links get absorbed by the adaptive fault-tolerant
+        router.  After ``max_retries`` retries the exchange gives up and
+        ``on_giveup`` fires (a processor-level failure, not a link loss —
+        the detection layer takes over from there).
+
+        ``on_delivered`` fires exactly once, on the first copy to arrive;
+        duplicate deliveries at the receiver are absorbed and counted in
+        ``robust.duplicates``.  Returns the :class:`ReliableSend` record
+        (attempts, ACK time, dropped links) for the caller to inspect.
+        """
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+        if backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {backoff}")
+        start = self.now if at is None else at
+        rs = ReliableSend(message=message)
+
+        def launch(path: list[int], when: float) -> None:
+            rs.attempts += 1
+            attempt_no = rs.attempts
+            copy = Message(src=message.src, dst=message.dst, size=message.size,
+                           payload=message.payload, tag=message.tag, path=list(path))
+
+            def delivered(msg: Message) -> None:
+                if message.delivered_at is None:
+                    message.delivered_at = msg.delivered_at
+                    message.path = list(msg.path)
+                    on_delivered(message)
+                elif self.obs.enabled:
+                    self.obs.metrics.inc("robust.duplicates")
+                back = list(reversed(msg.path))
+                if any(self.link_dead(x, y) for x, y in zip(back, back[1:])):
+                    return  # the ACK is lost with the link; the timer decides
+                ack_at = self.now + max(len(back) - 1, 0) * self.hop_time(1)
+
+                def ack() -> None:
+                    if rs.acked_at is None:
+                        rs.acked_at = self.now
+                        if self.obs.enabled:
+                            self.obs.metrics.inc("robust.acks")
+
+                self.schedule(ack_at, ack)
+
+            self.send(copy, delivered, at=when)
+            deadline = when + timeout * (backoff ** (attempt_no - 1))
+
+            def check() -> None:
+                if rs.acked_at is not None or rs.gave_up_at is not None:
+                    return
+                if copy.dropped_link is not None:
+                    rs.dropped_links.append(copy.dropped_link)
+                if self.obs.enabled:
+                    self.obs.metrics.inc("robust.timeouts")
+                if attempt_no > max_retries:
+                    rs.gave_up_at = self.now
+                    if self.obs.enabled:
+                        self.obs.metrics.inc("robust.giveups")
+                    if on_giveup is not None:
+                        on_giveup(rs)
+                    return
+                if self.obs.enabled:
+                    self.obs.metrics.inc("robust.retries")
+                fresh = reroute(rs) if reroute is not None else None
+                launch(list(fresh) if fresh is not None else list(copy.path), self.now)
+
+            self.schedule(deadline, check)
+
+        launch(list(message.path), start)
+        return rs
 
     # -- observability --------------------------------------------------------
 

@@ -309,6 +309,27 @@ class PhaseMachine:
         """Element*hop products across the whole run (link occupancy)."""
         return sum(p.element_hops for p in self.phases)
 
+    def cut_at(self, local_time: float) -> tuple[int, float]:
+        """Barrier-level detection cut for a fault arriving at ``local_time``.
+
+        The machine is barrier-synchronous, so a fault arriving *during*
+        phase ``k`` is first observable at phase ``k``'s closing barrier.
+        Returns ``(k, barrier_time)`` — the index of the phase the arrival
+        lands in and the cumulative elapsed time through its barrier (the
+        work a supervisor must write off as wasted).  An arrival at or
+        before time 0 cuts before the first phase (``(-1, 0.0)``); an
+        arrival at or past the final barrier cuts after the last phase
+        (``(len(phases) - 1, elapsed)`` — the run already completed).
+        """
+        if local_time <= 0.0:
+            return -1, 0.0
+        cum = 0.0
+        for idx, rec in enumerate(self.phases):
+            cum += rec.duration
+            if local_time <= cum:
+                return idx, cum
+        return len(self.phases) - 1, cum
+
     def __repr__(self) -> str:  # pragma: no cover - repr convenience
         return (
             f"PhaseMachine(n={self.n}, elapsed={self.elapsed:.1f}us, "

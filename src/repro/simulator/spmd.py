@@ -25,6 +25,26 @@ Each processor has its own local clock; the machine's ``finish_time`` is
 the max over processors.  Faulty processors run no program (their compute
 portion is dead under both fault kinds); whether they *forward* messages is
 the router's business.
+
+Robustness extensions (see docs/ROBUSTNESS.md):
+
+* **Mid-run faults** — :meth:`SpmdMachine.schedule_processor_fault` kills a
+  rank's program at a simulated time (partial model: its memory and links
+  survive, in-flight messages complete);
+  :meth:`SpmdMachine.schedule_link_fault` kills a link, after which the
+  engine silently drops messages that try to cross it.
+* **Failure detection** — give the machine an
+  :class:`repro.faults.detect.OnlineDiagnoser` and every blocking ``recv``
+  arms a timeout watchdog.  On expiry the awaited source becomes a
+  *suspect*, is confirmed by neighbor tests (false suspicions — a peer
+  stalled behind somebody else's fault — are cleared and the watchdog
+  re-arms), and a confirmed fault aborts the run at the current event so a
+  supervisor can recover.
+* **Reliable messaging** — with ``reliable=True`` every send uses the
+  engine's ACK/retry protocol; on a retry the machine probes the failed
+  path, registers the dead link with the diagnoser, and reroutes through
+  the adaptive fault-tolerant router, so link deaths are absorbed without
+  aborting the sort.
 """
 
 from __future__ import annotations
@@ -37,9 +57,9 @@ from repro.faults.model import FaultSet
 from repro.obs.spans import NULL_TRACER, PID_SIM, TID_RANK_BASE
 from repro.simulator.engine import EventEngine, Message
 from repro.simulator.params import MachineParams
-from repro.simulator.router import Router
+from repro.simulator.router import RouteError, Router
 
-__all__ = ["Proc", "ProgramError", "SpmdMachine"]
+__all__ = ["Proc", "ProgramError", "ReliabilityPolicy", "SpmdMachine"]
 
 ANY_SOURCE = -1
 ANY_TAG = -1
@@ -66,6 +86,23 @@ class _RecvEffect:
 @dataclass(frozen=True)
 class _ComputeEffect:
     comparisons: int
+
+
+@dataclass(frozen=True)
+class ReliabilityPolicy:
+    """ACK/retry parameters for :class:`SpmdMachine` reliable messaging.
+
+    Attributes:
+        timeout: ACK wait before the first retry (simulated microseconds);
+            grows by ``backoff`` per attempt.
+        max_retries: retries before a send gives up and the destination
+            becomes a processor-fault suspect.
+        backoff: exponential backoff factor (>= 1).
+    """
+
+    timeout: float = 20_000.0
+    max_retries: int = 4
+    backoff: float = 2.0
 
 
 class Proc:
@@ -103,6 +140,12 @@ class _ProcState:
         self.inbox: deque[Message] = deque()
         self.waiting: _RecvEffect | None = None
         self.done = False
+        # Monotonic counter of recv-wait episodes; a watchdog remembers the
+        # value it was armed with and stands down if the wait was satisfied.
+        self.wait_seq = 0
+
+
+_WATCHDOG_MAX_REARMS = 25
 
 
 class SpmdMachine:
@@ -117,6 +160,19 @@ class SpmdMachine:
             :class:`EventEngine` (link/message lifecycle events); the
             machine additionally records one ``"proc"`` span per rank and
             the ``spmd.*`` message totals.
+        diagnoser: optional :class:`repro.faults.detect.OnlineDiagnoser`.
+            With one attached (and ``detect_timeout`` set), blocked receives
+            arm watchdogs, suspects are confirmed by neighbor tests, and a
+            confirmed processor fault aborts the run (``aborted``/
+            ``abort_record``) for a supervisor to recover.
+        detect_timeout: recv watchdog timeout in simulated time units.
+        reliable: ``True`` (default policy), a :class:`ReliabilityPolicy`,
+            or ``None``/``False`` — when set, every multi-hop send uses the
+            engine's ACK/retry protocol and dead links are absorbed by
+            rerouting through the adaptive router.
+
+    With ``diagnoser``/``reliable`` left at their defaults the machine
+    behaves byte-identically to the pre-robustness version.
     """
 
     def __init__(
@@ -126,6 +182,9 @@ class SpmdMachine:
         params: MachineParams | None = None,
         router: Router | None = None,
         obs=None,
+        diagnoser=None,
+        detect_timeout: float | None = None,
+        reliable: "ReliabilityPolicy | bool | None" = None,
     ):
         self.n = n
         self.size = 1 << n
@@ -136,8 +195,87 @@ class SpmdMachine:
         self.obs = obs if obs is not None else NULL_TRACER
         self.engine = EventEngine(self.params, obs=self.obs)
         self.router = router if router is not None else Router(self.faults)
+        self.diagnoser = diagnoser
+        self.detect_timeout = detect_timeout
+        if reliable is True:
+            reliable = ReliabilityPolicy()
+        elif reliable is False:
+            reliable = None
+        self.reliable: ReliabilityPolicy | None = reliable
+        self.dead_at: dict[int, float] = {}
+        self.aborted = False
+        self.abort_record = None
+        self.detections: list = []
+        self._probed_links: set[tuple[int, int]] = set()
         self._states: dict[int, _ProcState] = {}
         self.finish_time: float = 0.0
+
+    # -- dynamic failures ------------------------------------------------------
+
+    def schedule_processor_fault(self, rank: int, at: float) -> None:
+        """Kill ``rank``'s program at simulated time ``at`` (partial model:
+        its memory and links survive; in-flight messages complete)."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} outside Q_{self.n}")
+        self.engine.schedule(at, lambda: self._strike(rank))
+
+    def schedule_link_fault(self, a: int, b: int, at: float) -> None:
+        """Kill the undirected link ``a``-``b`` at simulated time ``at``."""
+        self.engine.fail_link(a, b, at=at)
+
+    def _strike(self, rank: int) -> None:
+        if rank in self.dead_at or self.faults.is_faulty(rank):
+            return
+        self.dead_at[rank] = self.engine.now
+        if self.obs.enabled:
+            self.obs.instant(f"proc-fault {rank}", ts=self.engine.now,
+                             cat="fault", pid=PID_SIM)
+            self.obs.metrics.inc("robust.proc_faults")
+        state = self._states.get(rank)
+        if state is not None and not state.done:
+            state.done = True
+            state.waiting = None
+            state.wait_seq += 1
+            state.gen.close()
+
+    def _truth(self, addr: int) -> bool:
+        """Ground-truth oracle the diagnoser's test model reads through."""
+        return self.faults.is_faulty(addr) or addr in self.dead_at
+
+    def _suspect_processor(self, addr: int):
+        """Confirm-or-clear a suspicion; abort the run on a confirmed fault."""
+        if self.diagnoser is None or self.aborted:
+            return None
+        record = self.diagnoser.confirm_processor(
+            addr, self._truth,
+            suspected_at=self.engine.now,
+            occurred_at=self.dead_at.get(addr),
+        )
+        self.detections.append(record)
+        if record.faulty:
+            self._abort(record)
+        return record
+
+    def _abort(self, record) -> None:
+        self.aborted = True
+        self.abort_record = record
+        self.engine.stop()
+        if self.obs.enabled:
+            self.obs.metrics.inc("robust.aborts")
+            if record.latency is not None:
+                self.obs.metrics.observe("robust.detect_latency", record.latency)
+
+    def _fault_view(self) -> FaultSet:
+        """Static faults enlarged with everything confirmed or probed so far."""
+        base = self.faults
+        if self.diagnoser is not None:
+            base = self.diagnoser.fault_view(base)
+        extra = [lk for lk in sorted(self._probed_links)
+                 if not base.is_link_faulty(*lk)]
+        if not extra:
+            return base
+        links = [(node, node | (1 << dim)) for node, dim in base.links] + extra
+        return FaultSet(base.n, base.processors, kind=base.kind, links=links)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -163,6 +301,8 @@ class SpmdMachine:
             if self.faults.is_faulty(rank):
                 raise ProgramError(f"cannot run a program on faulty processor {rank}")
         self._states = {}
+        self.aborted = False
+        self.abort_record = None
         for rank, factory in sorted(table.items()):
             proc = Proc(self, rank)
             gen = factory(proc)
@@ -174,14 +314,17 @@ class SpmdMachine:
         for state in list(self._states.values()):
             self._step(state, first=True)
         self.engine.run()
-        stuck = [r for r, s in self._states.items() if not s.done]
-        if stuck:
-            raise ProgramError(
-                f"deadlock: ranks {stuck} still blocked after the event queue drained"
-            )
+        if not self.aborted:
+            stuck = [r for r, s in self._states.items() if not s.done]
+            if stuck:
+                raise ProgramError(
+                    f"deadlock: ranks {stuck} still blocked after the event queue drained"
+                )
         self.finish_time = max(
             (s.proc.clock for s in self._states.values()), default=self.engine.now
         )
+        if self.aborted:
+            self.finish_time = max(self.finish_time, self.engine.now)
         if self.obs.enabled:
             self._record_run()
         return self.finish_time
@@ -239,8 +382,35 @@ class SpmdMachine:
                     value = msg.payload
                     continue
                 state.waiting = effect
+                state.wait_seq += 1
+                self._arm_watchdog(state, state.wait_seq)
                 return
             self._fail(state, f"unknown effect {effect!r} (yield proc.send/recv/compute)")
+
+    def _arm_watchdog(self, state: _ProcState, seq: int, rearms: int = 0) -> None:
+        """Watch a blocked recv; on expiry, suspect the awaited source.
+
+        A cleared (false) suspicion — the peer was merely stalled behind
+        somebody else's fault — re-arms the watchdog, up to a cap so a
+        genuine deadlock still drains the event queue and raises.
+        """
+        if self.diagnoser is None or self.detect_timeout is None:
+            return
+        eff = state.waiting
+        if eff is None or eff.src == ANY_SOURCE:
+            return
+        deadline = max(self.engine.now, state.proc.clock) + self.detect_timeout
+
+        def fire() -> None:
+            if self.aborted or state.done or state.waiting is None:
+                return
+            if state.wait_seq != seq:
+                return  # that wait episode was satisfied; a newer one re-armed
+            record = self._suspect_processor(state.waiting.src)
+            if record is not None and not record.faulty and rearms < _WATCHDOG_MAX_REARMS:
+                self._arm_watchdog(state, seq, rearms + 1)
+
+        self.engine.schedule(deadline, fire)
 
     def _fail(self, state: _ProcState, why: str) -> None:
         raise ProgramError(f"rank {state.proc.rank}: {why}")
@@ -260,7 +430,42 @@ class SpmdMachine:
         if len(path) > 1:
             state.proc.clock += self.engine.hop_time(eff.size)
         state.proc.sent_messages += 1
-        self.engine.send(msg, self._on_delivered, at=depart)
+        if self.reliable is not None and len(path) > 1:
+            self.engine.send_reliable(
+                msg,
+                self._on_delivered,
+                timeout=self.reliable.timeout,
+                max_retries=self.reliable.max_retries,
+                backoff=self.reliable.backoff,
+                reroute=lambda rs: self._reroute(rank, eff.dst, rs),
+                on_giveup=lambda rs: self._suspect_processor(eff.dst),
+                at=depart,
+            )
+        else:
+            self.engine.send(msg, self._on_delivered, at=depart)
+
+    def _reroute(self, src: int, dst: int, rs) -> list[int] | None:
+        """Retry-path callback: probe the swallowed link, detour around it.
+
+        The sender only learns what its own probe reveals (the link that
+        dropped the last attempt, recorded on the :class:`ReliableSend`);
+        that link is registered with the diagnoser and the adaptive
+        fault-tolerant router recomputes a path over the enlarged view.
+        Returns ``None`` (reuse the old path) when no detour exists.
+        """
+        if rs.dropped_links:
+            a, b = rs.dropped_links[-1]
+            self._probed_links.add((min(a, b), max(a, b)))
+            if self.diagnoser is not None:
+                self.diagnoser.confirm_link(
+                    a, b,
+                    suspected_at=self.engine.now,
+                    occurred_at=self.engine.link_died_at(a, b),
+                )
+        try:
+            return Router(self._fault_view(), strategy="adaptive").route(src, dst)
+        except RouteError:
+            return None
 
     def _on_delivered(self, msg: Message) -> None:
         state = self._states.get(msg.dst)

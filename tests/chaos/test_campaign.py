@@ -1,0 +1,60 @@
+"""Tests for repro.chaos.campaign — execution, oracle check, reporting."""
+
+from __future__ import annotations
+
+import json
+
+from repro.chaos import run_campaign, run_scenario, random_scenario
+from repro.chaos.schedule import ChaosScenario, ScenarioEvent
+
+
+class TestRunScenario:
+    def test_single_scenario_passes_oracle(self):
+        out = run_scenario(random_scenario(0, seed=21))
+        assert out.recovered and out.sorted_correct and out.passed
+        assert out.total_time > 0
+
+    def test_outcome_dict_replayable(self):
+        out = run_scenario(random_scenario(1, seed=21))
+        d = out.to_dict()
+        json.dumps(d)
+        replay = ChaosScenario.from_dict(d["scenario"])
+        assert run_scenario(replay).passed == out.passed
+
+    def test_exception_becomes_failure_record(self):
+        # An event outside the cube makes FaultEvent.validate raise; the
+        # runner must capture that as a failed outcome, not propagate.
+        base = random_scenario(0, seed=21)
+        from dataclasses import replace
+
+        bad = replace(base, events=(ScenarioEvent("processor", 10**6, 0.5),))
+        out = run_scenario(bad)
+        assert not out.recovered and not out.passed
+        assert out.error and "ValueError" in out.error
+
+
+class TestRunCampaign:
+    def test_small_campaign_all_pass_and_report_written(self, tmp_path):
+        report = tmp_path / "chaos.jsonl"
+        summary = run_campaign(count=8, seed=5, out=str(report),
+                               shrink_failures=False)
+        assert summary.scenarios == 8
+        assert summary.all_passed and summary.passed == 8
+        assert set(summary.backends) == {"phase", "spmd"}
+        lines = report.read_text().splitlines()
+        assert len(lines) == 9  # 8 scenarios + summary line
+        for line in lines[:-1]:
+            rec = json.loads(line)
+            assert rec["passed"] and "scenario" in rec
+        assert json.loads(lines[-1])["summary"]["all_passed"]
+
+    def test_progress_callback_fires(self):
+        seen = []
+        run_campaign(count=3, seed=1, shrink_failures=False,
+                     progress=lambda i, o: seen.append(i))
+        assert seen == [0, 1, 2]
+
+    def test_campaign_deterministic(self):
+        a = run_campaign(count=4, seed=9, shrink_failures=False)
+        b = run_campaign(count=4, seed=9, shrink_failures=False)
+        assert a.to_dict() == b.to_dict()

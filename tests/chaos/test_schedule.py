@@ -1,0 +1,66 @@
+"""Tests for repro.chaos.schedule — scenario model and generation."""
+
+from __future__ import annotations
+
+from repro.chaos import ChaosScenario, random_scenario
+from repro.chaos.schedule import ARRIVAL_STRATA
+from repro.faults.model import FaultKind, FaultSet
+
+
+class TestRandomScenario:
+    def test_deterministic_from_seed_and_id(self):
+        a = random_scenario(7, seed=3)
+        b = random_scenario(7, seed=3)
+        assert a == b
+        assert random_scenario(7, seed=4) != a
+
+    def test_budget_respected_after_absorption(self):
+        # Static + event processors + one endpoint per event link must stay
+        # within the paper's r <= n - 1, with every victim distinct.
+        for sid in range(80):
+            scn = random_scenario(sid, seed=11)
+            victims = set(scn.static_processors)
+            absorbed = len(scn.static_processors)
+            for ev in scn.events:
+                if ev.kind == "processor":
+                    assert ev.subject not in victims
+                    victims.add(ev.subject)
+                else:
+                    a, b = ev.subject
+                    assert a not in victims and b not in victims
+                    victims.update((a, b))
+                absorbed += 1
+            assert 1 <= absorbed <= scn.n - 1
+            assert len(scn.events) >= 1
+
+    def test_backends_alternate(self):
+        backends = {random_scenario(i, seed=0).backend for i in range(4)}
+        assert backends == {"phase", "spmd"}
+
+    def test_arrival_strata_all_hit(self):
+        # One full pass over the strata table covers every stage bucket.
+        fracs = [random_scenario(i, seed=5).events[0].frac
+                 for i in range(len(ARRIVAL_STRATA))]
+        for stratum, frac in zip(ARRIVAL_STRATA, fracs):
+            assert abs(frac - stratum) <= 0.03 + 1e-9 or (
+                stratum == 0.0 and 0.0 <= frac <= 0.03
+            )
+
+    def test_static_faults_form_valid_faultset(self):
+        for sid in range(40):
+            scn = random_scenario(sid, seed=2)
+            fs = FaultSet(scn.n, scn.static_processors,
+                          kind=FaultKind.PARTIAL, links=scn.static_links)
+            assert fs.satisfies_paper_model()
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        scn = random_scenario(13, seed=9)
+        assert ChaosScenario.from_dict(scn.to_dict()) == scn
+
+    def test_dict_is_json_plain(self):
+        import json
+
+        scn = random_scenario(4, seed=1)
+        json.dumps(scn.to_dict())  # must not raise

@@ -1,0 +1,59 @@
+"""Tests for repro.chaos.shrink — minimal-reproducer reduction."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.chaos import random_scenario, shrink_scenario
+from repro.chaos.schedule import ScenarioEvent
+
+
+def _scenario_with(events, static=(), keys=64):
+    base = random_scenario(0, seed=33, n_choices=(4,))
+    return replace(base, events=tuple(events),
+                   static_processors=tuple(static), keys=keys)
+
+
+class TestShrinkScenario:
+    def test_non_failing_scenario_returned_unchanged(self):
+        scn = _scenario_with([ScenarioEvent("processor", 5, 0.5)])
+        assert shrink_scenario(scn, still_fails=lambda s: False) is scn
+
+    def test_drops_irrelevant_events(self):
+        # Failure is "an event on processor 5 exists": everything else —
+        # other events, static faults, most keys — must shrink away.
+        scn = _scenario_with(
+            [ScenarioEvent("processor", 5, 0.5),
+             ScenarioEvent("processor", 9, 0.2),
+             ScenarioEvent("link", (2, 6), 0.8)],
+            static=(1,),
+        )
+
+        def fails(s):
+            return any(e.kind == "processor" and e.subject == 5 for e in s.events)
+
+        reduced = shrink_scenario(scn, still_fails=fails)
+        assert [e.subject for e in reduced.events] == [5]
+        assert reduced.static_processors == ()
+        assert reduced.keys == 8
+
+    def test_keys_not_reduced_below_floor(self):
+        scn = _scenario_with([ScenarioEvent("processor", 5, 0.5)], keys=100)
+        reduced = shrink_scenario(scn, still_fails=lambda s: True)
+        assert reduced.keys == 8
+        assert reduced.events == ()  # everything removable got removed
+
+    def test_real_failing_scenario_still_fails_after_shrink(self):
+        # Manufacture a genuinely failing scenario (invalid subject) and
+        # shrink through the real campaign predicate.
+        scn = _scenario_with(
+            [ScenarioEvent("processor", 10**6, 0.5),
+             ScenarioEvent("processor", 9, 0.2)],
+        )
+        from repro.chaos.campaign import run_scenario
+
+        assert not run_scenario(scn).passed
+        reduced = shrink_scenario(scn)
+        assert not run_scenario(reduced).passed
+        assert len(reduced.events) == 1
+        assert reduced.events[0].subject == 10**6

@@ -1,0 +1,112 @@
+"""Tests for repro.faults.detect — incremental on-line diagnosis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.detect import DetectionRecord, OnlineDiagnoser
+from repro.faults.model import FaultKind, FaultSet
+
+
+def _truth_of(faulty: set[int]):
+    return lambda addr: addr in faulty
+
+
+class TestConfirmProcessor:
+    def test_true_suspicion_confirmed_and_accumulated(self):
+        diag = OnlineDiagnoser(3, probe_rtt=10.0, rng=0)
+        rec = diag.confirm_processor(5, _truth_of({5}), suspected_at=100.0,
+                                     occurred_at=40.0)
+        assert rec.faulty and rec.kind == "processor" and rec.subject == 5
+        assert rec.method in ("local", "global")
+        assert rec.confirmed_at >= rec.suspected_at + diag.probe_rtt
+        assert rec.latency == pytest.approx(rec.confirmed_at - 40.0)
+        assert diag.known == {5}
+        assert diag.confirmed_processors() == (5,)
+
+    def test_false_suspicion_cleared(self):
+        diag = OnlineDiagnoser(3, probe_rtt=10.0, rng=0)
+        rec = diag.confirm_processor(2, _truth_of(set()), suspected_at=50.0)
+        assert not rec.faulty
+        assert rec.latency is None
+        assert 2 not in diag.known
+
+    def test_already_known_short_circuits(self):
+        diag = OnlineDiagnoser(3, known=[5], rng=0)
+        rec = diag.confirm_processor(5, _truth_of({5}), suspected_at=7.0)
+        assert rec.faulty and rec.method == "known" and rec.rounds == 0
+        assert rec.confirmed_at == 7.0
+
+    def test_faulty_testers_excluded_from_panel(self):
+        # All neighbors of 0 known faulty: no local panel possible, so the
+        # suspicion escalates to the global PMC decode.  (With the suspect
+        # isolated, |F| > n and even PMC cannot certify it — the point here
+        # is only that the escalation path is taken, not its verdict.)
+        diag = OnlineDiagnoser(3, known=[1, 2, 4], rng=0)
+        faulty = {1, 2, 4, 0}
+        rec = diag.confirm_processor(0, _truth_of(faulty), suspected_at=0.0)
+        assert rec.method == "global"
+        assert rec.confirmed_at > rec.suspected_at or diag.probe_rtt == 0.0
+
+    def test_verdict_correct_across_seeds(self):
+        # Whatever the liars report, the escalation path keeps the verdict
+        # exact (|F| <= n): 200 seeded trials, zero wrong verdicts.
+        for seed in range(200):
+            diag = OnlineDiagnoser(3, rng=seed)
+            faulty = {1, 3}
+            assert diag.confirm_processor(3, _truth_of(faulty), 0.0).faulty
+            assert not diag.confirm_processor(0, _truth_of(faulty), 0.0).faulty
+
+    def test_log_accumulates(self):
+        diag = OnlineDiagnoser(3, rng=0)
+        diag.confirm_processor(1, _truth_of({1}), 0.0)
+        diag.confirm_link(2, 6, suspected_at=5.0)
+        assert [r.kind for r in diag.log] == ["processor", "link"]
+
+
+class TestConfirmLink:
+    def test_route_probe_confirmation(self):
+        diag = OnlineDiagnoser(3)
+        rec = diag.confirm_link(6, 2, suspected_at=10.0, occurred_at=4.0,
+                                confirmed_at=12.0)
+        assert rec.subject == (2, 6) and rec.method == "route-probe"
+        assert rec.latency == pytest.approx(8.0)
+        assert (2, 6) in diag.known_links
+
+    def test_re_confirmation_is_known(self):
+        diag = OnlineDiagnoser(3)
+        diag.confirm_link(2, 6, suspected_at=1.0)
+        rec = diag.confirm_link(2, 6, suspected_at=2.0)
+        assert rec.method == "known"
+
+
+class TestFaultView:
+    def test_enlarges_base_with_confirmed_faults(self):
+        diag = OnlineDiagnoser(3, rng=0)
+        diag.confirm_processor(5, _truth_of({5}), 0.0)
+        diag.confirm_link(2, 6, suspected_at=0.0)
+        base = FaultSet(3, [1], kind=FaultKind.PARTIAL)
+        view = diag.fault_view(base)
+        assert view.processors == (1, 5)
+        assert view.kind is FaultKind.PARTIAL
+        assert view.is_link_faulty(2, 6)
+
+    def test_base_links_preserved(self):
+        diag = OnlineDiagnoser(3)
+        base = FaultSet(3, kind=FaultKind.PARTIAL, links=[(0, 4)])
+        view = diag.fault_view(base)
+        assert view.is_link_faulty(0, 4)
+
+    def test_faultset_seed_carries_links(self):
+        seed = FaultSet(3, [1], kind=FaultKind.PARTIAL, links=[(2, 6)])
+        diag = OnlineDiagnoser(3, known=seed)
+        assert diag.known == {1}
+        assert (2, 6) in diag.known_links
+
+
+class TestDetectionRecord:
+    def test_latency_none_without_occurrence(self):
+        rec = DetectionRecord(kind="processor", subject=1, occurred_at=None,
+                              suspected_at=1.0, confirmed_at=2.0,
+                              faulty=True, method="local")
+        assert rec.latency is None

@@ -1,0 +1,73 @@
+"""Edge-case tests for link faults: sampling bounds, absorption corners,
+duplicate rejection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ftsort import fault_tolerant_sort
+from repro.faults.inject import random_link_faults
+from repro.faults.linkplan import absorb_link_faults
+from repro.faults.model import FaultKind, FaultSet
+
+
+class TestRandomLinkFaultsBounds:
+    def test_zero_links_allowed(self):
+        assert random_link_faults(3, 0, rng=0) == ()
+
+    def test_all_links_allowed(self):
+        total = 3 * (1 << 3) // 2  # n * 2^n / 2 links in Q_n
+        links = random_link_faults(3, total, rng=0)
+        assert len(links) == total
+        assert len(set(links)) == total
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="link faults"):
+            random_link_faults(3, -1, rng=0)
+
+    def test_count_above_link_total_rejected(self):
+        with pytest.raises(ValueError, match="link faults"):
+            random_link_faults(3, 13, rng=0)
+
+    def test_pairs_are_valid_edges(self):
+        for a, b in random_link_faults(4, 10, rng=7):
+            assert a < b
+            assert bin(a ^ b).count("1") == 1
+
+
+class TestBothEndpointsFaulty:
+    def test_link_between_faulty_endpoints_absorbs_for_free(self):
+        # Both endpoints already faulty: absorption must not designate any
+        # additional processor for that link.
+        fs = FaultSet(4, [2, 6], kind=FaultKind.PARTIAL, links=[(2, 6)])
+        absorbed = absorb_link_faults(fs)
+        assert absorbed.processors == (2, 6)
+        assert absorbed.is_link_faulty(2, 6)
+
+    def test_sort_survives_link_between_faulty_endpoints(self, rng):
+        keys = rng.integers(0, 10**6, size=64).astype(float)
+        fs = FaultSet(4, [2, 6], kind=FaultKind.PARTIAL, links=[(2, 6)])
+        res = fault_tolerant_sort(keys, 4, fs)
+        assert np.array_equal(res.sorted_keys, np.sort(keys))
+
+    def test_total_faults_make_incident_links_faulty_anyway(self):
+        fs = FaultSet(3, [2], kind=FaultKind.TOTAL)
+        assert fs.is_link_faulty(2, 6) and fs.is_link_faulty(6, 2)
+        # Partial faults leave the link up — the NIC survives.
+        fs = FaultSet(3, [2], kind=FaultKind.PARTIAL)
+        assert not fs.is_link_faulty(2, 6)
+
+
+class TestDuplicateLinkRejection:
+    def test_same_pair_twice_rejected(self):
+        with pytest.raises(ValueError, match="duplicate link"):
+            FaultSet(3, links=[(2, 6), (2, 6)])
+
+    def test_reversed_pair_is_the_same_link(self):
+        with pytest.raises(ValueError, match="duplicate link"):
+            FaultSet(3, links=[(2, 6), (6, 2)])
+
+    def test_distinct_links_fine(self):
+        fs = FaultSet(3, links=[(2, 6), (0, 1)])
+        assert len(fs.links) == 2

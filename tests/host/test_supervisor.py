@@ -1,0 +1,166 @@
+"""Tests for repro.host.session supervised recovery (supervised_sort)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ftsort import fault_tolerant_sort
+from repro.faults.model import FaultKind, FaultSet
+from repro.host import FaultEvent, supervised_sort
+from repro.obs import Tracer
+
+
+def _keys(rng, m=48):
+    return rng.integers(0, 10**6, size=m).astype(float)
+
+
+def _mid(keys, n, faults=(), frac=0.4):
+    """A strike time landing mid-run: a fraction of the nominal duration."""
+    return frac * fault_tolerant_sort(keys, n, faults).elapsed
+
+
+class TestFaultEvent:
+    def test_valid_processor_and_link(self):
+        FaultEvent("processor", 5, at=10.0).validate(3)
+        FaultEvent("link", (2, 6), at=0.0).validate(3)
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultEvent("node", 5, at=1.0).validate(3)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError, match="time"):
+            FaultEvent("processor", 5, at=-1.0).validate(3)
+
+    def test_rejects_out_of_range_address(self):
+        with pytest.raises(ValueError):
+            FaultEvent("processor", 8, at=0.0).validate(3)
+
+    def test_rejects_non_edge_link(self):
+        with pytest.raises(ValueError, match="edge"):
+            FaultEvent("link", (0, 3), at=0.0).validate(3)
+
+
+class TestSupervisedPhase:
+    def test_no_events_matches_plain_sort(self, rng):
+        keys = _keys(rng)
+        res = supervised_sort(keys, 3, backend="phase", rng=0)
+        assert np.array_equal(res.sorted_keys, np.sort(keys))
+        assert res.recoveries == 0 and len(res.attempts) == 1
+        assert res.recovery_overhead == pytest.approx(1.0)
+
+    def test_midrun_processor_fault_recovers(self, rng):
+        keys = _keys(rng)
+        res = supervised_sort(
+            keys, 3, events=[FaultEvent("processor", 5, at=_mid(keys, 3))],
+            backend="phase", rng=0,
+        )
+        assert np.array_equal(res.sorted_keys, np.sort(keys))
+        assert res.recoveries >= 1
+        assert 5 in res.final_faults.processors
+        assert res.recovery_overhead > 1.0
+        assert res.total_time == pytest.approx(
+            res.wasted_time + res.rescue_time + res.redistribution_time
+            + res.final_sort_time
+        )
+
+    def test_midrun_link_fault_recovers(self, rng):
+        keys = _keys(rng)
+        res = supervised_sort(
+            keys, 3, events=[FaultEvent("link", (2, 6), at=_mid(keys, 3))],
+            backend="phase", rng=0,
+        )
+        assert np.array_equal(res.sorted_keys, np.sort(keys))
+        assert res.final_faults.is_link_faulty(2, 6)
+
+    def test_fault_during_distribution(self, rng):
+        keys = _keys(rng)
+        res = supervised_sort(
+            keys, 3, events=[FaultEvent("processor", 1, at=0.0)],
+            backend="phase", rng=0,
+        )
+        assert np.array_equal(res.sorted_keys, np.sort(keys))
+        assert 1 in res.final_faults.processors
+
+    def test_fault_after_completion_confirmed_without_recovery(self, rng):
+        keys = _keys(rng)
+        res = supervised_sort(
+            keys, 3, events=[FaultEvent("processor", 5, at=10**9)],
+            backend="phase", rng=0,
+        )
+        assert np.array_equal(res.sorted_keys, np.sort(keys))
+        assert res.recoveries == 0
+        assert any(r.subject == 5 and r.faulty for r in res.detections)
+
+    def test_static_plus_multiple_events(self, rng):
+        keys = _keys(rng, 64)
+        res = supervised_sort(
+            keys, 4,
+            faults=FaultSet(4, [3], kind=FaultKind.PARTIAL),
+            events=[FaultEvent("processor", 9, at=_mid(keys, 4, [3], 0.3)),
+                    FaultEvent("link", (0, 4), at=_mid(keys, 4, [3], 0.7))],
+            backend="phase", rng=0,
+        )
+        assert np.array_equal(res.sorted_keys, np.sort(keys))
+        assert {3, 9} <= set(res.final_faults.processors)
+        assert res.final_faults.is_link_faulty(0, 4)
+
+    def test_robust_metrics_emitted(self, rng):
+        keys = _keys(rng)
+        obs = Tracer()
+        res = supervised_sort(
+            keys, 3, events=[FaultEvent("processor", 6, at=_mid(keys, 3))],
+            backend="phase", rng=0, obs=obs,
+        )
+        m = obs.metrics
+        assert m.value("robust.recoveries") == res.recoveries
+        assert m.gauge("robust.total_time").value == pytest.approx(res.total_time)
+        assert m.gauge("robust.recovery_overhead").value == pytest.approx(
+            res.recovery_overhead
+        )
+
+
+class TestSupervisedSpmd:
+    def test_midrun_processor_fault_recovers(self, rng):
+        keys = _keys(rng)
+        res = supervised_sort(
+            keys, 3, events=[FaultEvent("processor", 5, at=_mid(keys, 3))],
+            backend="spmd", rng=0,
+        )
+        assert np.array_equal(res.sorted_keys, np.sort(keys))
+        assert res.recoveries >= 1
+        assert 5 in res.final_faults.processors
+        # The watchdog confirmed the death through actual neighbor tests.
+        assert any(r.subject == 5 and r.method in ("local", "global")
+                   for r in res.detections)
+
+    def test_midrun_link_fault_recovers(self, rng):
+        keys = _keys(rng)
+        res = supervised_sort(
+            keys, 3, events=[FaultEvent("link", (2, 6), at=_mid(keys, 3, frac=0.25))],
+            backend="spmd", rng=0,
+        )
+        assert np.array_equal(res.sorted_keys, np.sort(keys))
+
+    def test_no_events_single_attempt(self, rng):
+        keys = _keys(rng)
+        res = supervised_sort(keys, 3, backend="spmd", rng=0)
+        assert np.array_equal(res.sorted_keys, np.sort(keys))
+        assert res.recoveries == 0 and len(res.attempts) == 1
+
+
+class TestValidation:
+    def test_rejects_total_fault_model(self, rng):
+        with pytest.raises(ValueError, match="partial"):
+            supervised_sort(_keys(rng), 3,
+                            faults=FaultSet(3, [1], kind=FaultKind.TOTAL))
+
+    def test_rejects_unknown_backend(self, rng):
+        with pytest.raises(ValueError, match="backend"):
+            supervised_sort(_keys(rng), 3, backend="mpi")
+
+    def test_rejects_mismatched_cube(self, rng):
+        with pytest.raises(ValueError, match="Q_4"):
+            supervised_sort(_keys(rng), 3,
+                            faults=FaultSet(4, [1], kind=FaultKind.PARTIAL))

@@ -1,0 +1,138 @@
+"""Tests for reliable messaging: ACK/retry/backoff over dying links."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.model import FaultSet
+from repro.obs import Tracer
+from repro.simulator.engine import EventEngine, Message
+from repro.simulator.router import Router
+
+
+def _msg(src, dst, path, size=4):
+    return Message(src=src, dst=dst, size=size, path=list(path))
+
+
+class TestLinkDeath:
+    def test_fail_link_registers_and_timestamps(self):
+        eng = EventEngine()
+        eng.fail_link(2, 6, at=5.0)
+        eng.run()
+        assert eng.link_dead(2, 6) and eng.link_dead(6, 2)
+        assert eng.link_died_at(2, 6) == 5.0
+        assert eng.dead_links == ((2, 6),)
+
+    def test_dead_link_drops_in_flight_copy(self):
+        eng = EventEngine()
+        eng.fail_link(0, 1, at=0.0)
+        got = []
+        eng.send(_msg(0, 1, [0, 1]), got.append, at=1.0)
+        eng.run()
+        assert not got
+        assert eng.dropped and eng.dropped[0].dropped_link == (0, 1)
+
+
+class TestSendReliable:
+    def test_clean_path_delivers_once_and_acks(self):
+        eng = EventEngine()
+        got = []
+        rs = eng.send_reliable(_msg(0, 3, [0, 1, 3]), got.append, timeout=10_000.0)
+        eng.run()
+        assert len(got) == 1
+        assert rs.attempts == 1 and rs.retries == 0
+        assert rs.acked_at is not None and rs.acked_at > got[0].delivered_at
+
+    def test_retry_same_path_after_timeout_succeeds_without_fault(self):
+        # A short timeout forces a spurious retry; the duplicate delivery
+        # is absorbed (on_delivered fires once).
+        eng = EventEngine(obs=Tracer())
+        got = []
+        hop = eng.hop_time(4)
+        rs = eng.send_reliable(_msg(0, 3, [0, 1, 3]), got.append, timeout=hop / 2)
+        eng.run()
+        assert len(got) == 1
+        assert rs.attempts >= 2
+        assert eng.obs.metrics.value("robust.duplicates") >= 1
+
+    def test_reroute_absorbs_dead_link(self):
+        eng = EventEngine()
+        eng.fail_link(0, 1, at=0.0)
+        got, asked = [], []
+
+        def reroute(rs):
+            asked.append(list(rs.dropped_links))
+            return Router(FaultSet(2, links=[(0, 1)]), strategy="adaptive").route(0, 3)
+
+        rs = eng.send_reliable(
+            _msg(0, 3, [0, 1, 3]), got.append, timeout=100.0, reroute=reroute
+        )
+        eng.run()
+        assert len(got) == 1
+        assert rs.dropped_links == [(0, 1)]
+        assert asked and asked[0] == [(0, 1)]
+        assert got[0].path[1] == 2  # detoured through the surviving neighbor
+
+    def test_giveup_after_max_retries(self):
+        eng = EventEngine(obs=Tracer())
+        eng.fail_link(0, 1, at=0.0)
+        gave = []
+        rs = eng.send_reliable(
+            _msg(0, 1, [0, 1]), lambda m: None, timeout=50.0,
+            max_retries=2, on_giveup=gave.append,
+        )
+        eng.run()
+        assert rs.gave_up_at is not None
+        assert rs.attempts == 3  # original + 2 retries
+        assert gave == [rs]
+        assert eng.obs.metrics.value("robust.giveups") == 1
+
+    def test_backoff_spaces_out_retry_deadlines(self):
+        eng = EventEngine()
+        eng.fail_link(0, 1, at=0.0)
+        rs = eng.send_reliable(
+            _msg(0, 1, [0, 1]), lambda m: None, timeout=100.0,
+            max_retries=2, backoff=2.0,
+        )
+        eng.run()
+        # Deadlines at 100, then 100 + 200, then give up at +400.
+        assert rs.gave_up_at == pytest.approx(100.0 + 200.0 + 400.0)
+
+    def test_ack_lost_when_reverse_link_dies_triggers_retry(self):
+        eng = EventEngine()
+        hop = eng.hop_time(4)
+        # The link dies while the forward copy is committed to the wire:
+        # the delivery still completes, but the returning ACK is lost.
+        eng.fail_link(0, 1, at=hop * 0.5)
+        got = []
+        rs = eng.send_reliable(_msg(0, 1, [0, 1]), got.append, timeout=10 * hop)
+        eng.run()
+        assert len(got) == 1  # delivered exactly once
+        assert rs.acked_at is None and rs.gave_up_at is not None
+
+    def test_parameter_validation(self):
+        eng = EventEngine()
+        with pytest.raises(ValueError):
+            eng.send_reliable(_msg(0, 1, [0, 1]), lambda m: None, timeout=0.0)
+        with pytest.raises(ValueError):
+            eng.send_reliable(_msg(0, 1, [0, 1]), lambda m: None,
+                              timeout=1.0, max_retries=-1)
+        with pytest.raises(ValueError):
+            eng.send_reliable(_msg(0, 1, [0, 1]), lambda m: None,
+                              timeout=1.0, backoff=0.5)
+
+    def test_metrics_counted(self):
+        eng = EventEngine(obs=Tracer())
+        eng.fail_link(0, 1, at=0.0)
+
+        def reroute(rs):
+            return Router(FaultSet(2, links=[(0, 1)]), strategy="adaptive").route(0, 3)
+
+        eng.send_reliable(_msg(0, 3, [0, 1, 3]), lambda m: None,
+                          timeout=100_000.0, reroute=reroute)
+        eng.run()
+        m = eng.obs.metrics
+        assert m.value("robust.drops") == 1
+        assert m.value("robust.timeouts") == 1
+        assert m.value("robust.retries") == 1
+        assert m.value("robust.acks") == 1

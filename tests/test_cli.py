@@ -130,6 +130,59 @@ class TestPassthrough:
         assert "Figure 7" in out
 
 
+class TestChaosCommand:
+    def test_fast_campaign_passes(self, capsys, tmp_path):
+        report = tmp_path / "chaos.jsonl"
+        rc = main(["chaos", "--scenarios", "6", "--seed", "12",
+                   "--out", str(report), "--no-shrink"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "passed            : 6/6" in out
+        lines = report.read_text().splitlines()
+        assert len(lines) == 7  # 6 scenarios + summary
+        assert all(json.loads(ln) for ln in lines)
+
+    def test_single_backend_selection(self, capsys, tmp_path):
+        rc = main(["chaos", "--scenarios", "2", "--backend", "phase",
+                   "--out", str(tmp_path / "r.jsonl")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "backends phase" in out and "spmd" not in out
+
+
+class TestFaultsValidation:
+    """--faults mistakes exit with a one-line message, never a traceback."""
+
+    def _message(self, argv) -> str:
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        return str(exc.value)
+
+    def test_non_integer_token(self):
+        msg = self._message(["sort", "--n", "3", "--faults", "banana"])
+        assert "not an integer" in msg
+
+    def test_negative_address(self):
+        msg = self._message(["sort", "--n", "3", "--faults=-2"])
+        assert "negative" in msg
+
+    def test_out_of_range_address(self):
+        msg = self._message(["trace", "--n", "3", "--faults", "1,9"])
+        assert "out of range" in msg and "0..7" in msg
+
+    def test_duplicate_address(self):
+        msg = self._message(["plan", "--n", "4", "--faults", "3,5,3"])
+        assert "listed twice" in msg
+
+    def test_too_many_faults(self):
+        msg = self._message(["sort", "--n", "3", "--faults", "1,2,3"])
+        assert "at most r = n - 1 = 2" in msg
+
+    def test_valid_input_unaffected(self, capsys):
+        rc = main(["plan", "--n", "4", "--faults", "3,5,9"])
+        assert rc == 0
+
+
 class TestErrors:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):

@@ -58,7 +58,8 @@ class TestPublicApi:
         import importlib
 
         for pkg in ("cube", "faults", "simulator", "comm", "sorting", "core",
-                    "baselines", "experiments", "analysis", "host", "obs"):
+                    "baselines", "experiments", "analysis", "host", "obs",
+                    "chaos"):
             mod = importlib.import_module(f"repro.{pkg}")
             for name in getattr(mod, "__all__", ()):
                 assert hasattr(mod, name), f"repro.{pkg}.{name}"
