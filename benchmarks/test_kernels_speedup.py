@@ -1,0 +1,147 @@
+"""Kernel-backend speedup benchmark — writes ``BENCH_kernels.json``.
+
+Three headline measurements from the PERFORMANCE.md contract:
+
+* end-to-end :func:`fault_tolerant_sort` at ``n = 4``, ``M = 16000``,
+  ``r = 3`` with the ``numpy`` backend versus the ``loop`` reference
+  (same sorted bytes, same simulated cost — only wall-clock may differ);
+* the memoized partition DFS versus its reference implementation at the
+  hardest configuration the suite exercises (``n = 10``, ``r = 9``);
+* a chaos campaign run serially versus fanned out over worker processes.
+
+``--fast`` shrinks the workloads for CI smoke runs; the speedup *floors*
+are only asserted where they are meaningful (full-size workload, enough
+CPUs), but "numpy never slower than loop" holds in every mode.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.chaos.campaign import run_campaign
+from repro.core.ftsort import fault_tolerant_sort
+from repro.core.partition import _find_min_cuts_reference, find_min_cuts
+
+SEED = 1992
+N = 4
+FAULTS_Q4 = [3, 9, 14]  # r = 3
+CHAOS_JOBS = 4
+
+
+def _best_of(fn, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class TestFtsortKernelSpeedup:
+    def test_numpy_vs_loop_end_to_end(self, fast_mode, bench_json):
+        m_keys = 4000 if fast_mode else 16000
+        keys = np.random.default_rng(SEED).random(m_keys)
+
+        results = {
+            name: fault_tolerant_sort(keys, N, FAULTS_Q4, kernels=name)
+            for name in ("numpy", "loop")
+        }
+        # Backend choice changes execution strategy only: identical bytes
+        # out, identical simulated cost.
+        np.testing.assert_array_equal(
+            results["numpy"].sorted_keys, results["loop"].sorted_keys
+        )
+        np.testing.assert_array_equal(results["numpy"].sorted_keys, np.sort(keys))
+        assert results["numpy"].elapsed == results["loop"].elapsed
+        assert results["numpy"].output_order == results["loop"].output_order
+
+        t_loop = _best_of(
+            lambda: fault_tolerant_sort(keys, N, FAULTS_Q4, kernels="loop"),
+            reps=1 if fast_mode else 2,
+        )
+        t_numpy = _best_of(
+            lambda: fault_tolerant_sort(keys, N, FAULTS_Q4, kernels="numpy"),
+            reps=3 if fast_mode else 5,
+        )
+        speedup = t_loop / t_numpy
+        print(f"\nftsort n={N} M={m_keys} r={len(FAULTS_Q4)}: "
+              f"loop {t_loop * 1e3:.1f}ms vs numpy {t_numpy * 1e3:.1f}ms "
+              f"({speedup:.1f}x)")
+        bench_json("kernels", "ftsort", {
+            "n": N, "m_keys": m_keys, "faults": FAULTS_Q4,
+            "loop_seconds": t_loop, "numpy_seconds": t_numpy,
+            "speedup": speedup,
+        })
+        assert t_numpy <= t_loop, (
+            f"numpy backend slower than loop reference ({t_numpy:.4f}s vs "
+            f"{t_loop:.4f}s)")
+        if not fast_mode:
+            assert speedup >= 5.0, f"expected >=5x at M={m_keys}, got {speedup:.2f}x"
+
+
+class TestPartitionMemoSpeedup:
+    def test_memoized_vs_reference_q10(self, fast_mode, bench_json):
+        n, r = 10, 9
+        faults = sorted(
+            np.random.default_rng(SEED).choice(1 << n, size=r, replace=False).tolist()
+        )
+        new = find_min_cuts(n, faults)
+        ref = _find_min_cuts_reference(n, faults)
+        assert (new.mincut, new.cutting_set) == (ref.mincut, ref.cutting_set)
+
+        reps = 3 if fast_mode else 5
+        t_ref = _best_of(lambda: _find_min_cuts_reference(n, faults), reps)
+        t_new = _best_of(lambda: find_min_cuts(n, faults), reps)
+        speedup = t_ref / t_new
+        print(f"\nfind_min_cuts n={n} r={r}: reference {t_ref * 1e3:.2f}ms vs "
+              f"memoized {t_new * 1e3:.2f}ms ({speedup:.1f}x)")
+        bench_json("kernels", "partition", {
+            "n": n, "r": r, "faults": faults,
+            "reference_seconds": t_ref, "memoized_seconds": t_new,
+            "speedup": speedup,
+        })
+        assert t_new <= t_ref, "memoized partition DFS slower than reference"
+
+
+class TestParallelCampaignSpeedup:
+    def test_serial_vs_workers(self, fast_mode, bench_json):
+        count = 24 if fast_mode else 200
+        cpus = os.cpu_count() or 1
+
+        t0 = time.perf_counter()
+        serial = run_campaign(count=count, seed=SEED, shrink_failures=False, jobs=1)
+        t_serial = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        fanned = run_campaign(count=count, seed=SEED, shrink_failures=False,
+                              jobs=CHAOS_JOBS)
+        t_jobs = time.perf_counter() - t0
+
+        assert serial.all_passed and fanned.all_passed
+        assert (serial.scenarios, serial.passed, serial.recoveries,
+                serial.retries, serial.mean_detect_latency) == (
+            fanned.scenarios, fanned.passed, fanned.recoveries,
+            fanned.retries, fanned.mean_detect_latency)
+
+        speedup = t_serial / t_jobs
+        print(f"\nchaos campaign x{count}: serial {t_serial:.2f}s vs "
+              f"jobs={CHAOS_JOBS} {t_jobs:.2f}s ({speedup:.2f}x, "
+              f"{cpus} CPUs)")
+        bench_json("kernels", "chaos_campaign", {
+            "scenarios": count, "jobs": CHAOS_JOBS, "cpu_count": cpus,
+            "serial_seconds": t_serial, "parallel_seconds": t_jobs,
+            "speedup": speedup,
+        })
+        # The wall-clock floor is only meaningful with real parallelism.
+        if not fast_mode and cpus >= CHAOS_JOBS:
+            assert speedup >= 2.0, (
+                f"expected >=2x on {cpus} CPUs, got {speedup:.2f}x")
+
+
+def test_record_environment(bench_json, fast_mode):
+    bench_json("kernels", "cpu_count", os.cpu_count() or 1)
+    bench_json("kernels", "fast_mode", fast_mode)
+    bench_json("kernels", "seed", SEED)

@@ -21,6 +21,7 @@ from repro.faults.model import FaultKind, FaultSet
 from repro.host.session import FaultEvent, supervised_sort
 from repro.core.ftsort import fault_tolerant_sort
 from repro.obs import Tracer
+from repro.parallel import run_tasks
 from repro.simulator.params import MachineParams
 from repro.simulator.spmd import ReliabilityPolicy
 
@@ -177,6 +178,23 @@ class CampaignSummary:
         return d
 
 
+def _scenario_task(task: tuple) -> tuple[int, ChaosOutcome]:
+    """One worker unit: build scenario ``idx`` from the campaign seed, run it.
+
+    Module-level (picklable) so :func:`repro.parallel.run_tasks` can ship it
+    to a process pool.  The scenario is derived deterministically from
+    ``(idx, seed)`` — identical whether it runs in the parent or a worker —
+    and :func:`run_scenario` opens a *fresh* tracer inside the task, so
+    every worker's observability state is fully isolated; the parent merges
+    the returned outcomes by scenario index.
+    """
+    idx, seed, n_choices, backends, max_keys, params = task
+    scenario = random_scenario(
+        idx, seed, n_choices=n_choices, backends=backends, max_keys=max_keys
+    )
+    return idx, run_scenario(scenario, params=params)
+
+
 def run_campaign(
     count: int = 200,
     seed: int = 0,
@@ -187,27 +205,31 @@ def run_campaign(
     max_keys: int = 96,
     shrink_failures: bool = True,
     progress=None,
+    jobs: int = 1,
 ) -> CampaignSummary:
     """Run ``count`` seeded scenarios; write a JSONL report to ``out``.
 
     Each report line is one :meth:`ChaosOutcome.to_dict`.  ``progress``
-    (optional callable ``f(index, outcome)``) fires per scenario.  Failing
-    scenarios are shrunk to minimal reproducers unless ``shrink_failures``
-    is off.
+    (optional callable ``f(index, outcome)``) fires per scenario — in
+    completion order when parallel.  Failing scenarios are shrunk to
+    minimal reproducers unless ``shrink_failures`` is off.
+
+    ``jobs > 1`` distributes scenarios over worker processes.  Scenario
+    derivation is per-index deterministic and tracers are per-task, so the
+    outcomes, the JSONL report (always in scenario order), and the summary
+    are identical to a serial run; only shrinking stays in the parent.
     """
     from repro.chaos.shrink import shrink_scenario
 
-    outcomes: list[ChaosOutcome] = []
-    lines: list[str] = []
-    for idx in range(count):
-        scenario = random_scenario(
-            idx, seed, n_choices=n_choices, backends=backends, max_keys=max_keys
-        )
-        outcome = run_scenario(scenario, params=params)
-        outcomes.append(outcome)
-        lines.append(json.dumps(outcome.to_dict(), sort_keys=True))
-        if progress is not None:
-            progress(idx, outcome)
+    tasks = [
+        (idx, seed, n_choices, backends, max_keys, params) for idx in range(count)
+    ]
+    wrapped = None
+    if progress is not None:
+        wrapped = lambda done, total, result: progress(result[0], result[1])  # noqa: E731
+    indexed = run_tasks(_scenario_task, tasks, jobs=jobs, progress=wrapped)
+    outcomes = [outcome for _, outcome in sorted(indexed, key=lambda pair: pair[0])]
+    lines = [json.dumps(outcome.to_dict(), sort_keys=True) for outcome in outcomes]
 
     summary = CampaignSummary(scenarios=len(outcomes))
     latencies: list[float] = []

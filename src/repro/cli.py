@@ -3,10 +3,12 @@
 Subcommands::
 
     repro sort    --n 6 --faults 3,5,16 --keys 10000 [--kind total] [--spmd]
+                  [--kernels numpy|loop]
     repro trace   --n 6 --faults 7,25,52 --out trace.json [--spmd]
     repro plan    --n 5 --faults 3,5,16,24
     repro diagnose --n 6 --faults 3,5,16 [--seed 7]
     repro chaos   --scenarios 200 --seed 0 --out chaos_report.jsonl [--fast]
+                  [--jobs J]
     repro table1  [--trials N]        (same as repro-table1)
     repro table2  [--trials N]
     repro figure7 --n 6 [--points P]
@@ -21,7 +23,11 @@ report, and the metrics registry.
 ``diagnose`` runs the PMC pipeline against hidden faults.
 ``chaos`` runs the randomized fault-injection campaign (see
 docs/ROBUSTNESS.md): seeded scenarios, differential check against numpy,
-JSONL report, failures shrunk to minimal reproducers.
+JSONL report, failures shrunk to minimal reproducers; ``--jobs`` fans
+scenarios out over worker processes with identical results.
+``--kernels`` on ``sort``/``trace`` selects the execution backend for the
+sorting inner loops (``numpy`` vectorized default, ``loop`` pure-Python
+reference; see docs/PERFORMANCE.md) — outputs and counts are identical.
 """
 
 from __future__ import annotations
@@ -95,7 +101,8 @@ def _cmd_sort(args: argparse.Namespace) -> int:
     faults = _fault_list(args.faults, args.n, max_faults=args.n - 1)
     kind = FaultKind.TOTAL if args.kind == "total" else FaultKind.PARTIAL
     if args.spmd:
-        res = spmd_fault_tolerant_sort(keys, args.n, faults, fault_kind=kind)
+        res = spmd_fault_tolerant_sort(keys, args.n, faults, fault_kind=kind,
+                                       kernels=args.kernels)
         ok = bool(np.array_equal(res.sorted_keys, np.sort(keys)))
         print(f"sorted {args.keys} keys on Q_{args.n} with faults {faults} "
               f"({kind.value}, message-level engine)")
@@ -103,7 +110,8 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         print(f"  finish   : {res.finish_time / 1e3:.2f} simulated ms")
         print(f"  messages : {len(res.machine.engine.delivered)}")
         return 0 if ok else 1
-    res = fault_tolerant_sort(keys, args.n, faults, fault_kind=kind)
+    res = fault_tolerant_sort(keys, args.n, faults, fault_kind=kind,
+                              kernels=args.kernels)
     ok = bool(np.array_equal(res.sorted_keys, np.sort(keys)))
     print(f"sorted {args.keys} keys on Q_{args.n} with faults {faults} ({kind.value})")
     print(f"  verified : {ok}")
@@ -126,10 +134,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     kind = FaultKind.TOTAL if args.kind == "total" else FaultKind.PARTIAL
     obs = Tracer()
     if args.spmd:
-        res = spmd_fault_tolerant_sort(keys, args.n, faults, fault_kind=kind, obs=obs)
+        res = spmd_fault_tolerant_sort(keys, args.n, faults, fault_kind=kind, obs=obs,
+                                       kernels=args.kernels)
         elapsed = res.finish_time
     else:
-        res = fault_tolerant_sort(keys, args.n, faults, fault_kind=kind, obs=obs)
+        res = fault_tolerant_sort(keys, args.n, faults, fault_kind=kind, obs=obs,
+                                  kernels=args.kernels)
         elapsed = res.elapsed
     ok = bool(np.array_equal(res.sorted_keys, np.sort(keys)))
     events = write_chrome_trace(args.out, obs)
@@ -200,8 +210,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         elif (idx + 1) % 50 == 0:
             print(f"  ... {idx + 1}/{count} scenarios")
 
+    from repro.parallel import resolve_jobs
+
+    jobs = resolve_jobs(args.jobs) if args.jobs != 1 else 1
     print(f"chaos campaign: {count} scenarios, seed {args.seed}, "
-          f"backends {'/'.join(backends)}")
+          f"backends {'/'.join(backends)}, jobs {jobs}")
     summary = run_campaign(
         count=count,
         seed=args.seed,
@@ -209,6 +222,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         backends=backends,
         shrink_failures=not args.no_shrink,
         progress=progress,
+        jobs=jobs,
     )
     print(f"  passed            : {summary.passed}/{summary.scenarios}")
     for backend, per in sorted(summary.backends.items()):
@@ -242,6 +256,9 @@ def main(argv: list[str] | None = None) -> int:
     p_sort.add_argument("--seed", type=int, default=0)
     p_sort.add_argument("--spmd", action="store_true",
                         help="run on the discrete-event message-passing engine")
+    p_sort.add_argument("--kernels", choices=("numpy", "loop"), default=None,
+                        help="kernel execution backend (default: numpy, or "
+                             "$REPRO_KERNELS)")
     p_sort.set_defaults(func=_cmd_sort)
 
     p_trace = sub.add_parser(
@@ -258,6 +275,9 @@ def main(argv: list[str] | None = None) -> int:
                          help="rows in the flame-style self-time report")
     p_trace.add_argument("--spmd", action="store_true",
                          help="trace the discrete-event message-passing engine")
+    p_trace.add_argument("--kernels", choices=("numpy", "loop"), default=None,
+                         help="kernel execution backend (default: numpy, or "
+                              "$REPRO_KERNELS)")
     p_trace.set_defaults(func=_cmd_trace)
 
     p_plan = sub.add_parser("plan", help="partition + selection only")
@@ -287,6 +307,8 @@ def main(argv: list[str] | None = None) -> int:
                          help="short smoke campaign (CI)")
     p_chaos.add_argument("--no-shrink", action="store_true",
                          help="skip shrinking failures to minimal reproducers")
+    p_chaos.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for scenarios (0 = all CPUs)")
     p_chaos.set_defaults(func=_cmd_chaos)
 
     for name in ("table1", "table2", "figure7"):

@@ -53,10 +53,11 @@ from repro.faults.model import FaultKind, FaultSet
 from repro.obs.spans import NULL_TRACER, PID_SIM, TID_ALGO
 from repro.simulator.params import MachineParams
 from repro.simulator.phases import PhaseMachine
+from repro.kernels import resolve_backend
 from repro.sorting.bitonic_cube import (
     block_bitonic_merge_groups,
     block_bitonic_sort_groups,
-    exchange_pair,
+    run_exchange_jobs,
 )
 
 __all__ = ["FtSortResult", "fault_tolerant_sort", "plan_partition"]
@@ -206,6 +207,7 @@ def fault_tolerant_sort(
     step8: str = "two-merge",
     observer=None,
     obs=None,
+    kernels=None,
 ) -> FtSortResult:
     """Sort ``keys`` on ``Q_n`` in the presence of up to ``n - 1`` faults.
 
@@ -238,6 +240,10 @@ def fault_tolerant_sort(
             ``"full-sort"``: the literal ``s(s+1)/2``-substage bitonic
             sort the paper's worst-case ``T`` charges — same result,
             slower for ``s > 3``; kept for the ablation benchmark.
+        kernels: kernel backend (or name, see :mod:`repro.kernels`) that
+            executes the sorting/merging inner loops; ``None`` = process
+            default.  Results and every cost/obs counter are
+            backend-independent.
 
     Returns:
         :class:`FtSortResult` with the globally sorted keys, the simulated
@@ -281,15 +287,17 @@ def fault_tolerant_sort(
         )
     r = fault_set.r
     obs = obs if obs is not None else NULL_TRACER
+    kernels = resolve_backend(kernels)
 
     if r == 0:
         return _wrap_simple(
-            fault_free_bitonic_sort(keys, n, params, exact_counts, obs=obs), None
+            fault_free_bitonic_sort(keys, n, params, exact_counts, obs=obs, kernels=kernels),
+            None,
         )
     if r == 1:
         partition = find_min_cuts(n, fault_set)
         res = single_fault_bitonic_sort(
-            keys, n, fault_set.processors[0], params, exact_counts, obs=obs
+            keys, n, fault_set.processors[0], params, exact_counts, obs=obs, kernels=kernels
         )
         return _wrap_simple(res, partition)
 
@@ -341,13 +349,14 @@ def fault_tolerant_sort(
     # Step 3: local heapsort, then per-subcube bitonic sort; even subcube
     # addresses ascending, odd descending.
     t0 = machine.elapsed
-    local_sort_blocks(machine, assignments, exact_counts=exact_counts)
+    local_sort_blocks(machine, assignments, exact_counts=exact_counts, kernels=kernels)
     if obs.enabled:
         _step("step3a:local-heapsort", t0)
     ascending = [(v & 1) == 0 for v in range(1 << m)]
     t0 = machine.elapsed
     block_bitonic_sort_groups(
-        machine, _subcube_groups(selection, dead_w, ascending), label="intra-init"
+        machine, _subcube_groups(selection, dead_w, ascending), label="intra-init",
+        kernels=kernels,
     )
     if obs.enabled:
         _step("step3b:intra-init", t0)
@@ -364,6 +373,7 @@ def fault_tolerant_sort(
             t7 = machine.elapsed
             kept_min = [False] * (1 << m)  # which side each subcube took
             with machine.phase(f"inter[i={i},j={j}]"):
+                jobs: list[tuple[int, int, bool, int | None]] = []
                 for v_low in range(1 << m):
                     if (v_low >> j) & 1:
                         continue
@@ -385,7 +395,8 @@ def fault_tolerant_sort(
                         pb = split.combine(v_high, rho ^ dead_w[v_high])
                         # hops=None: fault-aware metric (1 + HD of dead-w
                         # under partial faults; detours under total).
-                        exchange_pair(machine, pa, pb, low_keeps_min, hops=None)
+                        jobs.append((pa, pb, low_keeps_min, None))
+                run_exchange_jobs(machine, jobs, kernels=kernels)
             if obs.enabled:
                 _step(f"step7:inter[i={i},j={j}]", t7)
             t8 = machine.elapsed
@@ -401,6 +412,7 @@ def fault_tolerant_sort(
                     machine,
                     _subcube_groups(selection, dead_w, ascending),
                     label=f"intra[i={i},j={j}]",
+                    kernels=kernels,
                 )
             else:
                 # Merge pass — the direction the exchanged halves make
@@ -411,6 +423,7 @@ def fault_tolerant_sort(
                     machine,
                     _subcube_groups(selection, dead_w, side_dir),
                     label=f"intra[i={i},j={j}]a",
+                    kernels=kernels,
                 )
                 # Direction fix-up: subcubes whose Step-8 target direction
                 # differs from the merge direction hold exactly mirrored

@@ -188,28 +188,15 @@ def max_dangling_bound(n: int) -> int:
     return (1 << n) // 4
 
 
-def find_min_cuts(
+def _find_min_cuts_reference(
     n: int,
     faults: FaultSet | Sequence[int],
     max_depth: int | None = None,
 ) -> PartitionResult:
-    """Run the partition algorithm: DFS for ``mincut`` and the cutting set Ψ.
+    """The literal paper DFS (one full projection pass per tree node).
 
-    Args:
-        n: hypercube dimension.
-        faults: faulty processors (a :class:`FaultSet` or addresses).
-        max_depth: optional cap on the sequence length explored; defaults
-            to ``n`` (the paper initializes ``mincut`` to ``n``).
-
-    Returns:
-        :class:`PartitionResult`.  For ``r <= 1`` the result is the trivial
-        ``mincut = 0`` with ``Ψ = {()}`` (Section 2.1 handles the sort).
-
-    Raises:
-        ValueError: if no feasible partition exists within ``max_depth``
-            (possible only when ``max_depth`` is set below the true mincut,
-            or when two "faults" share an address, which the input
-            normalization prevents).
+    Kept as the executable specification :func:`find_min_cuts` is validated
+    and benchmarked against; see ``benchmarks/test_kernels_speedup.py``.
     """
     validate_dimension(n)
     addrs = _fault_addresses(n, faults)
@@ -246,4 +233,114 @@ def find_min_cuts(
             f"no single-fault partition of Q_{n} with faults {list(addrs)} "
             f"within {max_depth} cutting dimensions"
         )
+    return PartitionResult(n=n, faults=addrs, mincut=mincut, cutting_set=tuple(psi))
+
+
+def find_min_cuts(
+    n: int,
+    faults: FaultSet | Sequence[int],
+    max_depth: int | None = None,
+) -> PartitionResult:
+    """Run the partition algorithm: DFS for ``mincut`` and the cutting set Ψ.
+
+    Args:
+        n: hypercube dimension.
+        faults: faulty processors (a :class:`FaultSet` or addresses).
+        max_depth: optional cap on the sequence length explored; defaults
+            to ``n`` (the paper initializes ``mincut`` to ``n``).
+
+    Returns:
+        :class:`PartitionResult`.  For ``r <= 1`` the result is the trivial
+        ``mincut = 0`` with ``Ψ = {()}`` (Section 2.1 handles the sort).
+
+    Raises:
+        ValueError: if no feasible partition exists within ``max_depth``
+            (possible only when ``max_depth`` is set below the true mincut,
+            or when two "faults" share an address, which the input
+            normalization prevents).
+
+    Implementation: semantically the paper's DFS over ``T_n`` (identical
+    ``mincut`` and Ψ, in the same lexicographic order — pinned against
+    :func:`_find_min_cuts_reference` by the tests), but the checking-tree
+    state is carried *incrementally* as int bitmasks over fault indices:
+    a subcube's fault list is one ``r``-bit mask, cutting along ``d``
+    splits mask ``g`` into ``g & dim_mask[d]`` and its complement, and only
+    the still-crowded groups (two or more bits, ``g & (g - 1) != 0``)
+    survive.  Minimal-suffix lengths are memoized per ``(groups, start)``
+    state, so the enumeration pass walks exactly the minimal subtrees.
+    """
+    validate_dimension(n)
+    addrs = _fault_addresses(n, faults)
+    r = len(addrs)
+    if max_depth is None:
+        max_depth = n
+    if not 0 <= max_depth <= n:
+        raise ValueError(f"max_depth {max_depth} out of range for Q_{n}")
+    if r <= 1:
+        return PartitionResult(n=n, faults=addrs, mincut=0, cutting_set=((),))
+
+    # dim_mask[d]: bit t set iff fault t has address bit d set.
+    dim_mask = [0] * n
+    for t, a in enumerate(addrs):
+        for d in range(n):
+            if (a >> d) & 1:
+                dim_mask[d] |= 1 << t
+
+    def refine(groups: tuple[int, ...], d: int) -> tuple[int, ...]:
+        """Split every crowded group along ``d``; keep the crowded halves."""
+        out = []
+        mask = dim_mask[d]
+        for g in groups:
+            g1 = g & mask
+            g0 = g ^ g1
+            if g0 & (g0 - 1):
+                out.append(g0)
+            if g1 & (g1 - 1):
+                out.append(g1)
+        return tuple(sorted(out))
+
+    infinity = n + 1
+    memo: dict[tuple[tuple[int, ...], int], int] = {}
+
+    def min_len(groups: tuple[int, ...], start: int) -> int:
+        """Exact minimal number of dims from ``[start, n)`` resolving ``groups``."""
+        if not groups:
+            return 0
+        if start >= n:
+            return infinity
+        key = (groups, start)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        best = min_len(groups, start + 1)  # skip dimension `start`
+        with_d = 1 + min_len(refine(groups, start), start + 1)
+        if with_d < best:
+            best = with_d
+        memo[key] = best
+        return best
+
+    root = ((1 << r) - 1,)
+    mincut = min_len(root, 0)
+    if mincut > max_depth:
+        raise ValueError(
+            f"no single-fault partition of Q_{n} with faults {list(addrs)} "
+            f"within {max_depth} cutting dimensions"
+        )
+
+    # Enumerate Ψ: every feasible length-`mincut` sequence, lexicographic.
+    # (A feasible sequence of length `mincut` cannot have a feasible proper
+    # prefix, so this matches the paper DFS's "stop at first feasibility".)
+    psi: list[tuple[int, ...]] = []
+
+    def enum(prefix: tuple[int, ...], groups: tuple[int, ...], start: int) -> None:
+        if not groups:
+            psi.append(prefix)
+            return
+        k = len(prefix)
+        for d in range(start, n):
+            refined = refine(groups, d)
+            if k + 1 + min_len(refined, d + 1) <= mincut:
+                enum(prefix + (d,), refined, d + 1)
+
+    enum((), root, 0)
     return PartitionResult(n=n, faults=addrs, mincut=mincut, cutting_set=tuple(psi))

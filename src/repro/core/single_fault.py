@@ -23,11 +23,12 @@ import numpy as np
 from repro.core.blocks import pad_and_chunk, strip_padding
 from repro.cube.address import validate_address, validate_dimension
 from repro.faults.model import FaultSet
+from repro.kernels import resolve_backend
 from repro.obs.spans import NULL_TRACER, PID_SIM, TID_ALGO
 from repro.simulator.params import MachineParams
 from repro.simulator.phases import PhaseMachine
 from repro.sorting.bitonic_cube import block_bitonic_sort
-from repro.sorting.heapsort import heapsort, heapsort_comparisons_worst_case
+from repro.sorting.heapsort import heapsort_comparisons_worst_case
 
 __all__ = ["SingleFaultSortResult", "single_fault_bitonic_sort", "fault_free_bitonic_sort"]
 
@@ -57,6 +58,7 @@ def local_sort_blocks(
     assignments: dict[int, np.ndarray],
     label: str = "local-heapsort",
     exact_counts: bool = False,
+    kernels=None,
 ) -> None:
     """Install and locally sort each processor's block, charging step-3 cost.
 
@@ -66,21 +68,43 @@ def local_sort_blocks(
         label: phase label.
         exact_counts: count comparisons by actually running the
             from-scratch heapsort (exact, slower); otherwise charge the
-            paper's worst-case formula and sort with numpy (the paper's own
-            analysis charges the worst case).
+            paper's worst-case formula (the paper's own analysis charges
+            the worst case) and only sort values.
+        kernels: kernel backend (or name); ``None`` uses the process
+            default.  A batched backend sorts every equal-size block in
+            one 2-D operation — with ``exact_counts``, via the masked
+            vectorized heapsort whose per-block counts match the scalar
+            reference exactly.
     """
+    kern = resolve_backend(kernels)
     with machine.phase(label):
+        live: list[tuple[int, np.ndarray]] = []
         for addr, block in assignments.items():
             if block.size == 0:
                 machine.set_block(addr, block)
-                continue
-            if exact_counts:
-                sorted_block, comps = heapsort(block)
             else:
-                sorted_block = np.sort(block, kind="stable")
-                comps = heapsort_comparisons_worst_case(int(block.size))
-            machine.set_block(addr, sorted_block)
-            machine.charge_compute(addr, comps)
+                live.append((addr, block))
+        sizes = {b.size for _, b in live}
+        if kern.batched and len(live) > 1 and len(sizes) == 1:
+            stacked = np.stack([b for _, b in live])
+            if exact_counts:
+                rows, counts = kern.sort_blocks_counted(stacked)
+            else:
+                rows = kern.sort_blocks(stacked)
+                counts = [heapsort_comparisons_worst_case(int(b.size)) for _, b in live]
+            for t, (addr, _) in enumerate(live):
+                machine.set_block(addr, rows[t])
+                machine.charge_compute(addr, int(counts[t]))
+        else:
+            for addr, block in live:
+                if exact_counts:
+                    sorted_block, comps = kern.sort_block_counted(block)
+                    comps = int(comps)
+                else:
+                    sorted_block = kern.sort_block(block)
+                    comps = heapsort_comparisons_worst_case(int(block.size))
+                machine.set_block(addr, sorted_block)
+                machine.charge_compute(addr, comps)
 
 
 def _run_cube_sort(
@@ -90,6 +114,7 @@ def _run_cube_sort(
     params: MachineParams | None,
     exact_counts: bool,
     obs=None,
+    kernels=None,
 ) -> SingleFaultSortResult:
     validate_dimension(n)
     size = 1 << n
@@ -113,12 +138,12 @@ def _run_cube_sort(
     if obs.enabled:
         obs.name_thread(TID_ALGO, "algorithm steps", pid=PID_SIM)
     t0 = machine.elapsed
-    local_sort_blocks(machine, assignments, exact_counts=exact_counts)
+    local_sort_blocks(machine, assignments, exact_counts=exact_counts, kernels=kernels)
     if obs.enabled:
         obs.complete("step3a:local-heapsort", ts=t0, dur=machine.elapsed - t0,
                      cat="step", pid=PID_SIM, tid=TID_ALGO)
     t0 = machine.elapsed
-    block_bitonic_sort(machine, addr_of_logical, dead_logical=dead_logical)
+    block_bitonic_sort(machine, addr_of_logical, dead_logical=dead_logical, kernels=kernels)
     if obs.enabled:
         obs.complete("step3b:bitonic", ts=t0, dur=machine.elapsed - t0,
                      cat="step", pid=PID_SIM, tid=TID_ALGO)
@@ -144,6 +169,7 @@ def single_fault_bitonic_sort(
     params: MachineParams | None = None,
     exact_counts: bool = False,
     obs=None,
+    kernels=None,
 ) -> SingleFaultSortResult:
     """Sort ``keys`` on ``Q_n`` with one faulty processor (paper §2.1).
 
@@ -154,6 +180,7 @@ def single_fault_bitonic_sort(
         params: machine cost constants (default NCUBE/7).
         exact_counts: charge exact heapsort comparison counts for the local
             sorts instead of the paper's worst-case formula.
+        kernels: kernel backend (or name); ``None`` = process default.
 
     Returns:
         :class:`SingleFaultSortResult`; ``output_order`` starts at the
@@ -163,7 +190,7 @@ def single_fault_bitonic_sort(
     if n == 0:
         raise ValueError("Q_0 with a fault has no working processor")
     validate_address(faulty, n)
-    return _run_cube_sort(keys, n, faulty, params, exact_counts, obs=obs)
+    return _run_cube_sort(keys, n, faulty, params, exact_counts, obs=obs, kernels=kernels)
 
 
 def fault_free_bitonic_sort(
@@ -172,10 +199,11 @@ def fault_free_bitonic_sort(
     params: MachineParams | None = None,
     exact_counts: bool = False,
     obs=None,
+    kernels=None,
 ) -> SingleFaultSortResult:
     """Plain parallel block bitonic sort on a fault-free ``Q_n``.
 
     The thick-line baseline of the paper's Figure 7 (sorting on the
     maximal fault-free subcube) is this routine run on a smaller cube.
     """
-    return _run_cube_sort(keys, n, None, params, exact_counts, obs=obs)
+    return _run_cube_sort(keys, n, None, params, exact_counts, obs=obs, kernels=kernels)

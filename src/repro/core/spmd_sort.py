@@ -33,9 +33,9 @@ from repro.core.schedule import SortSchedule, build_ft_schedule, build_plain_sch
 from repro.cube.address import validate_dimension
 from repro.faults.linkplan import absorb_link_faults
 from repro.faults.model import FaultKind, FaultSet
+from repro.kernels import resolve_backend
 from repro.simulator.params import MachineParams
 from repro.simulator.spmd import Proc, SpmdMachine
-from repro.sorting.heapsort import heapsort
 
 __all__ = ["SpmdSortResult", "run_schedule_spmd", "spmd_fault_tolerant_sort"]
 
@@ -103,17 +103,14 @@ def _cx_program_step(proc: Proc, block: np.ndarray, partner: int, i_am_low: bool
 
     # Pairwise comparisons.  For the low side: my keep_part is a[h:k]
     # ascending; partner's bottom is b[0:k-h] ascending; pair a_i with
-    # b_{k-1-i} means reversing the received run.
+    # b_{k-1-i} — the kernel reverses the received run internally and
+    # hands back both winners and losers as ascending runs.
     mine = keep_part
-    theirs = np.asarray(received)[::-1]
     yield proc.compute(int(mine.size))
     winners_are_min = keep_min if i_am_low else not keep_min
-    if winners_are_min:
-        winners = np.minimum(mine, theirs)
-        losers = np.maximum(mine, theirs)
-    else:
-        winners = np.maximum(mine, theirs)
-        losers = np.minimum(mine, theirs)
+    winners, losers = proc.kernels.cx_winners_losers(
+        mine, np.asarray(received), winners_are_min
+    )
 
     # Leg 2 — return the losers; receive the partner's losers.
     yield proc.send(partner, payload=losers.copy(), size=int(losers.size), tag=tag_base + 2)
@@ -123,17 +120,35 @@ def _cx_program_step(proc: Proc, block: np.ndarray, partner: int, i_am_low: bool
         if i_am_low:
             obs.metrics.inc("sort.cx.executed")
 
-    merged = np.concatenate([winners, np.asarray(returned)])
+    merged = proc.kernels.merge_runs(winners, np.asarray(returned))
     yield proc.compute(max(int(merged.size) - 1, 0))  # step 7(c) merge
-    return np.sort(merged, kind="stable")
+    return merged
 
 
-def _make_program(schedule: SortSchedule, blocks: dict[int, np.ndarray]):
+def _make_program(schedule: SortSchedule, blocks: dict[int, np.ndarray], kernels=None):
     """Build the per-rank SPMD program executing ``schedule``.
 
     ``blocks`` maps rank -> initial unsorted block and is updated in place
-    with the final blocks (the harness reads it after the run).
+    with the final blocks (the harness reads it after the run).  The local
+    sorts (paper step 3, exact heapsort counts) are precomputed here — all
+    blocks share one size, so a batched backend runs them as a single 2-D
+    operation; each program charges its own exact count at the same point
+    of its timeline as before.
     """
+    kern = resolve_backend(kernels)
+    live_ranks = [rank for rank in sorted(blocks) if blocks[rank].size]
+    sizes = {blocks[rank].size for rank in live_ranks}
+    local: dict[int, tuple[np.ndarray, int]] = {}
+    if kern.batched and len(live_ranks) > 1 and len(sizes) == 1:
+        rows, comps = kern.sort_blocks_counted(
+            np.stack([blocks[rank] for rank in live_ranks])
+        )
+        for t, rank in enumerate(live_ranks):
+            local[rank] = (rows[t], int(comps[t]))
+    else:
+        for rank in live_ranks:
+            row, comps = kern.sort_block_counted(blocks[rank])
+            local[rank] = (row, int(comps))
 
     plan: dict[int, list[tuple[int, object]]] = {rank: [] for rank in blocks}
     for idx, substage in enumerate(schedule.substages):
@@ -149,7 +164,7 @@ def _make_program(schedule: SortSchedule, blocks: dict[int, np.ndarray]):
         block = blocks[proc.rank]
         # Local sort (paper step 3 first half) with exact heapsort counts.
         if block.size:
-            block, comps = heapsort(block)
+            block, comps = local[proc.rank]
             yield proc.compute(comps)
         for idx, op in plan[proc.rank]:
             if op[0] == "cx":
@@ -179,19 +194,24 @@ def run_schedule_spmd(
     faults: FaultSet,
     params: MachineParams | None = None,
     obs=None,
+    kernels=None,
 ) -> SpmdSortResult:
     """Execute a sort schedule on the discrete-event SPMD machine.
 
     ``obs`` is an optional :class:`repro.obs.Tracer` shared with the SPMD
     machine and its event engine; the programs additionally accumulate the
     same logical ``sort.*`` counters as the phase engine, which is what the
-    cross-backend parity tests compare.
+    cross-backend parity tests compare.  ``kernels`` selects the execution
+    backend for the inner kernels (results and charges are
+    backend-independent).
     """
+    kernels = resolve_backend(kernels)
     keys_arr = np.asarray(keys, dtype=float)
     chunks, _ = pad_and_chunk(keys_arr, schedule.workers)
     blocks = {rank: chunk for rank, chunk in zip(schedule.output_order, chunks)}
-    machine = SpmdMachine(schedule.n, faults=faults, params=params, obs=obs)
-    program = _make_program(schedule, blocks)
+    machine = SpmdMachine(schedule.n, faults=faults, params=params, obs=obs,
+                          kernels=kernels)
+    program = _make_program(schedule, blocks, kernels=kernels)
     finish = machine.run({rank: program for rank in schedule.output_order})
     gathered = (
         np.concatenate([blocks[rank] for rank in schedule.output_order])
@@ -215,6 +235,7 @@ def spmd_fault_tolerant_sort(
     params: MachineParams | None = None,
     fault_kind: FaultKind = FaultKind.PARTIAL,
     obs=None,
+    kernels=None,
 ) -> SpmdSortResult:
     """Message-level fault-tolerant sort on ``Q_n`` (mirrors the phase engine).
 
@@ -242,4 +263,5 @@ def spmd_fault_tolerant_sort(
     else:
         _, selection = plan_partition(n, fault_set)
         schedule = build_ft_schedule(selection)
-    return run_schedule_spmd(schedule, keys, fault_set, params=params, obs=obs)
+    return run_schedule_spmd(schedule, keys, fault_set, params=params, obs=obs,
+                             kernels=kernels)

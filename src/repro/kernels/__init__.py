@@ -1,0 +1,106 @@
+"""repro.kernels — pluggable vectorized kernels for the sorting hot paths.
+
+The paper's cost model (Section 4) charges the three inner kernels
+analytically — ``((M/N') - 1) log2(M/N') t_c`` for the local heapsort,
+``2 (M/N') t_c`` per merge-split — but says nothing about how a host
+*executes* them.  This package separates the two concerns exactly the way
+the resilient-sorting literature does (comparison-count *model* vs kernel
+*execution*): every execution engine routes its data movement through one
+of two interchangeable backends:
+
+* ``"numpy"`` (default) — the fast path: batched 2-D sorts, vectorized
+  exchange-splits, and a masked vectorized sift-down that reproduces the
+  reference heapsort's *exact* per-block comparison counts while
+  processing every processor block at once;
+* ``"loop"`` — the reference path: element-at-a-time pure-Python kernels
+  (the textbook heapsort, two-pointer run merges) whose behavior is
+  obviously the algorithm the paper describes.
+
+The two backends are interchangeable by construction: identical sorted
+output, identical comparison/exchange accounting (the property tests in
+``tests/kernels/`` enforce both).  The ``loop`` backend is the executable
+specification; ``numpy`` is what production runs use, and
+``benchmarks/test_kernels_speedup.py`` tracks the speedup between them in
+``BENCH_kernels.json``.
+
+Selecting a backend
+-------------------
+Every entry point takes a ``kernels=`` argument (a backend name or
+instance); ``None`` falls back to the process default, which is the
+``REPRO_KERNELS`` environment variable or ``"numpy"``.  The CLI exposes
+``repro sort/trace ... --kernels numpy|loop``.  See docs/PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.kernels.base import KernelBackend
+from repro.kernels.loop import LoopBackend
+from repro.kernels.numpy_backend import NumpyBackend
+
+__all__ = [
+    "KernelBackend",
+    "LoopBackend",
+    "NumpyBackend",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "resolve_backend",
+    "set_default_backend",
+]
+
+_BACKENDS: dict[str, KernelBackend] = {
+    "numpy": NumpyBackend(),
+    "loop": LoopBackend(),
+}
+
+#: Process-wide override set via :func:`set_default_backend`; ``None`` means
+#: "consult the ``REPRO_KERNELS`` environment variable, else ``numpy``".
+_DEFAULT_OVERRIDE: str | None = None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the registered kernel backends."""
+    return tuple(sorted(_BACKENDS))
+
+
+def default_backend_name() -> str:
+    """The name resolved when callers pass ``kernels=None``."""
+    if _DEFAULT_OVERRIDE is not None:
+        return _DEFAULT_OVERRIDE
+    name = os.environ.get("REPRO_KERNELS", "numpy")
+    return name if name in _BACKENDS else "numpy"
+
+
+def set_default_backend(name: str | None) -> None:
+    """Set (or with ``None`` clear) the process-wide default backend."""
+    global _DEFAULT_OVERRIDE
+    if name is not None and name not in _BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; available: {available_backends()}"
+        )
+    _DEFAULT_OVERRIDE = name
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The registered backend called ``name`` (``'numpy'`` or ``'loop'``)."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; available: {available_backends()}"
+        ) from None
+
+
+def resolve_backend(spec: "KernelBackend | str | None") -> KernelBackend:
+    """Resolve a ``kernels=`` argument to a backend instance.
+
+    ``None`` → the process default; a string → :func:`get_backend`; an
+    instance passes through unchanged.
+    """
+    if spec is None:
+        return _BACKENDS[default_backend_name()]
+    if isinstance(spec, KernelBackend):
+        return spec
+    return get_backend(spec)

@@ -1,0 +1,88 @@
+"""Kernel backend interface.
+
+A backend supplies the *execution* of the three inner kernels of the
+fault-tolerant sort — local sort, exchange-split, and the SPMD
+compare-exchange legs — while the callers keep full control of the cost
+*accounting* (what the simulators charge follows the paper's model and is
+backend-independent; only exact heapsort comparison counts are
+data-dependent, and those every backend must reproduce identically).
+
+Array conventions: blocks are 1-D float ndarrays sorted ascending unless
+stated otherwise; batched entry points take C-contiguous 2-D arrays with
+one block per row (all rows the same length).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class KernelBackend(ABC):
+    """Interchangeable kernel implementations (see :mod:`repro.kernels`)."""
+
+    #: Registry name (``"numpy"`` / ``"loop"``).
+    name: str = "abstract"
+
+    #: True when the batched entry points are genuinely vectorized (the
+    #: stage-batched compare-exchange path is only worth taking then).
+    batched: bool = False
+
+    # -- local sort -------------------------------------------------------
+
+    @abstractmethod
+    def sort_block(self, block: np.ndarray) -> np.ndarray:
+        """Ascending sort of one block (values only, input untouched)."""
+
+    @abstractmethod
+    def sort_block_counted(self, block: np.ndarray) -> tuple[np.ndarray, int]:
+        """Ascending sort of one block plus the *exact* heapsort comparison
+        count — the number the reference heapsort performs on this data."""
+
+    @abstractmethod
+    def sort_blocks(self, blocks: np.ndarray, descending: bool = False) -> np.ndarray:
+        """Row-wise sort of a 2-D batch (values only)."""
+
+    @abstractmethod
+    def sort_blocks_counted(
+        self, blocks: np.ndarray, descending: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Row-wise sort plus exact per-row heapsort comparison counts."""
+
+    # -- exchange-split ---------------------------------------------------
+
+    @abstractmethod
+    def split_pair(self, a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Exact merge-split of two equal-length ascending blocks.
+
+        Returns ``(low, high)``: the ``k`` smallest and ``k`` largest keys
+        of the union, both ascending.
+        """
+
+    @abstractmethod
+    def split_blocks(
+        self, a: np.ndarray, b: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`split_pair` over matching rows of two 2-D arrays."""
+
+    # -- SPMD compare-exchange legs --------------------------------------
+
+    @abstractmethod
+    def cx_winners_losers(
+        self, mine: np.ndarray, received: np.ndarray, want_min: bool
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pairwise duel of the half-traffic protocol (Section 2.1 step 2).
+
+        ``mine`` and ``received`` are equal-length ascending runs; element
+        ``i`` of ``mine`` duels element ``k-1-i`` of ``received``.  Returns
+        ``(winners, losers)`` — the kept and returned keys — both sorted
+        ascending.
+        """
+
+    @abstractmethod
+    def merge_runs(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Merge two ascending runs into one ascending array (step 7(c))."""
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return f"<KernelBackend {self.name}>"

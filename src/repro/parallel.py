@@ -1,0 +1,77 @@
+"""Process-parallel task fan-out for experiment grids and chaos campaigns.
+
+Simulated runs are embarrassingly parallel: every grid point / scenario is
+a pure function of its own (deterministically derived) seed, so the only
+orchestration needed is a process pool and order-stable result collection.
+:func:`run_tasks` provides exactly that — tasks are submitted to a
+:class:`concurrent.futures.ProcessPoolExecutor`, results are returned **in
+task order** regardless of completion order, and ``jobs <= 1`` degrades to
+a plain serial loop in the calling process (no pool, no pickling), which is
+also the byte-for-byte reference the parallel path must reproduce.
+
+Task functions must be module-level callables (picklable) and must not
+share mutable state; per-task observability (e.g. a fresh
+:class:`repro.obs.Tracer` per scenario) belongs *inside* the task so each
+worker's tracer is isolated, with merging done by the parent.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+__all__ = ["resolve_jobs", "run_tasks"]
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` means all CPUs, else as given."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def run_tasks(
+    fn: Callable,
+    tasks: Sequence | Iterable,
+    jobs: int = 1,
+    progress: Callable[[int, int, object], None] | None = None,
+) -> list:
+    """Run ``fn(task)`` for every task, optionally in parallel processes.
+
+    Args:
+        fn: module-level (picklable) task function.
+        tasks: the task descriptions; materialized to a list.
+        jobs: worker processes; ``<= 1`` runs serially in-process.
+        progress: optional ``progress(done, total, result)`` callback fired
+            in the parent as each task completes (completion order).
+
+    Returns:
+        ``[fn(t) for t in tasks]`` — results in task order, whatever the
+        completion order was.
+    """
+    tasks = list(tasks)
+    total = len(tasks)
+    if jobs <= 1 or total <= 1:
+        results = []
+        for idx, task in enumerate(tasks):
+            result = fn(task)
+            results.append(result)
+            if progress is not None:
+                progress(idx + 1, total, result)
+        return results
+    results = [None] * total
+    done = 0
+    with ProcessPoolExecutor(max_workers=min(jobs, total)) as pool:
+        pending = {pool.submit(fn, task): idx for idx, task in enumerate(tasks)}
+        while pending:
+            finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in finished:
+                idx = pending.pop(fut)
+                results[idx] = fut.result()  # re-raises worker exceptions here
+                done += 1
+                if progress is not None:
+                    progress(done, total, results[idx])
+    return results

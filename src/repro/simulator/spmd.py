@@ -132,6 +132,11 @@ class Proc:
         """The machine's observability tracer (NULL_TRACER when disabled)."""
         return self._machine.obs
 
+    @property
+    def kernels(self):
+        """The machine's kernel backend (see :mod:`repro.kernels`)."""
+        return self._machine.kernels
+
 
 class _ProcState:
     def __init__(self, proc: Proc, gen: Generator):
@@ -170,6 +175,8 @@ class SpmdMachine:
             or ``None``/``False`` — when set, every multi-hop send uses the
             engine's ACK/retry protocol and dead links are absorbed by
             rerouting through the adaptive router.
+        kernels: kernel backend (or name, see :mod:`repro.kernels`) exposed
+            to programs as ``proc.kernels``; ``None`` = process default.
 
     With ``diagnoser``/``reliable`` left at their defaults the machine
     behaves byte-identically to the pre-robustness version.
@@ -185,7 +192,11 @@ class SpmdMachine:
         diagnoser=None,
         detect_timeout: float | None = None,
         reliable: "ReliabilityPolicy | bool | None" = None,
+        kernels=None,
     ):
+        from repro.kernels import resolve_backend
+
+        self.kernels = resolve_backend(kernels)
         self.n = n
         self.size = 1 << n
         self.faults = faults if faults is not None else FaultSet(n)

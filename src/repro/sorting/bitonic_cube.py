@@ -43,7 +43,9 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.sorting.merge import compare_split
+import numpy as np
+
+from repro.kernels import resolve_backend
 from repro.simulator.phases import PhaseMachine
 
 __all__ = [
@@ -51,6 +53,7 @@ __all__ = [
     "block_bitonic_sort",
     "block_bitonic_sort_groups",
     "exchange_pair",
+    "run_exchange_jobs",
     "substage_pairs",
 ]
 
@@ -78,6 +81,99 @@ def substage_pairs(q: int, i: int, j: int, descending: bool = False) -> list[tup
     return pairs
 
 
+def _charge_exchange(
+    machine: PhaseMachine,
+    addr_low: int,
+    addr_high: int,
+    k: int,
+    hops: int | None,
+    probe: bool,
+) -> None:
+    """Charge one executed (non-skipped) compare-split, per the paper's model."""
+    first_leg = (k + 1) // 2
+    return_leg = k // 2
+    # Half-exchange protocol: both sides ship half simultaneously, then
+    # return the losers simultaneously (full-duplex links; each swap leg
+    # costs one transfer, matching the paper's single t_s/r term per leg).
+    machine.charge_swap(addr_low, addr_high, first_leg, hops=hops)
+    if return_leg:
+        machine.charge_swap(addr_low, addr_high, return_leg, hops=hops)
+    # Pairwise comparisons: ceil(k/2) at one endpoint, floor(k/2) at the
+    # other; then each merges its two runs at (k - 1) comparisons (the
+    # paper's step-7(c) charge).
+    machine.charge_compute(addr_low, first_leg + max(k - 1, 0))
+    machine.charge_compute(addr_high, return_leg + max(k - 1, 0))
+    if machine.obs.enabled:
+        m = machine.obs.metrics
+        m.inc("sort.cx.executed")
+        m.inc("sort.messages", (2 if probe else 0) + 2 + (2 if return_leg else 0))
+
+
+def run_exchange_jobs(
+    machine: PhaseMachine,
+    jobs: Sequence[tuple[int, int, bool, int | None]],
+    kernels=None,
+    probe: bool = True,
+) -> None:
+    """Execute the compare-splits of one parallel phase, batched.
+
+    ``jobs`` holds ``(addr_low, addr_high, low_keeps_min, hops)`` tuples
+    over *disjoint* node pairs; the call must happen inside an open machine
+    phase.  Probes, skip decisions, and every cost charge are evaluated
+    per pair exactly as :func:`exchange_pair` does — only the block data
+    movement is delegated to the kernel backend, which (when vectorized)
+    processes all surviving pairs of the substage as one array operation.
+    Accounting is order-independent inside a phase (the clock advances by
+    the per-node maximum at the barrier), so the batched and per-pair
+    paths are indistinguishable to the machine.
+    """
+    kern = resolve_backend(kernels)
+    live: list[tuple[int, int, bool, int | None, np.ndarray, np.ndarray]] = []
+    for addr_low, addr_high, low_keeps_min, hops in jobs:
+        a = machine.get_block(addr_low)
+        b = machine.get_block(addr_high)
+        if a.size == 0 or b.size == 0:
+            # Dead-node comparator: the live partner keeps its block and
+            # nothing is charged ("keeps its elements without doing any
+            # operation").
+            continue
+        if probe:
+            # Boundary exchange: each side ships the key its partner needs
+            # to decide whether any element must move (full-duplex).
+            machine.charge_swap(addr_low, addr_high, 1, hops=hops)
+            machine.charge_compute(addr_low, 1)
+            machine.charge_compute(addr_high, 1)
+            skip = a[-1] <= b[0] if low_keeps_min else b[-1] <= a[0]
+            if skip:
+                if machine.obs.enabled:
+                    m = machine.obs.metrics
+                    m.inc("sort.cx.skipped")
+                    m.inc("sort.messages", 2)
+                continue
+        live.append((addr_low, addr_high, low_keeps_min, hops, a, b))
+    if not live:
+        return
+    sizes = {a.size for _, _, _, _, a, b in live} | {b.size for _, _, _, _, a, b in live}
+    if kern.batched and len(live) > 1 and len(sizes) == 1:
+        # Stage-batched fast path: one 2-D exchange-split over every pair.
+        # Row t's min-keeping side goes into X, the other into Y.
+        x = np.stack([a if km else b for _, _, km, _, a, b in live])
+        y = np.stack([b if km else a for _, _, km, _, a, b in live])
+        lows, highs = kern.split_blocks(x, y)
+        for t, (addr_low, addr_high, km, hops, a, b) in enumerate(live):
+            min_addr, max_addr = (addr_low, addr_high) if km else (addr_high, addr_low)
+            machine.blocks[min_addr] = lows[t]
+            machine.blocks[max_addr] = highs[t]
+            _charge_exchange(machine, addr_low, addr_high, int(a.size), hops, probe)
+    else:
+        for addr_low, addr_high, km, hops, a, b in live:
+            low, high = kern.split_pair(a, b)
+            min_addr, max_addr = (addr_low, addr_high) if km else (addr_high, addr_low)
+            machine.blocks[min_addr] = low
+            machine.blocks[max_addr] = high
+            _charge_exchange(machine, addr_low, addr_high, int(a.size), hops, probe)
+
+
 def exchange_pair(
     machine: PhaseMachine,
     addr_low: int,
@@ -85,6 +181,7 @@ def exchange_pair(
     low_keeps_min: bool,
     hops: int | None = 1,
     probe: bool = True,
+    kernels=None,
 ) -> None:
     """One compare-split between two physical nodes, with cost charging.
 
@@ -105,48 +202,12 @@ def exchange_pair(
 
     Must be called inside an open machine phase.
     """
-    a = machine.get_block(addr_low)
-    b = machine.get_block(addr_high)
-    if a.size == 0 or b.size == 0:
-        return
-    if probe:
-        # Boundary exchange: each side ships the key its partner needs to
-        # decide whether any element must move (simultaneous, full-duplex).
-        machine.charge_swap(addr_low, addr_high, 1, hops=hops)
-        machine.charge_compute(addr_low, 1)
-        machine.charge_compute(addr_high, 1)
-        skip = a[-1] <= b[0] if low_keeps_min else b[-1] <= a[0]
-        if skip:
-            if machine.obs.enabled:
-                m = machine.obs.metrics
-                m.inc("sort.cx.skipped")
-                m.inc("sort.messages", 2)
-            return
-    res = compare_split(a, b)
-    if low_keeps_min:
-        machine.blocks[addr_low] = res.low
-        machine.blocks[addr_high] = res.high
-    else:
-        machine.blocks[addr_low] = res.high
-        machine.blocks[addr_high] = res.low
-    k = int(a.size)
-    first_leg = (k + 1) // 2
-    return_leg = k // 2
-    # Half-exchange protocol: both sides ship half simultaneously, then
-    # return the losers simultaneously (full-duplex links; each swap leg
-    # costs one transfer, matching the paper's single t_s/r term per leg).
-    machine.charge_swap(addr_low, addr_high, first_leg, hops=hops)
-    if return_leg:
-        machine.charge_swap(addr_low, addr_high, return_leg, hops=hops)
-    # Pairwise comparisons: ceil(k/2) at one endpoint, floor(k/2) at the
-    # other; then each merges its two runs at (k - 1) comparisons (the
-    # paper's step-7(c) charge).
-    machine.charge_compute(addr_low, first_leg + max(k - 1, 0))
-    machine.charge_compute(addr_high, return_leg + max(k - 1, 0))
-    if machine.obs.enabled:
-        m = machine.obs.metrics
-        m.inc("sort.cx.executed")
-        m.inc("sort.messages", (2 if probe else 0) + 2 + (2 if return_leg else 0))
+    run_exchange_jobs(
+        machine,
+        [(addr_low, addr_high, low_keeps_min, hops)],
+        kernels=kernels,
+        probe=probe,
+    )
 
 
 def _validate_group(
@@ -181,6 +242,7 @@ def block_bitonic_sort_groups(
     groups: Sequence[tuple[Sequence[int], frozenset[int] | set[int], bool]],
     label: str = "bitonic",
     uniform_hops: int | None = 1,
+    kernels=None,
 ) -> None:
     """Sort several equal-dimension logical cubes in lockstep phases.
 
@@ -193,6 +255,9 @@ def block_bitonic_sort_groups(
         uniform_hops: hop count per exchange (1 when logical neighbors are
             physical neighbors, as with any XOR reindexing); ``None`` uses
             the machine's fault-aware metric.
+        kernels: kernel backend (or name) for the exchange-splits; ``None``
+            uses the process default.  Every substage batches its pairs —
+            across all groups — into one :func:`run_exchange_jobs` call.
 
     After the call each ascending group's logical-order chunk ranks are
     ``0, 1, 2, ...`` and each descending group's are reversed (see module
@@ -200,6 +265,7 @@ def block_bitonic_sort_groups(
     """
     if not groups:
         return
+    kern = resolve_backend(kernels)
     norm = [(list(a), frozenset(d), bool(desc)) for a, d, desc in groups]
     qs = {_validate_group(machine, a, d) for a, d, _ in norm}
     if len(qs) != 1:
@@ -216,17 +282,13 @@ def block_bitonic_sort_groups(
     for i in range(q):
         for j in range(i, -1, -1):
             with machine.phase(f"{label}[i={i},j={j}]"):
-                for addr_of_logical, dead, descending in norm:
-                    for low, high, low_keeps_min in substage_pairs(q, i, j, descending):
-                        if low in dead and high in dead:
-                            continue
-                        exchange_pair(
-                            machine,
-                            addr_of_logical[low],
-                            addr_of_logical[high],
-                            low_keeps_min,
-                            hops=uniform_hops,
-                        )
+                jobs = [
+                    (addr_of_logical[low], addr_of_logical[high], low_keeps_min, uniform_hops)
+                    for addr_of_logical, dead, descending in norm
+                    for low, high, low_keeps_min in substage_pairs(q, i, j, descending)
+                    if not (low in dead and high in dead)
+                ]
+                run_exchange_jobs(machine, jobs, kernels=kern)
 
 
 def block_bitonic_merge_groups(
@@ -234,6 +296,7 @@ def block_bitonic_merge_groups(
     groups: Sequence[tuple[Sequence[int], frozenset[int] | set[int], bool]],
     label: str = "bitonic-merge",
     uniform_hops: int | None = 1,
+    kernels=None,
 ) -> None:
     """One bitonic *merge* pass over each group, in lockstep phases.
 
@@ -250,6 +313,7 @@ def block_bitonic_merge_groups(
     """
     if not groups:
         return
+    kern = resolve_backend(kernels)
     norm = [(list(a), frozenset(d), bool(desc)) for a, d, desc in groups]
     qs = {_validate_group(machine, a, d) for a, d, _ in norm}
     if len(qs) != 1:
@@ -260,17 +324,13 @@ def block_bitonic_merge_groups(
     i = q - 1
     for j in range(i, -1, -1):
         with machine.phase(f"{label}[j={j}]"):
-            for addr_of_logical, dead, descending in norm:
-                for low, high, low_keeps_min in substage_pairs(q, i, j, descending):
-                    if low in dead and high in dead:
-                        continue
-                    exchange_pair(
-                        machine,
-                        addr_of_logical[low],
-                        addr_of_logical[high],
-                        low_keeps_min,
-                        hops=uniform_hops,
-                    )
+            jobs = [
+                (addr_of_logical[low], addr_of_logical[high], low_keeps_min, uniform_hops)
+                for addr_of_logical, dead, descending in norm
+                for low, high, low_keeps_min in substage_pairs(q, i, j, descending)
+                if not (low in dead and high in dead)
+            ]
+            run_exchange_jobs(machine, jobs, kernels=kern)
 
 
 def block_bitonic_sort(
@@ -280,6 +340,7 @@ def block_bitonic_sort(
     descending: bool = False,
     label: str = "bitonic",
     uniform_hops: int | None = 1,
+    kernels=None,
 ) -> None:
     """Sort one logical cube of blocks (see :func:`block_bitonic_sort_groups`).
 
@@ -292,4 +353,5 @@ def block_bitonic_sort(
         [(addr_of_logical, frozenset(dead_logical), descending)],
         label=label,
         uniform_hops=uniform_hops,
+        kernels=kernels,
     )

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.blocks import PAD_KEY
+
 __all__ = ["bitonic_sort", "bitonic_merge_inplace", "is_bitonic", "next_pow2"]
 
 
@@ -87,7 +89,7 @@ def bitonic_sort(values: np.ndarray | list, descending: bool = False) -> tuple[n
     if n == 0:
         return src.copy(), 0
     padded_n = next_pow2(n)
-    a = np.full(padded_n, np.inf)
+    a = np.full(padded_n, PAD_KEY)
     a[:n] = src
     comparisons = 0
     size = 2

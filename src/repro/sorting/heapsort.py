@@ -53,9 +53,16 @@ def heapsort(values: np.ndarray | list, descending: bool = False) -> tuple[np.nd
     The input is not modified.  Comparison counts are exact and are what the
     SPMD simulator charges as compute time for step 3.
     """
-    a = np.array(values, copy=True)
+    a = np.asarray(values)
     if a.ndim != 1:
         raise ValueError(f"heapsort expects a 1-D array, got shape {a.shape}")
+    # Sorting happens in place, so alias the caller's buffer never; but when
+    # ``np.asarray`` already built a fresh array (list/tuple input), a second
+    # copy would be pure waste.
+    if a is values or (isinstance(values, np.ndarray) and np.shares_memory(a, values)):
+        a = np.ascontiguousarray(a) if not a.flags.c_contiguous else a.copy()
+    elif not a.flags.writeable:
+        a = a.copy()
     n = a.size
     comparisons = 0
     # Build max-heap.

@@ -97,7 +97,7 @@ def compare_split_counts(k: int) -> tuple[int, int, int]:
     return (sent, k, max(k - 1, 0) * 2)
 
 
-def compare_split(a: np.ndarray, b: np.ndarray) -> CompareSplitResult:
+def compare_split(a: np.ndarray, b: np.ndarray, kernels=None) -> CompareSplitResult:
     """Compare-split two ascending blocks, with half-traffic accounting.
 
     ``a`` and ``b`` must each be ascending (empty allowed — the dead-node
@@ -108,6 +108,10 @@ def compare_split(a: np.ndarray, b: np.ndarray) -> CompareSplitResult:
     a zero-length side short-circuits with zero cost (the paper's "keeps
     its elements without doing any operation" rule for the dead node's
     partner).
+
+    ``kernels`` selects the execution backend for the split itself (a
+    :mod:`repro.kernels` backend or name; ``None`` = process default).
+    The accounting is backend-independent.
     """
     a = np.asarray(a)
     b = np.asarray(b)
@@ -128,14 +132,11 @@ def compare_split(a: np.ndarray, b: np.ndarray) -> CompareSplitResult:
             f"compare_split needs equal block sizes (or one empty), got {a.size} and {b.size}"
         )
     k = int(a.size)
-    # Exact exchange-split: pair a_i with b_{k-1-i}.
-    b_rev = b[::-1]
-    low_unsorted = np.minimum(a, b_rev)
-    high_unsorted = np.maximum(a, b_rev)
-    # Each half of `low_unsorted` is the concatenation of two monotone runs
-    # (see module docstring); a sort realizes the step-7(c) merge.
-    low = np.sort(low_unsorted, kind="stable")
-    high = np.sort(high_unsorted, kind="stable")
+    # Exact exchange-split (pair a_i with b_{k-1-i}) through the selected
+    # kernel backend; the step-7(c) merge is realized inside the kernel.
+    from repro.kernels import resolve_backend
+
+    low, high = resolve_backend(kernels).split_pair(a, b)
     sent, comparisons, merge_comparisons = compare_split_counts(k)
     return CompareSplitResult(
         low=low,

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.blocks import PAD_KEY
 from repro.sorting.bitonic_seq import next_pow2
 
 __all__ = ["odd_even_merge_sort", "comparators", "comparator_count"]
@@ -71,7 +72,7 @@ def odd_even_merge_sort(values: np.ndarray | list) -> tuple[np.ndarray, int]:
     if n == 0:
         return src.copy(), 0
     padded = next_pow2(n)
-    a = np.full(padded, np.inf)
+    a = np.full(padded, PAD_KEY)
     a[:n] = src
     count = 0
     for i, j in comparators(padded):
