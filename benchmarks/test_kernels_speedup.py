@@ -127,18 +127,26 @@ class TestParallelCampaignSpeedup:
             fanned.retries, fanned.mean_detect_latency)
 
         speedup = t_serial / t_jobs
+        # ``regression`` is the headline guard: parallel must never lose to
+        # serial.  On hosts where the pool cannot win (1 CPU, tiny batch)
+        # run_tasks auto-degrades to the serial path, so the flag holds
+        # there too (modulo 5% timing noise).
+        regression = speedup < 0.95
         print(f"\nchaos campaign x{count}: serial {t_serial:.2f}s vs "
               f"jobs={CHAOS_JOBS} {t_jobs:.2f}s ({speedup:.2f}x, "
-              f"{cpus} CPUs)")
+              f"{cpus} CPUs{', REGRESSION' if regression else ''})")
         bench_json("kernels", "chaos_campaign", {
             "scenarios": count, "jobs": CHAOS_JOBS, "cpu_count": cpus,
             "serial_seconds": t_serial, "parallel_seconds": t_jobs,
-            "speedup": speedup,
+            "speedup": speedup, "regression": regression,
         })
+        assert not regression, (
+            f"parallel campaign slower than serial ({speedup:.2f}x) — "
+            "auto-serial degradation failed")
         # The wall-clock floor is only meaningful with real parallelism.
         if not fast_mode and cpus >= CHAOS_JOBS:
-            assert speedup >= 2.0, (
-                f"expected >=2x on {cpus} CPUs, got {speedup:.2f}x")
+            assert speedup >= 1.5, (
+                f"expected >=1.5x on {cpus} CPUs, got {speedup:.2f}x")
 
 
 def test_record_environment(bench_json, fast_mode):

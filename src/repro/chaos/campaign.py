@@ -22,6 +22,7 @@ from repro.host.session import FaultEvent, supervised_sort
 from repro.core.ftsort import fault_tolerant_sort
 from repro.obs import Tracer
 from repro.parallel import run_tasks
+from repro.plancache.cache import PLAN_CACHE
 from repro.simulator.params import MachineParams
 from repro.simulator.spmd import ReliabilityPolicy
 
@@ -78,15 +79,25 @@ def scenario_events(
     """Materialize a scenario's arrival fractions into absolute times.
 
     The nominal duration is the phase-engine run time over the static
-    faults alone — the denominator both backends share.
+    faults alone — the denominator both backends share.  It is a pure
+    function of the scenario statics (the keys are regenerated from the
+    seed), so it is memoized in the plan cache: the supervisor, the
+    shrinker's ddmin iterations, and repeated campaign runs all re-ask for
+    the same denominators.
     """
-    rng = np.random.default_rng(scenario.seed)
-    keys = rng.integers(0, 10**6, scenario.keys).astype(float)
     static = FaultSet(
         scenario.n, scenario.static_processors,
         kind=FaultKind.PARTIAL, links=scenario.static_links,
     )
-    nominal = fault_tolerant_sort(keys, scenario.n, static, params=params).elapsed
+
+    def compute() -> float:
+        rng = np.random.default_rng(scenario.seed)
+        keys = rng.integers(0, 10**6, scenario.keys).astype(float)
+        return fault_tolerant_sort(keys, scenario.n, static, params=params).elapsed
+
+    nominal = PLAN_CACHE.memo(
+        "nominal", (scenario.n, scenario.keys, scenario.seed, static, params), compute
+    )
     return [
         FaultEvent(ev.kind, ev.subject, at=ev.frac * nominal)
         for ev in scenario.events
@@ -109,6 +120,7 @@ def run_scenario(
         # Snappier than the interactive default: campaign runs are many.
         reliability = ReliabilityPolicy(timeout=8_000.0)
     tracer = Tracer()
+    cache_baseline = PLAN_CACHE.stats()
     try:
         events = scenario_events(scenario, params=params)
         result = supervised_sort(
@@ -128,6 +140,8 @@ def run_scenario(
         )
     correct = bool(np.array_equal(result.sorted_keys, np.sort(keys)))
     metrics = tracer.metrics
+    # Attribute this scenario's plan-cache traffic to its tracer.
+    PLAN_CACHE.export_metrics(metrics, baseline=cache_baseline)
     latencies = tuple(
         rec.latency for rec in result.detections if rec.latency is not None
     )

@@ -43,9 +43,23 @@ def shrink_scenario(
     ``still_fails(candidate) -> bool`` defaults to re-running the candidate
     through the campaign path.  If the input scenario does not fail under
     the predicate (flaky environment), it is returned unchanged.
+
+    Scenario execution is deterministic, so each distinct candidate is
+    evaluated once per shrink: ddmin rounds revisit the same candidates
+    (every round replays the drop positions that previously survived), and
+    the memo turns those replays into dict lookups.
     """
     if still_fails is None:
         still_fails = _default_still_fails(params)
+    evaluated: dict[ChaosScenario, bool] = {}
+    inner = still_fails
+
+    def still_fails(candidate: ChaosScenario) -> bool:
+        verdict = evaluated.get(candidate)
+        if verdict is None:
+            verdict = evaluated[candidate] = bool(inner(candidate))
+        return verdict
+
     if not still_fails(scenario):
         return scenario
 

@@ -198,7 +198,10 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.chaos import run_campaign
+    from repro.plancache import PLAN_CACHE
 
+    if args.plan_cache == "off":
+        PLAN_CACHE.configure(enabled=False)
     backends = ("phase", "spmd") if args.backend == "both" else (args.backend,)
     count = args.scenarios
     if count is None:
@@ -237,6 +240,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
           f"max {summary.max_recovery_overhead:.2f}x")
     if args.out:
         print(f"  report            : {args.out}")
+    if args.plan_cache == "stats":
+        print(PLAN_CACHE.summary())
+        if jobs > 1:
+            print("  (counters are per-process; workers' caches are not shown)")
     if summary.failures:
         print(f"  FAILURES: {len(summary.failures)} "
               "(minimal reproducers in the report)")
@@ -309,6 +316,11 @@ def main(argv: list[str] | None = None) -> int:
                          help="skip shrinking failures to minimal reproducers")
     p_chaos.add_argument("--jobs", type=int, default=1,
                          help="worker processes for scenarios (0 = all CPUs)")
+    p_chaos.add_argument("--plan-cache", choices=("on", "off", "stats"),
+                         default="on",
+                         help="plan cache: on (default), off (cold planning "
+                              "every scenario), stats (print hit/miss counters "
+                              "after the campaign)")
     p_chaos.set_defaults(func=_cmd_chaos)
 
     for name in ("table1", "table2", "figure7"):

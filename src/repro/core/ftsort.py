@@ -73,23 +73,29 @@ def plan_partition(
     ``cut_dims`` overrides the Eq.-(1) choice with a specific sequence from
     Ψ (it must be feasible and of minimum length) — used by tests and the
     partition-explorer example.
+
+    The un-overridden path is served from :data:`repro.plancache.PLAN_CACHE`
+    (exact replay through the hypercube-symmetry canonical form; a
+    transparent pass-through when the cache is disabled).
     """
+    from repro.plancache.cache import plan_with_cache
+
+    if cut_dims is None:
+        return plan_with_cache(n, faults)
     partition = find_min_cuts(n, faults)
-    if cut_dims is not None:
-        dims = tuple(cut_dims)
-        if tuple(sorted(dims)) not in {tuple(sorted(d)) for d in partition.cutting_set}:
-            raise ValueError(
-                f"cut_dims {dims} is not a minimum cutting sequence; Ψ = "
-                f"{[list(d) for d in partition.cutting_set]}"
-            )
-        forced = PartitionResult(
-            n=partition.n,
-            faults=partition.faults,
-            mincut=partition.mincut,
-            cutting_set=(dims,),
+    dims = tuple(cut_dims)
+    if tuple(sorted(dims)) not in {tuple(sorted(d)) for d in partition.cutting_set}:
+        raise ValueError(
+            f"cut_dims {dims} is not a minimum cutting sequence; Ψ = "
+            f"{[list(d) for d in partition.cutting_set]}"
         )
-        return partition, select_cut_sequence(forced)
-    return partition, select_cut_sequence(partition)
+    forced = PartitionResult(
+        n=partition.n,
+        faults=partition.faults,
+        mincut=partition.mincut,
+        cutting_set=(dims,),
+    )
+    return partition, select_cut_sequence(forced)
 
 
 @dataclass(frozen=True)
@@ -179,6 +185,7 @@ def _mirror_subcubes(
     """
     split = selection.split
     p = 1 << selection.s
+    pairs = 0
     with machine.phase(label):
         for v in subcube_addrs:
             for rho in range(1, p // 2):
@@ -190,10 +197,11 @@ def _mirror_subcubes(
                 machine.blocks[pa] = block_b
                 machine.blocks[pb] = block_a
                 machine.charge_swap(pa, pb, int(block_a.size))
-                if machine.obs.enabled:
-                    met = machine.obs.metrics
-                    met.inc("sort.mirror.pairs")
-                    met.inc("sort.messages", 2)
+                pairs += 1
+    if pairs and machine.obs.enabled:
+        met = machine.obs.metrics
+        met.inc("sort.mirror.pairs", pairs)
+        met.inc("sort.messages", 2 * pairs)
 
 
 def fault_tolerant_sort(

@@ -29,8 +29,9 @@ import numpy as np
 
 from repro.core.blocks import pad_and_chunk, strip_padding
 from repro.core.ftsort import plan_partition
-from repro.core.schedule import SortSchedule, build_ft_schedule, build_plain_schedule
+from repro.core.schedule import SortSchedule
 from repro.cube.address import validate_dimension
+from repro.plancache.cache import cached_ft_schedule, cached_plain_schedule
 from repro.faults.linkplan import absorb_link_faults
 from repro.faults.model import FaultKind, FaultSet
 from repro.kernels import resolve_backend
@@ -96,7 +97,10 @@ def _cx_program_step(proc: Proc, block: np.ndarray, partner: int, i_am_low: bool
     else:
         send_part = block[: k - h]
         keep_part = block[k - h :]
-    yield proc.send(partner, payload=send_part.copy(), size=int(send_part.size), tag=tag_base + 1)
+    # Payloads are zero-copy views: every consumer treats message arrays as
+    # read-only (kernels return fresh arrays; blocks are rebound, never
+    # written through), so slices of the live block ship as-is.
+    yield proc.send(partner, payload=send_part, size=int(send_part.size), tag=tag_base + 1)
     received = yield proc.recv(src=partner, tag=tag_base + 1)
     if obs.enabled:
         obs.metrics.inc("sort.messages")
@@ -113,7 +117,7 @@ def _cx_program_step(proc: Proc, block: np.ndarray, partner: int, i_am_low: bool
     )
 
     # Leg 2 — return the losers; receive the partner's losers.
-    yield proc.send(partner, payload=losers.copy(), size=int(losers.size), tag=tag_base + 2)
+    yield proc.send(partner, payload=losers, size=int(losers.size), tag=tag_base + 2)
     returned = yield proc.recv(src=partner, tag=tag_base + 2)
     if obs.enabled:
         obs.metrics.inc("sort.messages")
@@ -176,7 +180,7 @@ def _make_program(schedule: SortSchedule, blocks: dict[int, np.ndarray], kernels
                 )
             else:
                 _, partner = op
-                yield proc.send(partner, payload=block.copy(), size=int(block.size),
+                yield proc.send(partner, payload=block, size=int(block.size),
                                 tag=idx * 4)
                 block = np.asarray((yield proc.recv(src=partner, tag=idx * 4)))
                 if proc.obs.enabled:
@@ -257,11 +261,11 @@ def spmd_fault_tolerant_sort(
         raise ValueError(f"{fault_set.r} faults on Q_{n} violate the paper's model")
     r = fault_set.r
     if r == 0:
-        schedule = build_plain_schedule(n, None)
+        schedule = cached_plain_schedule(n, None)
     elif r == 1:
-        schedule = build_plain_schedule(n, fault_set.processors[0])
+        schedule = cached_plain_schedule(n, fault_set.processors[0])
     else:
         _, selection = plan_partition(n, fault_set)
-        schedule = build_ft_schedule(selection)
+        schedule = cached_ft_schedule(selection)
     return run_schedule_spmd(schedule, keys, fault_set, params=params, obs=obs,
                              kernels=kernels)

@@ -165,11 +165,17 @@ def run_all(out_dir: str, quick: bool = False, seed: int = 1992,
     points = 3 if quick else 5
     placements = 2 if quick else 5
     elapsed = time.perf_counter() - t0
+    from repro.plancache import PLAN_CACHE
+
+    # Deterministic across jobs counts (hit/miss totals are per-process and
+    # would differ between serial and fanned-out runs).
+    cache_state = "enabled" if PLAN_CACHE.enabled else "disabled"
     lines = [
         "repro — full evaluation manifest",
         f"seed: {seed}   quick: {quick}   jobs: {jobs}   wall-clock: {elapsed:.1f}s",
         f"table trials: {trials} (table1, vectorized), {t2_trials} (table2)",
         f"figure7: {points} key counts x {placements} placements per r",
+        f"plan cache: {cache_state}",
         "",
         *manifest,
     ]
@@ -185,8 +191,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=1992)
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes (0 = all CPUs)")
+    parser.add_argument("--plan-cache", choices=("on", "off"), default="on",
+                        help="disable the memoizing planning layer with 'off'")
     args = parser.parse_args(argv)
     from repro.parallel import resolve_jobs
+
+    if args.plan_cache == "off":
+        from repro.plancache import PLAN_CACHE
+
+        PLAN_CACHE.configure(enabled=False)
 
     manifest = run_all(args.out, quick=args.quick, seed=args.seed,
                        jobs=resolve_jobs(args.jobs) if args.jobs != 1 else 1)

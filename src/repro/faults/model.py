@@ -96,13 +96,19 @@ class FaultSet:
         A link is unusable if it was injected as a link fault, or if either
         endpoint is a *total* processor fault (total faults destroy incident
         links).  Partial processor faults leave links usable.
+
+        ``a`` and ``b`` must be neighbors; with no link faults under the
+        partial model every link is usable and the query short-circuits
+        without inspecting the pair (this sits on the route-BFS hot path).
         """
-        lid = self.cube.link_id(a, b)
-        if lid in self._link_set:
+        link_set = self._link_set
+        if not link_set and self.kind is FaultKind.PARTIAL:
+            return False
+        if self.cube.link_id(a, b) in link_set:
             return True
-        if self.kind is FaultKind.TOTAL and (self.is_faulty(a) or self.is_faulty(b)):
-            return True
-        return False
+        return self.kind is FaultKind.TOTAL and (
+            a in self._proc_set or b in self._proc_set
+        )
 
     def can_route_through(self, addr: int) -> bool:
         """Whether messages may transit node ``addr``.

@@ -28,8 +28,9 @@ import numpy as np
 from repro.comm.ftcollect import fault_free_bfs_tree, tree_gather, tree_scatter
 from repro.core.blocks import pad_and_chunk, strip_padding
 from repro.core.ftsort import fault_tolerant_sort, plan_partition
-from repro.core.schedule import SortSchedule, build_ft_schedule, build_plain_schedule
+from repro.core.schedule import SortSchedule
 from repro.core.spmd_sort import _cx_program_step
+from repro.plancache.cache import cached_ft_schedule, cached_plain_schedule
 from repro.cube.address import hamming_distance, validate_address, validate_dimension
 from repro.faults.detect import DetectionRecord, OnlineDiagnoser
 from repro.faults.linkplan import absorb_link_faults
@@ -92,12 +93,12 @@ def _session_schedule(n: int, fault_set: FaultSet) -> tuple[FaultSet, SortSchedu
         raise ValueError(f"{fault_set.r} faults on Q_{n} violate the paper's model")
     r = fault_set.r
     if r == 0:
-        schedule = build_plain_schedule(n, None)
+        schedule = cached_plain_schedule(n, None)
     elif r == 1:
-        schedule = build_plain_schedule(n, fault_set.processors[0])
+        schedule = cached_plain_schedule(n, fault_set.processors[0])
     else:
         _, selection = plan_partition(n, fault_set)
-        schedule = build_ft_schedule(selection)
+        schedule = cached_ft_schedule(selection)
     return fault_set, schedule
 
 
@@ -188,7 +189,7 @@ def sort_session(
                 )
             else:
                 _, partner = op
-                yield proc.send(partner, payload=block.copy(), size=int(block.size),
+                yield proc.send(partner, payload=block, size=int(block.size),
                                 tag=1000 + idx * 4)
                 block = np.asarray((yield proc.recv(src=partner, tag=1000 + idx * 4)))
         t_after_sort = proc.clock

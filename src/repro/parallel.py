@@ -4,10 +4,23 @@ Simulated runs are embarrassingly parallel: every grid point / scenario is
 a pure function of its own (deterministically derived) seed, so the only
 orchestration needed is a process pool and order-stable result collection.
 :func:`run_tasks` provides exactly that — tasks are submitted to a
-:class:`concurrent.futures.ProcessPoolExecutor`, results are returned **in
-task order** regardless of completion order, and ``jobs <= 1`` degrades to
-a plain serial loop in the calling process (no pool, no pickling), which is
-also the byte-for-byte reference the parallel path must reproduce.
+:class:`concurrent.futures.ProcessPoolExecutor` in *chunks* (amortizing
+pickling and IPC round-trips), results are returned **in task order**
+regardless of completion order, and ``jobs <= 1`` degrades to a plain
+serial loop in the calling process (no pool, no pickling), which is also
+the byte-for-byte reference the parallel path must reproduce.
+
+Two regressions the first cut of this runner shipped with, now guarded:
+
+* **Auto-serial.** Pool spin-up plus per-task pickling can exceed the work
+  itself.  On single-CPU hosts (``os.cpu_count() == 1``) or for small
+  batches (``total < 2 * jobs``) the parallel path *cannot* win, so the
+  runner silently degrades to the serial loop.
+* **Warm pool.** The pool persists across :func:`run_tasks` calls (keyed
+  on worker count) and each worker pre-imports the heavy simulation stack
+  in its initializer, so repeated campaign invocations — the shrinker, the
+  benchmarks — pay the fork/import tax once.  Worker processes also keep
+  their per-process :data:`repro.plancache.PLAN_CACHE` warm across calls.
 
 Task functions must be module-level callables (picklable) and must not
 share mutable state; per-task observability (e.g. a fresh
@@ -17,6 +30,7 @@ worker's tracer is isolated, with merging done by the parent.
 
 from __future__ import annotations
 
+import atexit
 import os
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -33,6 +47,41 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
+def _warm_worker() -> None:
+    """Pool initializer: pre-import the simulation stack once per worker."""
+    import repro.chaos.campaign  # noqa: F401  (pulls in core, simulator, obs)
+
+
+def _run_chunk(payload: tuple) -> list:
+    """Worker unit: apply ``fn`` to a contiguous chunk of tasks."""
+    fn, chunk = payload
+    return [fn(task) for task in chunk]
+
+
+_pool: ProcessPoolExecutor | None = None
+_pool_workers = 0
+
+
+def _shared_pool(workers: int) -> ProcessPoolExecutor:
+    """The warm process pool, rebuilt only when the worker count changes."""
+    global _pool, _pool_workers
+    if _pool is not None and _pool_workers != workers:
+        _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = None
+    if _pool is None:
+        _pool = ProcessPoolExecutor(max_workers=workers, initializer=_warm_worker)
+        _pool_workers = workers
+    return _pool
+
+
+@atexit.register
+def _shutdown_pool() -> None:  # pragma: no cover - interpreter teardown
+    global _pool
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = None
+
+
 def run_tasks(
     fn: Callable,
     tasks: Sequence | Iterable,
@@ -44,9 +93,12 @@ def run_tasks(
     Args:
         fn: module-level (picklable) task function.
         tasks: the task descriptions; materialized to a list.
-        jobs: worker processes; ``<= 1`` runs serially in-process.
+        jobs: worker processes; ``<= 1`` runs serially in-process.  The
+            parallel path also auto-degrades to serial when it cannot win
+            (one CPU, or fewer than ``2 * jobs`` tasks).
         progress: optional ``progress(done, total, result)`` callback fired
-            in the parent as each task completes (completion order).
+            in the parent as each task completes (completion order; chunked
+            submission delivers a chunk's results consecutively).
 
     Returns:
         ``[fn(t) for t in tasks]`` — results in task order, whatever the
@@ -54,7 +106,13 @@ def run_tasks(
     """
     tasks = list(tasks)
     total = len(tasks)
-    if jobs <= 1 or total <= 1:
+    serial = (
+        jobs <= 1
+        or total <= 1
+        or (os.cpu_count() or 1) == 1
+        or total < 2 * jobs
+    )
+    if serial:
         results = []
         for idx, task in enumerate(tasks):
             result = fn(task)
@@ -62,16 +120,29 @@ def run_tasks(
             if progress is not None:
                 progress(idx + 1, total, result)
         return results
-    results = [None] * total
+
+    workers = min(jobs, total)
+    # ~4 chunks per worker balances pickling amortization against tail
+    # latency (a straggler chunk idles at most ~1/4 of one worker's share).
+    chunk_size = max(1, -(-total // (workers * 4)))
+    chunks = [tasks[i : i + chunk_size] for i in range(0, total, chunk_size)]
+    results: list = [None] * total
     done = 0
-    with ProcessPoolExecutor(max_workers=min(jobs, total)) as pool:
-        pending = {pool.submit(fn, task): idx for idx, task in enumerate(tasks)}
-        while pending:
-            finished, _ = wait(pending, return_when=FIRST_COMPLETED)
-            for fut in finished:
-                idx = pending.pop(fut)
-                results[idx] = fut.result()  # re-raises worker exceptions here
+    pool = _shared_pool(workers)
+    starts = {}
+    start = 0
+    for chunk in chunks:
+        starts[pool.submit(_run_chunk, (fn, chunk))] = start
+        start += len(chunk)
+    pending = set(starts)
+    while pending:
+        finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+        for fut in finished:
+            base = starts[fut]
+            chunk_results = fut.result()  # re-raises worker exceptions here
+            for offset, result in enumerate(chunk_results):
+                results[base + offset] = result
                 done += 1
                 if progress is not None:
-                    progress(done, total, results[idx])
+                    progress(done, total, result)
     return results

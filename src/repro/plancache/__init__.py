@@ -1,0 +1,26 @@
+"""Memoizing planning layer keyed on hypercube-symmetry canonical forms.
+
+See :mod:`repro.plancache.cache` for the cache itself and
+:mod:`repro.plancache.canonical` for the ``Aut(Q_n)`` canonicalization.
+"""
+
+from repro.plancache.canonical import CanonicalTransform, canonical_form
+from repro.plancache.cache import (
+    PLAN_CACHE,
+    PlanCache,
+    cached_ft_schedule,
+    cached_plain_schedule,
+    cached_route_table,
+    plan_with_cache,
+)
+
+__all__ = [
+    "PLAN_CACHE",
+    "CanonicalTransform",
+    "PlanCache",
+    "cached_ft_schedule",
+    "cached_plain_schedule",
+    "cached_route_table",
+    "canonical_form",
+    "plan_with_cache",
+]

@@ -1,0 +1,195 @@
+"""Canonical forms of fault sets under hypercube automorphisms.
+
+``Aut(Q_n)`` is the semidirect product of the ``2**n`` XOR translations and
+the ``n!`` dimension permutations.  The partition algorithm (paper §2.2),
+the Eq.-(1) sequence selection and the comparator schedules are all
+*equivariant* under this group: solving the planning problem for a fault
+set ``F`` and mapping the answer through an automorphism gives exactly the
+answer for the mapped fault set.  Canonicalizing a fault set therefore lets
+one cached plan serve every isomorphic placement — the same "amortize the
+recovery math" move as ABFT checkpoint reuse.
+
+The canonical representative is computed as:
+
+1. **translation** — XOR the whole set by each of its own members in turn
+   (so the canonical set always contains address 0, the paper's own Step-1
+   re-indexing convention);
+2. **dimension permutation** — for each translated image, a canonical
+   column order of the ``r x n`` fault/bit matrix, found by Weisfeiler-
+   Leman-style color refinement of the columns (seeded by column popcount,
+   refined against the row profile) followed by exhaustive enumeration of
+   the orderings *within* tied color classes (identical columns are
+   interchangeable and enumerated once);
+3. the lexicographically smallest sorted address tuple over all candidates
+   wins, together with the transform that produced it.
+
+Because every step only consults permutation-invariant data (multisets of
+colors) and ties are broken by exhausting the whole tied class, the result
+is invariant: ``canonical_form(sigma(F)) == canonical_form(F)`` for every
+automorphism ``sigma``.  A safety cap bounds the within-class enumeration;
+if it is ever exceeded (astronomically unlikely for the paper's ``r <= n-1``
+regime) the form degrades to a *deterministic but non-canonical* choice,
+which can only cost cache hits, never correctness — every transform
+returned is a genuine automorphism, and plan replay holds for any of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+
+from repro.cube.address import permute_bits
+
+__all__ = ["CanonicalTransform", "canonical_form"]
+
+#: Upper bound on candidate column orderings enumerated per translation.
+#: Tied color classes beyond this fall back to a deterministic order.
+MAX_ORDERINGS = 20_160  # 8!/2
+
+
+@dataclass(frozen=True)
+class CanonicalTransform:
+    """One automorphism of ``Q_n``: ``sigma(u) = permute_bits(u ^ translate)``.
+
+    ``perm[d]`` is the image dimension of source dimension ``d``.  The
+    forward direction maps *real* addresses to *canonical* addresses; the
+    inverse replays cached (canonical-space) plans in real space.
+    """
+
+    n: int
+    translate: int
+    perm: tuple[int, ...]
+
+    def apply(self, addr: int) -> int:
+        """Real address -> canonical address."""
+        return permute_bits(addr ^ self.translate, self.perm)
+
+    def invert(self, addr: int) -> int:
+        """Canonical address -> real address."""
+        inv = [0] * self.n
+        for d, target in enumerate(self.perm):
+            inv[target] = d
+        return permute_bits(addr, inv) ^ self.translate
+
+    def dim_to_real(self, d: int) -> int:
+        """Canonical dimension -> real dimension (inverse of ``perm``)."""
+        return self.perm.index(d)
+
+    @property
+    def is_identity(self) -> bool:
+        return self.translate == 0 and all(p == d for d, p in enumerate(self.perm))
+
+
+def _column_colors(n: int, addrs: tuple[int, ...]) -> list:
+    """Stable permutation-invariant color per dimension (WL refinement).
+
+    Columns of the ``r x n`` bit matrix start colored by popcount and are
+    refined against the rows' color profiles until a fixed point; rows are
+    symmetrically refined against the columns.  All colors are built from
+    sorted multisets only, so relabeling dimensions permutes the color
+    vector without changing any color's value.
+    """
+    col_color = {d: (sum((a >> d) & 1 for a in addrs),) for d in range(n)}
+    row_color = {a: (a.bit_count(),) for a in addrs}  # popcount is invariant
+    for _ in range(n + len(addrs)):
+        new_col = {
+            d: (
+                col_color[d],
+                tuple(sorted(((a >> d) & 1, row_color[a]) for a in addrs)),
+            )
+            for d in range(n)
+        }
+        new_row = {
+            a: (
+                row_color[a],
+                tuple(sorted(((a >> d) & 1, col_color[d]) for d in range(n))),
+            )
+            for a in addrs
+        }
+        stable = len(set(new_col.values())) == len(set(col_color.values())) and len(
+            set(new_row.values())
+        ) == len(set(row_color.values()))
+        col_color, row_color = new_col, new_row
+        if stable:
+            break
+    return [col_color[d] for d in range(n)]
+
+
+def _orderings(n: int, addrs: tuple[int, ...]):
+    """Candidate source-dimension orders, grouped by canonical column color.
+
+    Yields tuples ``order`` (source dims listed in target order: target
+    dimension ``k`` is ``order[k]``).  Dimensions in distinct color classes
+    keep the class order (classes sorted by color, an invariant); within a
+    class all orders are tried, except that dimensions with *identical
+    columns* (equal bit vectors over the fault set) are interchangeable and
+    only one representative order is enumerated.
+    """
+    colors = _column_colors(n, addrs)
+    classes: dict = {}
+    for d in range(n):
+        classes.setdefault(repr(colors[d]), []).append(d)
+    ordered_classes = [dims for _, dims in sorted(classes.items())]
+
+    def content(d: int) -> tuple[int, ...]:
+        return tuple((a >> d) & 1 for a in addrs)
+
+    per_class: list[list[tuple[int, ...]]] = []
+    total = 1
+    for dims in ordered_classes:
+        if len(dims) == 1:
+            per_class.append([tuple(dims)])
+            continue
+        seen: set = set()
+        options: list[tuple[int, ...]] = []
+        for p in permutations(dims):
+            key = tuple(content(d) for d in p)
+            if key in seen:
+                continue
+            seen.add(key)
+            options.append(p)
+            if total * len(options) > MAX_ORDERINGS:
+                options = [tuple(sorted(dims))]  # deterministic fallback
+                break
+        per_class.append(options)
+        total *= len(options)
+
+    def product(idx: int, prefix: tuple[int, ...]):
+        if idx == len(per_class):
+            yield prefix
+            return
+        for opt in per_class[idx]:
+            yield from product(idx + 1, prefix + opt)
+
+    yield from product(0, ())
+
+
+def canonical_form(
+    n: int, processors: tuple[int, ...] | list[int]
+) -> tuple[tuple[int, ...], CanonicalTransform]:
+    """Canonical representative of a fault set and the transform reaching it.
+
+    Returns ``(canonical, tf)`` with ``canonical = sorted(map(tf.apply,
+    processors))``; ``canonical`` is identical for every fault set in the
+    same ``Aut(Q_n)`` orbit (up to the :data:`MAX_ORDERINGS` cap, see the
+    module docstring), and always contains address 0 when non-empty.
+    """
+    procs = tuple(sorted(set(processors)))
+    identity = tuple(range(n))
+    if not procs:
+        return (), CanonicalTransform(n, 0, identity)
+
+    best: tuple[tuple[int, ...], int, tuple[int, ...]] | None = None
+    for t in procs:
+        translated = tuple(sorted(p ^ t for p in procs))
+        for order in _orderings(n, translated):
+            # order[k] is the source dim landing at target dim k, i.e.
+            # perm[order[k]] = k.
+            perm = [0] * n
+            for k, d in enumerate(order):
+                perm[d] = k
+            image = tuple(sorted(permute_bits(p, perm) for p in translated))
+            if best is None or image < best[0]:
+                best = (image, t, tuple(perm))
+    assert best is not None
+    return best[0], CanonicalTransform(n, best[1], best[2])

@@ -157,13 +157,32 @@ class EventEngine:
         stay queued).
         """
         self._stopped = False
-        while self._queue and not self._stopped:
-            t, _, fn = self._queue[0]
-            if until is not None and t > until:
-                break
-            heapq.heappop(self._queue)
-            self.now = t
-            fn()
+        queue = self._queue
+        pop = heapq.heappop
+        if until is None:
+            # Unbounded run: every queued event fires, so pop directly
+            # instead of peek-then-pop.  ``_stopped`` must be re-read after
+            # each handler — ``stop()`` is called from inside handlers.
+            while queue:
+                t, _, fn = pop(queue)
+                self.now = t
+                fn()
+                if self._stopped:
+                    break
+        else:
+            # Bounded run: peek the head timestamp once per *batch* and
+            # drain every event sharing it (barrier-style workloads queue
+            # many same-time events), re-peeking only within the batch.
+            while queue and not self._stopped:
+                t = queue[0][0]
+                if t > until:
+                    break
+                self.now = t
+                while queue and queue[0][0] == t:
+                    _, _, fn = pop(queue)
+                    fn()
+                    if self._stopped:
+                        break
         if until is not None and until > self.now and not self._stopped:
             self.now = until
         return self.now

@@ -33,9 +33,15 @@ from repro.cube.address import hamming_distance, validate_address
 from repro.cube.topology import Hypercube
 from repro.faults.model import FaultKind, FaultSet
 from repro.obs.spans import NULL_TRACER, PID_SIM, TID_PHASES
+from repro.plancache.cache import cached_route_table
 from repro.simulator.params import MachineParams
 
 __all__ = ["PhaseMachine", "PhaseRecord"]
+
+# Shared immutable fallback for key-less nodes; get_block is on the charge
+# accounting's hot path and must not allocate per call.
+_EMPTY_BLOCK = np.empty(0, dtype=float)
+_EMPTY_BLOCK.flags.writeable = False
 
 
 @dataclass
@@ -98,6 +104,10 @@ class PhaseMachine:
         self._current: PhaseRecord | None = None
         self._node_time: dict[int, float] = {}
         self._hop_cache: dict[int, dict[int, int]] = {}
+        self._size = 1 << n
+        self._detour_needed = bool(self.faults.links) or (
+            self.faults.r > 0 and self.faults.kind is FaultKind.TOTAL
+        )
         #: Optional hook called as ``on_phase_end(machine, record)`` after
         #: every phase closes — used by walkthrough/teaching tools to
         #: snapshot block states without touching the algorithms.
@@ -116,9 +126,10 @@ class PhaseMachine:
         self.blocks[addr] = arr
 
     def get_block(self, addr: int) -> np.ndarray:
-        """Node ``addr``'s current block (empty array if none)."""
-        validate_address(addr, self.n)
-        return self.blocks.get(addr, np.empty(0, dtype=float))
+        """Node ``addr``'s current block (a shared empty array if none)."""
+        if type(addr) is not int or not 0 <= addr < self._size:
+            validate_address(addr, self.n)
+        return self.blocks.get(addr, _EMPTY_BLOCK)
 
     def clear_blocks(self) -> None:
         """Drop all stored blocks (clocks and phase history are kept)."""
@@ -138,14 +149,13 @@ class PhaseMachine:
         surviving path (faulty nodes are impassable only under the total
         model; faulty links always are).  Endpoints must be fault-free.
         """
-        validate_address(a, self.n)
-        validate_address(b, self.n)
+        if type(a) is not int or not 0 <= a < self._size:
+            validate_address(a, self.n)
+        if type(b) is not int or not 0 <= b < self._size:
+            validate_address(b, self.n)
         if a == b:
             return 0
-        detour_needed = self.faults.links or (
-            self.faults.r > 0 and self.faults.kind is FaultKind.TOTAL
-        )
-        if not detour_needed:
+        if not self._detour_needed:
             return hamming_distance(a, b)
         if self.faults.is_faulty(a) or self.faults.is_faulty(b):
             raise ValueError(f"cannot route between faulty endpoints {a}, {b}")
@@ -158,12 +168,26 @@ class PhaseMachine:
         return dist[b]
 
     def _surviving_distances(self, src: int) -> dict[int, int]:
-        """BFS distances from ``src`` honoring node *and* link faults."""
+        """BFS distances from ``src`` honoring node *and* link faults.
+
+        Served from the process-wide plan cache keyed on the (immutable)
+        fault set: scenario supervisors build many short-lived machines
+        over the same fault view, and the tables are identical across
+        them.  The returned dict is shared — treated as read-only by
+        :meth:`hops`.
+        """
+        return cached_route_table(self.faults, src, lambda: self._bfs_distances(src))
+
+    def _bfs_distances(self, src: int) -> dict[int, int]:
         from collections import deque
 
         blocked_nodes = (
             set(self.faults.processors) if self.faults.kind is FaultKind.TOTAL else set()
         )
+        # Without link faults, blocked_nodes alone decides reachability
+        # (total-fault endpoints never enter the frontier), so the per-edge
+        # link query can be skipped wholesale.
+        check_links = bool(self.faults.links)
         dist = {src: 0}
         queue: deque[int] = deque([src])
         while queue:
@@ -172,7 +196,7 @@ class PhaseMachine:
                 nxt = cur ^ (1 << d)
                 if nxt in dist or nxt in blocked_nodes:
                     continue
-                if self.faults.is_link_faulty(cur, nxt):
+                if check_links and self.faults.is_link_faulty(cur, nxt):
                     continue
                 dist[nxt] = dist[cur] + 1
                 queue.append(nxt)
@@ -237,14 +261,16 @@ class PhaseMachine:
 
     def charge_compute(self, addr: int, comparisons: int) -> None:
         """Charge ``comparisons`` key comparisons to node ``addr``."""
-        rec = self._require_phase()
-        validate_address(addr, self.n)
+        rec = self._current
+        if rec is None:
+            rec = self._require_phase()
+        if type(addr) is not int or not 0 <= addr < self._size:
+            validate_address(addr, self.n)
         if comparisons < 0:
             raise ValueError("comparisons must be non-negative")
         rec.comparisons += comparisons
-        self._node_time[addr] = self._node_time.get(addr, 0.0) + self.params.compare_time(
-            comparisons
-        )
+        node_time = self._node_time
+        node_time[addr] = node_time.get(addr, 0.0) + self.params.compare_time(comparisons)
 
     def charge_transfer(self, src: int, dst: int, elements: int, hops: int | None = None) -> None:
         """Charge a transfer of ``elements`` keys from ``src`` to ``dst``.
@@ -253,9 +279,13 @@ class PhaseMachine:
         ``t_s/r`` covers "sending or receiving").  ``hops`` defaults to
         :meth:`hops`.
         """
-        rec = self._require_phase()
-        validate_address(src, self.n)
-        validate_address(dst, self.n)
+        rec = self._current
+        if rec is None:
+            rec = self._require_phase()
+        if type(src) is not int or not 0 <= src < self._size:
+            validate_address(src, self.n)
+        if type(dst) is not int or not 0 <= dst < self._size:
+            validate_address(dst, self.n)
         if elements < 0:
             raise ValueError("elements must be non-negative")
         if elements == 0:
@@ -266,8 +296,9 @@ class PhaseMachine:
         rec.elements_sent += elements
         rec.element_hops += elements * hops
         rec.messages += 1
-        for endpoint in (src, dst):
-            self._node_time[endpoint] = self._node_time.get(endpoint, 0.0) + t
+        node_time = self._node_time
+        node_time[src] = node_time.get(src, 0.0) + t
+        node_time[dst] = node_time.get(dst, 0.0) + t
 
     def charge_swap(self, a: int, b: int, elements: int, hops: int | None = None) -> None:
         """Charge a *simultaneous* bidirectional exchange of ``elements``.
@@ -279,9 +310,13 @@ class PhaseMachine:
         ``ceil(M/2N') t_s/r`` term, not two).  Counters record the traffic
         of both directions.
         """
-        rec = self._require_phase()
-        validate_address(a, self.n)
-        validate_address(b, self.n)
+        rec = self._current
+        if rec is None:
+            rec = self._require_phase()
+        if type(a) is not int or not 0 <= a < self._size:
+            validate_address(a, self.n)
+        if type(b) is not int or not 0 <= b < self._size:
+            validate_address(b, self.n)
         if elements < 0:
             raise ValueError("elements must be non-negative")
         if elements == 0:
@@ -292,8 +327,9 @@ class PhaseMachine:
         rec.elements_sent += 2 * elements
         rec.element_hops += 2 * elements * hops
         rec.messages += 2
-        for endpoint in (a, b):
-            self._node_time[endpoint] = self._node_time.get(endpoint, 0.0) + t
+        node_time = self._node_time
+        node_time[a] = node_time.get(a, 0.0) + t
+        node_time[b] = node_time.get(b, 0.0) + t
 
     # -- summaries ---------------------------------------------------------
 

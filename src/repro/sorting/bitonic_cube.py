@@ -88,8 +88,12 @@ def _charge_exchange(
     k: int,
     hops: int | None,
     probe: bool,
-) -> None:
-    """Charge one executed (non-skipped) compare-split, per the paper's model."""
+) -> int:
+    """Charge one executed (non-skipped) compare-split, per the paper's model.
+
+    Returns the number of messages exchanged (the caller accumulates the
+    obs counters for the whole phase and flushes them once).
+    """
     first_leg = (k + 1) // 2
     return_leg = k // 2
     # Half-exchange protocol: both sides ship half simultaneously, then
@@ -103,10 +107,7 @@ def _charge_exchange(
     # paper's step-7(c) charge).
     machine.charge_compute(addr_low, first_leg + max(k - 1, 0))
     machine.charge_compute(addr_high, return_leg + max(k - 1, 0))
-    if machine.obs.enabled:
-        m = machine.obs.metrics
-        m.inc("sort.cx.executed")
-        m.inc("sort.messages", (2 if probe else 0) + 2 + (2 if return_leg else 0))
+    return (2 if probe else 0) + 2 + (2 if return_leg else 0)
 
 
 def run_exchange_jobs(
@@ -128,6 +129,11 @@ def run_exchange_jobs(
     paths are indistinguishable to the machine.
     """
     kern = resolve_backend(kernels)
+    # Obs counters accumulate locally and flush once per call — this
+    # function runs once per substage, and per-pair metric increments were
+    # measurably hot on large campaigns.
+    skipped = 0
+    messages = 0
     live: list[tuple[int, int, bool, int | None, np.ndarray, np.ndarray]] = []
     for addr_low, addr_high, low_keeps_min, hops in jobs:
         a = machine.get_block(addr_low)
@@ -145,33 +151,42 @@ def run_exchange_jobs(
             machine.charge_compute(addr_high, 1)
             skip = a[-1] <= b[0] if low_keeps_min else b[-1] <= a[0]
             if skip:
-                if machine.obs.enabled:
-                    m = machine.obs.metrics
-                    m.inc("sort.cx.skipped")
-                    m.inc("sort.messages", 2)
+                skipped += 1
+                messages += 2
                 continue
         live.append((addr_low, addr_high, low_keeps_min, hops, a, b))
-    if not live:
-        return
-    sizes = {a.size for _, _, _, _, a, b in live} | {b.size for _, _, _, _, a, b in live}
-    if kern.batched and len(live) > 1 and len(sizes) == 1:
-        # Stage-batched fast path: one 2-D exchange-split over every pair.
-        # Row t's min-keeping side goes into X, the other into Y.
-        x = np.stack([a if km else b for _, _, km, _, a, b in live])
-        y = np.stack([b if km else a for _, _, km, _, a, b in live])
-        lows, highs = kern.split_blocks(x, y)
-        for t, (addr_low, addr_high, km, hops, a, b) in enumerate(live):
-            min_addr, max_addr = (addr_low, addr_high) if km else (addr_high, addr_low)
-            machine.blocks[min_addr] = lows[t]
-            machine.blocks[max_addr] = highs[t]
-            _charge_exchange(machine, addr_low, addr_high, int(a.size), hops, probe)
-    else:
-        for addr_low, addr_high, km, hops, a, b in live:
-            low, high = kern.split_pair(a, b)
-            min_addr, max_addr = (addr_low, addr_high) if km else (addr_high, addr_low)
-            machine.blocks[min_addr] = low
-            machine.blocks[max_addr] = high
-            _charge_exchange(machine, addr_low, addr_high, int(a.size), hops, probe)
+    if live:
+        sizes = {a.size for _, _, _, _, a, b in live} | {b.size for _, _, _, _, a, b in live}
+        if kern.batched and len(live) > 1 and len(sizes) == 1:
+            # Stage-batched fast path: one 2-D exchange-split over every pair.
+            # Row t's min-keeping side goes into X, the other into Y.
+            x = np.stack([a if km else b for _, _, km, _, a, b in live])
+            y = np.stack([b if km else a for _, _, km, _, a, b in live])
+            lows, highs = kern.split_blocks(x, y)
+            for t, (addr_low, addr_high, km, hops, a, b) in enumerate(live):
+                min_addr, max_addr = (addr_low, addr_high) if km else (addr_high, addr_low)
+                machine.blocks[min_addr] = lows[t]
+                machine.blocks[max_addr] = highs[t]
+                messages += _charge_exchange(
+                    machine, addr_low, addr_high, int(a.size), hops, probe
+                )
+        else:
+            for addr_low, addr_high, km, hops, a, b in live:
+                low, high = kern.split_pair(a, b)
+                min_addr, max_addr = (addr_low, addr_high) if km else (addr_high, addr_low)
+                machine.blocks[min_addr] = low
+                machine.blocks[max_addr] = high
+                messages += _charge_exchange(
+                    machine, addr_low, addr_high, int(a.size), hops, probe
+                )
+    if machine.obs.enabled and (messages or skipped or live):
+        m = machine.obs.metrics
+        if live:
+            m.inc("sort.cx.executed", len(live))
+        if skipped:
+            m.inc("sort.cx.skipped", skipped)
+        if messages:
+            m.inc("sort.messages", messages)
 
 
 def exchange_pair(

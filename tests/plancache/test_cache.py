@@ -1,0 +1,86 @@
+"""Unit tests for the :class:`repro.plancache.PlanCache` mechanics."""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.plancache import PlanCache
+from repro.plancache.cache import _env_enabled
+
+
+class TestMemo:
+    def test_miss_then_hit(self):
+        cache = PlanCache()
+        calls = []
+        assert cache.memo("plan", ("k",), lambda: calls.append(1) or 41) == 41
+        assert cache.memo("plan", ("k",), lambda: calls.append(1) or 42) == 41
+        assert len(calls) == 1
+        stats = cache.stats()
+        assert stats["hits"]["plan"] == 1
+        assert stats["misses"]["plan"] == 1
+
+    def test_disabled_is_transparent_and_uncounted(self):
+        cache = PlanCache(enabled=False)
+        assert cache.memo("plan", ("k",), lambda: 1) == 1
+        assert cache.memo("plan", ("k",), lambda: 2) == 2  # recomputed
+        stats = cache.stats()
+        assert stats["total_hits"] == 0 and stats["total_misses"] == 0
+        assert cache.size == 0
+
+    def test_lru_eviction_at_capacity(self):
+        cache = PlanCache(capacity=2)
+        cache.memo("plan", (1,), lambda: "a")
+        cache.memo("plan", (2,), lambda: "b")
+        cache.memo("plan", (1,), lambda: "x")  # refresh 1; 2 is now LRU
+        cache.memo("plan", (3,), lambda: "c")  # evicts 2
+        assert cache.stats()["evictions"] == 1
+        assert cache.memo("plan", (1,), lambda: "y") == "a"
+        assert cache.memo("plan", (2,), lambda: "b2") == "b2"  # was evicted
+
+    def test_configure_shrink_evicts(self):
+        cache = PlanCache(capacity=8)
+        for i in range(8):
+            cache.memo("plan", (i,), lambda: i)
+        cache.configure(capacity=3)
+        assert cache.size == 3
+
+    def test_clear(self):
+        cache = PlanCache()
+        cache.memo("plan", (1,), lambda: 1)
+        cache.clear(reset_counters=True)
+        assert cache.size == 0
+        assert cache.stats()["total_misses"] == 0
+
+
+class TestMetricsExport:
+    def test_export_and_baseline_delta(self):
+        cache = PlanCache()
+        cache.memo("routes", (1,), lambda: 1)
+        baseline = cache.stats()
+        cache.memo("routes", (1,), lambda: 1)  # 1 hit after baseline
+        cache.memo("routes", (2,), lambda: 2)  # 1 miss after baseline
+
+        registry = MetricsRegistry()
+        cache.export_metrics(registry, baseline=baseline)
+        snapshot = registry.to_dict()
+        counters = snapshot["counters"]
+        assert counters["plancache.hits"] == 1
+        assert counters["plancache.misses"] == 1
+        assert counters["plancache.hits.routes"] == 1
+        assert snapshot["gauges"]["plancache.entries"] == 2
+
+    def test_summary_mentions_every_section(self):
+        cache = PlanCache()
+        text = cache.summary()
+        for section in ("plan", "canon", "sched", "routes", "nominal"):
+            assert section in text
+
+
+class TestEnvGate:
+    def test_env_enabled_parsing(self, monkeypatch):
+        for value, expected in [("off", False), ("0", False), ("no", False),
+                                ("on", True), ("1", True), (None, True)]:
+            if value is None:
+                monkeypatch.delenv("REPRO_PLAN_CACHE", raising=False)
+            else:
+                monkeypatch.setenv("REPRO_PLAN_CACHE", value)
+            assert _env_enabled() is expected
