@@ -5,8 +5,9 @@ kernels) run three ways over the *same* scenario stream —
 
 * **nocache** — :data:`repro.plancache.PLAN_CACHE` disabled, the
   pre-cache baseline;
-* **cold** — cache enabled but empty, paying canonicalization on top of
-  the planning work it memoizes;
+* **cold** — cache enabled but empty; with lazy canonicalization the
+  ``Aut(Q_n)`` search is deferred until an orbit signature recurs, so
+  this run must stay within 5% of the no-cache baseline;
 * **warm** — the identical campaign re-run against the populated cache.
 
 The campaign is planning-heavy on purpose (``n in (7, 8)`` so the
@@ -80,15 +81,18 @@ class TestPlanCacheCampaignSpeedup:
         stats = PLAN_CACHE.stats()
         warm_speedup = t_off / t_warm
         warm_vs_cold = t_cold / t_warm
+        cold_vs_nocache = t_off / t_cold
         print(f"\nplan-cache campaign x{count} n={N_CHOICES}: "
               f"nocache {t_off:.2f}s, cold {t_cold:.2f}s, warm {t_warm:.2f}s "
-              f"({warm_speedup:.2f}x warm vs nocache)")
+              f"({warm_speedup:.2f}x warm vs nocache, "
+              f"{cold_vs_nocache:.2f}x cold vs nocache)")
         bench_json("plancache", "chaos_campaign", {
             "scenarios": count, "seed": SEED, "n_choices": list(N_CHOICES),
             "backends": list(BACKENDS),
             "nocache_seconds": t_off, "cold_seconds": t_cold,
             "warm_seconds": t_warm,
             "warm_speedup": warm_speedup, "warm_vs_cold": warm_vs_cold,
+            "cold_vs_nocache": cold_vs_nocache,
             "reports_identical": True,
             "cache": stats,
         })
@@ -98,6 +102,13 @@ class TestPlanCacheCampaignSpeedup:
             assert warm_speedup >= 3.0, (
                 f"expected >=3x warm-vs-nocache at {count} scenarios, "
                 f"got {warm_speedup:.2f}x")
+            # Lazy canonicalization keeps the cold (first-sighting) run
+            # within noise of cache-off: the Aut(Q_n) search is deferred
+            # until an orbit signature recurs, so one-shot workloads pay
+            # only the signature hash and a few dict probes.
+            assert cold_vs_nocache >= 0.95, (
+                f"cold cache run more than 5% slower than cache-off "
+                f"({cold_vs_nocache:.3f}x) — lazy canonicalization regressed")
 
 
 class TestCacheTransparency:

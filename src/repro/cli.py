@@ -12,6 +12,10 @@ Subcommands::
     repro table1  [--trials N]        (same as repro-table1)
     repro table2  [--trials N]
     repro figure7 --n 6 [--points P]
+    repro serve   [--port 0] [--jobs J] [--batch-max B] [--stdio]
+                  [--max-queued N] [--obs-out obs.json] [--port-file P]
+    repro submit  --port P [--kind sort] --n 5 --faults 3,5 --count 20
+                  [--tenants a,b] [--drain] [--stats]
 
 ``sort`` runs the fault-tolerant sort on random keys, verifies the output
 against numpy, and prints the plan plus a stage-level cost breakdown.
@@ -28,6 +32,11 @@ scenarios out over worker processes with identical results.
 ``--kernels`` on ``sort``/``trace`` selects the execution backend for the
 sorting inner loops (``numpy`` vectorized default, ``loop`` pure-Python
 reference; see docs/PERFORMANCE.md) — outputs and counts are identical.
+``serve`` runs the sorting-as-a-service job server (JSONL over TCP, or
+stdin/stdout with ``--stdio``) until drained by SIGTERM/SIGINT or a client
+``drain``; ``submit`` is the matching client — it submits ``--count`` jobs
+round-robin across ``--tenants``, waits for every result, and prints a
+latency/throughput summary (see docs/SERVICE.md).
 """
 
 from __future__ import annotations
@@ -250,6 +259,95 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if summary.all_passed else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import serve as serve_service
+
+    def ready(service, port) -> None:
+        if port is None:
+            print("repro service: speaking JSONL on stdio", file=sys.stderr,
+                  flush=True)
+            return
+        print(f"repro service: listening on {args.host}:{port}",
+              file=sys.stderr, flush=True)
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as fh:
+                fh.write(f"{port}\n")
+
+    service = asyncio.run(serve_service(
+        host=args.host,
+        port=args.port,
+        stdio=args.stdio,
+        ready=ready,
+        jobs=args.jobs,
+        max_queued=args.max_queued,
+        max_queued_per_tenant=args.max_queued_per_tenant,
+        batch_max=args.batch_max,
+        obs_out=args.obs_out,
+    ))
+    stats = service.stats()
+    print(f"repro service: drained (completed={stats['completed']} "
+          f"failed={stats['failed']} rejected={stats['rejected']})",
+          file=sys.stderr, flush=True)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.service import ServiceClient
+
+    tenants = [t for t in args.tenants.replace(" ", "").split(",") if t]
+    if not tenants:
+        raise SystemExit("repro: invalid --tenants: need at least one name")
+    job: dict = {"kind": args.kind}
+    if args.kind in ("sort", "plan"):
+        job["n"] = args.n
+        job["faults"] = _fault_list(args.faults, args.n, max_faults=args.n - 1)
+    if args.kind == "sort":
+        job["keys"] = args.keys
+        job["backend"] = args.backend
+        if args.kernels:
+            job["kernels"] = args.kernels
+
+    async def run() -> int:
+        client = await ServiceClient.connect(args.host, args.port)
+        try:
+            acks, rejected = [], []
+            for i in range(args.count):
+                payload = dict(job)
+                payload["seed"] = args.seed + i
+                if args.kind == "chaos":
+                    payload["index"] = i
+                ack = await client.submit(
+                    payload, tenant=tenants[i % len(tenants)], retry=True)
+                (acks if ack.get("ok") else rejected).append(ack)
+            results = [await client.result(a["job_id"]) for a in acks]
+            if args.stats:
+                print(json.dumps(await client.stats(), indent=2, sort_keys=True))
+            if args.drain:
+                await client.drain()
+        finally:
+            await client.close()
+        ok = sum(1 for r in results if r["ok"])
+        lat = sorted(r["latency_ms"] for r in results)
+        print(f"submitted {args.count} {args.kind} job(s) across "
+              f"{len(tenants)} tenant(s): {ok} ok, "
+              f"{len(results) - ok} failed, {len(rejected)} rejected")
+        if lat:
+            print(f"  latency  : p50 {lat[len(lat) // 2]:.1f} ms, "
+                  f"max {lat[-1]:.1f} ms")
+        for r in results if args.verbose else ():
+            print(f"  {r['job_id']} [{r['tenant']}] ok={r['ok']} "
+                  f"run={r['run_ms']:.1f}ms batched={r['batched']} "
+                  f"-> {r['result']}")
+        return 0 if ok == args.count else 1
+
+    return asyncio.run(run())
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``repro`` console script."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -322,6 +420,56 @@ def main(argv: list[str] | None = None) -> int:
                               "every scenario), stats (print hit/miss counters "
                               "after the campaign)")
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the sorting-as-a-service job server"
+    )
+    p_serve.add_argument("--host", type=str, default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 = pick a free one)")
+    p_serve.add_argument("--stdio", action="store_true",
+                         help="speak the protocol on stdin/stdout instead of TCP")
+    p_serve.add_argument("--jobs", type=int, default=1,
+                         help="executor width: 1 = in-process (shared plan "
+                              "cache), >1 = warm worker pool")
+    p_serve.add_argument("--max-queued", type=int, default=1024,
+                         help="global admission bound")
+    p_serve.add_argument("--max-queued-per-tenant", type=int, default=512,
+                         help="per-tenant admission bound")
+    p_serve.add_argument("--batch-max", type=int, default=8,
+                         help="max compatible jobs fused per dispatch")
+    p_serve.add_argument("--obs-out", type=str, default=None,
+                         help="write a metrics/plan-cache JSON snapshot on drain")
+    p_serve.add_argument("--port-file", type=str, default=None,
+                         help="write the bound TCP port to this file (CI)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit jobs to a running repro service"
+    )
+    p_submit.add_argument("--host", type=str, default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, required=True)
+    p_submit.add_argument("--kind", choices=("sort", "plan", "chaos"),
+                          default="sort")
+    p_submit.add_argument("--n", type=int, default=5)
+    p_submit.add_argument("--faults", type=str, default="")
+    p_submit.add_argument("--keys", type=int, default=1024)
+    p_submit.add_argument("--seed", type=int, default=0,
+                          help="base seed (job i uses seed + i)")
+    p_submit.add_argument("--backend", choices=("phase", "spmd"),
+                          default="phase")
+    p_submit.add_argument("--kernels", choices=("numpy", "loop"), default=None)
+    p_submit.add_argument("--count", type=int, default=1,
+                          help="number of jobs to submit")
+    p_submit.add_argument("--tenants", type=str, default="default",
+                          help="comma-separated tenant names (round-robin)")
+    p_submit.add_argument("--drain", action="store_true",
+                          help="drain the server after the results arrive")
+    p_submit.add_argument("--stats", action="store_true",
+                          help="print the server stats payload as JSON")
+    p_submit.add_argument("--verbose", action="store_true",
+                          help="print every job result")
+    p_submit.set_defaults(func=_cmd_submit)
 
     for name in ("table1", "table2", "figure7"):
         p = sub.add_parser(name, help=f"regenerate {name} (see repro-{name})")

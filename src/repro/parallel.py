@@ -35,7 +35,7 @@ import os
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
-__all__ = ["resolve_jobs", "run_tasks"]
+__all__ = ["resolve_jobs", "run_tasks", "shutdown_pool", "warm_pool"]
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -74,8 +74,21 @@ def _shared_pool(workers: int) -> ProcessPoolExecutor:
     return _pool
 
 
+def warm_pool(workers: int) -> ProcessPoolExecutor:
+    """Public handle on the shared warm pool (``repro.service`` dispatches
+    job batches onto it directly via ``loop.run_in_executor``)."""
+    return _shared_pool(workers)
+
+
 @atexit.register
-def _shutdown_pool() -> None:  # pragma: no cover - interpreter teardown
+def shutdown_pool() -> None:
+    """Tear the warm pool down (workers killed, queued chunks cancelled).
+
+    Safe to call when no pool exists; the next :func:`run_tasks` /
+    :func:`warm_pool` call rebuilds one.  Registered at exit, and invoked
+    by :func:`run_tasks` itself on interrupt-style exceptions so a Ctrl-C
+    mid-campaign never leaves orphaned worker processes behind.
+    """
     global _pool
     if _pool is not None:
         _pool.shutdown(wait=False, cancel_futures=True)
@@ -135,14 +148,29 @@ def run_tasks(
         starts[pool.submit(_run_chunk, (fn, chunk))] = start
         start += len(chunk)
     pending = set(starts)
-    while pending:
-        finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-        for fut in finished:
-            base = starts[fut]
-            chunk_results = fut.result()  # re-raises worker exceptions here
-            for offset, result in enumerate(chunk_results):
-                results[base + offset] = result
-                done += 1
-                if progress is not None:
-                    progress(done, total, result)
+    try:
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in finished:
+                base = starts[fut]
+                chunk_results = fut.result()  # re-raises worker exceptions here
+                for offset, result in enumerate(chunk_results):
+                    results[base + offset] = result
+                    done += 1
+                    if progress is not None:
+                        progress(done, total, result)
+    except Exception:
+        # A task (or progress callback) failed: drop the queued chunks but
+        # keep the warm pool — one bad task does not poison the workers.
+        for fut in pending:
+            fut.cancel()
+        raise
+    except BaseException:
+        # Interrupt-style teardown (KeyboardInterrupt, SystemExit): cancel
+        # everything queued and kill the pool so no worker outlives the
+        # run that was aborted.
+        for fut in pending:
+            fut.cancel()
+        shutdown_pool()
+        raise
     return results

@@ -4,7 +4,7 @@ See :mod:`repro.plancache.cache` for the cache itself and
 :mod:`repro.plancache.canonical` for the ``Aut(Q_n)`` canonicalization.
 """
 
-from repro.plancache.canonical import CanonicalTransform, canonical_form
+from repro.plancache.canonical import CanonicalTransform, canonical_form, orbit_signature
 from repro.plancache.cache import (
     PLAN_CACHE,
     PlanCache,
@@ -22,5 +22,6 @@ __all__ = [
     "cached_plain_schedule",
     "cached_route_table",
     "canonical_form",
+    "orbit_signature",
     "plan_with_cache",
 ]

@@ -4,11 +4,14 @@ One process-wide :class:`PlanCache` (:data:`PLAN_CACHE`) serves every
 planning-pipeline consumer:
 
 * ``plan`` — :func:`repro.core.partition.find_min_cuts` + the Eq.-(1)
-  per-sequence costs, keyed on the *canonical form* of the fault set under
-  hypercube automorphisms (:mod:`repro.plancache.canonical`) and replayed
-  through the inverse transform (see :func:`plan_with_cache`);
+  per-sequence costs.  Entries come in two flavors: exact-keyed resolved
+  plans (the lazy cold path — a fault set whose orbit signature has never
+  been seen is planned directly, with no canonicalization at all) and
+  orbit-keyed canonical plans replayed through the inverse transform once
+  a signature recurs (see :func:`plan_with_cache`);
 * ``canon`` — exact fault-tuple -> canonical form, so one real fault set is
-  canonicalized at most once;
+  canonicalized at most once — and, since canonicalization is lazy, only
+  when its orbit signature has been sighted more than once;
 * ``sched`` — built :class:`~repro.core.schedule.SortSchedule` objects
   (frozen, safely shared) keyed on the resolved plan;
 * ``routes`` — fault-aware BFS distance tables of the phase machine's hop
@@ -42,7 +45,7 @@ from threading import Lock
 # phase machine through the sorting layer.  Core imports stay inside the
 # functions that need them.
 from repro.cube.subcube import AddressSplit
-from repro.plancache.canonical import CanonicalTransform, canonical_form
+from repro.plancache.canonical import CanonicalTransform, canonical_form, orbit_signature
 
 __all__ = [
     "PLAN_CACHE",
@@ -54,6 +57,9 @@ __all__ = [
 ]
 
 _SECTIONS = ("plan", "canon", "sched", "routes", "nominal")
+
+#: Sentinel distinguishing "no entry" from a cached ``None``.
+_MISS = object()
 
 
 class PlanCache:
@@ -72,6 +78,7 @@ class PlanCache:
         self.enabled = bool(enabled)
         self._store: OrderedDict = OrderedDict()
         self._lock = Lock()
+        self._sigs: OrderedDict = OrderedDict()
         self.hits = {s: 0 for s in _SECTIONS}
         self.misses = {s: 0 for s in _SECTIONS}
         self.evictions = 0
@@ -96,6 +103,7 @@ class PlanCache:
         """Drop every entry (and optionally the counters)."""
         with self._lock:
             self._store.clear()
+            self._sigs.clear()
             if reset_counters:
                 self.hits = {s: 0 for s in _SECTIONS}
                 self.misses = {s: 0 for s in _SECTIONS}
@@ -130,6 +138,54 @@ class PlanCache:
                 self.evictions += 1
         return value
 
+    def get(self, section: str, key: tuple):
+        """Counted lookup: the cached value, or :data:`_MISS` when absent.
+
+        The split get/put pair exists for consumers whose miss path is not
+        a single ``compute()`` — :func:`plan_with_cache` decides *how* to
+        plan (directly, or through canonicalization) only after it knows
+        the exact entry is missing.  Disabled caches always miss, uncounted,
+        mirroring :meth:`memo`'s transparency contract.
+        """
+        if not self.enabled:
+            return _MISS
+        full = (section, key)
+        with self._lock:
+            if full in self._store:
+                self._store.move_to_end(full)
+                self.hits[section] += 1
+                return self._store[full]
+            self.misses[section] += 1
+            return _MISS
+
+    def put(self, section: str, key: tuple, value) -> None:
+        """Store ``value`` (no counters; pairs with a prior :meth:`get`)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._store[(section, key)] = value
+            self._store.move_to_end((section, key))
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
+                self.evictions += 1
+
+    def note_signature(self, sig) -> int:
+        """Record one sighting of an orbit signature; return the new count.
+
+        Drives lazy canonicalization: the first sighting of a signature
+        plans directly on the real fault set (no canonicalization), later
+        sightings — a second fault set that *may* share the orbit — switch
+        to the canonical path so the whole orbit converges on one cached
+        plan.  The sighting table is LRU-bounded by the cache capacity.
+        """
+        with self._lock:
+            count = self._sigs.get(sig, 0) + 1
+            self._sigs[sig] = count
+            self._sigs.move_to_end(sig)
+            while len(self._sigs) > self.capacity:
+                self._sigs.popitem(last=False)
+            return count
+
     # -- reporting ---------------------------------------------------------
 
     @property
@@ -148,6 +204,7 @@ class PlanCache:
             "total_misses": sum(self.misses.values()),
             "evictions": self.evictions,
             "canonicalizations": self.canonicalizations,
+            "signatures": len(self._sigs),
         }
 
     def summary(self) -> str:
@@ -225,7 +282,14 @@ def plan_with_cache(n: int, faults):
     """Partition + Eq.-(1) selection, served from the canonical plan cache.
 
     Cache-off (or for the trivial ``r <= 1`` case) this is exactly
-    ``find_min_cuts`` + ``select_cut_sequence``.  Cache-on, the DFS and the
+    ``find_min_cuts`` + ``select_cut_sequence``.  Cache-on, canonicalization
+    is **lazy**: the first sighting of an orbit signature (a cheap
+    ``Aut(Q_n)``-invariant pre-hash, :func:`~repro.plancache.canonical.
+    orbit_signature`) plans directly on the real fault set and stores the
+    resolved plan under an exact key — a cold, never-repeating workload
+    therefore pays essentially nothing over cache-off.  Only when a
+    signature recurs (a likely second orbit member, or a hash collision)
+    does the set get canonicalized, after which the DFS and the
     per-sequence Eq.-(1) costs are computed once per automorphism orbit on
     the canonical fault set, then replayed:
 
@@ -255,6 +319,23 @@ def plan_with_cache(n: int, faults):
         partition = find_min_cuts(n, procs)
         return partition, select_cut_sequence(partition)
 
+    # Exact fast path: this precise fault set has been fully resolved
+    # before (keys are namespaced by a leading tag so they can never
+    # collide with orbit-keyed entries below).
+    exact_key = ("exact", n, procs)
+    resolved = PLAN_CACHE.get("plan", exact_key)
+    if resolved is not _MISS:
+        return resolved
+
+    if PLAN_CACHE.note_signature(orbit_signature(n, procs)) <= 1:
+        # Lazy canonicalization: first sighting of this orbit signature —
+        # plan directly, exactly as cache-off would, and defer the
+        # canonical-form search until the orbit proves it recurs.
+        partition = find_min_cuts(n, procs)
+        selection = select_cut_sequence(partition)
+        PLAN_CACHE.put("plan", exact_key, (partition, selection))
+        return partition, selection
+
     canon, tf = _canonical(n, procs)
 
     def compute():
@@ -264,7 +345,7 @@ def plan_with_cache(n: int, faults):
         )
         return canon_part.mincut, canon_part.cutting_set, costs
 
-    mincut, canon_psi, costs = PLAN_CACHE.memo("plan", (n, canon), compute)
+    mincut, canon_psi, costs = PLAN_CACHE.memo("plan", ("orbit", n, canon), compute)
 
     pairs = sorted(
         (tuple(sorted(tf.dim_to_real(d) for d in seq)), cost)
@@ -293,6 +374,7 @@ def plan_with_cache(n: int, faults):
         dangling_w=dangling_w,
         dead_of_subcube=dead,
     )
+    PLAN_CACHE.put("plan", exact_key, (partition, selection))
     return partition, selection
 
 
@@ -326,10 +408,11 @@ def cached_plain_schedule(n: int, faulty: int | None):
 # -- fault-aware route tables ---------------------------------------------
 
 
-def cached_route_table(faults: FaultSet, src: int, compute) -> dict:
+def cached_route_table(faults: FaultSet, src: int, compute):
     """Shared BFS distance table from ``src`` under ``faults``.
 
-    ``compute`` runs the machine's own BFS on a miss.  The returned dict is
-    shared across machines and MUST be treated as read-only.
+    ``compute`` runs the machine's own BFS on a miss.  The returned table
+    (an address-indexed ``array('h')``, ``-1`` = unreachable) is shared
+    across machines and MUST be treated as read-only.
     """
     return PLAN_CACHE.memo("routes", (faults.n, faults, src), compute)

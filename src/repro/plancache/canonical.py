@@ -40,7 +40,7 @@ from itertools import permutations
 
 from repro.cube.address import permute_bits
 
-__all__ = ["CanonicalTransform", "canonical_form"]
+__all__ = ["CanonicalTransform", "canonical_form", "orbit_signature"]
 
 #: Upper bound on candidate column orderings enumerated per translation.
 #: Tied color classes beyond this fall back to a deterministic order.
@@ -162,6 +162,27 @@ def _orderings(n: int, addrs: tuple[int, ...]):
             yield from product(idx + 1, prefix + opt)
 
     yield from product(0, ())
+
+
+def orbit_signature(n: int, processors: tuple[int, ...] | list[int]) -> tuple:
+    """Cheap ``Aut(Q_n)``-invariant pre-hash of a fault set.
+
+    Automorphisms preserve Hamming distance, so the sorted multiset of each
+    fault's distance profile to the other faults is constant on an orbit.
+    The signature is *not* a complete invariant — distinct orbits may
+    collide — but collisions are harmless for the lazy-canonicalization
+    protocol (they only trigger a canonicalization one sighting early);
+    what matters is that two fault sets in the same orbit always share a
+    signature, which the distance argument guarantees.  Cost is ``O(r^2)``
+    popcounts versus the full canonicalization's translation x permutation
+    search.
+    """
+    procs = tuple(sorted(set(processors)))
+    profiles = sorted(
+        tuple(sorted((a ^ b).bit_count() for b in procs if b != a))
+        for a in procs
+    )
+    return (n, len(procs), tuple(profiles))
 
 
 def canonical_form(

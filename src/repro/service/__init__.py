@@ -1,0 +1,51 @@
+"""repro.service: sorting-as-a-service job server (S28).
+
+The package turns the library's one-shot entry points — fault-tolerant
+sorts, partition planning, chaos scenarios — into a long-lived multi-tenant
+job server sharing one warm worker pool and one process-wide plan cache
+across every client:
+
+* :mod:`repro.service.protocol` — the JSONL wire protocol and
+  :class:`JobSpec` validation (the admission boundary for untrusted input).
+* :mod:`repro.service.queue` — bounded admission and round-robin
+  per-tenant fair queueing with compatible-job batching.
+* :mod:`repro.service.jobs` — picklable job runners with per-job
+  plan-cache delta attribution.
+* :mod:`repro.service.server` — the asyncio server: dispatchers, metrics,
+  backpressure, graceful drain (SIGTERM-safe).
+* :mod:`repro.service.client` — asyncio client used by ``repro submit``,
+  the tests, and the load benchmark.
+
+CLI: ``repro serve`` / ``repro submit``.  Protocol and operational
+semantics: docs/SERVICE.md.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.jobs import run_job, run_job_batch
+from repro.service.protocol import (
+    JOB_KINDS,
+    JobSpec,
+    ProtocolError,
+    batch_signature,
+    decode_line,
+    encode,
+)
+from repro.service.queue import FairQueue, QueueFull, QueuedJob
+from repro.service.server import SortingService, serve
+
+__all__ = [
+    "JOB_KINDS",
+    "FairQueue",
+    "JobSpec",
+    "ProtocolError",
+    "QueueFull",
+    "QueuedJob",
+    "ServiceClient",
+    "SortingService",
+    "batch_signature",
+    "decode_line",
+    "encode",
+    "run_job",
+    "run_job_batch",
+    "serve",
+]

@@ -1,0 +1,171 @@
+"""Asyncio client for the sorting service (used by the CLI, tests, bench).
+
+A :class:`ServiceClient` owns one connection and one background reader
+task.  The reader demultiplexes the two message streams the server
+produces on a single socket: request *replies* (matched to their waiting
+coroutine by the client-chosen ``id``) and pushed job *results* (matched
+by server-assigned ``job_id``, stashed until someone awaits them — a
+result may legally arrive before the submitting coroutine has even seen
+its ack).
+
+The submit helper exercises the protocol the way a well-behaved tenant
+should: a ``queue_full`` rejection is not an error but a scheduling hint,
+so ``submit(..., retry=True)`` sleeps for the server's ``retry_after_ms``
+and resubmits, which is exactly the closed loop the load benchmark runs
+at full queue depth.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+
+from repro.service.protocol import JobSpec, ProtocolError, decode_line, encode
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.server.SortingService`."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._seq = itertools.count()
+        self._pending: dict[str, asyncio.Future] = {}  # request id -> reply
+        self._waiters: dict[str, asyncio.Future] = {}  # job_id -> result
+        self._results: dict[str, dict] = {}  # results nobody awaits yet
+        self._closed = False
+        self._reader_task = asyncio.create_task(
+            self._read_loop(), name="repro-client-reader")
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1", port: int = 0) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    # -- demultiplexing ------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        error: BaseException = ConnectionError("server closed the connection")
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    msg = decode_line(line)
+                except ProtocolError:  # pragma: no cover - server is trusted
+                    continue
+                self._route(msg)
+        except (ConnectionError, OSError) as exc:  # pragma: no cover
+            error = exc
+        finally:
+            self._closed = True
+            for fut in (*self._pending.values(), *self._waiters.values()):
+                if not fut.done():
+                    fut.set_exception(error)
+            self._pending.clear()
+            self._waiters.clear()
+
+    def _route(self, msg: dict) -> None:
+        if msg.get("op") == "result":
+            job_id = msg.get("job_id")
+            waiter = self._waiters.pop(job_id, None)
+            if waiter is not None and not waiter.done():
+                waiter.set_result(msg)
+            else:
+                self._results[job_id] = msg
+            return
+        fut = self._pending.pop(msg.get("id"), None)
+        if fut is not None and not fut.done():
+            fut.set_result(msg)
+
+    async def _request(self, message: dict) -> dict:
+        if self._closed:
+            raise ConnectionError("client is closed")
+        rid = f"c{next(self._seq)}"
+        message["id"] = rid
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = fut
+        self._writer.write(encode(message))
+        await self._writer.drain()
+        return await fut
+
+    # -- protocol ops --------------------------------------------------------
+
+    async def submit(
+        self,
+        job: dict | JobSpec,
+        tenant: str = "default",
+        retry: bool = False,
+        max_tries: int = 1000,
+    ) -> dict:
+        """Submit one job; returns the ack (``ok``/``job_id`` or rejection).
+
+        With ``retry=True``, ``queue_full`` rejections are absorbed by
+        sleeping for the server's ``retry_after_ms`` hint and resubmitting
+        (up to ``max_tries``); any other rejection is returned as-is.
+        """
+        payload = job.to_dict() if isinstance(job, JobSpec) else dict(job)
+        for _ in range(max(1, max_tries)):
+            ack = await self._request(
+                {"op": "submit", "tenant": tenant, "job": payload})
+            if ack.get("ok") or not retry or ack.get("error") != "queue_full":
+                return ack
+            await asyncio.sleep(max(1, ack.get("retry_after_ms", 100)) / 1e3)
+        return ack
+
+    async def result(self, job_id: str) -> dict:
+        """Await the pushed result for an accepted ``job_id``."""
+        msg = self._results.pop(job_id, None)
+        if msg is not None:
+            return msg
+        if self._closed:
+            raise ConnectionError("client is closed")
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters[job_id] = fut
+        return await fut
+
+    async def submit_and_wait(self, job: dict | JobSpec, tenant: str = "default",
+                              retry: bool = True) -> dict:
+        """Convenience: submit (with retry) and await the result.
+
+        Raises:
+            RuntimeError: when the submit is rejected (e.g. draining).
+        """
+        ack = await self.submit(job, tenant=tenant, retry=retry)
+        if not ack.get("ok"):
+            raise RuntimeError(f"submit rejected: {ack.get('error')}"
+                               f" ({ack.get('detail', '')})")
+        return await self.result(ack["job_id"])
+
+    async def ping(self) -> dict:
+        return await self._request({"op": "ping"})
+
+    async def stats(self) -> dict:
+        reply = await self._request({"op": "stats"})
+        return reply.get("stats", {})
+
+    async def drain(self) -> dict:
+        """Ask the server to drain; returns the drained summary."""
+        return await self._request({"op": "drain"})
+
+    async def close(self) -> None:
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

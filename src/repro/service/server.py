@@ -1,0 +1,494 @@
+"""The asyncio job server: admission, fair dispatch, drain.
+
+One :class:`SortingService` owns the whole pipeline::
+
+    connections --> admission (bounded, per-tenant) --> FairQueue
+        --> N dispatcher tasks --> executor (inline thread | warm pool)
+        --> result push back to the submitting connection
+
+Design decisions, in the order they bit:
+
+* **Single-threaded control plane.**  Every queue/counter mutation happens
+  on the event-loop thread; only job *execution* leaves it (via
+  ``run_in_executor``).  The asyncio :class:`~asyncio.Condition` is purely
+  a wakeup/barrier mechanism — dispatchers sleep on it when the queue is
+  empty, the drain barrier waits on it for ``depth == 0 and in_flight ==
+  0``.
+* **Two executors, one job path.**  ``jobs <= 1`` (the default) runs
+  batches on a single-thread :class:`~concurrent.futures.ThreadPoolExecutor`
+  in-process: the event loop stays responsive while the job computes, and
+  every job shares the *same* process-wide plan cache — the configuration
+  the cross-tenant cache-sharing benchmark measures.  ``jobs > 1``
+  dispatches to the shared warm process pool
+  (:func:`repro.parallel.warm_pool`); each worker keeps its own
+  process-global cache warm across jobs, and per-job cache deltas are
+  computed inside the worker so tenant attribution stays exact.
+* **Backpressure is an answer, not an exception.**  Admission overflow and
+  draining both produce normal protocol replies (``queue_full`` with a
+  ``retry_after_ms`` hint derived from an EMA of recent job cost,
+  ``draining``); nothing is buffered beyond the declared bounds and
+  nothing is silently dropped.
+* **Drain is a barrier, not a kill.**  ``drain()`` (also wired to
+  SIGTERM/SIGINT) stops admission, wakes everyone, waits until the queue
+  and the in-flight set are empty — results included, so no accepted job
+  is ever lost — then flushes observability state and trips the drained
+  event that ends ``serve()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import re
+import signal
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs import MetricsRegistry
+from repro.plancache import PLAN_CACHE
+from repro.service.jobs import run_job_batch
+from repro.service.protocol import JobSpec, ProtocolError, decode_line, encode
+from repro.service.queue import FairQueue, QueueFull, QueuedJob
+
+__all__ = ["SortingService", "serve"]
+
+_TENANT_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
+
+
+class _Connection:
+    """One client stream: a writer plus the lock that serializes pushes."""
+
+    __slots__ = ("writer", "lock", "closed")
+
+    def __init__(self, writer: asyncio.StreamWriter | None):
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.closed = False
+
+    async def send(self, message: dict) -> bool:
+        if self.closed or self.writer is None:
+            return False
+        data = encode(message)
+        async with self.lock:
+            try:
+                self.writer.write(data)
+                await self.writer.drain()
+            except (ConnectionError, RuntimeError, OSError):
+                self.closed = True
+                return False
+        return True
+
+
+class SortingService:
+    """The job server (transport-agnostic core).
+
+    Args:
+        jobs: executor width — ``<= 1`` runs jobs on an in-process
+            single-thread executor against the server's own plan cache;
+            ``> 1`` fans batches out over that many warm pool workers.
+        max_queued: global admission bound.
+        max_queued_per_tenant: per-tenant admission bound.
+        batch_max: maximum compatible jobs fused into one executor trip.
+        metrics: a :class:`repro.obs.MetricsRegistry` to report into (a
+            fresh one by default; exposed as ``self.metrics``).
+        obs_out: optional path — drain writes a JSON observability snapshot
+            (service metrics + plan-cache stats) there.
+        log: ``log(text)`` sink for operational messages (stderr default).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        max_queued: int = 1024,
+        max_queued_per_tenant: int = 512,
+        batch_max: int = 8,
+        metrics: MetricsRegistry | None = None,
+        obs_out: str | None = None,
+        log=None,
+    ):
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        self.queue = FairQueue(max_queued, max_queued_per_tenant)
+        self.batch_max = int(batch_max)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.obs_out = obs_out
+        self.log = log if log is not None else (
+            lambda text: print(text, file=sys.stderr, flush=True))
+        self.jobs = int(jobs)
+        self._pool_workers = 0
+        if self.jobs > 1:
+            from repro.parallel import warm_pool
+
+            self._pool_workers = self.jobs
+            self._executor = warm_pool(self.jobs)
+            self._owns_executor = False
+        else:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-service")
+            self._owns_executor = True
+
+        self.draining = False
+        self.in_flight = 0
+        self._cond: asyncio.Condition | None = None
+        self._drained = asyncio.Event()
+        self._dispatchers: list[asyncio.Task] = []
+        self._seq = itertools.count()
+        self._tenants: set[str] = set()
+        self._ema_run_ms = 50.0  # seeds the retry-after hint before data
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _ensure_started(self) -> None:
+        """Create loop-bound state and dispatcher tasks (idempotent)."""
+        if self._cond is not None:
+            return
+        self._cond = asyncio.Condition()
+        width = self._pool_workers if self._pool_workers else 1
+        self._dispatchers = [
+            asyncio.create_task(self._dispatch_loop(), name=f"repro-dispatch-{i}")
+            for i in range(width)
+        ]
+
+    async def start_tcp(self, host: str = "127.0.0.1", port: int = 0) -> asyncio.Server:
+        """Listen on TCP; returns the server (``port=0`` picks a free one)."""
+        self._ensure_started()
+        return await asyncio.start_server(self._handle_stream, host, port)
+
+    async def serve_stdio(self) -> None:
+        """Speak the protocol over this process's stdin/stdout (tests, CI).
+
+        Returns at stdin EOF, after draining — in-flight jobs complete and
+        counters settle even though the peer is gone.
+        """
+        self._ensure_started()
+        loop = asyncio.get_running_loop()
+        reader = asyncio.StreamReader()
+        await loop.connect_read_pipe(
+            lambda: asyncio.StreamReaderProtocol(reader), sys.stdin)
+        w_transport, w_protocol = await loop.connect_write_pipe(
+            asyncio.streams.FlowControlMixin, sys.stdout)
+        writer = asyncio.StreamWriter(w_transport, w_protocol, reader, loop)
+        await self._handle_stream(reader, writer, close=False)
+        if not self._drained.is_set():
+            await self.drain()
+
+    def install_signal_handlers(self, loop: asyncio.AbstractEventLoop | None = None) -> None:
+        """Wire SIGTERM/SIGINT to a graceful drain (no-op where unsupported)."""
+        loop = loop if loop is not None else asyncio.get_running_loop()
+
+        def _drain_now() -> None:
+            self.log("signal received: draining (admission closed)")
+            asyncio.ensure_future(self.drain())
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, _drain_now)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+
+    async def aclose(self) -> None:
+        """Stop dispatchers and release the inline executor (post-drain)."""
+        for task in self._dispatchers:
+            task.cancel()
+        if self._dispatchers:
+            await asyncio.gather(*self._dispatchers, return_exceptions=True)
+        self._dispatchers = []
+        if self._owns_executor:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    @property
+    def drained(self) -> asyncio.Event:
+        """Set once a drain has fully completed."""
+        return self._drained
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_stream(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        close: bool = True,
+    ) -> None:
+        conn = _Connection(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                reply = await self._handle_message(line, conn)
+                if reply is not None:
+                    await conn.send(reply)
+        except asyncio.CancelledError:
+            # Loop teardown cancels lingering connection handlers; ending
+            # the task cleanly keeps 3.11's streams done-callback (which
+            # calls task.exception() unguarded) from logging the cancel.
+            pass
+        finally:
+            conn.closed = True
+            if close:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):  # pragma: no cover
+                    pass
+
+    async def _handle_message(self, line: bytes, conn: _Connection) -> dict | None:
+        try:
+            msg = decode_line(line)
+        except ProtocolError as exc:
+            return {"ok": False, "error": "bad_request", "detail": str(exc)}
+        op = msg.get("op")
+        rid = msg.get("id")
+        if op == "submit":
+            return await self._submit(msg, conn)
+        if op == "ping":
+            return {"ok": True, "op": "pong", "id": rid}
+        if op == "stats":
+            return {"ok": True, "op": "stats", "id": rid, "stats": self.stats()}
+        if op == "drain":
+            summary = await self.drain()
+            return {"ok": True, "op": "drained", "id": rid, **summary}
+        return {"ok": False, "error": "bad_request", "id": rid,
+                "detail": f"unknown op {op!r}"}
+
+    # -- admission -----------------------------------------------------------
+
+    async def _submit(self, msg: dict, conn: _Connection) -> dict:
+        rid = msg.get("id")
+        reject = {"ok": False, "op": "submit", "id": rid}
+        tenant = msg.get("tenant", "default")
+        if not isinstance(tenant, str) or not _TENANT_RE.match(tenant):
+            self.metrics.inc("service.rejected.bad_request")
+            return {**reject, "error": "bad_request",
+                    "detail": f"invalid tenant {tenant!r}"}
+        try:
+            spec = JobSpec.from_dict(msg.get("job"))
+        except ProtocolError as exc:
+            self.metrics.inc("service.rejected.bad_request")
+            return {**reject, "error": "bad_request", "detail": str(exc)}
+        if self.draining:
+            self.metrics.inc("service.rejected.draining")
+            return {**reject, "error": "draining"}
+        job = QueuedJob(
+            job_id=f"j{next(self._seq)}",
+            tenant=tenant,
+            spec=spec,
+            client_id=rid,
+            conn=conn,
+            enqueued_at=time.perf_counter(),
+        )
+        try:
+            depth = self.queue.put(job)
+        except QueueFull as exc:
+            self.metrics.inc("service.rejected.full")
+            self.metrics.inc(f"service.tenant.{tenant}.rejected")
+            return {**reject, "error": "queue_full", "scope": exc.scope,
+                    "retry_after_ms": self._retry_after_ms()}
+        self._tenants.add(tenant)
+        self.metrics.inc("service.submitted")
+        self.metrics.inc(f"service.tenant.{tenant}.submitted")
+        self.metrics.set_gauge("service.queue_depth", self.queue.depth)
+        async with self._cond:
+            self._cond.notify(1)
+        return {"ok": True, "op": "submit", "id": rid, "status": "queued",
+                "job_id": job.job_id, "queued": depth}
+
+    def _retry_after_ms(self) -> int:
+        """Backpressure hint: time for the backlog to pass one worker."""
+        width = max(1, self._pool_workers or 1)
+        backlog = self.queue.depth + self.in_flight
+        return int(min(30_000, max(50.0, self._ema_run_ms * (backlog / width))))
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            async with self._cond:
+                while self.queue.depth == 0:
+                    await self._cond.wait()
+                batch = self.queue.pop_batch(self.batch_max)
+                if not batch:  # pragma: no cover - raced another dispatcher
+                    continue
+                self.in_flight += len(batch)
+            self.metrics.set_gauge("service.queue_depth", self.queue.depth)
+            self.metrics.set_gauge("service.in_flight", self.in_flight)
+            specs = tuple(job.spec for job in batch)
+            try:
+                payloads = await loop.run_in_executor(
+                    self._executor, run_job_batch, specs)
+            except asyncio.CancelledError:
+                async with self._cond:
+                    self.in_flight -= len(batch)
+                    self._cond.notify_all()
+                raise
+            except Exception as exc:  # broken pool, pickling failure, ...
+                self.log(f"batch of {len(batch)} failed in executor: {exc!r}")
+                payloads = [
+                    {"ok": False, "run_ms": 0.0,
+                     "result": {"kind": spec.kind,
+                                "error": f"{type(exc).__name__}: {exc}"},
+                     "plancache": {"hits": 0, "misses": 0}}
+                    for spec in specs
+                ]
+            now = time.perf_counter()
+            self.metrics.inc("service.batches")
+            if len(batch) > 1:
+                self.metrics.inc("service.batched_jobs", len(batch) - 1)
+            for job, payload in zip(batch, payloads):
+                await self._finish_job(job, payload, len(batch), now)
+            async with self._cond:
+                self.in_flight -= len(batch)
+                self.metrics.set_gauge("service.in_flight", self.in_flight)
+                self._cond.notify_all()
+
+    async def _finish_job(
+        self, job: QueuedJob, payload: dict, batch_size: int, now: float
+    ) -> None:
+        run_ms = float(payload["run_ms"])
+        latency_ms = (now - job.enqueued_at) * 1e3
+        queue_ms = max(0.0, latency_ms - run_ms)
+        self._ema_run_ms += 0.2 * (run_ms - self._ema_run_ms)
+        t = job.tenant
+        self.metrics.inc("service.completed" if payload["ok"] else "service.failed")
+        self.metrics.inc(f"service.tenant.{t}.completed")
+        pc = payload.get("plancache", {})
+        self.metrics.inc(f"service.tenant.{t}.plancache.hits", max(0, pc.get("hits", 0)))
+        self.metrics.inc(f"service.tenant.{t}.plancache.misses",
+                         max(0, pc.get("misses", 0)))
+        self.metrics.observe("service.run_ms", run_ms)
+        self.metrics.observe("service.queue_ms", queue_ms)
+        self.metrics.observe("service.latency_ms", latency_ms)
+        message = {
+            "ok": payload["ok"],
+            "op": "result",
+            "id": job.client_id,
+            "job_id": job.job_id,
+            "tenant": t,
+            "result": payload["result"],
+            "run_ms": round(run_ms, 3),
+            "queue_ms": round(queue_ms, 3),
+            "latency_ms": round(latency_ms, 3),
+            "batched": batch_size,
+        }
+        if job.conn is not None:
+            await job.conn.send(message)
+
+    # -- drain + reporting -----------------------------------------------------
+
+    async def drain(self) -> dict:
+        """Stop admitting, finish every in-flight/queued job, flush obs.
+
+        Idempotent; concurrent callers all return once the barrier clears.
+        No accepted job is lost: the barrier counts a job as in-flight
+        until its result has been pushed.
+        """
+        self._ensure_started()
+        self.draining = True
+        async with self._cond:
+            self._cond.notify_all()
+            await self._cond.wait_for(
+                lambda: self.queue.depth == 0 and self.in_flight == 0)
+        flushed = self._flush_obs()
+        summary = {
+            "completed": int(self.metrics.value("service.completed")),
+            "failed": int(self.metrics.value("service.failed")),
+            "flushed": flushed,
+        }
+        self._drained.set()
+        return summary
+
+    def _flush_obs(self) -> str | None:
+        """Fold plan-cache counters into the registry; snapshot to disk."""
+        PLAN_CACHE.export_metrics(self.metrics)
+        self.metrics.set_gauge("service.queue_depth", 0)
+        self.metrics.set_gauge("service.in_flight", 0)
+        if self.obs_out is None:
+            return None
+        import json
+
+        snapshot = {"service": self.stats(), "metrics": self.metrics.to_dict()}
+        with open(self.obs_out, "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return self.obs_out
+
+    def tenant_stats(self) -> dict:
+        """Per-tenant counters incl. plan-cache hit rates (JSON-ready)."""
+        depths = self.queue.tenant_depths()
+        out: dict = {}
+        for t in sorted(self._tenants | set(depths)):
+            hits = self.metrics.value(f"service.tenant.{t}.plancache.hits")
+            misses = self.metrics.value(f"service.tenant.{t}.plancache.misses")
+            out[t] = {
+                "queued": depths.get(t, 0),
+                "submitted": int(self.metrics.value(f"service.tenant.{t}.submitted")),
+                "completed": int(self.metrics.value(f"service.tenant.{t}.completed")),
+                "rejected": int(self.metrics.value(f"service.tenant.{t}.rejected")),
+                "plancache": {
+                    "hits": int(hits),
+                    "misses": int(misses),
+                    "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+                },
+            }
+        return out
+
+    def stats(self) -> dict:
+        """The ``stats`` op payload."""
+        rejected = {
+            "full": int(self.metrics.value("service.rejected.full")),
+            "draining": int(self.metrics.value("service.rejected.draining")),
+            "bad_request": int(self.metrics.value("service.rejected.bad_request")),
+        }
+        return {
+            "queue_depth": self.queue.depth,
+            "in_flight": self.in_flight,
+            "draining": self.draining,
+            "submitted": int(self.metrics.value("service.submitted")),
+            "completed": int(self.metrics.value("service.completed")),
+            "failed": int(self.metrics.value("service.failed")),
+            "rejected": rejected,
+            "batches": int(self.metrics.value("service.batches")),
+            "batched_jobs": int(self.metrics.value("service.batched_jobs")),
+            "ema_run_ms": round(self._ema_run_ms, 3),
+            "executor": {
+                "mode": "pool" if self._pool_workers else "inline",
+                "workers": self._pool_workers or 1,
+            },
+            "tenants": self.tenant_stats(),
+            "plancache": PLAN_CACHE.stats(),
+        }
+
+
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    stdio: bool = False,
+    ready=None,
+    **service_opts,
+) -> SortingService:
+    """Run a server until it drains (the ``repro serve`` entry point).
+
+    ``ready(service, port_or_None)`` is called once the transport is
+    listening — the CLI prints the bound port there, tests grab the
+    service handle.  Returns the drained service.
+    """
+    service = SortingService(**service_opts)
+    if stdio:
+        if ready is not None:
+            ready(service, None)
+        await service.serve_stdio()
+        await service.aclose()
+        return service
+    server = await service.start_tcp(host, port)
+    service.install_signal_handlers()
+    bound = server.sockets[0].getsockname()[1]
+    if ready is not None:
+        ready(service, bound)
+    async with server:
+        await service.drained.wait()
+    await service.aclose()
+    return service

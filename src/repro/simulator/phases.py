@@ -24,8 +24,10 @@ subgraph (cached per machine).
 
 from __future__ import annotations
 
+from array import array
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -103,7 +105,7 @@ class PhaseMachine:
         self.phases: list[PhaseRecord] = []
         self._current: PhaseRecord | None = None
         self._node_time: dict[int, float] = {}
-        self._hop_cache: dict[int, dict[int, int]] = {}
+        self._hop_cache: dict[int, Sequence[int]] = {}
         self._size = 1 << n
         self._detour_needed = bool(self.faults.links) or (
             self.faults.r > 0 and self.faults.kind is FaultKind.TOTAL
@@ -163,22 +165,25 @@ class PhaseMachine:
         if dist is None:
             dist = self._surviving_distances(a)
             self._hop_cache[a] = dist
-        if b not in dist:
+        d = dist[b]
+        if d < 0:
             raise ValueError(f"node {b} unreachable from {a} under the fault model")
-        return dist[b]
+        return d
 
-    def _surviving_distances(self, src: int) -> dict[int, int]:
-        """BFS distances from ``src`` honoring node *and* link faults.
+    def _surviving_distances(self, src: int) -> Sequence[int]:
+        """BFS distance table from ``src`` honoring node *and* link faults.
 
         Served from the process-wide plan cache keyed on the (immutable)
         fault set: scenario supervisors build many short-lived machines
         over the same fault view, and the tables are identical across
-        them.  The returned dict is shared — treated as read-only by
-        :meth:`hops`.
+        them.  The table is an ``array('h')`` indexed by address with
+        ``-1`` for unreachable — compact enough (2 bytes/node) that the
+        cache can retain every table of a large campaign without bloating
+        the heap — and is shared: treated as read-only by :meth:`hops`.
         """
         return cached_route_table(self.faults, src, lambda: self._bfs_distances(src))
 
-    def _bfs_distances(self, src: int) -> dict[int, int]:
+    def _bfs_distances(self, src: int) -> Sequence[int]:
         from collections import deque
 
         blocked_nodes = (
@@ -188,19 +193,21 @@ class PhaseMachine:
         # (total-fault endpoints never enter the frontier), so the per-edge
         # link query can be skipped wholesale.
         check_links = bool(self.faults.links)
-        dist = {src: 0}
+        dist = [-1] * self._size
+        dist[src] = 0
         queue: deque[int] = deque([src])
         while queue:
             cur = queue.popleft()
+            base = dist[cur] + 1
             for d in range(self.n):
                 nxt = cur ^ (1 << d)
-                if nxt in dist or nxt in blocked_nodes:
+                if dist[nxt] >= 0 or nxt in blocked_nodes:
                     continue
                 if check_links and self.faults.is_link_faulty(cur, nxt):
                     continue
-                dist[nxt] = dist[cur] + 1
+                dist[nxt] = base
                 queue.append(nxt)
-        return dist
+        return array("h", dist)
 
     # -- phase accounting --------------------------------------------------
 

@@ -1,0 +1,135 @@
+"""Lazy canonicalization: pay the Aut(Q_n) search only when an orbit recurs.
+
+The protocol under test (see ``plan_with_cache``):
+
+1. an exact fault set seen before  -> exact-key hit, no planning at all;
+2. first sighting of an orbit signature -> plan directly (cache-off cost),
+   **no canonicalization**;
+3. a recurring signature -> canonicalize, compute/replay the canonical
+   orbit plan.
+
+Whatever the path, the resulting plan must be byte-identical to a cold
+``find_min_cuts`` + ``select_cut_sequence`` run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.partition import find_min_cuts
+from repro.core.selection import select_cut_sequence
+from repro.plancache import PLAN_CACHE, orbit_signature, plan_with_cache
+
+N = 5
+FAULTS = (3, 12, 21)  # r = 3 on Q_5: a real partition problem
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    PLAN_CACHE.configure(enabled=True)
+    PLAN_CACHE.clear(reset_counters=True)
+    yield
+    PLAN_CACHE.configure(enabled=True)
+    PLAN_CACHE.clear(reset_counters=True)
+
+
+def _xor_image(procs, t):
+    """The automorphic image of a fault set under the translation x -> x^t."""
+    return tuple(sorted(p ^ t for p in procs))
+
+
+def _perm_image(procs, perm):
+    """The image under a dimension permutation (bit i of x -> bit perm[i])."""
+    return tuple(sorted(
+        sum(((p >> i) & 1) << perm[i] for i in range(N)) for p in procs))
+
+
+def _cold_plan(n, procs):
+    partition = find_min_cuts(n, procs)
+    return partition, select_cut_sequence(partition)
+
+
+class TestLazyProtocol:
+    def test_first_sighting_does_not_canonicalize(self):
+        plan_with_cache(N, FAULTS)
+        stats = PLAN_CACHE.stats()
+        assert stats["canonicalizations"] == 0
+        assert stats["signatures"] == 1
+
+    def test_exact_repeat_hits_without_canonicalizing(self):
+        plan_with_cache(N, FAULTS)
+        before = PLAN_CACHE.stats()["hits"]["plan"]
+        plan_with_cache(N, FAULTS)
+        stats = PLAN_CACHE.stats()
+        assert stats["hits"]["plan"] == before + 1
+        assert stats["canonicalizations"] == 0
+
+    def test_second_orbit_member_triggers_canonicalization(self):
+        plan_with_cache(N, FAULTS)
+        image = _xor_image(FAULTS, 9)
+        assert image != FAULTS
+        assert orbit_signature(N, image) == orbit_signature(N, FAULTS)
+        plan_with_cache(N, image)
+        stats = PLAN_CACHE.stats()
+        assert stats["canonicalizations"] == 1
+        assert stats["signatures"] == 1  # same signature, seen twice
+
+    def test_third_orbit_member_replays_from_the_orbit_entry(self):
+        plan_with_cache(N, FAULTS)
+        plan_with_cache(N, _xor_image(FAULTS, 9))  # pays the orbit compute
+        hits_before = PLAN_CACHE.stats()["hits"]["plan"]
+        plan_with_cache(N, _perm_image(FAULTS, (1, 0, 2, 4, 3)))
+        stats = PLAN_CACHE.stats()
+        # Canonicalizing the new member, then hitting the shared orbit plan.
+        assert stats["canonicalizations"] == 2
+        assert stats["hits"]["plan"] == hits_before + 1
+
+    def test_every_path_matches_the_cold_plan(self):
+        members = [
+            FAULTS,                                   # direct (first sighting)
+            _xor_image(FAULTS, 9),                    # orbit compute
+            _perm_image(FAULTS, (1, 0, 2, 4, 3)),     # orbit replay
+            FAULTS,                                   # exact hit
+        ]
+        for procs in members:
+            partition, selection = plan_with_cache(N, procs)
+            cold_part, cold_sel = _cold_plan(N, procs)
+            assert partition.mincut == cold_part.mincut
+            assert partition.cutting_set == cold_part.cutting_set
+            assert selection.cut_dims == cold_sel.cut_dims
+            assert selection.cost == cold_sel.cost
+            assert selection.dangling_w == cold_sel.dangling_w
+            assert selection.dead_of_subcube == cold_sel.dead_of_subcube
+
+    def test_disabled_cache_never_tracks_signatures(self):
+        PLAN_CACHE.configure(enabled=False)
+        plan_with_cache(N, FAULTS)
+        plan_with_cache(N, _xor_image(FAULTS, 9))
+        stats = PLAN_CACHE.stats()
+        assert stats["signatures"] == 0
+        assert stats["canonicalizations"] == 0
+        assert stats["total_hits"] == 0 and stats["total_misses"] == 0
+
+
+class TestOrbitSignature:
+    def test_invariant_under_automorphisms(self):
+        sig = orbit_signature(N, FAULTS)
+        for t in (1, 9, 30):
+            assert orbit_signature(N, _xor_image(FAULTS, t)) == sig
+        for perm in ((4, 3, 2, 1, 0), (2, 0, 1, 4, 3)):
+            assert orbit_signature(N, _perm_image(FAULTS, perm)) == sig
+
+    def test_separates_easy_cases(self):
+        # Different fault counts and visibly different distance profiles.
+        assert orbit_signature(N, (3,)) != orbit_signature(N, (3, 12))
+        assert orbit_signature(N, (0, 1, 2)) != orbit_signature(N, (0, 1, 31))
+
+    def test_signature_table_is_capacity_bounded(self):
+        from repro.plancache import PlanCache
+
+        cache = PlanCache(capacity=2)
+        for sig in ("s1", "s2", "s3"):
+            cache.note_signature(sig)
+        assert cache.stats()["signatures"] <= 2
+        # The survivor still counts sightings.
+        assert cache.note_signature("s3") == 2
