@@ -28,6 +28,7 @@ import pytest
 from repro.chaos.campaign import run_campaign
 from repro.core.ftsort import fault_tolerant_sort
 from repro.core.partition import _find_min_cuts_reference, find_min_cuts
+from repro.parallel import effective_cpu_count
 
 SEED = 1992
 N = 4
@@ -91,6 +92,81 @@ class TestFtsortKernelSpeedup:
             assert speedup >= 5.0, f"expected >=5x at M={m_keys}, got {speedup:.2f}x"
 
 
+class TestCompiledScheduleSpeedup:
+    """The compiled flat-array tier versus the interpreted numpy backend.
+
+    The compiled tier's win is eliminating the per-pair Python hot path
+    (block dicts, charge calls, probe decisions), so the headline
+    measurement runs where that path dominates: a big cube (many
+    comparator pairs per substage) at ``M = 10^6`` keys.  Parity is
+    asserted, not assumed — byte-identical sorted output and bit-identical
+    simulated clock against ``numpy`` at full size, and exact per-phase
+    counter equality against the pure-Python ``loop`` reference at a size
+    the interpreter can afford — and recorded as the ``parity`` flag CI
+    validates.
+    """
+
+    def test_compiled_vs_numpy_end_to_end(self, fast_mode, bench_json):
+        n = 8 if fast_mode else 15
+        m_keys = 100_000 if fast_mode else 1_000_000
+        faults = [3, 9, 14, (1 << n) - 6]  # r = 4
+        keys = np.random.default_rng(SEED).random(m_keys)
+
+        results = {
+            name: fault_tolerant_sort(keys, n, faults, kernels=name)
+            for name in ("numpy", "compiled")
+        }
+        parity = (
+            results["compiled"].sorted_keys.tobytes()
+            == results["numpy"].sorted_keys.tobytes()
+            and results["compiled"].elapsed == results["numpy"].elapsed
+            and results["compiled"].output_order == results["numpy"].output_order
+        )
+        # Exact counter parity against the loop reference, at a size the
+        # per-pair interpreter can run in bench time.
+        small = np.random.default_rng(SEED).random(2000)
+        ref = {
+            name: fault_tolerant_sort(small, 5, [3, 5, 16, 24], kernels=name)
+            for name in ("loop", "compiled")
+        }
+        records = lambda r: [
+            (p.label, p.duration, p.comparisons, p.elements_sent,
+             p.element_hops, p.messages)
+            for p in r.machine.phases
+        ]
+        parity = (
+            parity
+            and ref["compiled"].sorted_keys.tobytes() == ref["loop"].sorted_keys.tobytes()
+            and ref["compiled"].elapsed == ref["loop"].elapsed
+            and records(ref["compiled"]) == records(ref["loop"])
+        )
+
+        t_numpy = _best_of(
+            lambda: fault_tolerant_sort(keys, n, faults, kernels="numpy"),
+            reps=1 if fast_mode else 2,
+        )
+        t_compiled = _best_of(
+            lambda: fault_tolerant_sort(keys, n, faults, kernels="compiled"),
+            reps=3 if fast_mode else 3,
+        )
+        speedup = t_numpy / t_compiled
+        print(f"\nftsort n={n} M={m_keys} r={len(faults)}: "
+              f"numpy {t_numpy * 1e3:.1f}ms vs compiled {t_compiled * 1e3:.1f}ms "
+              f"({speedup:.1f}x)")
+        bench_json("kernels", "compiled", {
+            "n": n, "m_keys": m_keys, "faults": faults,
+            "numpy_seconds": t_numpy, "compiled_seconds": t_compiled,
+            "speedup": speedup, "parity": bool(parity),
+        })
+        assert parity, "compiled tier diverged from the interpreted backends"
+        assert t_compiled <= t_numpy, (
+            f"compiled backend slower than numpy ({t_compiled:.4f}s vs "
+            f"{t_numpy:.4f}s)")
+        if not fast_mode:
+            assert speedup >= 10.0, (
+                f"expected >=10x at n={n} M={m_keys}, got {speedup:.2f}x")
+
+
 class TestPartitionMemoSpeedup:
     def test_memoized_vs_reference_q10(self, fast_mode, bench_json):
         n, r = 10, 9
@@ -118,15 +194,20 @@ class TestPartitionMemoSpeedup:
 class TestParallelCampaignSpeedup:
     def test_serial_vs_workers(self, fast_mode, bench_json):
         count = 24 if fast_mode else 200
-        cpus = os.cpu_count() or 1
+        cpus = effective_cpu_count()
 
-        t0 = time.perf_counter()
         serial = run_campaign(count=count, seed=SEED, shrink_failures=False, jobs=1)
-        t_serial = time.perf_counter() - t0
-        t0 = time.perf_counter()
         fanned = run_campaign(count=count, seed=SEED, shrink_failures=False,
                               jobs=CHAOS_JOBS)
-        t_jobs = time.perf_counter() - t0
+        # Best-of-2 timings: single-shot campaign runs carry ~10% wall-clock
+        # noise on small hosts, which is the same order as the regression
+        # threshold below.
+        t_serial = _best_of(
+            lambda: run_campaign(count=count, seed=SEED, shrink_failures=False,
+                                 jobs=1), reps=2)
+        t_jobs = _best_of(
+            lambda: run_campaign(count=count, seed=SEED, shrink_failures=False,
+                                 jobs=CHAOS_JOBS), reps=2)
 
         assert serial.all_passed and fanned.all_passed
         assert (serial.scenarios, serial.passed, serial.recoveries,
@@ -144,7 +225,8 @@ class TestParallelCampaignSpeedup:
               f"jobs={CHAOS_JOBS} {t_jobs:.2f}s ({speedup:.2f}x, "
               f"{cpus} CPUs{', REGRESSION' if regression else ''})")
         bench_json("kernels", "chaos_campaign", {
-            "scenarios": count, "jobs": CHAOS_JOBS, "cpu_count": cpus,
+            "scenarios": count, "jobs": CHAOS_JOBS,
+            "cpu_count": os.cpu_count() or 1, "effective_cpu_count": cpus,
             "serial_seconds": t_serial, "parallel_seconds": t_jobs,
             "speedup": speedup, "regression": regression,
         })
@@ -160,12 +242,16 @@ class TestParallelCampaignSpeedup:
         auto-degrades to serial there), so asserting the floor would fail
         for reasons that have nothing to do with the code, and skipping it
         silently inside another test would hide that the floor was never
-        checked.  This test records ``cpu_count`` and its own verdict in
-        BENCH_kernels.json, then SKIPS — visibly — when the gate cannot
-        run, and enforces the floor when it can.
+        checked.  This test records the *effective* CPU count — the
+        affinity/cgroup-aware :func:`repro.parallel.effective_cpu_count`,
+        since a many-core host pinned to one core cannot show a speedup
+        either — and its own verdict in BENCH_kernels.json, then SKIPS —
+        visibly — when the gate cannot run, and enforces the floor when it
+        can.
         """
-        cpus = os.cpu_count() or 1
-        gate = {"cpu_count": cpus, "floor": 1.5, "asserted": False}
+        cpus = effective_cpu_count()
+        gate = {"cpu_count": os.cpu_count() or 1,
+                "effective_cpu_count": cpus, "floor": 1.5, "asserted": False}
         if "speedup" not in _campaign_timings:
             gate["skip_reason"] = "campaign benchmark was not run"
             bench_json("kernels", "multicore_floor", gate)
@@ -189,5 +275,6 @@ class TestParallelCampaignSpeedup:
 
 def test_record_environment(bench_json, fast_mode):
     bench_json("kernels", "cpu_count", os.cpu_count() or 1)
+    bench_json("kernels", "effective_cpu_count", effective_cpu_count())
     bench_json("kernels", "fast_mode", fast_mode)
     bench_json("kernels", "seed", SEED)

@@ -3,7 +3,7 @@
 Subcommands::
 
     repro sort    --n 6 --faults 3,5,16 --keys 10000 [--kind total] [--spmd]
-                  [--kernels numpy|loop]
+                  [--kernels numpy|loop|compiled]
     repro trace   --n 6 --faults 7,25,52 --out trace.json [--spmd]
     repro plan    --n 5 --faults 3,5,16,24
     repro diagnose --n 6 --faults 3,5,16 [--seed 7]
@@ -31,7 +31,8 @@ JSONL report, failures shrunk to minimal reproducers; ``--jobs`` fans
 scenarios out over worker processes with identical results.
 ``--kernels`` on ``sort``/``trace`` selects the execution backend for the
 sorting inner loops (``numpy`` vectorized default, ``loop`` pure-Python
-reference; see docs/PERFORMANCE.md) — outputs and counts are identical.
+reference, ``compiled`` flat-array schedule programs; see
+docs/PERFORMANCE.md) — outputs and counts are identical.
 ``serve`` runs the sorting-as-a-service job server (JSONL over TCP, or
 stdin/stdout with ``--stdio``) until drained by SIGTERM/SIGINT or a client
 ``drain``; ``submit`` is the matching client — it submits ``--count`` jobs
@@ -361,7 +362,7 @@ def main(argv: list[str] | None = None) -> int:
     p_sort.add_argument("--seed", type=int, default=0)
     p_sort.add_argument("--spmd", action="store_true",
                         help="run on the discrete-event message-passing engine")
-    p_sort.add_argument("--kernels", choices=("numpy", "loop"), default=None,
+    p_sort.add_argument("--kernels", choices=("numpy", "loop", "compiled"), default=None,
                         help="kernel execution backend (default: numpy, or "
                              "$REPRO_KERNELS)")
     p_sort.set_defaults(func=_cmd_sort)
@@ -380,7 +381,7 @@ def main(argv: list[str] | None = None) -> int:
                          help="rows in the flame-style self-time report")
     p_trace.add_argument("--spmd", action="store_true",
                          help="trace the discrete-event message-passing engine")
-    p_trace.add_argument("--kernels", choices=("numpy", "loop"), default=None,
+    p_trace.add_argument("--kernels", choices=("numpy", "loop", "compiled"), default=None,
                          help="kernel execution backend (default: numpy, or "
                               "$REPRO_KERNELS)")
     p_trace.set_defaults(func=_cmd_trace)
@@ -458,7 +459,7 @@ def main(argv: list[str] | None = None) -> int:
                           help="base seed (job i uses seed + i)")
     p_submit.add_argument("--backend", choices=("phase", "spmd"),
                           default="phase")
-    p_submit.add_argument("--kernels", choices=("numpy", "loop"), default=None)
+    p_submit.add_argument("--kernels", choices=("numpy", "loop", "compiled"), default=None)
     p_submit.add_argument("--count", type=int, default=1,
                           help="number of jobs to submit")
     p_submit.add_argument("--tenants", type=str, default="default",

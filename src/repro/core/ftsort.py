@@ -204,6 +204,111 @@ def _mirror_subcubes(
         met.inc("sort.messages", 2 * pairs)
 
 
+def _emit_compiled_ft_steps(
+    obs,
+    machine: PhaseMachine,
+    selection: SelectionResult,
+    partition: PartitionResult,
+    keys_count: int,
+    workers: int,
+    block_size: int,
+) -> None:
+    """Reconstruct the per-step obs spans from a compiled run's phase list.
+
+    The compiled executor emits phase-level spans itself; the algorithm-step
+    timeline (``step1`` .. ``step8``, ``step4`` stage groups, the ``ftsort``
+    root) is recovered here by walking the phase records in order — their
+    structure is fully determined by ``(m, s)``.  Start/end timestamps are
+    re-accumulated with the same float addition sequence the machine clock
+    used, so the spans match an interpreted run's exactly.
+    """
+    m, s = selection.m, selection.s
+    phases = machine.phases
+
+    def step(name: str, ts: float, dur: float, **args) -> None:
+        obs.complete(name, ts=ts, dur=dur, cat="step", pid=PID_SIM, tid=TID_ALGO,
+                     args=args or None)
+
+    step("step1:partition+select", 0.0, 0.0,
+         m=m, s=s, mincut=partition.mincut, cut_dims=list(selection.cut_dims))
+    step("step2:distribute", 0.0, 0.0, workers=workers, block_size=block_size)
+    t = 0.0
+    idx = 0
+
+    def advance(count: int) -> float:
+        nonlocal t, idx
+        for _ in range(count):
+            t += phases[idx].duration
+            idx += 1
+        return t
+
+    t0 = t
+    advance(1)  # local-heapsort
+    step("step3a:local-heapsort", t0, t - t0)
+    t0 = t
+    advance(s * (s + 1) // 2)  # intra-init substages
+    step("step3b:intra-init", t0, t - t0)
+    for i in range(m):
+        t_stage = t
+        for j in range(i, -1, -1):
+            step(f"step5:partner[i={i},j={j}]", t, 0.0)
+            step(f"step6:direction[i={i},j={j}]", t, 0.0)
+            t7 = t
+            advance(1)  # inter[i,j]
+            step(f"step7:inter[i={i},j={j}]", t7, t - t7)
+            t8 = t
+            advance(s)  # intra[i,j]a merge pass
+            if idx < len(phases) and phases[idx].label == f"intra[i={i},j={j}]b":
+                advance(1)  # mirror fix-up
+            step(f"step8:intra[i={i},j={j}]", t8, t - t8)
+        step(f"step4:stage[i={i}]", t_stage, t - t_stage)
+    step("ftsort", 0.0, machine.elapsed,
+         n=selection.n, r=len(selection.faults), keys=keys_count)
+
+
+def _compiled_ft_sort(
+    keys: np.ndarray | list,
+    fault_set: FaultSet,
+    params: MachineParams | None,
+    exact_counts: bool,
+    obs,
+    partition: PartitionResult,
+    selection: SelectionResult,
+) -> FtSortResult:
+    """The r >= 2 partition sort through the compiled flat-array tier."""
+    from repro.kernels.compiled import run_schedule_compiled
+    from repro.plancache.cache import cached_ft_schedule
+
+    schedule = cached_ft_schedule(selection)
+    sorted_keys, machine, block_size = run_schedule_compiled(
+        schedule,
+        keys,
+        fault_set,
+        params=params,
+        obs=obs,
+        exact_counts=exact_counts,
+        cache_kind="ft",
+        cache_key=(selection.n, selection.cut_dims, selection.dead_of_subcube),
+    )
+    if obs.enabled:
+        obs.name_thread(TID_ALGO, "algorithm steps", pid=PID_SIM)
+        _emit_compiled_ft_steps(
+            obs, machine, selection, partition,
+            keys_count=int(np.asarray(keys).size),
+            workers=schedule.workers,
+            block_size=block_size,
+        )
+    return FtSortResult(
+        sorted_keys=sorted_keys,
+        elapsed=machine.elapsed,
+        output_order=schedule.output_order,
+        machine=machine,
+        partition=partition,
+        selection=selection,
+        block_size=block_size,
+    )
+
+
 def fault_tolerant_sort(
     keys: np.ndarray | list,
     n: int,
@@ -310,6 +415,15 @@ def fault_tolerant_sort(
         return _wrap_simple(res, partition)
 
     partition, selection = plan_partition(n, fault_set, cut_dims=cut_dims)
+    if kernels.schedule_compiled and step8 == "two-merge" and observer is None:
+        # Compiled flat-array tier: execute the cached schedule's lowered
+        # program instead of interpreting per-pair.  The full-sort ablation
+        # and per-phase observers are not modeled by the schedule builder /
+        # executor; those fall through to the interpreter (which still uses
+        # this backend's inherited numpy kernels).
+        return _compiled_ft_sort(
+            keys, fault_set, params, exact_counts, obs, partition, selection
+        )
     split = selection.split
     m, s = selection.m, selection.s
     p = 1 << s

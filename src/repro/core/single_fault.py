@@ -107,6 +107,54 @@ def local_sort_blocks(
                 machine.charge_compute(addr, comps)
 
 
+def _run_cube_sort_compiled(
+    keys: np.ndarray | list,
+    n: int,
+    faulty: int | None,
+    params: MachineParams | None,
+    exact_counts: bool,
+    obs,
+) -> SingleFaultSortResult:
+    """The r <= 1 cube sort through the compiled flat-array tier.
+
+    Same result object, phase records, clock, and obs counters as the
+    interpreted path — just executed from the cached plain schedule's
+    lowered program (see :mod:`repro.kernels.compiled`).
+    """
+    from repro.kernels.compiled import run_schedule_compiled
+    from repro.plancache.cache import cached_plain_schedule
+
+    fault_set = FaultSet(n, () if faulty is None else (faulty,))
+    schedule = cached_plain_schedule(n, faulty)
+    sorted_keys, machine, block_size = run_schedule_compiled(
+        schedule,
+        keys,
+        fault_set,
+        params=params,
+        obs=obs,
+        exact_counts=exact_counts,
+        cache_kind="plain",
+        cache_key=(n, faulty),
+    )
+    if obs.enabled:
+        obs.name_thread(TID_ALGO, "algorithm steps", pid=PID_SIM)
+        t_local = machine.phases[0].duration if machine.phases else 0.0
+        obs.complete("step3a:local-heapsort", ts=0.0, dur=t_local,
+                     cat="step", pid=PID_SIM, tid=TID_ALGO)
+        obs.complete("step3b:bitonic", ts=t_local, dur=machine.elapsed - t_local,
+                     cat="step", pid=PID_SIM, tid=TID_ALGO)
+        obs.complete("ftsort", ts=0.0, dur=machine.elapsed, cat="step",
+                     pid=PID_SIM, tid=TID_ALGO,
+                     args={"n": n, "r": fault_set.r, "keys": int(np.asarray(keys).size)})
+    return SingleFaultSortResult(
+        sorted_keys=sorted_keys,
+        elapsed=machine.elapsed,
+        output_order=schedule.output_order,
+        machine=machine,
+        block_size=block_size,
+    )
+
+
 def _run_cube_sort(
     keys: np.ndarray | list,
     n: int,
@@ -117,6 +165,10 @@ def _run_cube_sort(
     kernels=None,
 ) -> SingleFaultSortResult:
     validate_dimension(n)
+    obs = obs if obs is not None else NULL_TRACER
+    kern = resolve_backend(kernels)
+    if kern.schedule_compiled:
+        return _run_cube_sort_compiled(keys, n, faulty, params, exact_counts, obs)
     size = 1 << n
     fault_set = FaultSet(n, () if faulty is None else (faulty,))
     machine = PhaseMachine(n, params=params, faults=fault_set, obs=obs)

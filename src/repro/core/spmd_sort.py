@@ -19,6 +19,12 @@ come from the event engine — nothing is abstracted.  The test suite runs
 the same :class:`~repro.core.schedule.SortSchedule` through this backend
 and through the phase engine and demands identical sorted output, which is
 the cross-validation DESIGN.md promises.
+
+``--kernels compiled`` has no whole-schedule fast path here: the SPMD
+engine's point is per-processor message fidelity, which a flattened
+key-matrix program would bypass.  The compiled backend therefore degrades
+gracefully — it inherits the numpy backend's block primitives (local
+sorts, compare-splits), and results stay identical to ``numpy``.
 """
 
 from __future__ import annotations

@@ -6,7 +6,7 @@ analytically — ``((M/N') - 1) log2(M/N') t_c`` for the local heapsort,
 *executes* them.  This package separates the two concerns exactly the way
 the resilient-sorting literature does (comparison-count *model* vs kernel
 *execution*): every execution engine routes its data movement through one
-of two interchangeable backends:
+of three interchangeable backends:
 
 * ``"numpy"`` (default) — the fast path: batched 2-D sorts, vectorized
   exchange-splits, and a masked vectorized sift-down that reproduces the
@@ -14,21 +14,28 @@ of two interchangeable backends:
   processing every processor block at once;
 * ``"loop"`` — the reference path: element-at-a-time pure-Python kernels
   (the textbook heapsort, two-pointer run merges) whose behavior is
-  obviously the algorithm the paper describes.
+  obviously the algorithm the paper describes;
+* ``"compiled"`` — the schedule-compiled tier: the phase engine's whole
+  oblivious :class:`~repro.core.schedule.SortSchedule` is lowered to
+  per-substage index arrays over one ``(workers, block)`` key matrix and
+  executed as a handful of numpy ops per substage, with comparison/traffic
+  accounting computed in closed form (see :mod:`repro.kernels.compiled`);
+  non-schedule paths inherit the numpy kernels.
 
-The two backends are interchangeable by construction: identical sorted
-output, identical comparison/exchange accounting (the property tests in
-``tests/kernels/`` enforce both).  The ``loop`` backend is the executable
-specification; ``numpy`` is what production runs use, and
-``benchmarks/test_kernels_speedup.py`` tracks the speedup between them in
-``BENCH_kernels.json``.
+The backends are interchangeable by construction: identical sorted output,
+identical comparison/exchange accounting, identical simulated clock (the
+property tests in ``tests/kernels/`` enforce all three).  The ``loop``
+backend is the executable specification; ``numpy``/``compiled`` are what
+production runs use, and ``benchmarks/test_kernels_speedup.py`` tracks the
+speedups between them in ``BENCH_kernels.json``.
 
 Selecting a backend
 -------------------
 Every entry point takes a ``kernels=`` argument (a backend name or
 instance); ``None`` falls back to the process default, which is the
 ``REPRO_KERNELS`` environment variable or ``"numpy"``.  The CLI exposes
-``repro sort/trace ... --kernels numpy|loop``.  See docs/PERFORMANCE.md.
+``repro sort/trace ... --kernels numpy|loop|compiled``.  See
+docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
@@ -36,10 +43,12 @@ from __future__ import annotations
 import os
 
 from repro.kernels.base import KernelBackend
+from repro.kernels.compiled import CompiledBackend
 from repro.kernels.loop import LoopBackend
 from repro.kernels.numpy_backend import NumpyBackend
 
 __all__ = [
+    "CompiledBackend",
     "KernelBackend",
     "LoopBackend",
     "NumpyBackend",
@@ -53,6 +62,7 @@ __all__ = [
 _BACKENDS: dict[str, KernelBackend] = {
     "numpy": NumpyBackend(),
     "loop": LoopBackend(),
+    "compiled": CompiledBackend(),
 }
 
 #: Process-wide override set via :func:`set_default_backend`; ``None`` means
@@ -84,7 +94,8 @@ def set_default_backend(name: str | None) -> None:
 
 
 def get_backend(name: str) -> KernelBackend:
-    """The registered backend called ``name`` (``'numpy'`` or ``'loop'``)."""
+    """The registered backend called ``name`` (``'numpy'``, ``'loop'``, or
+    ``'compiled'``)."""
     try:
         return _BACKENDS[name]
     except KeyError:

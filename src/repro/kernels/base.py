@@ -29,6 +29,11 @@ class KernelBackend(ABC):
     #: stage-batched compare-exchange path is only worth taking then).
     batched: bool = False
 
+    #: True when the phase engine should bypass its per-pair interpreter and
+    #: execute the whole lowered :class:`~repro.core.schedule.SortSchedule`
+    #: as a flat array program (see :mod:`repro.kernels.compiled`).
+    schedule_compiled: bool = False
+
     # -- local sort -------------------------------------------------------
 
     @abstractmethod

@@ -13,9 +13,9 @@ the byte-for-byte reference the parallel path must reproduce.
 Two regressions the first cut of this runner shipped with, now guarded:
 
 * **Auto-serial.** Pool spin-up plus per-task pickling can exceed the work
-  itself.  On single-CPU hosts (``os.cpu_count() == 1``) or for small
-  batches (``total < 2 * jobs``) the parallel path *cannot* win, so the
-  runner silently degrades to the serial loop.
+  itself.  On single-CPU hosts (:func:`effective_cpu_count` of 1) or for
+  small batches (``total < 2 * jobs``) the parallel path *cannot* win, so
+  the runner silently degrades to the serial loop.
 * **Warm pool.** The pool persists across :func:`run_tasks` calls (keyed
   on worker count) and each worker pre-imports the heavy simulation stack
   in its initializer, so repeated campaign invocations — the shrinker, the
@@ -35,13 +35,41 @@ import os
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
-__all__ = ["resolve_jobs", "run_tasks", "shutdown_pool", "warm_pool"]
+__all__ = [
+    "effective_cpu_count",
+    "resolve_jobs",
+    "run_tasks",
+    "shutdown_pool",
+    "warm_pool",
+]
+
+
+def effective_cpu_count() -> int:
+    """CPUs this *process* may actually use.
+
+    ``os.cpu_count()`` reports the host's cores and ignores CPU affinity
+    masks — inside containerized CI a 64-core host may pin this process to
+    2 cores, and sizing the pool (or deciding parallelism can't win) from
+    the host count mis-detects the headroom both ways.
+    ``os.sched_getaffinity(0)`` reflects the actual usable set where the
+    platform provides it (Linux); elsewhere fall back to the host count.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            count = len(getaffinity(0))
+        except OSError:  # pragma: no cover - platform quirk
+            count = 0
+        if count > 0:
+            return count
+    return os.cpu_count() or 1
 
 
 def resolve_jobs(jobs: int | None) -> int:
-    """Normalize a ``--jobs`` value: ``None``/``0`` means all CPUs, else as given."""
+    """Normalize a ``--jobs`` value: ``None``/``0`` means all *usable* CPUs
+    (:func:`effective_cpu_count`, affinity-aware), else as given."""
     if jobs is None or jobs == 0:
-        return os.cpu_count() or 1
+        return effective_cpu_count()
     if jobs < 0:
         raise ValueError(f"jobs must be >= 0, got {jobs}")
     return jobs
@@ -63,11 +91,20 @@ _pool_workers = 0
 
 
 def _shared_pool(workers: int) -> ProcessPoolExecutor:
-    """The warm process pool, rebuilt only when the worker count changes."""
+    """The warm process pool, rebuilt only when the worker count changes.
+
+    A resize *drains* the old pool — ``shutdown(wait=True)`` without
+    cancelling futures — so batches already dispatched onto it (the service
+    submits straight to :func:`warm_pool` via ``loop.run_in_executor``)
+    finish and deliver their results before the workers retire.  The
+    hard-kill teardown (``cancel_futures=True``) is reserved for
+    :func:`shutdown_pool`, i.e. process exit and interrupt unwinding.
+    """
     global _pool, _pool_workers
     if _pool is not None and _pool_workers != workers:
-        _pool.shutdown(wait=False, cancel_futures=True)
+        old = _pool
         _pool = None
+        old.shutdown(wait=True, cancel_futures=False)
     if _pool is None:
         _pool = ProcessPoolExecutor(max_workers=workers, initializer=_warm_worker)
         _pool_workers = workers
@@ -122,7 +159,7 @@ def run_tasks(
     serial = (
         jobs <= 1
         or total <= 1
-        or (os.cpu_count() or 1) == 1
+        or effective_cpu_count() == 1
         or total < 2 * jobs
     )
     if serial:

@@ -19,7 +19,12 @@ planning-pipeline consumer:
   many short-lived machines over the same fault view; sharing the tables
   across machines is where most of the campaign's planning time goes;
 * ``nominal`` — the chaos campaign's nominal run duration per scenario
-  statics (the denominator every arrival fraction is scaled by).
+  statics (the denominator every arrival fraction is scaled by);
+* ``compiled`` — lowered :class:`~repro.core.schedule.CompiledSchedule`
+  programs for the ``--kernels compiled`` tier, keyed like their source
+  schedules plus the fault set only when the hop metric is
+  fault-dependent (detour routing) — multi-tenant jobs sharing an orbit
+  share the compiled program too.
 
 Everything cached is either immutable (frozen dataclasses, tuples, floats)
 or treated as read-only by every consumer (the distance dicts).  Replay is
@@ -50,13 +55,14 @@ from repro.plancache.canonical import CanonicalTransform, canonical_form, orbit_
 __all__ = [
     "PLAN_CACHE",
     "PlanCache",
+    "cached_compiled_program",
     "cached_ft_schedule",
     "cached_plain_schedule",
     "cached_route_table",
     "plan_with_cache",
 ]
 
-_SECTIONS = ("plan", "canon", "sched", "routes", "nominal")
+_SECTIONS = ("plan", "canon", "sched", "routes", "nominal", "compiled")
 
 #: Sentinel distinguishing "no entry" from a cached ``None``.
 _MISS = object()
@@ -406,6 +412,24 @@ def cached_plain_schedule(n: int, faulty: int | None):
 
 
 # -- fault-aware route tables ---------------------------------------------
+
+
+def cached_compiled_program(kind: str, key: tuple, faults, build):
+    """Memoized :func:`repro.core.schedule.lower_schedule` program.
+
+    ``kind``/``key`` mirror the schedule-section key (``"ft"`` with
+    ``(n, cut_dims, dead_of_subcube)``, ``"plain"`` with ``(n, faulty)``).
+    The lowered program additionally bakes in per-pair hop counts, which
+    depend on the fault set exactly when routes must detour (link faults,
+    or total-model processor faults); only then does the fault set join the
+    key — partial-fault runs over the same plan share one program.
+    ``build`` computes the lowering on a miss.
+    """
+    from repro.faults.model import FaultKind
+
+    detours = bool(faults.links) or (faults.r > 0 and faults.kind is FaultKind.TOTAL)
+    full_key = (kind,) + tuple(key) + (faults if detours else None,)
+    return PLAN_CACHE.memo("compiled", full_key, build)
 
 
 def cached_route_table(faults: FaultSet, src: int, compute):

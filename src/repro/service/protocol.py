@@ -121,8 +121,9 @@ class JobSpec:
         if backend not in ("phase", "spmd"):
             raise ProtocolError(f"backend must be 'phase' or 'spmd', got {backend!r}")
         kernels = raw.get("kernels")
-        if kernels not in (None, "numpy", "loop"):
-            raise ProtocolError(f"kernels must be 'numpy' or 'loop', got {kernels!r}")
+        if kernels not in (None, "numpy", "loop", "compiled"):
+            raise ProtocolError(
+                f"kernels must be 'numpy', 'loop' or 'compiled', got {kernels!r}")
 
         faults_raw = raw.get("faults", [])
         if not isinstance(faults_raw, (list, tuple)):

@@ -27,6 +27,13 @@ def _square(x: int) -> int:
     return x * x
 
 
+def _slow_square(x: int) -> int:
+    import time
+
+    time.sleep(0.05)
+    return x * x
+
+
 def _boom_value(x: int) -> int:
     if x == 3:
         raise ValueError("task 3 is cursed")
@@ -42,7 +49,7 @@ def _boom_interrupt(x: int) -> int:
 @pytest.fixture(autouse=True)
 def force_parallel_path(monkeypatch):
     """Defeat the 1-CPU auto-serial guard; always leave no pool behind."""
-    monkeypatch.setattr(parallel.os, "cpu_count", lambda: 4)
+    monkeypatch.setattr(parallel, "effective_cpu_count", lambda: 4)
     yield
     shutdown_pool()
     assert parallel._pool is None
@@ -85,6 +92,31 @@ class TestParentCancellation:
     def test_serial_interrupt_propagates(self):
         with pytest.raises(KeyboardInterrupt):
             run_tasks(_boom_interrupt, range(8), jobs=1)
+
+
+class TestPoolResize:
+    def test_resize_drains_in_flight_batches(self):
+        """Resizing the warm pool must not lose batches already dispatched.
+
+        The service submits job batches straight onto :func:`warm_pool`; a
+        concurrently arriving request with a different worker count used to
+        hard-kill the old pool (``cancel_futures=True``) and cancel those
+        in-flight batches.  The resize now *drains*: every future submitted
+        before the resize still delivers its result.
+        """
+        pool = parallel.warm_pool(2)
+        futures = [
+            pool.submit(parallel._run_chunk, (_slow_square, [x]))
+            for x in range(6)
+        ]
+        resized = parallel.warm_pool(3)
+        assert resized is not pool
+        assert parallel._pool_workers == 3
+        results = [fut.result(timeout=30) for fut in futures]
+        assert results == [[x * x] for x in range(6)]
+        assert not any(fut.cancelled() for fut in futures)
+        # The resized pool is live and usable.
+        assert resized.submit(parallel._run_chunk, (_square, [7])).result(timeout=30) == [49]
 
 
 class TestCampaignCancellation:

@@ -6,12 +6,15 @@ import pytest
 
 from repro.core.ftsort import plan_partition
 from repro.core.schedule import (
+    CompiledSchedule,
     CxPair,
     SortSchedule,
     Substage,
     build_ft_schedule,
     build_plain_schedule,
+    lower_schedule,
 )
+from repro.cube.address import hamming_distance
 from repro.faults.inject import random_faulty_processors
 
 PAPER_FAULTS = [3, 5, 16, 24]
@@ -33,6 +36,20 @@ class TestSubstage:
     def test_participants(self):
         s = Substage("x", "cx", (CxPair(0, 1, True), CxPair(4, 6, False)))
         assert s.participants() == {0, 1, 4, 6}
+
+    def test_cx_pair_requires_real_orientation(self):
+        # A cx comparator must say which side keeps the minima; the mirror
+        # sentinel ``None`` is not a valid orientation for a comparison.
+        with pytest.raises(ValueError, match="keep_min"):
+            Substage("x", "cx", (CxPair(0, 1, None),))
+
+    def test_mirror_pair_rejects_orientation(self):
+        # Mirror swaps move data without comparing: an orientation flag on a
+        # mirror pair would silently leak into comparison accounting.
+        with pytest.raises(ValueError, match="keep_min"):
+            Substage("x", "mirror", (CxPair(0, 1, True),))
+        ok = Substage("x", "mirror", (CxPair(0, 1, None),))
+        assert ok.pairs[0].keep_min is None
 
 
 class TestPlainSchedule:
@@ -122,3 +139,76 @@ class TestFtSchedule:
             sch = build_ft_schedule(sel)
             assert sch.workers == sel.working_processors
             assert isinstance(sch, SortSchedule)
+
+
+class TestHonestAccounting:
+    """Mirror traffic is counted as traffic, never as comparisons."""
+
+    def test_plain_schedule_has_no_mirror_pairs(self):
+        assert build_plain_schedule(4).mirror_pair_count() == 0
+
+    def test_ft_schedule_counts_mirror_pairs(self):
+        _, sel = plan_partition(5, PAPER_FAULTS)
+        sch = build_ft_schedule(sel)
+        mirror = sum(len(s.pairs) for s in sch.substages if s.kind == "mirror")
+        assert mirror > 0
+        assert sch.mirror_pair_count() == mirror
+        # comparator_count covers cx pairs only — mirror swaps compare nothing.
+        cx = sum(len(s.pairs) for s in sch.substages if s.kind == "cx")
+        assert sch.comparator_count() == cx
+
+    def test_worst_case_elements(self):
+        _, sel = plan_partition(5, PAPER_FAULTS)
+        sch = build_ft_schedule(sel)
+        k = 10
+        cx = sch.comparator_count()
+        mirror = sch.mirror_pair_count()
+        # Per cx pair: 2 probe keys + 2 full blocks; per mirror pair: 2 blocks.
+        assert sch.worst_case_elements(k) == cx * (2 + 2 * k) + mirror * 2 * k
+        assert sch.worst_case_elements(0) == 0
+
+
+class TestLowering:
+    def test_plain_lowering_shape(self):
+        sch = build_plain_schedule(3)
+        prog = lower_schedule(sch)
+        assert isinstance(prog, CompiledSchedule)
+        assert prog.n == 3
+        assert prog.workers == 8
+        assert prog.output_order == sch.output_order
+        assert len(prog.substages) == len(sch.substages)
+        for sub, csub in zip(sch.substages, prog.substages):
+            assert csub.label == sub.label
+            assert csub.kind == sub.kind
+            assert len(csub.a_rows) == len(csub.b_rows) == len(csub.hops) == len(sub.pairs)
+            assert not csub.a_rows.flags.writeable
+            assert (csub.hops == 1).all()  # plain substages are neighbor links
+
+    def test_cx_rows_resolve_orientation(self):
+        # a_rows is always the min-keeper, regardless of pair orientation.
+        sch = SortSchedule(
+            n=1,
+            output_order=(0, 1),
+            substages=(
+                Substage("fw", "cx", (CxPair(0, 1, True),)),
+                Substage("bw", "cx", (CxPair(0, 1, False),)),
+            ),
+        )
+        prog = lower_schedule(sch)
+        fw, bw = prog.substages
+        assert (fw.a_rows.tolist(), fw.b_rows.tolist()) == ([0], [1])
+        assert (bw.a_rows.tolist(), bw.b_rows.tolist()) == ([1], [0])
+
+    def test_ft_lowering_uses_hop_oracle(self):
+        _, sel = plan_partition(5, PAPER_FAULTS)
+        sch = build_ft_schedule(sel)
+        prog = lower_schedule(sch, hops_of=hamming_distance)
+        row = {addr: t for t, addr in enumerate(sch.output_order)}
+        for sub, csub in zip(sch.substages, prog.substages):
+            for i, pair in enumerate(sub.pairs):
+                rows = {int(csub.a_rows[i]), int(csub.b_rows[i])}
+                assert rows == {row[pair.low], row[pair.high]}
+                if sub.uniform_hops is None:
+                    assert int(csub.hops[i]) == hamming_distance(pair.low, pair.high)
+                else:
+                    assert int(csub.hops[i]) == sub.uniform_hops

@@ -25,7 +25,7 @@ from repro.kernels import (
     resolve_backend,
     set_default_backend,
 )
-from repro.parallel import resolve_jobs, run_tasks
+from repro.parallel import effective_cpu_count, resolve_jobs, run_tasks
 from repro.simulator.phases import PhaseMachine
 from repro.sorting.bitonic_cube import run_exchange_jobs, substage_pairs
 from repro.sorting.heapsort import heapsort
@@ -33,7 +33,7 @@ from repro.sorting.heapsort import heapsort
 
 class TestBackendRegistry:
     def test_available_backends(self):
-        assert available_backends() == ("loop", "numpy")
+        assert available_backends() == ("compiled", "loop", "numpy")
 
     def test_get_backend_returns_instances(self):
         assert get_backend("numpy").batched
@@ -223,10 +223,17 @@ class TestRunTasks:
 
     def test_resolve_jobs(self):
         assert resolve_jobs(4) == 4
-        assert resolve_jobs(None) == (os.cpu_count() or 1)
-        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(None) == effective_cpu_count()
+        assert resolve_jobs(0) == effective_cpu_count()
         with pytest.raises(ValueError):
             resolve_jobs(-1)
+
+    def test_effective_cpu_count_honors_affinity(self):
+        count = effective_cpu_count()
+        assert count >= 1
+        if hasattr(os, "sched_getaffinity"):
+            assert count == len(os.sched_getaffinity(0))
+        assert count <= (os.cpu_count() or count)
 
 
 class TestParallelCampaignMatchesSerial:
