@@ -3,8 +3,12 @@
 A seeded smoke campaign (both backends, arrival stratified over the whole
 run) asserting the robustness layer's contract — every scenario recovers
 and sorts correctly — and recording the aggregate telemetry (detection
-latency, retries, recovery overhead) as a diffable CI record.  The
-full-scale gate is ``repro chaos --scenarios 200``.
+latency, retries, recovery overhead) as a diffable CI record.  A second
+campaign cycles every registered fault universe (comparison lies, memory
+corruption, hybrid diagnosis, ABFT checksums) over both backends and all
+severity strata, recording the per-class survival curves and gating on
+>= 95% survival per class and backend.  The full-scale gate is
+``repro chaos --scenarios 200 --fault-class all``.
 """
 
 from __future__ import annotations
@@ -12,14 +16,27 @@ from __future__ import annotations
 import pytest
 
 from repro.chaos import run_campaign
+from repro.faults.universe import fault_class_names
 
 SCENARIOS = 32
 SEED = 1992
+#: Scenario count for the all-classes campaign: 5 classes x 2 backends x
+#: 3 severity strata x 2 repetitions.
+CLASS_SCENARIOS = 60
+#: The acceptance floor for every class/backend survival rate.
+SURVIVAL_FLOOR = 0.95
 
 
 @pytest.fixture(scope="module")
 def campaign():
     return run_campaign(count=SCENARIOS, seed=SEED, shrink_failures=False)
+
+
+@pytest.fixture(scope="module")
+def class_campaign():
+    return run_campaign(count=CLASS_SCENARIOS, seed=SEED,
+                        shrink_failures=False,
+                        fault_classes=fault_class_names())
 
 
 class TestChaosCampaignHealth:
@@ -39,6 +56,48 @@ class TestChaosCampaignHealth:
         assert campaign.with_recovery > 0
         assert campaign.mean_recovery_overhead >= 1.0
 
+class TestFaultClassSurvival:
+    def test_every_registered_class_ran_on_both_backends(self, class_campaign):
+        per_class = class_campaign.fault_classes
+        assert set(per_class) == set(fault_class_names())
+        for name, entry in per_class.items():
+            assert set(entry["backends"]) == {"phase", "spmd"}, name
+
+    def test_survival_floor_per_class_and_backend(self, class_campaign):
+        for name, entry in class_campaign.fault_classes.items():
+            assert entry["pass_rate"] >= SURVIVAL_FLOOR, (name, entry)
+            for backend, per in entry["backends"].items():
+                rate = per["passed"] / per["scenarios"]
+                assert rate >= SURVIVAL_FLOOR, (name, backend, per)
+
+    def test_comparison_class_judged_by_dislocation(self, class_campaign):
+        entry = class_campaign.fault_classes["comparison"]
+        assert entry["oracle"] == "max-dislocation"
+        # Every severity stratum ran and is judged against the tolerance
+        # bound, not np.sort equality.
+        assert set(entry["curve"]) == {"0.0005", "0.002", "0.008"}
+        for point in entry["curve"].values():
+            assert "max_max_dislocation" in point
+
+    def test_all_strata_covered(self, class_campaign):
+        from repro.faults.universe import get_fault_class
+
+        for name, entry in class_campaign.fault_classes.items():
+            cls = get_fault_class(name)
+            if cls.curve_param is None:
+                assert set(entry["curve"]) == {"default"}
+            else:
+                assert set(entry["curve"]) == {
+                    str(float(v)) for v in cls.strata}, name
+
+    def test_record_class_results(self, class_campaign, bench_json):
+        bench_json("chaos", "fault_class_scenarios", class_campaign.scenarios)
+        bench_json("chaos", "fault_class_passed", class_campaign.passed)
+        bench_json("chaos", "survival_floor", SURVIVAL_FLOOR)
+        bench_json("chaos", "fault_classes", class_campaign.fault_classes)
+
+
+class TestRecordBaseline:
     def test_record_results(self, campaign, bench_json):
         bench_json("chaos", "scenarios", campaign.scenarios)
         bench_json("chaos", "seed", SEED)

@@ -1,12 +1,18 @@
 """Campaign runner: execute scenarios, differentially check, report.
 
-Every scenario runs through :func:`repro.host.supervised_sort` with a
-fresh :class:`repro.obs.Tracer` attached, and its outcome is checked
-against the ``np.sort`` oracle.  The campaign emits one JSON line per
-scenario (schema in docs/ROBUSTNESS.md) carrying the scenario itself (so
-any line replays standalone), the verdict, and the robustness telemetry:
-detection latencies, retry/timeout counts, and recovery overhead.  Any
-failure is shrunk to a minimal reproducer before the summary is built.
+Every scenario runs through the fault class it names (see
+:mod:`repro.faults.universe`).  The ``baseline`` class is the original
+harness — :func:`repro.host.supervised_sort` with a fresh
+:class:`repro.obs.Tracer` attached, checked against the exact ``np.sort``
+oracle; the pluggable classes (``comparison``, ``memory``, ``hybrid``,
+``abft``) inject their own fault models and judge survival with
+tolerance-aware oracles.  The campaign emits one JSON line per scenario
+(schema in docs/ROBUSTNESS.md) carrying the scenario itself (so any line
+replays standalone), the verdict, the per-class oracle metrics, and the
+robustness telemetry: detection latencies, retry/timeout counts, and
+recovery overhead.  Any failure is shrunk to a minimal reproducer before
+the summary is built, and the summary reports a per-fault-class survival
+curve over each class's severity parameter.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ import numpy as np
 
 from repro.chaos.schedule import ChaosScenario, random_scenario
 from repro.faults.model import FaultKind, FaultSet
+from repro.faults.universe import get_fault_class
 from repro.host.session import FaultEvent, supervised_sort
 from repro.core.ftsort import fault_tolerant_sort
 from repro.obs import Tracer
@@ -26,7 +33,13 @@ from repro.plancache.cache import PLAN_CACHE
 from repro.simulator.params import MachineParams
 from repro.simulator.spmd import ReliabilityPolicy
 
-__all__ = ["CampaignSummary", "ChaosOutcome", "run_campaign", "run_scenario"]
+__all__ = [
+    "CampaignSummary",
+    "ChaosOutcome",
+    "run_baseline_scenario",
+    "run_campaign",
+    "run_scenario",
+]
 
 
 @dataclass(frozen=True)
@@ -46,6 +59,10 @@ class ChaosOutcome:
         recovery_overhead: supervised total / completing run (>= 1).
         wasted_time: written-off attempt time.
         total_time: supervised end-to-end simulated time.
+        oracle: per-fault-class oracle metrics (``kind`` names the oracle;
+            the rest is class-specific — dislocation and tolerances for
+            ``comparison``, corruption/detection for ``memory``/``abft``,
+            the identified set for ``hybrid``).
     """
 
     scenario: ChaosScenario
@@ -60,6 +77,7 @@ class ChaosOutcome:
     recovery_overhead: float = 1.0
     wasted_time: float = 0.0
     total_time: float = 0.0
+    oracle: dict = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -96,7 +114,10 @@ def scenario_events(
         return fault_tolerant_sort(keys, scenario.n, static, params=params).elapsed
 
     nominal = PLAN_CACHE.memo(
-        "nominal", (scenario.n, scenario.keys, scenario.seed, static, params), compute
+        "nominal",
+        (scenario.n, scenario.keys, scenario.seed, static, params,
+         scenario.fault_class),
+        compute,
     )
     return [
         FaultEvent(ev.kind, ev.subject, at=ev.frac * nominal)
@@ -109,7 +130,24 @@ def run_scenario(
     params: MachineParams | None = None,
     reliability: ReliabilityPolicy | None = None,
 ) -> ChaosOutcome:
-    """Execute one scenario and differentially check it against ``np.sort``."""
+    """Execute one scenario under the fault class it names.
+
+    Dispatches through the :mod:`repro.faults.universe` registry — the
+    ``baseline`` class routes to :func:`run_baseline_scenario`; the
+    pluggable classes inject their fault model around the planned sort and
+    judge survival with their own tolerance-aware oracle.
+    """
+    return get_fault_class(scenario.fault_class).run(
+        scenario, params=params, reliability=reliability
+    )
+
+
+def run_baseline_scenario(
+    scenario: ChaosScenario,
+    params: MachineParams | None = None,
+    reliability: ReliabilityPolicy | None = None,
+) -> ChaosOutcome:
+    """Execute one baseline scenario; differentially check against ``np.sort``."""
     rng = np.random.default_rng(scenario.seed)
     keys = rng.integers(0, 10**6, scenario.keys).astype(float)
     static = FaultSet(
@@ -137,6 +175,7 @@ def run_scenario(
         return ChaosOutcome(
             scenario=scenario, sorted_correct=False, recovered=False,
             error=f"{type(exc).__name__}: {exc}",
+            oracle={"kind": "exact-np.sort"},
         )
     correct = bool(np.array_equal(result.sorted_keys, np.sort(keys)))
     metrics = tracer.metrics
@@ -158,6 +197,7 @@ def run_scenario(
         recovery_overhead=float(result.recovery_overhead),
         wasted_time=float(result.wasted_time),
         total_time=float(result.total_time),
+        oracle={"kind": "exact-np.sort", "exact": correct},
     )
 
 
@@ -180,6 +220,7 @@ class CampaignSummary:
     mean_recovery_overhead: float = 1.0
     max_recovery_overhead: float = 1.0
     backends: dict = field(default_factory=dict)
+    fault_classes: dict = field(default_factory=dict)
     failures: list = field(default_factory=list)
 
     @property
@@ -192,6 +233,63 @@ class CampaignSummary:
         return d
 
 
+def _aggregate_fault_classes(outcomes: list[ChaosOutcome]) -> dict:
+    """Per-fault-class survival curves for :class:`CampaignSummary`.
+
+    For every class that ran: scenarios/passed/pass_rate, the per-backend
+    split, and a ``curve`` keyed by the class's severity parameter value
+    (``"default"`` for the parameterless baseline) carrying pass rate,
+    dislocation statistics (when the class's oracle reports them), mean
+    detection latency, and mean recovery overhead at that severity.
+    """
+    per_class: dict[str, dict] = {}
+    buckets: dict[tuple[str, str], list[ChaosOutcome]] = {}
+    for outcome in outcomes:
+        name = outcome.scenario.fault_class
+        entry = per_class.setdefault(name, {
+            "scenarios": 0, "passed": 0, "pass_rate": 0.0,
+            "oracle": outcome.oracle.get("kind", "exact-np.sort"),
+            "curve_param": get_fault_class(name).curve_param,
+            "backends": {}, "curve": {},
+        })
+        entry["scenarios"] += 1
+        entry["passed"] += int(outcome.passed)
+        per = entry["backends"].setdefault(
+            outcome.scenario.backend, {"scenarios": 0, "passed": 0}
+        )
+        per["scenarios"] += 1
+        per["passed"] += int(outcome.passed)
+        opts = dict(outcome.scenario.fault_params)
+        param = entry["curve_param"]
+        key = str(opts[param]) if param is not None and param in opts else "default"
+        buckets.setdefault((name, key), []).append(outcome)
+    for (name, key), group in buckets.items():
+        passed = sum(1 for o in group if o.passed)
+        point = {
+            "scenarios": len(group),
+            "passed": passed,
+            "pass_rate": passed / len(group),
+        }
+        dislocations = [
+            o.oracle["max_dislocation"] for o in group
+            if "max_dislocation" in o.oracle
+        ]
+        if dislocations:
+            point["mean_max_dislocation"] = float(np.mean(dislocations))
+            point["max_max_dislocation"] = int(np.max(dislocations))
+        latencies = [lat for o in group for lat in o.detect_latencies]
+        if latencies:
+            point["mean_detect_latency"] = float(np.mean(latencies))
+        overheads = [o.recovery_overhead for o in group if o.recovered]
+        if overheads:
+            point["mean_recovery_overhead"] = float(np.mean(overheads))
+        per_class[name]["curve"][key] = point
+    for entry in per_class.values():
+        if entry["scenarios"]:
+            entry["pass_rate"] = entry["passed"] / entry["scenarios"]
+    return per_class
+
+
 def _scenario_task(task: tuple) -> tuple[int, ChaosOutcome]:
     """One worker unit: build scenario ``idx`` from the campaign seed, run it.
 
@@ -202,9 +300,10 @@ def _scenario_task(task: tuple) -> tuple[int, ChaosOutcome]:
     every worker's observability state is fully isolated; the parent merges
     the returned outcomes by scenario index.
     """
-    idx, seed, n_choices, backends, max_keys, params = task
+    idx, seed, n_choices, backends, max_keys, fault_classes, params = task
     scenario = random_scenario(
-        idx, seed, n_choices=n_choices, backends=backends, max_keys=max_keys
+        idx, seed, n_choices=n_choices, backends=backends, max_keys=max_keys,
+        fault_classes=fault_classes,
     )
     return idx, run_scenario(scenario, params=params)
 
@@ -220,6 +319,7 @@ def run_campaign(
     shrink_failures: bool = True,
     progress=None,
     jobs: int = 1,
+    fault_classes: tuple[str, ...] = ("baseline",),
 ) -> CampaignSummary:
     """Run ``count`` seeded scenarios; write a JSONL report to ``out``.
 
@@ -232,11 +332,18 @@ def run_campaign(
     derivation is per-index deterministic and tracers are per-task, so the
     outcomes, the JSONL report (always in scenario order), and the summary
     are identical to a serial run; only shrinking stays in the parent.
+
+    ``fault_classes`` selects the registered fault universes the stratified
+    generator cycles; names are validated up front (a typo fails fast, not
+    after ``count`` scenarios).
     """
     from repro.chaos.shrink import shrink_scenario
 
+    for name in fault_classes:
+        get_fault_class(name)  # validate before spending any work
     tasks = [
-        (idx, seed, n_choices, backends, max_keys, params) for idx in range(count)
+        (idx, seed, n_choices, backends, max_keys, tuple(fault_classes), params)
+        for idx in range(count)
     ]
     wrapped = None
     if progress is not None:
@@ -279,6 +386,7 @@ def run_campaign(
     if overheads:
         summary.mean_recovery_overhead = float(np.mean(overheads))
         summary.max_recovery_overhead = float(np.max(overheads))
+    summary.fault_classes = _aggregate_fault_classes(outcomes)
 
     if out is not None:
         with open(out, "w", encoding="utf-8") as fh:

@@ -57,6 +57,10 @@ class ChaosScenario:
         static_processors: faults known before the run (off-line diagnosed).
         static_links: dead links known before the run.
         events: mid-run arrivals.
+        fault_class: registered fault universe this scenario exercises
+            (``"baseline"`` is the original crash/recovery chaos model).
+        fault_params: class-specific parameters as ``(name, value)`` pairs
+            (e.g. ``(("p", 0.002),)`` for comparison faults).
     """
 
     scenario_id: int
@@ -67,6 +71,8 @@ class ChaosScenario:
     static_processors: tuple[int, ...]
     static_links: tuple[tuple[int, int], ...]
     events: tuple[ScenarioEvent, ...]
+    fault_class: str = "baseline"
+    fault_params: tuple[tuple[str, float], ...] = ()
 
     def to_dict(self) -> dict:
         d = asdict(self)
@@ -78,6 +84,7 @@ class ChaosScenario:
         ]
         d["static_links"] = [list(l) for l in self.static_links]
         d["static_processors"] = list(self.static_processors)
+        d["fault_params"] = {name: value for name, value in self.fault_params}
         return d
 
     @classmethod
@@ -99,6 +106,11 @@ class ChaosScenario:
             static_processors=tuple(int(p) for p in d["static_processors"]),
             static_links=tuple(tuple(l) for l in d["static_links"]),
             events=events,
+            fault_class=str(d.get("fault_class", "baseline")),
+            fault_params=tuple(
+                sorted((str(k), float(v))
+                       for k, v in d.get("fault_params", {}).items())
+            ),
         )
 
 
@@ -108,6 +120,7 @@ def random_scenario(
     n_choices: tuple[int, ...] = (3, 4),
     backends: tuple[str, ...] = ("phase", "spmd"),
     max_keys: int = 96,
+    fault_classes: tuple[str, ...] = ("baseline",),
 ) -> ChaosScenario:
     """Draw one scenario, deterministically from ``(scenario_id, seed)``.
 
@@ -116,11 +129,44 @@ def random_scenario(
     campaigns hit every stage of the run; additional events draw their
     fraction uniformly.  Backends alternate with ``scenario_id`` so both
     engines get equal coverage.
+
+    ``fault_classes`` selects the registered fault universes to draw from;
+    classes cycle *after* the backend alternation, so every class is
+    exercised on every backend.  Each non-baseline class stratifies its own
+    curve parameter (injection rate, byzantine fraction, …) over the
+    variant index ``scenario_id // (len(backends) * len(fault_classes))``.
+    The default single-``baseline`` campaign is draw-for-draw identical to
+    the historical generator.
     """
     rng = np.random.default_rng((seed, scenario_id))
     n = int(rng.choice(n_choices))
     backend = backends[scenario_id % len(backends)]
     keys = int(rng.integers(max(24, max_keys // 2), max_keys + 1))
+
+    class_name = fault_classes[(scenario_id // len(backends)) % len(fault_classes)]
+    if class_name != "baseline":
+        from repro.faults.universe import get_fault_class
+
+        cls = get_fault_class(class_name)
+        budget = n - 1
+        floor = 1 if cls.needs_static else 0
+        n_static = int(rng.integers(floor, budget + 1)) if budget >= floor else 0
+        free = list(rng.permutation(1 << n))
+        static_processors = tuple(sorted(int(free.pop()) for _ in range(n_static)))
+        variant = scenario_id // (len(backends) * len(fault_classes))
+        params = cls.draw_params(rng, variant)
+        return ChaosScenario(
+            scenario_id=scenario_id,
+            seed=seed,
+            n=n,
+            keys=keys,
+            backend=backend,
+            static_processors=static_processors,
+            static_links=(),
+            events=(),
+            fault_class=class_name,
+            fault_params=params,
+        )
 
     budget = n - 1  # paper model: r <= n - 1 after link absorption
     n_events = int(rng.integers(1, budget + 1))

@@ -206,6 +206,39 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     return 0 if result.matches(hidden) else 1
 
 
+def _fault_class_list(text: str) -> tuple[str, ...]:
+    """Parse and validate ``--fault-class`` (comma list, or ``all``).
+
+    Exits with a friendly message naming every registered class when a
+    name is unknown — same contract as :func:`_fault_list`.
+    """
+    from repro.faults.universe import fault_class_names
+
+    registered = fault_class_names()
+    if text.strip() == "all":
+        return registered
+    names: list[str] = []
+    for tok in text.replace(" ", "").split(","):
+        if not tok:
+            continue
+        if tok not in registered:
+            raise SystemExit(
+                f"repro: invalid --fault-class: {tok!r} is not a registered "
+                f"fault class (registered: {', '.join(registered)}, or 'all')"
+            )
+        if tok in names:
+            raise SystemExit(
+                f"repro: invalid --fault-class: {tok!r} listed twice"
+            )
+        names.append(tok)
+    if not names:
+        raise SystemExit(
+            "repro: invalid --fault-class: need at least one class "
+            f"(registered: {', '.join(registered)}, or 'all')"
+        )
+    return tuple(names)
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.chaos import run_campaign
     from repro.plancache import PLAN_CACHE
@@ -213,6 +246,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.plan_cache == "off":
         PLAN_CACHE.configure(enabled=False)
     backends = ("phase", "spmd") if args.backend == "both" else (args.backend,)
+    fault_classes = _fault_class_list(args.fault_class)
     count = args.scenarios
     if count is None:
         count = 24 if args.fast else 200
@@ -227,7 +261,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     jobs = resolve_jobs(args.jobs) if args.jobs != 1 else 1
     print(f"chaos campaign: {count} scenarios, seed {args.seed}, "
-          f"backends {'/'.join(backends)}, jobs {jobs}")
+          f"backends {'/'.join(backends)}, classes {'/'.join(fault_classes)}, "
+          f"jobs {jobs}")
     summary = run_campaign(
         count=count,
         seed=args.seed,
@@ -236,10 +271,24 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         shrink_failures=not args.no_shrink,
         progress=progress,
         jobs=jobs,
+        fault_classes=fault_classes,
     )
     print(f"  passed            : {summary.passed}/{summary.scenarios}")
     for backend, per in sorted(summary.backends.items()):
         print(f"    {backend:<6}          : {per['passed']}/{per['scenarios']}")
+    if len(fault_classes) > 1 or fault_classes != ("baseline",):
+        for name, entry in summary.fault_classes.items():
+            print(f"  class {name:<11} : {entry['passed']}/{entry['scenarios']} "
+                  f"(oracle {entry['oracle']})")
+            for key, point in sorted(entry["curve"].items()):
+                param = entry["curve_param"] or "severity"
+                extra = ""
+                if "max_max_dislocation" in point:
+                    extra = (f", dislocation mean "
+                             f"{point['mean_max_dislocation']:.1f} "
+                             f"max {point['max_max_dislocation']}")
+                print(f"    {param}={key:<8}: "
+                      f"{point['passed']}/{point['scenarios']}{extra}")
     print(f"  recoveries        : {summary.recoveries} "
           f"(in {summary.with_recovery} scenarios)")
     print(f"  retries           : {summary.retries}")
@@ -312,6 +361,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         job["backend"] = args.backend
         if args.kernels:
             job["kernels"] = args.kernels
+    if args.kind == "chaos" and args.fault_class != "baseline":
+        classes = _fault_class_list(args.fault_class)
+        if len(classes) != 1:
+            raise SystemExit(
+                "repro: invalid --fault-class: submit takes exactly one class "
+                "per job stream (run one submit per class)")
+        job["fault_class"] = classes[0]
 
     async def run() -> int:
         client = await ServiceClient.connect(args.host, args.port)
@@ -409,6 +465,16 @@ def main(argv: list[str] | None = None) -> int:
                          help="JSONL report path")
     p_chaos.add_argument("--backend", choices=("both", "phase", "spmd"),
                          default="both")
+    from repro.faults.universe import fault_class_summaries
+
+    class_help = "; ".join(
+        f"{name}: {summary}" for name, summary in fault_class_summaries().items()
+    )
+    p_chaos.add_argument("--fault-class", type=str, default="baseline",
+                         metavar="CLASS[,CLASS...]",
+                         help="fault universes to draw scenarios from "
+                              "(comma list or 'all'). Registered classes -- "
+                              + class_help)
     p_chaos.add_argument("--fast", action="store_true",
                          help="short smoke campaign (CI)")
     p_chaos.add_argument("--no-shrink", action="store_true",
@@ -460,6 +526,9 @@ def main(argv: list[str] | None = None) -> int:
     p_submit.add_argument("--backend", choices=("phase", "spmd"),
                           default="phase")
     p_submit.add_argument("--kernels", choices=("numpy", "loop", "compiled"), default=None)
+    p_submit.add_argument("--fault-class", type=str, default="baseline",
+                          help="fault universe for chaos jobs (one registered "
+                               "class; see 'repro chaos --help')")
     p_submit.add_argument("--count", type=int, default=1,
                           help="number of jobs to submit")
     p_submit.add_argument("--tenants", type=str, default="default",

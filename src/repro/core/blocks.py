@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.faults.injectors import active_memory
+
 __all__ = ["pad_and_chunk", "strip_padding", "PAD_KEY"]
 
 PAD_KEY = np.inf
@@ -38,6 +40,12 @@ def pad_and_chunk(keys: np.ndarray | list, workers: int) -> tuple[list[np.ndarra
     block = -(-m // workers)  # ceil division
     padded = np.full(workers * block, PAD_KEY, dtype=float)
     padded[:m] = arr
+    inj = active_memory()
+    if inj is not None:
+        # Memory fault universe: corrupt cells at the single point where
+        # every driver materializes its working store (only the real keys;
+        # pads are control structure, not data).
+        inj.corrupt(padded, m)
     return [padded[i * block : (i + 1) * block] for i in range(workers)], block
 
 

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.core.blocks import pad_and_chunk, strip_padding
 from repro.core.ftsort import plan_partition
+from repro.faults.injectors import active_comparison
 from repro.core.schedule import SortSchedule
 from repro.cube.address import validate_dimension
 from repro.plancache.cache import cached_ft_schedule, cached_plain_schedule
@@ -87,6 +88,16 @@ def _cx_program_step(proc: Proc, block: np.ndarray, partner: int, i_am_low: bool
         skip = my_boundary <= other_boundary
     else:
         skip = other_boundary <= my_boundary
+    inj = active_comparison()
+    if inj is not None and inj.flip_one(
+        my_boundary, other_boundary, kind="probe", record=i_am_low
+    ):
+        # Lying probe comparator: the flip hash is symmetric in the two
+        # boundary keys, so both partners reach the same wrong verdict —
+        # no protocol divergence, just a misrouted (or spurious) exchange.
+        # Only the low side records the lie, mirroring the pair's logical
+        # counters.
+        skip = not skip
     if skip:
         # The pair's logical counters are recorded once, on the low side.
         if obs.enabled and i_am_low:

@@ -11,7 +11,15 @@ each of those assumptions an explicit, testable component:
 * :mod:`repro.faults.inject` — seeded random fault-placement generators used
   by the Monte-Carlo sweeps (Tables 1-2, Figure 7).
 * :mod:`repro.faults.diagnosis` — a PMC-style mutual-test diagnosis substrate
-  demonstrating how fault locations become known.
+  demonstrating how fault locations become known, plus the hybrid
+  (PMC + MM*) decoder for mixed crash/byzantine faults.
+* :mod:`repro.faults.injectors` — deterministic comparison-lie and
+  memory-corruption injectors consulted by every kernel backend.
+* :mod:`repro.faults.oracles` — tolerance-aware disorder metrics and ABFT
+  checksums that judge the injected universes.
+* :mod:`repro.faults.universe` — the pluggable :class:`FaultClass`
+  registry tying injectors, oracles, and recovery paths together for the
+  chaos harness.
 """
 
 from repro.faults.model import FaultKind, FaultSet
@@ -20,21 +28,53 @@ from repro.faults.inject import (
     random_faulty_processors,
     random_link_faults,
 )
-from repro.faults.diagnosis import DiagnosisResult, pmc_syndrome, diagnose_pmc
+from repro.faults.diagnosis import (
+    DiagnosisResult,
+    diagnose_hybrid,
+    diagnose_pmc,
+    hybrid_syndromes,
+    mm_syndrome,
+    pmc_syndrome,
+)
+from repro.faults.injectors import (
+    ComparisonInjector,
+    MemoryInjector,
+    comparison_faults,
+    memory_faults,
+)
 from repro.faults.linkplan import absorb_link_faults
 from repro.faults.scenarios import SCENARIOS, make_scenario, scenario_names
+from repro.faults.universe import (
+    FaultClass,
+    fault_class_names,
+    fault_class_summaries,
+    get_fault_class,
+    register_fault_class,
+)
 
 __all__ = [
+    "ComparisonInjector",
     "DiagnosisResult",
+    "FaultClass",
     "FaultKind",
     "FaultSet",
+    "MemoryInjector",
     "SCENARIOS",
     "absorb_link_faults",
-    "make_scenario",
-    "scenario_names",
+    "comparison_faults",
+    "diagnose_hybrid",
     "diagnose_pmc",
+    "fault_class_names",
+    "fault_class_summaries",
+    "get_fault_class",
+    "hybrid_syndromes",
+    "make_scenario",
+    "memory_faults",
+    "mm_syndrome",
     "pmc_syndrome",
     "random_fault_set",
     "random_faulty_processors",
     "random_link_faults",
+    "register_fault_class",
+    "scenario_names",
 ]

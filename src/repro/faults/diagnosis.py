@@ -38,7 +38,14 @@ from repro.cube.address import validate_dimension
 from repro.cube.topology import Hypercube
 from repro.faults.model import FaultSet
 
-__all__ = ["DiagnosisResult", "pmc_syndrome", "diagnose_pmc"]
+__all__ = [
+    "DiagnosisResult",
+    "diagnose_hybrid",
+    "diagnose_pmc",
+    "hybrid_syndromes",
+    "mm_syndrome",
+    "pmc_syndrome",
+]
 
 
 @dataclass(frozen=True)
@@ -200,3 +207,139 @@ def diagnose_pmc(
     identified = tuple(sorted(guess))
     ok = _consistent(n, frozenset(guess), syndrome) and len(guess) <= max_faults
     return DiagnosisResult(identified=identified, consistent=ok)
+
+
+# -- hybrid (PMC + MM*) diagnosis with mixed crash/byzantine faults --------
+#
+# The hybrid fault model distinguishes *how* a faulty processor misbehaves:
+# a crashed unit is silent — it produces no test reports at all, and fails
+# every test applied to it — while a byzantine unit answers arbitrarily
+# (sampled uniformly here, the standard randomized stand-in).  Two test
+# syndromes are combined:
+#
+# * PMC link tests as above, except crash testers contribute *no* entries
+#   (their silence is itself evidence) and byzantine testers lie randomly;
+# * MM*-style comparison tests: every processor ``w`` compares the
+#   responses of each unordered pair ``{u, v}`` of its distinct neighbors
+#   and reports 0 iff both responses agree with a fault-free computation —
+#   which, under the usual MM assumption, happens iff both units are
+#   fault-free.  Crash comparators are silent; byzantine comparators
+#   report randomly.
+#
+# Decoding requires one set to explain *both* syndromes simultaneously —
+# strictly more constraints than either alone, which is what lets the
+# decoder pin down byzantine units whose random PMC reports happen to look
+# plausible.
+
+
+def hybrid_syndromes(
+    faults: FaultSet, rng: np.random.Generator | int | None = None
+) -> tuple[dict[tuple[int, int], int], dict[tuple[int, int, int], int]]:
+    """Generate the (PMC, MM*) syndrome pair under mixed crash+byzantine faults.
+
+    The crash/byzantine split comes from ``faults`` (see
+    :class:`~repro.faults.model.FaultSet`'s ``byzantine`` parameter).
+    Returns ``(pmc, mm)`` where ``pmc`` maps ``(tester, tested)`` to 0/1
+    and ``mm`` maps ``(comparator, u, v)`` (``u < v`` neighbors of the
+    comparator) to 0/1; silent (crashed) testers appear in neither.
+    """
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    cube = faults.cube
+    crash = frozenset(faults.crash)
+    pmc: dict[tuple[int, int], int] = {}
+    mm: dict[tuple[int, int, int], int] = {}
+    for tester in cube.nodes():
+        if tester in crash:
+            continue  # silent: no reports of either kind
+        byz_tester = faults.is_byzantine(tester)
+        neighbors = list(cube.neighbors(tester))
+        for tested in neighbors:
+            if byz_tester:
+                pmc[(tester, tested)] = int(gen.integers(0, 2))
+            else:
+                pmc[(tester, tested)] = 1 if faults.is_faulty(tested) else 0
+        for i, u in enumerate(neighbors):
+            for v in neighbors[i + 1 :]:
+                a, b = (u, v) if u < v else (v, u)
+                if byz_tester:
+                    mm[(tester, a, b)] = int(gen.integers(0, 2))
+                else:
+                    mm[(tester, a, b)] = (
+                        1 if faults.is_faulty(a) or faults.is_faulty(b) else 0
+                    )
+    return pmc, mm
+
+
+def mm_syndrome(
+    faults: FaultSet, rng: np.random.Generator | int | None = None
+) -> dict[tuple[int, int, int], int]:
+    """The MM* comparison-test syndrome alone (see :func:`hybrid_syndromes`)."""
+    return hybrid_syndromes(faults, rng=rng)[1]
+
+
+def _mm_consistent(
+    candidates: frozenset[int], mm: dict[tuple[int, int, int], int]
+) -> bool:
+    """Whether declaring ``candidates`` faulty explains the MM* syndrome."""
+    for (comparator, u, v), outcome in mm.items():
+        if comparator in candidates:
+            continue  # byzantine comparator may say anything
+        truth = 1 if (u in candidates or v in candidates) else 0
+        if outcome != truth:
+            return False
+    return True
+
+
+def diagnose_hybrid(
+    n: int,
+    pmc: dict[tuple[int, int], int],
+    mm: dict[tuple[int, int, int], int],
+    max_faults: int | None = None,
+) -> DiagnosisResult:
+    """Decode a hybrid (PMC + MM*) syndrome pair on ``Q_n``.
+
+    Silent units (those that produced no reports) are crashed by
+    definition and enter the fault set immediately.  The remaining units
+    are decoded by exact search over the accused pool for the smallest
+    set that — together with the silent units — explains *both*
+    syndromes; for the campaign's cube sizes (``N <= 32``) the search is
+    exhaustive and the decoded set is the unique consistent one.  Larger
+    systems fall back to the PMC decoder plus the silent set.
+    """
+    validate_dimension(n)
+    if max_faults is None:
+        max_faults = max(n - 1, 0)
+    cube = Hypercube(n)
+
+    reporters = {tester for tester, _ in pmc} | {w for w, _, _ in mm}
+    silent = frozenset(node for node in cube.nodes() if node not in reporters)
+
+    def explains(candidates: frozenset[int]) -> bool:
+        if not silent <= candidates:
+            return False
+        return _consistent(n, candidates, pmc) and _mm_consistent(candidates, mm)
+
+    if explains(silent) and len(silent) <= max_faults:
+        return DiagnosisResult(identified=tuple(sorted(silent)), consistent=True)
+
+    accused = {tested for (_, tested), out in pmc.items() if out == 1}
+    accused |= {u for (_, u, _), out in mm.items() if out == 1}
+    accused |= {v for (_, _, v), out in mm.items() if out == 1}
+    pool = sorted(accused - silent)
+
+    if cube.size <= 32:
+        from itertools import combinations
+
+        for k in range(max_faults - len(silent) + 1):
+            for comb in combinations(pool, k):
+                candidates = silent | frozenset(comb)
+                if explains(candidates):
+                    return DiagnosisResult(
+                        identified=tuple(sorted(candidates)), consistent=True
+                    )
+
+    # Fallback: PMC decoding alone, augmented with the silent units.
+    base = diagnose_pmc(n, pmc, max_faults=max_faults)
+    guess = frozenset(base.identified) | silent
+    ok = explains(guess) and len(guess) <= max_faults
+    return DiagnosisResult(identified=tuple(sorted(guess)), consistent=ok)

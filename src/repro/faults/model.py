@@ -36,11 +36,22 @@ class FaultSet:
 
     Args:
         n: hypercube dimension.
-        processors: faulty processor addresses.
+        processors: faulty processor addresses (crash / fail-stop: the
+            computational portion is dead and stays silent).
         kind: whether processor faults are total or partial (uniform for the
             whole set, as in the paper's two simulation modes).
         links: faulty links, each given as an ``(a, b)`` pair of neighbor
             addresses; stored canonically as ``(min_endpoint, dimension)``.
+        byzantine: additionally-faulty processors whose behaviour is
+            *arbitrary* rather than silent (the hybrid-diagnosis model of
+            :mod:`repro.faults.diagnosis`).  Disjoint from ``processors``
+            by construction — a processor cannot be both crashed and
+            byzantine, and listing it as both is rejected.  The
+            :attr:`processors` view covers *all* faulty processors, so
+            planners and routers treat byzantine nodes as faulty too.
+
+    Duplicate entries are rejected everywhere: a processor listed twice
+    within a fault kind, across the two kinds, or a link named twice.
     """
 
     def __init__(
@@ -49,10 +60,29 @@ class FaultSet:
         processors: Iterable[int] = (),
         kind: FaultKind = FaultKind.TOTAL,
         links: Iterable[tuple[int, int]] = (),
+        byzantine: Iterable[int] = (),
     ):
         self.n = validate_dimension(n)
         self.cube = Hypercube(n)
-        procs = sorted({validate_address(p, n) for p in processors})
+        crash = [validate_address(p, n) for p in processors]
+        byz = [validate_address(p, n) for p in byzantine]
+        for label, seq in (("faulty", crash), ("byzantine", byz)):
+            seen: set[int] = set()
+            for addr in seq:
+                if addr in seen:
+                    raise ValueError(
+                        f"duplicate {label} processor: {addr} listed twice"
+                    )
+                seen.add(addr)
+        contradictory = sorted(set(crash) & set(byz))
+        if contradictory:
+            raise ValueError(
+                f"contradictory fault kinds: processor(s) {contradictory} "
+                f"listed both faulty (crash) and byzantine"
+            )
+        self._byzantine = tuple(sorted(byz))
+        self._byz_set = frozenset(byz)
+        procs = sorted(set(crash) | set(byz))
         self._processors = tuple(procs)
         self._proc_set = frozenset(procs)
         if not isinstance(kind, FaultKind):
@@ -77,6 +107,16 @@ class FaultSet:
         return self._processors
 
     @property
+    def byzantine(self) -> tuple[int, ...]:
+        """The byzantine subset of :attr:`processors`, ascending."""
+        return self._byzantine
+
+    @property
+    def crash(self) -> tuple[int, ...]:
+        """The silent (fail-stop) subset of :attr:`processors`, ascending."""
+        return tuple(p for p in self._processors if p not in self._byz_set)
+
+    @property
     def links(self) -> tuple[tuple[int, int], ...]:
         """Faulty links as canonical ``(node, dim)`` ids, sorted."""
         return self._links
@@ -87,8 +127,12 @@ class FaultSet:
         return len(self._processors)
 
     def is_faulty(self, addr: int) -> bool:
-        """Whether processor ``addr`` is faulty."""
+        """Whether processor ``addr`` is faulty (crash or byzantine)."""
         return addr in self._proc_set
+
+    def is_byzantine(self, addr: int) -> bool:
+        """Whether processor ``addr`` is faulty with arbitrary behaviour."""
+        return addr in self._byz_set
 
     def is_link_faulty(self, a: int, b: int) -> bool:
         """Whether the link between neighbors ``a`` and ``b`` is unusable.
@@ -183,13 +227,17 @@ class FaultSet:
             and self._processors == other._processors
             and self.kind == other.kind
             and self._links == other._links
+            and self._byzantine == other._byzantine
         )
 
     def __hash__(self) -> int:
-        return hash((self.n, self._processors, self.kind, self._links))
+        return hash(
+            (self.n, self._processors, self.kind, self._links, self._byzantine)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        byz = f", byzantine={list(self._byzantine)}" if self._byzantine else ""
         return (
-            f"FaultSet(n={self.n}, processors={list(self._processors)}, "
-            f"kind={self.kind.value!r}, links={list(self._links)})"
+            f"FaultSet(n={self.n}, processors={list(self.crash)}, "
+            f"kind={self.kind.value!r}, links={list(self._links)}{byz})"
         )

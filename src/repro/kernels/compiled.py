@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.faults.injectors import active_comparison
 from repro.kernels.numpy_backend import NumpyBackend, heapsort_batch
 
 __all__ = ["CompiledBackend", "run_schedule_compiled"]
@@ -138,6 +139,11 @@ def run_schedule_compiled(
     key_matrix = np.stack(chunks) if chunks else np.empty((0, 0))
     obs_on = machine.obs.enabled
     met = machine.obs.metrics if obs_on else None
+    # Active comparison injector (chaos fault universes): the flip mask is
+    # a pure symmetric hash of the operand values, so the flipped probe
+    # and duel verdicts below are byte-identical to the interpreted
+    # engines' — the parity contract survives injection.
+    inj = active_comparison()
 
     # -- local sort (step 3a) ---------------------------------------------
     rec = PhaseRecord("local-heapsort")
@@ -196,7 +202,11 @@ def run_schedule_compiled(
 
         # Probe: each side ships one boundary key; the pair skips the block
         # exchange when the blocks are already correctly split.
-        skip = key_matrix[sub.a_rows, k - 1] <= key_matrix[sub.b_rows, 0]
+        a_last = key_matrix[sub.a_rows, k - 1]
+        b_first = key_matrix[sub.b_rows, 0]
+        skip = a_last <= b_first
+        if inj is not None:
+            skip = skip ^ inj.flip_pairs(a_last, b_first, kind="probe")
         live = ~skip
         executed = int(live.sum())
         skipped = pair_count - executed
@@ -217,8 +227,16 @@ def run_schedule_compiled(
             live_b = sub.b_rows[live]
             a = np.take(key_matrix, live_a, axis=0, out=gather_a[:executed])
             b = np.take(key_matrix, live_b, axis=0, out=gather_b[:executed])
-            lo = np.minimum(a, b[:, ::-1], out=lohi[:executed])
-            hi = np.maximum(a, b[:, ::-1], out=lohi[executed:2 * executed])
+            if inj is not None:
+                b_rev = b[:, ::-1]
+                le = (a <= b_rev) ^ inj.flip_pairs(a, b_rev)
+                lo = lohi[:executed]
+                hi = lohi[executed:2 * executed]
+                np.copyto(lo, np.where(le, a, b_rev))
+                np.copyto(hi, np.where(le, b_rev, a))
+            else:
+                lo = np.minimum(a, b[:, ::-1], out=lohi[:executed])
+                hi = np.maximum(a, b[:, ::-1], out=lohi[executed:2 * executed])
             # One in-place row-sort over both halves; each row is the
             # ascending-then-descending half of a bitonic merge — two runs,
             # which the stable (tim)sort merges in linear time.

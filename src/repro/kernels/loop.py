@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.faults.injectors import active_comparison
 from repro.kernels.base import KernelBackend
 from repro.sorting.heapsort import heapsort
 
@@ -71,12 +72,22 @@ def _merge_asc(a: list, b: list) -> list:
     return out
 
 
-def _duel(a: list, b_rev: list, want_min: bool) -> tuple[list, list]:
-    """Pairwise duel of ``a_i`` against ``b_rev_i``; winners per ``want_min``."""
+def _duel(
+    a: list, b_rev: list, want_min: bool, flips=None
+) -> tuple[list, list]:
+    """Pairwise duel of ``a_i`` against ``b_rev_i``; winners per ``want_min``.
+
+    ``flips`` (an optional boolean sequence from the active
+    :class:`~repro.faults.injectors.ComparisonInjector`) inverts the
+    ``x <= y`` verdict of the marked duels — the lying-comparator model.
+    """
     winners = []
     losers = []
-    for x, y in zip(a, b_rev):
-        small, large = (x, y) if x <= y else (y, x)
+    for idx, (x, y) in enumerate(zip(a, b_rev)):
+        verdict = x <= y
+        if flips is not None and flips[idx]:
+            verdict = not verdict
+        small, large = (x, y) if verdict else (y, x)
         if want_min:
             winners.append(small)
             losers.append(large)
@@ -131,6 +142,16 @@ class LoopBackend(KernelBackend):
     def split_pair(self, a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         a_arr = np.asarray(a)
         b_arr = np.asarray(b)
+        inj = active_comparison()
+        if inj is not None:
+            # Lying duels break the mountain/valley shape the two-pointer
+            # passes rely on, so the faulty path finishes with full sorts.
+            flips = inj.flip_pairs(a_arr, b_arr[::-1])
+            low, high = _duel(list(a_arr), list(b_arr)[::-1], True, flips)
+            return (
+                np.sort(_as_block(low, a_arr), kind="stable"),
+                np.sort(_as_block(high, b_arr), kind="stable"),
+            )
         # Min-winners form a mountain and max-losers a valley (the
         # ascending-vs-descending pairing; see module docstring).
         low, high = _duel(list(a_arr), list(b_arr)[::-1], want_min=True)
@@ -157,6 +178,14 @@ class LoopBackend(KernelBackend):
     ) -> tuple[np.ndarray, np.ndarray]:
         mine_arr = np.asarray(mine)
         theirs = list(received)[::-1]  # descending partner run
+        inj = active_comparison()
+        if inj is not None:
+            flips = inj.flip_pairs(mine_arr, np.asarray(received)[::-1])
+            winners, losers = _duel(list(mine_arr), theirs, want_min, flips)
+            return (
+                np.sort(_as_block(winners, mine_arr), kind="stable"),
+                np.sort(_as_block(losers, mine_arr), kind="stable"),
+            )
         winners, losers = _duel(list(mine_arr), theirs, want_min=want_min)
         # Min-winners form a mountain and max-losers a valley — and vice
         # versa when the max side keeps.

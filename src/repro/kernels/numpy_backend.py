@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.faults.injectors import active_comparison
 from repro.kernels.base import KernelBackend
 
 __all__ = ["NumpyBackend", "heapsort_batch"]
@@ -126,6 +127,16 @@ class NumpyBackend(KernelBackend):
     def split_pair(self, a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         b_rev = np.asarray(b)[::-1]
         a = np.asarray(a)
+        inj = active_comparison()
+        if inj is not None:
+            # Lying duels: flip the <= verdict wherever the injector says;
+            # minimum/maximum(a, b) is where(a <= b, ...) elementwise, so
+            # the fault-free path below is the flips-all-False case.
+            le = (a <= b_rev) ^ inj.flip_pairs(a, b_rev)
+            return (
+                np.sort(np.where(le, a, b_rev), kind="stable"),
+                np.sort(np.where(le, b_rev, a), kind="stable"),
+            )
         return (
             np.sort(np.minimum(a, b_rev), kind="stable"),
             np.sort(np.maximum(a, b_rev), kind="stable"),
@@ -136,6 +147,13 @@ class NumpyBackend(KernelBackend):
     ) -> tuple[np.ndarray, np.ndarray]:
         a = np.asarray(a)
         b_rev = np.asarray(b)[:, ::-1]
+        inj = active_comparison()
+        if inj is not None:
+            le = (a <= b_rev) ^ inj.flip_pairs(a, b_rev)
+            return (
+                np.sort(np.where(le, a, b_rev), axis=1, kind="stable"),
+                np.sort(np.where(le, b_rev, a), axis=1, kind="stable"),
+            )
         return (
             np.sort(np.minimum(a, b_rev), axis=1, kind="stable"),
             np.sort(np.maximum(a, b_rev), axis=1, kind="stable"),
@@ -148,7 +166,13 @@ class NumpyBackend(KernelBackend):
     ) -> tuple[np.ndarray, np.ndarray]:
         mine = np.asarray(mine)
         theirs = np.asarray(received)[::-1]
-        if want_min:
+        inj = active_comparison()
+        if inj is not None:
+            le = (mine <= theirs) ^ inj.flip_pairs(mine, theirs)
+            mins = np.where(le, mine, theirs)
+            maxs = np.where(le, theirs, mine)
+            winners, losers = (mins, maxs) if want_min else (maxs, mins)
+        elif want_min:
             winners, losers = np.minimum(mine, theirs), np.maximum(mine, theirs)
         else:
             winners, losers = np.maximum(mine, theirs), np.minimum(mine, theirs)

@@ -70,10 +70,17 @@ def _run_plan(spec: JobSpec) -> dict:
 
 
 def _run_chaos(spec: JobSpec) -> dict:
+    from dataclasses import replace
+
     from repro.chaos.campaign import run_scenario
     from repro.chaos.schedule import random_scenario
 
-    scenario = random_scenario(spec.index, spec.seed)
+    scenario = random_scenario(
+        spec.index, spec.seed, fault_classes=(spec.fault_class,)
+    )
+    if spec.fault_params:
+        # Explicit severity overrides replace the stratified draw.
+        scenario = replace(scenario, fault_params=spec.fault_params)
     outcome = run_scenario(scenario)
     return {
         "kind": "chaos",
@@ -81,6 +88,8 @@ def _run_chaos(spec: JobSpec) -> dict:
         "recoveries": outcome.recoveries,
         "total_time": float(outcome.total_time),
         "error": outcome.error,
+        "fault_class": scenario.fault_class,
+        "oracle": dict(outcome.oracle),
     }
 
 

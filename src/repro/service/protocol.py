@@ -72,6 +72,10 @@ class JobSpec:
         kernels: execution backend (``None`` = process default).
         backend: ``"phase"`` or ``"spmd"`` (sort).
         index: scenario index within the seeded stream (chaos).
+        fault_class: registered fault universe the scenario draws from
+            (chaos; see :mod:`repro.faults.universe`).
+        fault_params: class-specific severity overrides as ``(name,
+            value)`` pairs (chaos; empty = the class's stratified default).
     """
 
     kind: str
@@ -82,10 +86,13 @@ class JobSpec:
     kernels: str | None = None
     backend: str = "phase"
     index: int = 0
+    fault_class: str = "baseline"
+    fault_params: tuple[tuple[str, float], ...] = ()
 
     def to_dict(self) -> dict:
         d = asdict(self)
         d["faults"] = list(self.faults)
+        d["fault_params"] = {name: value for name, value in self.fault_params}
         return d
 
     @classmethod
@@ -101,7 +108,8 @@ class JobSpec:
         if kind not in JOB_KINDS:
             raise ProtocolError(f"job kind must be one of {JOB_KINDS}, got {kind!r}")
         unknown = set(raw) - {"kind", "n", "faults", "keys", "seed",
-                              "kernels", "backend", "index"}
+                              "kernels", "backend", "index",
+                              "fault_class", "fault_params"}
         if unknown:
             raise ProtocolError(f"unknown job fields: {sorted(unknown)}")
 
@@ -141,8 +149,41 @@ class JobSpec:
         if kind in ("sort", "plan") and len(faults) > n - 1:
             raise ProtocolError(
                 f"{len(faults)} faults on Q_{n} exceed the paper's r <= n - 1")
+
+        fault_class = raw.get("fault_class", "baseline")
+        if not isinstance(fault_class, str):
+            raise ProtocolError(
+                f"fault_class must be a string, got {fault_class!r}")
+        params_raw = raw.get("fault_params", {})
+        if fault_class != "baseline" or params_raw:
+            if kind != "chaos":
+                raise ProtocolError(
+                    f"fault_class/fault_params apply to chaos jobs only, "
+                    f"got kind {kind!r}")
+            from repro.faults.universe import fault_class_names
+
+            if fault_class not in fault_class_names():
+                raise ProtocolError(
+                    f"unknown fault_class {fault_class!r} "
+                    f"(registered: {', '.join(fault_class_names())})")
+        if not isinstance(params_raw, dict):
+            raise ProtocolError(
+                f"fault_params must be an object, got {params_raw!r}")
+        fault_params: list[tuple[str, float]] = []
+        for name, value in sorted(params_raw.items()):
+            if not isinstance(name, str):
+                raise ProtocolError(f"fault_params key {name!r} is not a string")
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ProtocolError(
+                    f"fault_params[{name!r}] must be a number, got {value!r}")
+            value = float(value)
+            if not 0.0 <= value <= 1.0:
+                raise ProtocolError(
+                    f"fault_params[{name!r}] must be in [0, 1], got {value}")
+            fault_params.append((name, value))
         return cls(kind=kind, n=n, faults=tuple(faults), keys=keys, seed=seed,
-                   kernels=kernels, backend=backend, index=index)
+                   kernels=kernels, backend=backend, index=index,
+                   fault_class=fault_class, fault_params=tuple(fault_params))
 
 
 def batch_signature(spec: JobSpec) -> tuple | None:

@@ -45,6 +45,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.faults.injectors import active_comparison
 from repro.kernels import resolve_backend
 from repro.simulator.phases import PhaseMachine
 
@@ -129,6 +130,11 @@ def run_exchange_jobs(
     paths are indistinguishable to the machine.
     """
     kern = resolve_backend(kernels)
+    # Comparison-fault universes flip probe verdicts too — a lying probe
+    # misroutes a whole block, which is exactly what the tolerance-aware
+    # oracle budgets for.  The hash is symmetric in the boundary pair, so
+    # the compiled skip vector and the SPMD partners decide identically.
+    inj = active_comparison()
     # Obs counters accumulate locally and flush once per call — this
     # function runs once per substage, and per-pair metric increments were
     # measurably hot on large campaigns.
@@ -149,7 +155,14 @@ def run_exchange_jobs(
             machine.charge_swap(addr_low, addr_high, 1, hops=hops)
             machine.charge_compute(addr_low, 1)
             machine.charge_compute(addr_high, 1)
-            skip = a[-1] <= b[0] if low_keeps_min else b[-1] <= a[0]
+            if low_keeps_min:
+                skip = a[-1] <= b[0]
+            else:
+                skip = b[-1] <= a[0]
+            if inj is not None:
+                boundary_hi, boundary_lo = (a[-1], b[0]) if low_keeps_min else (b[-1], a[0])
+                if inj.flip_one(boundary_hi, boundary_lo, kind="probe"):
+                    skip = not skip
             if skip:
                 skipped += 1
                 messages += 2

@@ -1,0 +1,89 @@
+"""Multi-class campaigns: seed stability, parallel determinism, aggregation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chaos.campaign import run_campaign, run_scenario
+from repro.chaos.schedule import random_scenario
+
+ALL_CLASSES = ("baseline", "comparison", "memory", "hybrid", "abft")
+
+
+class TestSeedStability:
+    def test_jsonl_byte_identical_across_jobs(self, tmp_path):
+        # Same seed + classes must produce a byte-identical JSONL report
+        # whether scenarios run serially or across 4 worker processes —
+        # scenario derivation is per-index deterministic and every class
+        # seeds its injector from the scenario, not process state.
+        out1 = tmp_path / "serial.jsonl"
+        out4 = tmp_path / "parallel.jsonl"
+        run_campaign(count=10, seed=1992, out=str(out1), jobs=1,
+                     shrink_failures=False, fault_classes=ALL_CLASSES)
+        run_campaign(count=10, seed=1992, out=str(out4), jobs=4,
+                     shrink_failures=False, fault_classes=ALL_CLASSES)
+        assert out1.read_bytes() == out4.read_bytes()
+
+    def test_rerun_is_deterministic(self):
+        scenario = random_scenario(4, 7, fault_classes=("comparison",))
+        a = run_scenario(scenario)
+        b = run_scenario(scenario)
+        assert a.to_dict() == b.to_dict()
+
+
+class TestCampaignAggregation:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return run_campaign(count=20, seed=1992, shrink_failures=False,
+                            fault_classes=ALL_CLASSES)
+
+    def test_every_class_ran_on_both_backends(self, summary):
+        assert set(summary.fault_classes) == set(ALL_CLASSES)
+        for name, entry in summary.fault_classes.items():
+            assert set(entry["backends"]) == {"phase", "spmd"}, name
+
+    def test_survival_curves_have_points(self, summary):
+        for name, entry in summary.fault_classes.items():
+            assert entry["curve"], name
+            for point in entry["curve"].values():
+                assert point["scenarios"] >= 1
+                assert 0.0 <= point["pass_rate"] <= 1.0
+
+    def test_comparison_judged_by_dislocation_not_equality(self, summary):
+        entry = summary.fault_classes["comparison"]
+        assert entry["oracle"] == "max-dislocation"
+        assert entry["curve_param"] == "p"
+        assert any(
+            "max_max_dislocation" in point for point in entry["curve"].values()
+        )
+
+    def test_summary_counts_are_consistent(self, summary):
+        assert summary.scenarios == 20
+        assert sum(e["scenarios"] for e in summary.fault_classes.values()) == 20
+        assert sum(e["passed"] for e in summary.fault_classes.values()) == (
+            summary.passed)
+
+    def test_summary_serializes(self, summary):
+        d = summary.to_dict()
+        json.dumps(d)  # JSON-clean all the way down
+        assert "fault_classes" in d
+
+
+class TestReportLines:
+    def test_lines_carry_class_and_oracle(self, tmp_path):
+        out = tmp_path / "report.jsonl"
+        run_campaign(count=10, seed=3, out=str(out), shrink_failures=False,
+                     fault_classes=("comparison", "abft"))
+        lines = [json.loads(l) for l in out.read_text().splitlines()]
+        scenario_lines = [l for l in lines if "scenario" in l]
+        assert scenario_lines
+        for line in scenario_lines:
+            assert line["scenario"]["fault_class"] in ("comparison", "abft")
+            assert line["oracle"]["kind"] in ("max-dislocation", "abft-detection")
+            assert isinstance(line["scenario"]["fault_params"], dict)
+
+    def test_unknown_class_fails_before_any_work(self):
+        with pytest.raises(ValueError, match="unknown fault class"):
+            run_campaign(count=4, seed=0, fault_classes=("gremlins",))

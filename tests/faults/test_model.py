@@ -8,10 +8,39 @@ from repro.faults.model import FaultKind, FaultSet
 
 
 class TestConstruction:
-    def test_processors_sorted_deduped(self):
-        fs = FaultSet(4, [9, 3, 3, 9, 0])
+    def test_processors_sorted(self):
+        fs = FaultSet(4, [9, 3, 0])
         assert fs.processors == (0, 3, 9)
         assert fs.r == len(fs) == 3
+
+    def test_duplicate_processor_rejected(self):
+        with pytest.raises(ValueError, match="listed twice"):
+            FaultSet(4, [9, 3, 3, 9, 0])
+
+    def test_duplicate_byzantine_rejected(self):
+        with pytest.raises(ValueError, match="listed twice"):
+            FaultSet(4, [1], byzantine=[5, 5])
+
+    def test_contradictory_kinds_rejected(self):
+        # A processor cannot be both crashed (silent) and byzantine.
+        with pytest.raises(ValueError, match="both faulty .* and byzantine"):
+            FaultSet(4, [3, 5], byzantine=[5, 9])
+
+    def test_byzantine_processors_are_faulty(self):
+        fs = FaultSet(4, [3], byzantine=[9, 5])
+        assert fs.processors == (3, 5, 9)  # union view for planners/routers
+        assert fs.byzantine == (5, 9)
+        assert fs.crash == (3,)
+        assert fs.is_faulty(5) and fs.is_byzantine(5)
+        assert fs.is_faulty(3) and not fs.is_byzantine(3)
+        assert fs.r == 3
+
+    def test_byzantine_in_equality_and_hash(self):
+        plain = FaultSet(4, [3, 5])
+        hybrid = FaultSet(4, [3], byzantine=[5])
+        assert plain != hybrid
+        assert hash(plain) != hash(hybrid)
+        assert hybrid == FaultSet(4, [3], byzantine=[5])
 
     def test_out_of_range_processor_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,156 @@
+"""Property-based tests: dislocation oracles and fault injectors (hypothesis).
+
+Three contracts the tolerance-aware oracle framework stands on:
+
+* every disorder metric is exactly 0 on a sorted array (the fault-free
+  campaign must never trip the oracle);
+* the comparison injector's flip set is *nested* in ``p`` — raising the
+  rate only adds lies, never retracts one — which is what makes the
+  per-class survival curves monotone-by-construction;
+* the same seeded injector produces the same flips for the same operand
+  values regardless of array layout, the property the cross-kernel
+  byte-identity parity rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.injectors import ComparisonInjector, MemoryInjector
+from repro.faults.oracles import (
+    comparison_tolerance,
+    max_dislocation,
+    multiset_delta,
+    unordered_pairs,
+)
+
+_keys = st.lists(
+    st.integers(min_value=0, max_value=10**6 - 1), min_size=1, max_size=64
+).map(lambda xs: np.asarray(xs, dtype=float))
+
+
+class TestMetricsZeroOnSorted:
+    @given(_keys)
+    @settings(max_examples=100, deadline=None)
+    def test_sorted_arrays_have_zero_disorder(self, keys):
+        ordered = np.sort(keys)
+        assert max_dislocation(ordered) == 0
+        assert unordered_pairs(ordered) == 0
+        assert multiset_delta(ordered, keys) == 0
+
+    @given(_keys, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_metrics_detect_any_real_shuffle(self, keys, seed):
+        rng = np.random.default_rng(seed)
+        shuffled = rng.permutation(keys)
+        ordered = np.sort(keys)
+        if np.array_equal(shuffled, ordered):
+            assert max_dislocation(shuffled) == 0
+        else:
+            assert max_dislocation(shuffled) > 0
+            assert unordered_pairs(shuffled) > 0
+        # A permutation never changes the multiset.
+        assert multiset_delta(shuffled, keys) == 0
+
+
+class TestDislocationBounds:
+    @given(_keys, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_dislocation_bounded_by_size(self, keys, seed):
+        rng = np.random.default_rng(seed)
+        shuffled = rng.permutation(keys)
+        assert 0 <= max_dislocation(shuffled) <= keys.size - 1
+
+    @given(st.floats(min_value=0.0, max_value=0.05),
+           st.integers(min_value=2, max_value=4096),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=100, deadline=None)
+    def test_tolerance_is_monotone_in_p_and_within_range(self, p, m, block):
+        tol_d, tol_u = comparison_tolerance(p, m, block)
+        assert 0 <= tol_d <= m - 1
+        assert 0 <= tol_u <= m * (m - 1) // 2
+        tighter_d, tighter_u = comparison_tolerance(p / 2, m, block)
+        assert tighter_d <= tol_d
+        assert tighter_u <= tol_u
+
+
+class TestFlipMonotoneInP:
+    @given(_keys,
+           st.integers(min_value=0, max_value=2**31 - 1),
+           st.floats(min_value=0.0, max_value=0.5),
+           st.floats(min_value=0.0, max_value=0.5))
+    @settings(max_examples=100, deadline=None)
+    def test_flip_sets_nest(self, keys, seed, p_lo, p_hi):
+        # The flip fires when hash < p * 2^64, so the flip set at a lower
+        # rate is a subset of the set at any higher rate: survival curves
+        # are monotone by construction, not by luck.
+        if p_lo > p_hi:
+            p_lo, p_hi = p_hi, p_lo
+        rng = np.random.default_rng(seed)
+        other = rng.permutation(keys)
+        lo = ComparisonInjector(p_lo, seed=seed).flip_pairs(keys, other)
+        hi = ComparisonInjector(p_hi, seed=seed).flip_pairs(keys, other)
+        assert not np.any(lo & ~hi)
+
+    @given(_keys, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_p_zero_never_lies_p_one_always_lies(self, keys, seed):
+        rng = np.random.default_rng(seed)
+        other = rng.permutation(keys)
+        assert not ComparisonInjector(0.0, seed=seed).flip_pairs(keys, other).any()
+        assert ComparisonInjector(1.0, seed=seed).flip_pairs(keys, other).all()
+
+    @given(_keys, st.integers(min_value=0, max_value=2**31 - 1),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_pads_never_lie(self, keys, seed, p):
+        # +inf padding travels through the network; a lie on a pad
+        # comparison could strand a dummy among real keys, so the injector
+        # categorically refuses to flip non-finite operands.
+        inj = ComparisonInjector(p, seed=seed)
+        pads = np.full_like(keys, np.inf)
+        assert not inj.flip_pairs(keys, pads, record=False).any()
+        assert not inj.flip_pairs(pads, keys, record=False).any()
+
+    @given(_keys, st.integers(min_value=0, max_value=2**31 - 1),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_flips_are_symmetric_and_persistent(self, keys, seed, p):
+        # Persistent per key-pair (Geissmann et al.): the same unordered
+        # value pair always gets the same verdict, whichever side asks.
+        rng = np.random.default_rng(seed)
+        other = rng.permutation(keys)
+        inj = ComparisonInjector(p, seed=seed)
+        ab = inj.flip_pairs(keys, other, record=False)
+        ba = inj.flip_pairs(other, keys, record=False)
+        again = inj.flip_pairs(keys, other, record=False)
+        assert np.array_equal(ab, ba)
+        assert np.array_equal(ab, again)
+
+
+class TestMemoryInjector:
+    @given(_keys, st.integers(min_value=0, max_value=2**31 - 1),
+           st.floats(min_value=0.0, max_value=0.3))
+    @settings(max_examples=60, deadline=None)
+    def test_corruption_is_deterministic_and_real_cells_only(self, keys, seed, alpha):
+        pad = 3
+        a = np.concatenate([keys, np.full(pad, np.inf)])
+        b = a.copy()
+        inj_a = MemoryInjector(alpha, seed=seed)
+        inj_b = MemoryInjector(alpha, seed=seed)
+        hits_a = inj_a.corrupt(a, keys.size)
+        hits_b = inj_b.corrupt(b, keys.size)
+        assert hits_a == hits_b == inj_a.corrupted
+        assert np.array_equal(a, b)
+        # Padding is control structure, never data: it stays untouched.
+        assert np.isinf(a[keys.size:]).all()
+        # Every corrupted cell actually changed.
+        assert int((a[:keys.size] != keys).sum()) == hits_a
+
+    @given(_keys, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_alpha_zero_is_identity(self, keys, seed):
+        a = keys.copy()
+        assert MemoryInjector(0.0, seed=seed).corrupt(a, keys.size) == 0
+        assert np.array_equal(a, keys)

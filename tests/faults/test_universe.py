@@ -1,0 +1,157 @@
+"""The pluggable fault-class registry and its four non-baseline universes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chaos.schedule import ChaosScenario, random_scenario
+from repro.faults.universe import (
+    FaultClass,
+    fault_class_names,
+    fault_class_summaries,
+    get_fault_class,
+    register_fault_class,
+)
+
+ALL_CLASSES = ("baseline", "comparison", "memory", "hybrid", "abft")
+
+
+def _scenario(fault_class: str, *, scenario_id=0, seed=1992, n=3, keys=48,
+              backend="phase", statics=(), params=()) -> ChaosScenario:
+    return ChaosScenario(
+        scenario_id=scenario_id, seed=seed, n=n, keys=keys, backend=backend,
+        static_processors=tuple(statics), static_links=(), events=(),
+        fault_class=fault_class, fault_params=tuple(params),
+    )
+
+
+class TestRegistry:
+    def test_all_four_classes_plus_baseline_registered(self):
+        assert fault_class_names() == ALL_CLASSES
+
+    def test_unknown_class_error_names_the_registry(self):
+        with pytest.raises(ValueError, match="baseline, comparison, memory"):
+            get_fault_class("gremlins")
+
+    def test_summaries_cover_every_class(self):
+        summaries = fault_class_summaries()
+        assert set(summaries) == set(ALL_CLASSES)
+        assert all(summaries.values())
+
+    def test_duplicate_registration_rejected(self):
+        class Dup(FaultClass):
+            name = "comparison"
+
+            def run(self, scenario, params=None, reliability=None):
+                raise NotImplementedError
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_fault_class(Dup())
+
+    def test_each_class_declares_its_curve(self):
+        for name in ALL_CLASSES:
+            cls = get_fault_class(name)
+            if name == "baseline":
+                assert cls.curve_param is None
+            else:
+                assert cls.curve_param is not None
+                assert len(cls.strata) >= 3
+
+
+class TestDrawParams:
+    def test_strata_cycle_with_variant(self):
+        cls = get_fault_class("comparison")
+        rng = np.random.default_rng(0)
+        values = [cls.draw_params(rng, v)[0][1] for v in range(6)]
+        assert tuple(values[:3]) == cls.strata
+        assert values[:3] == values[3:]
+
+    def test_baseline_draws_nothing(self):
+        rng = np.random.default_rng(0)
+        assert get_fault_class("baseline").draw_params(rng, 0) == ()
+
+
+@pytest.mark.parametrize("backend", ["phase", "spmd"])
+class TestClassRuns:
+    def test_comparison_survives_default_strata(self, backend):
+        cls = get_fault_class("comparison")
+        out = cls.run(_scenario("comparison", backend=backend,
+                                params=(("p", 0.002),)))
+        assert out.recovered
+        assert out.passed
+        assert out.oracle["kind"] == "max-dislocation"
+        assert out.oracle["max_dislocation"] <= out.oracle["tolerance_dislocation"]
+        assert out.oracle["multiset_ok"]
+
+    def test_memory_survives_and_reports_corruption(self, backend):
+        cls = get_fault_class("memory")
+        out = cls.run(_scenario("memory", backend=backend,
+                                params=(("alpha", 0.05),)))
+        assert out.passed
+        assert out.oracle["kind"] == "bounded-multiset"
+        assert out.oracle["unordered_pairs"] == 0
+        assert out.oracle["multiset_delta"] <= 2 * out.oracle["corrupted"]
+
+    def test_hybrid_diagnoses_mixed_faults_exactly(self, backend):
+        cls = get_fault_class("hybrid")
+        out = cls.run(_scenario("hybrid", backend=backend, statics=(2, 5),
+                                params=(("byz_frac", 0.5),)))
+        assert out.passed
+        assert out.oracle["diagnosis_ok"]
+        assert set(out.oracle["identified"]) == {2, 5}
+        assert out.oracle["crash"] == 1
+        assert out.oracle["byzantine"] == 1
+
+    def test_abft_detects_exactly_when_multiset_altered(self, backend):
+        cls = get_fault_class("abft")
+        clean = cls.run(_scenario("abft", backend=backend,
+                                  params=(("gamma", 0.0),)))
+        assert clean.passed
+        assert not clean.oracle["detected"]
+        dirty = cls.run(_scenario("abft", backend=backend,
+                                  params=(("gamma", 0.05),)))
+        assert dirty.passed
+        assert dirty.oracle["carried_blocks_ok"]
+        assert dirty.oracle["detected"] == dirty.oracle["multiset_altered"]
+
+
+class TestGeneratorIntegration:
+    def test_classes_cycle_after_backends(self):
+        classes = ("baseline", "comparison")
+        backends = ("phase", "spmd")
+        drawn = [
+            random_scenario(i, 7, backends=backends, fault_classes=classes)
+            for i in range(8)
+        ]
+        assert [s.backend for s in drawn] == ["phase", "spmd"] * 4
+        assert [s.fault_class for s in drawn] == (
+            ["baseline", "baseline", "comparison", "comparison"] * 2)
+
+    def test_needs_static_guarantees_a_fault(self):
+        for i in range(0, 40):
+            s = random_scenario(i, 3, fault_classes=("hybrid",))
+            assert len(s.static_processors) >= 1
+
+    def test_default_campaign_unchanged(self):
+        # The single-baseline draw must stay byte-identical to the
+        # historical generator: old reports replay, old seeds reproduce.
+        a = random_scenario(5, 1992)
+        b = random_scenario(5, 1992, fault_classes=("baseline",))
+        assert a == b
+        assert a.fault_class == "baseline"
+        assert a.fault_params == ()
+
+    def test_scenario_dict_round_trip(self):
+        s = random_scenario(9, 3, fault_classes=("memory",))
+        assert s.fault_class == "memory"
+        assert s.fault_params
+        assert ChaosScenario.from_dict(s.to_dict()) == s
+
+    def test_legacy_scenario_dicts_still_parse(self):
+        d = random_scenario(2, 4).to_dict()
+        del d["fault_class"]
+        del d["fault_params"]
+        s = ChaosScenario.from_dict(d)
+        assert s.fault_class == "baseline"
+        assert s.fault_params == ()

@@ -59,6 +59,38 @@ class TestJobSpecValidation:
         spec = JobSpec.from_dict({"kind": "chaos", "index": 3, "seed": 9})
         assert spec.index == 3
 
+    def test_chaos_fault_class_round_trip(self):
+        spec = JobSpec.from_dict({
+            "kind": "chaos", "index": 2, "fault_class": "comparison",
+            "fault_params": {"p": 0.002},
+        })
+        assert spec.fault_class == "comparison"
+        assert spec.fault_params == (("p", 0.002),)
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_fault_class_defaults_to_baseline(self):
+        spec = JobSpec.from_dict({"kind": "chaos"})
+        assert spec.fault_class == "baseline"
+        assert spec.fault_params == ()
+
+    @pytest.mark.parametrize("raw", [
+        # Unknown class names are rejected at admission, not at run time.
+        {"kind": "chaos", "fault_class": "gremlins"},
+        {"kind": "chaos", "fault_class": 7},
+        # Fault universes are a chaos-only concept.
+        {"kind": "sort", "fault_class": "comparison"},
+        {"kind": "plan", "fault_params": {"p": 0.1}},
+        # Severity parameters are probabilities/fractions.
+        {"kind": "chaos", "fault_class": "comparison", "fault_params": {"p": 1.5}},
+        {"kind": "chaos", "fault_class": "comparison", "fault_params": {"p": -0.1}},
+        {"kind": "chaos", "fault_class": "comparison", "fault_params": {"p": "hi"}},
+        {"kind": "chaos", "fault_class": "comparison", "fault_params": {"p": True}},
+        {"kind": "chaos", "fault_class": "comparison", "fault_params": [0.1]},
+    ])
+    def test_fault_class_rejects(self, raw):
+        with pytest.raises(ProtocolError):
+            JobSpec.from_dict(raw)
+
 
 class TestBatchSignature:
     def test_sorts_batch_on_planning_problem_not_payload(self):
