@@ -83,7 +83,7 @@ class TestFtsortKernelSpeedup:
         bench_json("kernels", "ftsort", {
             "n": N, "m_keys": m_keys, "faults": FAULTS_Q4,
             "loop_seconds": t_loop, "numpy_seconds": t_numpy,
-            "speedup": speedup,
+            "speedup": speedup, "fast_mode": fast_mode,
         })
         assert t_numpy <= t_loop, (
             f"numpy backend slower than loop reference ({t_numpy:.4f}s vs "
@@ -157,6 +157,7 @@ class TestCompiledScheduleSpeedup:
             "n": n, "m_keys": m_keys, "faults": faults,
             "numpy_seconds": t_numpy, "compiled_seconds": t_compiled,
             "speedup": speedup, "parity": bool(parity),
+            "fast_mode": fast_mode,
         })
         assert parity, "compiled tier diverged from the interpreted backends"
         assert t_compiled <= t_numpy, (
@@ -186,7 +187,7 @@ class TestPartitionMemoSpeedup:
         bench_json("kernels", "partition", {
             "n": n, "r": r, "faults": faults,
             "reference_seconds": t_ref, "memoized_seconds": t_new,
-            "speedup": speedup,
+            "speedup": speedup, "fast_mode": fast_mode,
         })
         assert t_new <= t_ref, "memoized partition DFS slower than reference"
 
@@ -229,6 +230,7 @@ class TestParallelCampaignSpeedup:
             "cpu_count": os.cpu_count() or 1, "effective_cpu_count": cpus,
             "serial_seconds": t_serial, "parallel_seconds": t_jobs,
             "speedup": speedup, "regression": regression,
+            "fast_mode": fast_mode,
         })
         assert not regression, (
             f"parallel campaign slower than serial ({speedup:.2f}x) — "
@@ -251,7 +253,8 @@ class TestParallelCampaignSpeedup:
         """
         cpus = effective_cpu_count()
         gate = {"cpu_count": os.cpu_count() or 1,
-                "effective_cpu_count": cpus, "floor": 1.5, "asserted": False}
+                "effective_cpu_count": cpus, "floor": 1.5,
+                "asserted": False, "fast_mode": fast_mode}
         if "speedup" not in _campaign_timings:
             gate["skip_reason"] = "campaign benchmark was not run"
             bench_json("kernels", "multicore_floor", gate)
@@ -271,6 +274,115 @@ class TestParallelCampaignSpeedup:
         bench_json("kernels", "multicore_floor", gate)
         assert gate["speedup"] >= 1.5, (
             f"expected >=1.5x on {cpus} CPUs, got {gate['speedup']:.2f}x")
+
+
+#: Executor-comparison workload: one task = one compiled-backend sort of a
+#: parent-generated key block.  The keys array (``m * 8`` bytes) and the
+#: sorted result both dwarf the pickling break-even, which is exactly the
+#: regime the thread/shm tiers exist for.
+EXEC_N = 6
+EXEC_FAULTS = [3, 9]
+
+
+def _exec_bench_task(task):
+    idx, keys = task
+    res = fault_tolerant_sort(keys, EXEC_N, EXEC_FAULTS, kernels="compiled")
+    return (idx, res.sorted_keys)
+
+
+class TestExecutorComparison:
+    """serial vs process vs thread vs shm on one compiled-kernel workload.
+
+    Writes the ``executors`` section of ``BENCH_kernels.json``: per-tier
+    wall clock, pickled-byte and arena-byte accounting from
+    :func:`repro.parallel.last_run_stats`, and the peak RSS high-water
+    mark, plus the headline ``best_speedup_vs_process``.  Byte-identity
+    against the serial reference is asserted *always*; the >=1.5x floor
+    over the process pool (target 1.8x) is asserted only where it is
+    meaningful — full-size workload on >=4 effective CPUs — and recorded
+    as ``asserted`` / ``floor_regression`` for CI to gate on.  On 1-CPU
+    hosts every tier auto-degrades to serial (recorded in ``resolved``),
+    so the benchmark still runs — and trivially stays byte-identical.
+    """
+
+    def test_executor_tiers(self, fast_mode, bench_json):
+        import resource
+
+        from repro import parallel
+        from repro.parallel import run_tasks, shutdown_pool
+
+        count = 8 if fast_mode else 24
+        m_keys = 30_000 if fast_mode else 150_000
+        jobs = 4
+        cpus = effective_cpu_count()
+        rng = np.random.default_rng(SEED)
+        tasks = [(i, rng.random(m_keys)) for i in range(count)]
+
+        def peak_rss_kb() -> int:
+            return (resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+                    + resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+
+        tiers: dict[str, dict] = {}
+        ref_blob = None
+        try:
+            for tier in ("serial", "process", "thread", "shm"):
+                # Warm-up run: pays the fork/import tax outside the timed
+                # window and yields the results for the byte-identity check.
+                results = run_tasks(_exec_bench_task, tasks, jobs=jobs,
+                                    executor=tier)
+                stats = parallel.last_run_stats()
+                seconds = _best_of(
+                    lambda t=tier: run_tasks(_exec_bench_task, tasks,
+                                             jobs=jobs, executor=t),
+                    reps=1 if fast_mode else 2,
+                )
+                blob = b"".join(arr.tobytes() for _, arr in results)
+                if ref_blob is None:
+                    ref_blob = blob
+                tiers[tier] = {
+                    "requested": tier,
+                    "resolved": stats["executor"],
+                    "seconds": seconds,
+                    "payload_bytes": stats["payload_bytes"],
+                    "pickled_bytes": stats["pickled_bytes"],
+                    "arena_bytes": stats["arena_bytes"],
+                    "peak_rss_kb": peak_rss_kb(),
+                    "byte_identical": blob == ref_blob,
+                }
+        finally:
+            shutdown_pool()
+
+        best = min(("thread", "shm"), key=lambda t: tiers[t]["seconds"])
+        speedup = tiers["process"]["seconds"] / tiers[best]["seconds"]
+        floor_vs_serial = tiers["serial"]["seconds"] / tiers[best]["seconds"]
+        asserted = (not fast_mode) and cpus >= 4
+        section = {
+            "tasks": count, "m_keys": m_keys, "jobs": jobs,
+            "n": EXEC_N, "faults": EXEC_FAULTS, "kernels": "compiled",
+            "cpu_count": os.cpu_count() or 1, "effective_cpu_count": cpus,
+            "fast_mode": fast_mode,
+            "tiers": tiers,
+            "byte_identical": all(t["byte_identical"] for t in tiers.values()),
+            "best": best,
+            "best_speedup_vs_process": speedup,
+            "floor_vs_serial": floor_vs_serial,
+            "target": 1.8, "target_met": speedup >= 1.8,
+            "floor": 1.5, "asserted": asserted,
+            "floor_regression": asserted and speedup < 1.5,
+        }
+        bench_json("kernels", "executors", section)
+        pickled_saved = (tiers["process"]["pickled_bytes"]
+                         - tiers[best]["pickled_bytes"])
+        print(f"\nexecutors x{count} tasks M={m_keys} jobs={jobs}: " + ", ".join(
+            f"{t} {rec['seconds'] * 1e3:.0f}ms" for t, rec in tiers.items())
+            + f" -> best={best} ({speedup:.2f}x vs process, "
+              f"{pickled_saved / 1e6:.1f}MB pickling saved)")
+        assert section["byte_identical"], (
+            "executor tiers diverged from the serial reference")
+        if asserted:
+            assert not section["floor_regression"], (
+                f"zero-pickle tiers below the 1.5x floor over the process "
+                f"pool on {cpus} CPUs ({speedup:.2f}x)")
 
 
 def test_record_environment(bench_json, fast_mode):

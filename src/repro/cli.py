@@ -8,7 +8,7 @@ Subcommands::
     repro plan    --n 5 --faults 3,5,16,24
     repro diagnose --n 6 --faults 3,5,16 [--seed 7]
     repro chaos   --scenarios 200 --seed 0 --out chaos_report.jsonl [--fast]
-                  [--jobs J]
+                  [--jobs J|auto] [--executor serial|process|thread|shm|auto]
     repro table1  [--trials N]        (same as repro-table1)
     repro table2  [--trials N]
     repro figure7 --n 6 [--points P]
@@ -28,7 +28,9 @@ report, and the metrics registry.
 ``chaos`` runs the randomized fault-injection campaign (see
 docs/ROBUSTNESS.md): seeded scenarios, differential check against numpy,
 JSONL report, failures shrunk to minimal reproducers; ``--jobs`` fans
-scenarios out over worker processes with identical results.
+scenarios out over workers with identical results and ``--executor``
+picks the tier (process pool, GIL-releasing threads, shared-memory
+arenas, or auto by payload volume — see docs/PERFORMANCE.md).
 ``--kernels`` on ``sort``/``trace`` selects the execution backend for the
 sorting inner loops (``numpy`` vectorized default, ``loop`` pure-Python
 reference, ``compiled`` flat-array schedule programs; see
@@ -257,12 +259,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         elif (idx + 1) % 50 == 0:
             print(f"  ... {idx + 1}/{count} scenarios")
 
-    from repro.parallel import resolve_jobs
+    from repro.parallel import jobs_from_env, resolve_jobs
 
-    jobs = resolve_jobs(args.jobs) if args.jobs != 1 else 1
+    jobs = resolve_jobs(args.jobs) if args.jobs is not None else jobs_from_env(1)
     print(f"chaos campaign: {count} scenarios, seed {args.seed}, "
           f"backends {'/'.join(backends)}, classes {'/'.join(fault_classes)}, "
-          f"jobs {jobs}")
+          f"jobs {jobs}, executor {args.executor or 'auto'}")
     summary = run_campaign(
         count=count,
         seed=args.seed,
@@ -272,6 +274,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         progress=progress,
         jobs=jobs,
         fault_classes=fault_classes,
+        executor=args.executor,
     )
     print(f"  passed            : {summary.passed}/{summary.scenarios}")
     for backend, per in sorted(summary.backends.items()):
@@ -325,12 +328,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             with open(args.port_file, "w", encoding="utf-8") as fh:
                 fh.write(f"{port}\n")
 
+    from repro.parallel import jobs_from_env, resolve_jobs
+
+    jobs = resolve_jobs(args.jobs) if args.jobs is not None else jobs_from_env(1)
     service = asyncio.run(serve_service(
         host=args.host,
         port=args.port,
         stdio=args.stdio,
         ready=ready,
-        jobs=args.jobs,
+        jobs=jobs,
+        executor=args.executor,
         max_queued=args.max_queued,
         max_queued_per_tenant=args.max_queued_per_tenant,
         batch_max=args.batch_max,
@@ -479,8 +486,13 @@ def main(argv: list[str] | None = None) -> int:
                          help="short smoke campaign (CI)")
     p_chaos.add_argument("--no-shrink", action="store_true",
                          help="skip shrinking failures to minimal reproducers")
-    p_chaos.add_argument("--jobs", type=int, default=1,
-                         help="worker processes for scenarios (0 = all CPUs)")
+    p_chaos.add_argument("--jobs", type=str, default=None,
+                         help="workers for scenarios: N, 'auto'/0 = all usable "
+                              "CPUs (default: $REPRO_JOBS, else 1)")
+    p_chaos.add_argument("--executor", type=str, default=None,
+                         choices=("serial", "process", "thread", "shm", "auto"),
+                         help="executor tier (default: $REPRO_EXECUTOR, else "
+                              "auto; see docs/PERFORMANCE.md)")
     p_chaos.add_argument("--plan-cache", choices=("on", "off", "stats"),
                          default="on",
                          help="plan cache: on (default), off (cold planning "
@@ -496,9 +508,14 @@ def main(argv: list[str] | None = None) -> int:
                          help="TCP port (0 = pick a free one)")
     p_serve.add_argument("--stdio", action="store_true",
                          help="speak the protocol on stdin/stdout instead of TCP")
-    p_serve.add_argument("--jobs", type=int, default=1,
+    p_serve.add_argument("--jobs", type=str, default=None,
                          help="executor width: 1 = in-process (shared plan "
-                              "cache), >1 = warm worker pool")
+                              "cache), >1 = warm worker pool, 'auto'/0 = all "
+                              "usable CPUs (default: $REPRO_JOBS, else 1)")
+    p_serve.add_argument("--executor", type=str, default=None,
+                         choices=("process", "thread", "shm", "auto"),
+                         help="warm-pool tier for jobs > 1 (default: "
+                              "$REPRO_EXECUTOR, else auto)")
     p_serve.add_argument("--max-queued", type=int, default=1024,
                          help="global admission bound")
     p_serve.add_argument("--max-queued-per-tenant", type=int, default=512,

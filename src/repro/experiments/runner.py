@@ -138,19 +138,21 @@ def _artifact_task(task: tuple) -> list[tuple[str, str, str]]:
 
 
 def run_all(out_dir: str, quick: bool = False, seed: int = 1992,
-            jobs: int = 1) -> list[str]:
+            jobs: int = 1, executor: str | None = None) -> list[str]:
     """Regenerate every artifact into ``out_dir``; returns the manifest.
 
-    ``jobs > 1`` computes the artifact groups in parallel worker processes;
-    files are still written by the parent, in the fixed manifest order,
-    with contents identical to a serial run.
+    ``jobs > 1`` computes the artifact groups in parallel workers
+    (``executor`` picks the tier — serial/process/thread/shm/auto); files
+    are still written by the parent, in the fixed manifest order, with
+    contents identical to a serial run.
     """
     os.makedirs(out_dir, exist_ok=True)
     manifest: list[str] = []
     t0 = time.perf_counter()
 
     results = run_tasks(
-        _artifact_task, [(name, quick, seed) for name in _TASK_NAMES], jobs=jobs
+        _artifact_task, [(name, quick, seed) for name in _TASK_NAMES],
+        jobs=jobs, executor=executor,
     )
     for files in results:
         for fname, content, kind in files:
@@ -184,25 +186,30 @@ def run_all(out_dir: str, quick: bool = False, seed: int = 1992,
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI: ``repro-all --out results [--quick] [--jobs J]``."""
+    """CLI: ``repro-all --out results [--quick] [--jobs J] [--executor E]``."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", type=str, default="results")
     parser.add_argument("--quick", action="store_true")
     parser.add_argument("--seed", type=int, default=1992)
-    parser.add_argument("--jobs", type=int, default=1,
-                        help="worker processes (0 = all CPUs)")
+    parser.add_argument("--jobs", type=str, default=None,
+                        help="workers: N, 'auto'/0 = all usable CPUs "
+                             "(default: $REPRO_JOBS, else 1)")
+    parser.add_argument("--executor", type=str, default=None,
+                        choices=("serial", "process", "thread", "shm", "auto"),
+                        help="executor tier (default: $REPRO_EXECUTOR, else auto)")
     parser.add_argument("--plan-cache", choices=("on", "off"), default="on",
                         help="disable the memoizing planning layer with 'off'")
     args = parser.parse_args(argv)
-    from repro.parallel import resolve_jobs
+    from repro.parallel import jobs_from_env, resolve_jobs
 
     if args.plan_cache == "off":
         from repro.plancache import PLAN_CACHE
 
         PLAN_CACHE.configure(enabled=False)
 
+    jobs = resolve_jobs(args.jobs) if args.jobs is not None else jobs_from_env(1)
     manifest = run_all(args.out, quick=args.quick, seed=args.seed,
-                       jobs=resolve_jobs(args.jobs) if args.jobs != 1 else 1)
+                       jobs=jobs, executor=args.executor)
     print(f"wrote {len(manifest)} artifacts to {args.out}/ (see MANIFEST.txt)")
     return 0
 

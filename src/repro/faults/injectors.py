@@ -30,13 +30,16 @@ engine — makes byte-identical fault decisions for the same seed:
   identical across backends.
 
 Injectors are activated through module-level context managers
-(:func:`comparison_faults`, :func:`memory_faults`); the active injector is
-process-global, like the default kernel backend — campaign worker
-processes each activate their own.
+(:func:`comparison_faults`, :func:`memory_faults`); the active injector
+lives in *thread-local* slots — campaign worker processes each activate
+their own, and under the thread executor tier
+(:mod:`repro.parallel`, ``executor="thread"``) concurrent scenarios in
+one process each see only the injector their own thread activated.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 
 import numpy as np
@@ -190,39 +193,42 @@ class MemoryInjector:
         return int(hits.size)
 
 
-_ACTIVE_COMPARISON: ComparisonInjector | None = None
-_ACTIVE_MEMORY: MemoryInjector | None = None
+# One slot per thread: a scenario runs synchronously inside the thread
+# that activated its injectors, so thread-local storage is exactly the
+# isolation the thread executor tier needs (and a no-op for the serial
+# and process tiers, where each process has a single working thread).
+_ACTIVE = threading.local()
 
 
 def active_comparison() -> ComparisonInjector | None:
-    """The comparison injector in effect, or ``None`` (the common case)."""
-    return _ACTIVE_COMPARISON
+    """The comparison injector in effect *in this thread*, or ``None``
+    (the common case)."""
+    return getattr(_ACTIVE, "comparison", None)
 
 
 def active_memory() -> MemoryInjector | None:
-    """The memory injector in effect, or ``None`` (the common case)."""
-    return _ACTIVE_MEMORY
+    """The memory injector in effect *in this thread*, or ``None`` (the
+    common case)."""
+    return getattr(_ACTIVE, "memory", None)
 
 
 @contextmanager
 def comparison_faults(injector: ComparisonInjector):
-    """Activate ``injector`` for every comparison kernel in this process."""
-    global _ACTIVE_COMPARISON
-    previous = _ACTIVE_COMPARISON
-    _ACTIVE_COMPARISON = injector
+    """Activate ``injector`` for every comparison kernel in this thread."""
+    previous = getattr(_ACTIVE, "comparison", None)
+    _ACTIVE.comparison = injector
     try:
         yield injector
     finally:
-        _ACTIVE_COMPARISON = previous
+        _ACTIVE.comparison = previous
 
 
 @contextmanager
 def memory_faults(injector: MemoryInjector):
-    """Activate ``injector`` for block distribution in this process."""
-    global _ACTIVE_MEMORY
-    previous = _ACTIVE_MEMORY
-    _ACTIVE_MEMORY = injector
+    """Activate ``injector`` for block distribution in this thread."""
+    previous = getattr(_ACTIVE, "memory", None)
+    _ACTIVE.memory = injector
     try:
         yield injector
     finally:
-        _ACTIVE_MEMORY = previous
+        _ACTIVE.memory = previous

@@ -30,7 +30,7 @@ import numpy as np
 from repro.plancache import PLAN_CACHE
 from repro.service.protocol import JobSpec
 
-__all__ = ["run_job", "run_job_batch"]
+__all__ = ["run_job", "run_job_batch", "run_job_batch_shm"]
 
 
 def _run_sort(spec: JobSpec) -> dict:
@@ -133,3 +133,20 @@ def run_job_batch(specs: tuple[JobSpec, ...]) -> list[dict]:
     show the hits.
     """
     return [run_job(spec) for spec in specs]
+
+
+def run_job_batch_shm(specs: tuple[JobSpec, ...]) -> tuple:
+    """:func:`run_job_batch`, returning bulk payloads through a shm arena.
+
+    The server's ``executor="shm"`` tier dispatches this instead of
+    :func:`run_job_batch`: result dicts whose leaves clear the arena
+    break-even travel through a worker-created shared-memory segment
+    (small batches come back ``("inline", ...)`` untouched — typical job
+    results are compact scalars) and the server unpacks-and-unlinks via
+    :func:`repro.shm.unpack_results`.  If the worker dies before the
+    server consumes the segment, the worker's exit-time sweep reclaims
+    it, so no path leaks ``/dev/shm`` entries.
+    """
+    from repro import shm
+
+    return shm.pack_results(run_job_batch(specs), shm.make_name("svc"))

@@ -19,10 +19,14 @@ Design decisions, in the order they bit:
   in-process: the event loop stays responsive while the job computes, and
   every job shares the *same* process-wide plan cache — the configuration
   the cross-tenant cache-sharing benchmark measures.  ``jobs > 1``
-  dispatches to the shared warm process pool
-  (:func:`repro.parallel.warm_pool`); each worker keeps its own
-  process-global cache warm across jobs, and per-job cache deltas are
-  computed inside the worker so tenant attribution stays exact.
+  dispatches to a shared warm pool whose tier the ``executor`` knob
+  picks: the process pool (:func:`repro.parallel.warm_pool`, default —
+  each worker keeps its own process-global cache warm across jobs), the
+  warm thread pool (:func:`repro.parallel.warm_thread_pool` — workers
+  share the server's cache like the inline executor), or the process
+  pool with bulk results returned through :mod:`repro.shm` arenas.
+  Per-job cache deltas are computed inside the worker either way, so
+  tenant attribution stays exact.
 * **Backpressure is an answer, not an exception.**  Admission overflow and
   draining both produce normal protocol replies (``queue_full`` with a
   ``retry_after_ms`` hint derived from an EMA of recent job cost,
@@ -47,7 +51,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 from repro.obs import MetricsRegistry
 from repro.plancache import PLAN_CACHE
-from repro.service.jobs import run_job_batch
+from repro.service.jobs import run_job_batch, run_job_batch_shm
 from repro.service.protocol import JobSpec, ProtocolError, decode_line, encode
 from repro.service.queue import FairQueue, QueueFull, QueuedJob
 
@@ -87,6 +91,15 @@ class SortingService:
         jobs: executor width — ``<= 1`` runs jobs on an in-process
             single-thread executor against the server's own plan cache;
             ``> 1`` fans batches out over that many warm pool workers.
+        executor: warm-pool tier for ``jobs > 1`` — ``"process"`` (the
+            shared process pool), ``"thread"`` (the warm thread pool;
+            workers share the server's plan cache like the inline
+            executor does), ``"shm"`` (process pool with bulk results
+            returned through :mod:`repro.shm` arenas), or
+            ``None``/``"auto"`` (consult ``REPRO_EXECUTOR``, else the
+            process pool — job payloads are compact, so the pickling
+            break-even rarely favors arenas here).  Ignored when
+            ``jobs <= 1``.
         max_queued: global admission bound.
         max_queued_per_tenant: per-tenant admission bound.
         batch_max: maximum compatible jobs fused into one executor trip.
@@ -100,6 +113,7 @@ class SortingService:
     def __init__(
         self,
         jobs: int = 1,
+        executor: str | None = None,
         max_queued: int = 1024,
         max_queued_per_tenant: int = 512,
         batch_max: int = 8,
@@ -117,16 +131,33 @@ class SortingService:
             lambda text: print(text, file=sys.stderr, flush=True))
         self.jobs = int(jobs)
         self._pool_workers = 0
+        self.executor_tier = "inline"
         if self.jobs > 1:
-            from repro.parallel import warm_pool
+            from repro.parallel import (
+                resolve_executor,
+                warm_pool,
+                warm_thread_pool,
+            )
 
+            # total=None skips the batch-size degrade guard: pool width is
+            # a service-lifetime decision, not a per-batch one.
+            tier = resolve_executor(executor, jobs=self.jobs, total=None)
+            if tier == "serial":  # nonsensical for a pool; keep status quo
+                tier = "process"
             self._pool_workers = self.jobs
-            self._executor = warm_pool(self.jobs)
+            if tier == "thread":
+                self._executor = warm_thread_pool(self.jobs)
+            else:
+                self._executor = warm_pool(self.jobs)
+            self.executor_tier = tier
             self._owns_executor = False
         else:
             self._executor = ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix="repro-service")
             self._owns_executor = True
+        self._batch_runner = (
+            run_job_batch_shm if self.executor_tier == "shm" else run_job_batch
+        )
 
         self.draining = False
         self.in_flight = 0
@@ -319,7 +350,11 @@ class SortingService:
             specs = tuple(job.spec for job in batch)
             try:
                 payloads = await loop.run_in_executor(
-                    self._executor, run_job_batch, specs)
+                    self._executor, self._batch_runner, specs)
+                if self.executor_tier == "shm":
+                    from repro.shm import unpack_results
+
+                    payloads, _moved = unpack_results(payloads)
             except asyncio.CancelledError:
                 async with self._cond:
                     self.in_flight -= len(batch)
@@ -456,6 +491,7 @@ class SortingService:
             "ema_run_ms": round(self._ema_run_ms, 3),
             "executor": {
                 "mode": "pool" if self._pool_workers else "inline",
+                "tier": self.executor_tier,
                 "workers": self._pool_workers or 1,
             },
             "tenants": self.tenant_stats(),
