@@ -60,22 +60,24 @@ def test_ablation_probe_short_circuit(benchmark, rng, ncube7):
     keys = rng.random(64 * 500)
 
     def run_with_probe(flag: bool):
-        original = bc.exchange_pair
+        # Every batched compare-split funnels through run_exchange_jobs,
+        # so forcing its probe flag toggles the optimisation everywhere.
+        original = bc.run_exchange_jobs
 
-        def patched(machine, a, b, keep_min, hops=1, probe=True):
-            return original(machine, a, b, keep_min, hops=hops, probe=flag)
+        def patched(machine, jobs, kernels=None, probe=True):
+            return original(machine, jobs, kernels=kernels, probe=flag)
 
-        bc.exchange_pair = patched
+        bc.run_exchange_jobs = patched
         # ftsort imported the symbol directly; patch there too.
         import repro.core.ftsort as fts
 
-        saved = fts.exchange_pair
-        fts.exchange_pair = patched
+        saved = fts.run_exchange_jobs
+        fts.run_exchange_jobs = patched
         try:
             return fault_tolerant_sort(keys, 6, FAULTS_Q6, params=ncube7).elapsed
         finally:
-            bc.exchange_pair = original
-            fts.exchange_pair = saved
+            bc.run_exchange_jobs = original
+            fts.run_exchange_jobs = saved
 
     with_probe = benchmark.pedantic(lambda: run_with_probe(True), rounds=1, iterations=1)
     without = run_with_probe(False)

@@ -290,6 +290,35 @@ def _exec_bench_task(task):
     return (idx, res.sorted_keys)
 
 
+#: Rolling window of executor-benchmark verdicts kept across runs.
+TREND_KEEP = 30
+
+
+def _executor_trend(speedup: float, fast_mode: bool, cpus: int) -> list:
+    """Prior runs' trend points plus this run's, newest last, bounded."""
+    import json
+    import time
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+    prior: list = []
+    try:
+        prior = json.loads(path.read_text())["executors"]["trend"]
+        if not isinstance(prior, list):
+            prior = []
+    except (OSError, ValueError, KeyError):
+        pass  # first run, unreadable file, or pre-trend schema
+    point = {
+        "speedup": round(speedup, 4),
+        "target": 1.8,
+        "target_met": speedup >= 1.8,
+        "fast_mode": fast_mode,
+        "effective_cpu_count": cpus,
+        "epoch": int(time.time()),
+    }
+    return (prior + [point])[-TREND_KEEP:]
+
+
 class TestExecutorComparison:
     """serial vs process vs thread vs shm on one compiled-kernel workload.
 
@@ -370,6 +399,10 @@ class TestExecutorComparison:
             "floor": 1.5, "asserted": asserted,
             "floor_regression": asserted and speedup < 1.5,
         }
+        # Nightly trend toward the 1.8x target: append this run's verdict
+        # to the rolling window carried in BENCH_kernels.json so the
+        # nightly job can chart progress instead of only pass/fail.
+        section["trend"] = _executor_trend(speedup, fast_mode, cpus)
         bench_json("kernels", "executors", section)
         pickled_saved = (tiers["process"]["pickled_bytes"]
                          - tiers[best]["pickled_bytes"])

@@ -13,9 +13,11 @@ Subcommands::
     repro table2  [--trials N]
     repro figure7 --n 6 [--points P]
     repro serve   [--port 0] [--jobs J] [--batch-max B] [--stdio]
+                  [--shards N] [--tenant-rate R] [--tenant-max-inflight M]
                   [--max-queued N] [--obs-out obs.json] [--port-file P]
     repro submit  --port P [--kind sort] --n 5 --faults 3,5 --count 20
-                  [--tenants a,b] [--drain] [--stats]
+                  [--tenants a,b] [--stream [--stream-transport shm]]
+                  [--drain] [--stats]
 
 ``sort`` runs the fault-tolerant sort on random keys, verifies the output
 against numpy, and prints the plan plus a stage-level cost breakdown.
@@ -37,9 +39,12 @@ reference, ``compiled`` flat-array schedule programs; see
 docs/PERFORMANCE.md) — outputs and counts are identical.
 ``serve`` runs the sorting-as-a-service job server (JSONL over TCP, or
 stdin/stdout with ``--stdio``) until drained by SIGTERM/SIGINT or a client
-``drain``; ``submit`` is the matching client — it submits ``--count`` jobs
-round-robin across ``--tenants``, waits for every result, and prints a
-latency/throughput summary (see docs/SERVICE.md).
+``drain``; ``--shards N`` runs N backend server processes behind a
+consistent-hash tenant router with plan-cache gossip (docs/SERVICE.md,
+"Sharding & streaming").  ``submit`` is the matching client — it submits
+``--count`` jobs round-robin across ``--tenants``, waits for every result
+(``--stream`` consumes sorted arrays as checksummed frames instead of
+inline results), and prints a latency/throughput summary.
 """
 
 from __future__ import annotations
@@ -315,8 +320,6 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.service import serve as serve_service
-
     def ready(service, port) -> None:
         if port is None:
             print("repro service: speaking JSONL on stdio", file=sys.stderr,
@@ -328,7 +331,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             with open(args.port_file, "w", encoding="utf-8") as fh:
                 fh.write(f"{port}\n")
 
+    if args.shards < 1:
+        raise SystemExit("repro: --shards must be >= 1")
+    if args.shards > 1:
+        if args.stdio:
+            raise SystemExit("repro: --shards requires TCP (drop --stdio)")
+        from repro.service import serve_sharded
+
+        router = asyncio.run(serve_sharded(
+            shards=args.shards,
+            host=args.host,
+            port=args.port,
+            ready=ready,
+            shards_file=args.shards_file,
+            jobs=args.jobs,
+            executor=args.executor,
+            batch_max=args.batch_max,
+            max_queued=args.max_queued,
+            max_queued_per_tenant=args.max_queued_per_tenant,
+            tenant_rate=args.tenant_rate,
+            tenant_burst=args.tenant_burst,
+            tenant_max_inflight=args.tenant_max_inflight,
+        ))
+        m = router.metrics
+        print(f"repro service: drained {args.shards} shard(s) "
+              f"(routed={int(m.value('router.submitted'))} "
+              f"completed={int(m.value('router.completed'))} "
+              f"failovers={int(m.value('router.failovers'))})",
+              file=sys.stderr, flush=True)
+        return 0
+
     from repro.parallel import jobs_from_env, resolve_jobs
+    from repro.service import serve as serve_service
 
     jobs = resolve_jobs(args.jobs) if args.jobs is not None else jobs_from_env(1)
     service = asyncio.run(serve_service(
@@ -341,6 +375,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queued=args.max_queued,
         max_queued_per_tenant=args.max_queued_per_tenant,
         batch_max=args.batch_max,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        max_inflight_per_tenant=args.tenant_max_inflight,
         obs_out=args.obs_out,
     ))
     stats = service.stats()
@@ -375,6 +412,39 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 "repro: invalid --fault-class: submit takes exactly one class "
                 "per job stream (run one submit per class)")
         job["fault_class"] = classes[0]
+    if args.stream:
+        if args.kind != "sort":
+            raise SystemExit("repro: --stream applies to sort jobs only")
+        job["stream"] = True
+
+    async def consume_stream(client, job_id: str) -> dict:
+        """Drain one framed result; returns a result-shaped summary."""
+        from repro.service import StreamError
+
+        frames = count = 0
+        in_order = True
+        last = None
+        try:
+            async for chunk in client.iter_result(job_id):
+                frames += 1
+                count += int(chunk.size)
+                if chunk.size:
+                    if last is not None and chunk[0] < last:
+                        in_order = False
+                    if not bool((chunk[1:] >= chunk[:-1]).all()):
+                        in_order = False
+                    last = chunk[-1]
+        except StreamError as exc:
+            return {"ok": False, "job_id": job_id,
+                    "result": {"error": str(exc), "streamed": {
+                        "frames": frames, "keys": count, "in_order": False}}}
+        summary = dict(client.stream_summary(job_id) or {})
+        summary.setdefault("result", {})
+        summary["result"] = dict(summary["result"])
+        summary["result"]["streamed"] = {
+            "frames": frames, "keys": count, "in_order": in_order}
+        summary["ok"] = bool(summary.get("ok")) and in_order
+        return summary
 
     async def run() -> int:
         client = await ServiceClient.connect(args.host, args.port)
@@ -386,9 +456,14 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 if args.kind == "chaos":
                     payload["index"] = i
                 ack = await client.submit(
-                    payload, tenant=tenants[i % len(tenants)], retry=True)
+                    payload, tenant=tenants[i % len(tenants)], retry=True,
+                    transport=args.stream_transport if args.stream else None)
                 (acks if ack.get("ok") else rejected).append(ack)
-            results = [await client.result(a["job_id"]) for a in acks]
+            if args.stream:
+                results = [await consume_stream(client, a["job_id"])
+                           for a in acks]
+            else:
+                results = [await client.result(a["job_id"]) for a in acks]
             if args.stats:
                 print(json.dumps(await client.stats(), indent=2, sort_keys=True))
             if args.drain:
@@ -396,17 +471,23 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         finally:
             await client.close()
         ok = sum(1 for r in results if r["ok"])
-        lat = sorted(r["latency_ms"] for r in results)
+        lat = sorted(r.get("latency_ms", 0.0) for r in results)
         print(f"submitted {args.count} {args.kind} job(s) across "
               f"{len(tenants)} tenant(s): {ok} ok, "
               f"{len(results) - ok} failed, {len(rejected)} rejected")
         if lat:
             print(f"  latency  : p50 {lat[len(lat) // 2]:.1f} ms, "
                   f"max {lat[-1]:.1f} ms")
+        if args.stream and results:
+            frames = sum(r["result"]["streamed"]["frames"] for r in results)
+            keys = sum(r["result"]["streamed"]["keys"] for r in results)
+            print(f"  streamed : {frames} frame(s), {keys} key(s), "
+                  f"transport={args.stream_transport}, "
+                  f"in_order={all(r['result']['streamed']['in_order'] for r in results)}")
         for r in results if args.verbose else ():
-            print(f"  {r['job_id']} [{r['tenant']}] ok={r['ok']} "
-                  f"run={r['run_ms']:.1f}ms batched={r['batched']} "
-                  f"-> {r['result']}")
+            print(f"  {r.get('job_id')} [{r.get('tenant')}] ok={r.get('ok')} "
+                  f"run={r.get('run_ms', 0.0):.1f}ms "
+                  f"batched={r.get('batched')} -> {r.get('result')}")
         return 0 if ok == args.count else 1
 
     return asyncio.run(run())
@@ -526,6 +607,22 @@ def main(argv: list[str] | None = None) -> int:
                          help="write a metrics/plan-cache JSON snapshot on drain")
     p_serve.add_argument("--port-file", type=str, default=None,
                          help="write the bound TCP port to this file (CI)")
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="run N backend shard processes behind a "
+                              "consistent-hash router (default: 1 = plain "
+                              "single server; requires TCP)")
+    p_serve.add_argument("--shards-file", type=str, default=None,
+                         help="write the shard topology (ids/pids/ports) as "
+                              "JSON once up (CI)")
+    p_serve.add_argument("--tenant-rate", type=float, default=None,
+                         help="per-tenant admission rate in jobs/sec "
+                              "(default: unlimited)")
+    p_serve.add_argument("--tenant-burst", type=int, default=None,
+                         help="token-bucket burst depth for --tenant-rate "
+                              "(default: ceil(rate))")
+    p_serve.add_argument("--tenant-max-inflight", type=int, default=None,
+                         help="max accepted-but-undelivered jobs per tenant "
+                              "(default: unlimited)")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_submit = sub.add_parser(
@@ -550,6 +647,14 @@ def main(argv: list[str] | None = None) -> int:
                           help="number of jobs to submit")
     p_submit.add_argument("--tenants", type=str, default="default",
                           help="comma-separated tenant names (round-robin)")
+    p_submit.add_argument("--stream", action="store_true",
+                          help="stream sorted key arrays back as checksummed "
+                               "frames (sort jobs only)")
+    p_submit.add_argument("--stream-transport", choices=("binary", "shm"),
+                          default="binary",
+                          help="frame transport for --stream: length-prefixed "
+                               "binary chunks, or zero-copy shm descriptors "
+                               "(same host only)")
     p_submit.add_argument("--drain", action="store_true",
                           help="drain the server after the results arrive")
     p_submit.add_argument("--stats", action="store_true",

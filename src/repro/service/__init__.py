@@ -1,23 +1,32 @@
-"""repro.service: sorting-as-a-service job server (S28).
+"""repro.service: sorting-as-a-service job server (S28, sharded in S30).
 
 The package turns the library's one-shot entry points — fault-tolerant
 sorts, partition planning, chaos scenarios — into a long-lived multi-tenant
 job server sharing one warm worker pool and one process-wide plan cache
-across every client:
+across every client, and scales it horizontally as N such servers behind
+a consistent-hash tenant router:
 
 * :mod:`repro.service.protocol` — the JSONL wire protocol and
   :class:`JobSpec` validation (the admission boundary for untrusted input).
-* :mod:`repro.service.queue` — bounded admission and round-robin
-  per-tenant fair queueing with compatible-job batching.
+* :mod:`repro.service.queue` — bounded admission, round-robin per-tenant
+  fair queueing with compatible-job batching, and the per-tenant
+  :class:`TokenBucket` rate limiter.
 * :mod:`repro.service.jobs` — picklable job runners with per-job
-  plan-cache delta attribution.
+  plan-cache delta attribution and orbit-entry gossip piggybacking.
+* :mod:`repro.service.streams` — result streaming: frame planning,
+  per-frame count/sum ABFT checksums, bounded-window flow control.
 * :mod:`repro.service.server` — the asyncio server: dispatchers, metrics,
-  backpressure, graceful drain (SIGTERM-safe).
+  backpressure, arena-backed result streams, graceful drain (SIGTERM-safe).
 * :mod:`repro.service.client` — asyncio client used by ``repro submit``,
-  the tests, and the load benchmark.
+  the tests, and the load benchmark (jittered backoff, stream consumption).
+* :mod:`repro.service.shard` — shard subprocess lifecycle (spawn, ready,
+  drain, crash reclamation of shm segments by name prefix).
+* :mod:`repro.service.router` — the ``--shards N`` front end: consistent-
+  hash tenant placement, zero-copy stream relay, shard failover, orbit
+  gossip between shard-local plan caches.
 
-CLI: ``repro serve`` / ``repro submit``.  Protocol and operational
-semantics: docs/SERVICE.md.
+CLI: ``repro serve [--shards N]`` / ``repro submit [--stream]``.  Protocol
+and operational semantics: docs/SERVICE.md.
 """
 
 from repro.service.client import ServiceClient
@@ -30,22 +39,42 @@ from repro.service.protocol import (
     decode_line,
     encode,
 )
-from repro.service.queue import FairQueue, QueueFull, QueuedJob
+from repro.service.queue import FairQueue, QueueFull, QueuedJob, TokenBucket
+from repro.service.router import HashRing, ShardRouter, serve_sharded
 from repro.service.server import SortingService, serve
+from repro.service.shard import ShardInfo, ShardManager
+from repro.service.streams import (
+    StreamChecksumError,
+    StreamError,
+    frame_checksum,
+    plan_frames,
+    verify_frame,
+)
 
 __all__ = [
     "JOB_KINDS",
     "FairQueue",
+    "HashRing",
     "JobSpec",
     "ProtocolError",
     "QueueFull",
     "QueuedJob",
     "ServiceClient",
+    "ShardInfo",
+    "ShardManager",
+    "ShardRouter",
     "SortingService",
+    "StreamChecksumError",
+    "StreamError",
+    "TokenBucket",
     "batch_signature",
     "decode_line",
     "encode",
+    "frame_checksum",
+    "plan_frames",
     "run_job",
     "run_job_batch",
     "serve",
+    "serve_sharded",
+    "verify_frame",
 ]

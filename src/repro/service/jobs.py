@@ -16,6 +16,13 @@ these deltas into per-tenant ``service.tenant.<t>.plancache.*`` counters:
 the cross-tenant sharing the cache exists for becomes directly observable
 as tenant B hitting on plans tenant A paid for.
 
+The batch runners also carry the orbit-entry gossip tier's traffic: any
+canonical plan a worker computes during the batch is drained from its
+cache log and attached to the batch result (``orbit_entries`` on the
+first payload), and entries gossiped *to* the server ride the next
+dispatch down so pool workers warm lazily.  Both directions are
+idempotent imports, so the piggyback needs no worker addressing.
+
 A failing job is a *result*, not a server error: the runner catches the
 exception and reports ``ok: false`` with the error repr, exactly like the
 chaos campaign's outcome convention.
@@ -23,6 +30,7 @@ chaos campaign's outcome convention.
 
 from __future__ import annotations
 
+import base64
 import time
 
 import numpy as np
@@ -31,6 +39,16 @@ from repro.plancache import PLAN_CACHE
 from repro.service.protocol import JobSpec
 
 __all__ = ["run_job", "run_job_batch", "run_job_batch_shm"]
+
+#: Export cursor into this process's PLAN_CACHE orbit log — everything
+#: before it has already been shipped to whoever dispatches to us.
+_orbit_cursor = 0
+
+
+def _drain_orbit_entries() -> list[dict]:
+    global _orbit_cursor
+    entries, _orbit_cursor = PLAN_CACHE.export_orbit_entries(_orbit_cursor)
+    return entries
 
 
 def _run_sort(spec: JobSpec) -> dict:
@@ -48,13 +66,25 @@ def _run_sort(spec: JobSpec) -> dict:
                                   kernels=spec.kernels)
         elapsed = res.elapsed
     expected = np.sort(keys)
-    return {
+    out = {
         "kind": "sort",
         "verified": bool(np.array_equal(res.sorted_keys, expected)),
         "elapsed_sim": float(elapsed),
         "checksum": float(res.sorted_keys.sum()),
         "keys": int(keys.size),
     }
+    if spec.stream:
+        # The array itself: an arena-dispatching server lifts it into the
+        # shm segment (pack sees a big contiguous ndarray leaf) and
+        # streams frames from there without ever copying it out.
+        out["sorted_keys"] = np.ascontiguousarray(res.sorted_keys,
+                                                  dtype=np.float64)
+    elif spec.return_keys:
+        # The pickled baseline: the whole array rides the result inline
+        # as base64 text (one giant JSONL line at the client).
+        data = np.ascontiguousarray(res.sorted_keys, dtype=np.float64)
+        out["keys_b64"] = base64.b64encode(data.tobytes()).decode("ascii")
+    return out
 
 
 def _run_plan(spec: JobSpec) -> dict:
@@ -125,28 +155,41 @@ def run_job(spec: JobSpec) -> dict:
     }
 
 
-def run_job_batch(specs: tuple[JobSpec, ...]) -> list[dict]:
+def run_job_batch(specs: tuple[JobSpec, ...], orbit_entries=()) -> list[dict]:
     """Execute a compatible batch back-to-back in one executor round-trip.
 
     The first job of a sort/plan batch pays the planning work; the rest
     replay it from the (by then warm) cache — their ``plancache`` deltas
-    show the hits.
+    show the hits.  ``orbit_entries`` (gossiped canonical plans riding
+    the dispatch) are imported first; any canonical plan computed *by*
+    this batch is drained and attached to the first payload as
+    ``orbit_entries`` for the dispatcher to propagate.
     """
-    return [run_job(spec) for spec in specs]
+    if orbit_entries:
+        PLAN_CACHE.import_orbit_entries(orbit_entries)
+        _drain_orbit_entries()  # imports are not news to our dispatcher
+    payloads = [run_job(spec) for spec in specs]
+    fresh = _drain_orbit_entries()
+    if fresh and payloads:
+        payloads[0]["orbit_entries"] = fresh
+    return payloads
 
 
-def run_job_batch_shm(specs: tuple[JobSpec, ...]) -> tuple:
+def run_job_batch_shm(specs: tuple[JobSpec, ...], name: str | None = None,
+                      orbit_entries=()) -> tuple:
     """:func:`run_job_batch`, returning bulk payloads through a shm arena.
 
-    The server's ``executor="shm"`` tier dispatches this instead of
-    :func:`run_job_batch`: result dicts whose leaves clear the arena
-    break-even travel through a worker-created shared-memory segment
-    (small batches come back ``("inline", ...)`` untouched — typical job
-    results are compact scalars) and the server unpacks-and-unlinks via
-    :func:`repro.shm.unpack_results`.  If the worker dies before the
-    server consumes the segment, the worker's exit-time sweep reclaims
-    it, so no path leaks ``/dev/shm`` entries.
+    Two callers: the server's ``executor="shm"`` tier (compact payloads —
+    small batches come back ``("inline", ...)`` untouched) and *any*
+    batch containing a streamed sort, whose ``sorted_keys`` array must
+    land in a segment the server can stream frames from without copying.
+    ``name`` is the parent-chosen (pre-registered) segment name; when
+    omitted a worker-side name is minted.  If the worker dies before the
+    server consumes the segment, the worker's exit-time sweep (own name)
+    or the parent's registry sweep (parent name) reclaims it, so no path
+    leaks ``/dev/shm`` entries.
     """
     from repro import shm
 
-    return shm.pack_results(run_job_batch(specs), shm.make_name("svc"))
+    return shm.pack_results(run_job_batch(specs, orbit_entries),
+                            name if name is not None else shm.make_name("svc"))

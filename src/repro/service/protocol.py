@@ -6,19 +6,37 @@ carry an ``op``; the server answers every request with exactly one reply
 echoing the client-chosen ``id`` (when given), and additionally *pushes*
 one ``op: "result"`` message per accepted job when it completes:
 
-========  =======================================================
-op        meaning
-========  =======================================================
-submit    enqueue a job: ``{"op": "submit", "tenant": "a", "job": {...}}``
-          -> ack ``{"ok": true, "status": "queued", "job_id": "j3"}`` or a
-          rejection ``{"ok": false, "error": "queue_full",
-          "retry_after_ms": 250}`` / ``{"ok": false, "error": "draining"}``
-ping      liveness probe -> ``{"ok": true, "op": "pong"}``
-stats     queue depths, per-tenant counters, plan-cache stats
-drain     stop admitting, finish in-flight, flush obs; the reply
-          ``{"ok": true, "op": "drained", ...}`` arrives once the last
-          job has completed
-========  =======================================================
+===========  =======================================================
+op           meaning
+===========  =======================================================
+submit       enqueue a job: ``{"op": "submit", "tenant": "a", "job":
+             {...}}`` -> ack ``{"ok": true, "status": "queued", "job_id":
+             "j3"}`` or a rejection ``{"ok": false, "error":
+             "queue_full", "retry_after_ms": 250}`` / ``{"ok": false,
+             "error": "rate_limited", "scope": "jobs_per_sec", ...}`` /
+             ``{"ok": false, "error": "draining"}``.  An optional
+             ``"transport": "binary"|"shm"`` picks the frame transport
+             for streamed jobs (``shm`` = zero-copy same-host).
+ping         liveness probe -> ``{"ok": true, "op": "pong"}``
+stats        queue depths, per-tenant counters, plan-cache stats
+drain        stop admitting, finish in-flight, flush obs; the reply
+             ``{"ok": true, "op": "drained", ...}`` arrives once the
+             last job has completed
+frame_ack    client -> server: ``{"op": "frame_ack", "job_id": "j3",
+             "seq": 4}`` — advances the bounded in-flight frame window
+             of a streamed result (no reply)
+stream_done  client -> server: the stream was fully consumed; releases
+             the server's arena read lease (no reply)
+orbit_pull   gossip tier: export plan-cache orbit entries past a cursor
+orbit_push   gossip tier: import plan-cache orbit entries from a peer
+===========  =======================================================
+
+A job submitted with ``"stream": true`` answers not with one ``result``
+push but with a framed stream: ``result_header`` (frame count, dtype,
+transport), ``result_frame`` × F — each carrying a per-frame count/sum
+ABFT checksum and either a shm descriptor (``"shm": {...}``) or a
+``"nbytes"`` field followed by exactly that many raw bytes on the wire —
+and a ``result_end`` trailer with the usual result summary.
 
 Job payloads are validated into frozen :class:`JobSpec` values before they
 touch a queue; a malformed request is answered with ``{"ok": false,
@@ -76,6 +94,11 @@ class JobSpec:
             (chaos; see :mod:`repro.faults.universe`).
         fault_params: class-specific severity overrides as ``(name,
             value)`` pairs (chaos; empty = the class's stratified default).
+        stream: deliver the sorted key array as a framed stream (sort
+            only) instead of a scalar summary — see the module docstring.
+        return_keys: include the sorted key array inline in the result as
+            base64 (sort only; the pickled baseline the streaming path is
+            benchmarked against).  Mutually exclusive with ``stream``.
     """
 
     kind: str
@@ -88,6 +111,8 @@ class JobSpec:
     index: int = 0
     fault_class: str = "baseline"
     fault_params: tuple[tuple[str, float], ...] = ()
+    stream: bool = False
+    return_keys: bool = False
 
     def to_dict(self) -> dict:
         d = asdict(self)
@@ -109,9 +134,24 @@ class JobSpec:
             raise ProtocolError(f"job kind must be one of {JOB_KINDS}, got {kind!r}")
         unknown = set(raw) - {"kind", "n", "faults", "keys", "seed",
                               "kernels", "backend", "index",
-                              "fault_class", "fault_params"}
+                              "fault_class", "fault_params",
+                              "stream", "return_keys"}
         if unknown:
             raise ProtocolError(f"unknown job fields: {sorted(unknown)}")
+
+        def as_bool(field: str) -> bool:
+            value = raw.get(field, False)
+            if not isinstance(value, bool):
+                raise ProtocolError(f"{field} must be a boolean, got {value!r}")
+            return value
+
+        stream = as_bool("stream")
+        return_keys = as_bool("return_keys")
+        if (stream or return_keys) and kind != "sort":
+            raise ProtocolError(
+                f"stream/return_keys apply to sort jobs only, got kind {kind!r}")
+        if stream and return_keys:
+            raise ProtocolError("stream and return_keys are mutually exclusive")
 
         def as_int(field: str, default: int, lo: int, hi: int) -> int:
             value = raw.get(field, default)
@@ -183,7 +223,8 @@ class JobSpec:
             fault_params.append((name, value))
         return cls(kind=kind, n=n, faults=tuple(faults), keys=keys, seed=seed,
                    kernels=kernels, backend=backend, index=index,
-                   fault_class=fault_class, fault_params=tuple(fault_params))
+                   fault_class=fault_class, fault_params=tuple(fault_params),
+                   stream=stream, return_keys=return_keys)
 
 
 def batch_signature(spec: JobSpec) -> tuple | None:

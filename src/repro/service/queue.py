@@ -26,12 +26,13 @@ the later jobs replay the first one's planning work from the warm cache.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.service.protocol import JobSpec, batch_signature
 
-__all__ = ["FairQueue", "QueueFull", "QueuedJob"]
+__all__ = ["FairQueue", "QueueFull", "QueuedJob", "TokenBucket"]
 
 
 class QueueFull(Exception):
@@ -47,6 +48,41 @@ class QueueFull(Exception):
         self.limit = limit
 
 
+class TokenBucket:
+    """Per-tenant admission rate limiter (``jobs_per_sec`` with burst).
+
+    A classic monotonic-clock token bucket: :meth:`try_take` refills by
+    elapsed time, takes one token when one is available, and otherwise
+    returns the *seconds until the next token* — the server turns that
+    into the ``retry_after_ms`` of a ``rate_limited`` rejection, so a
+    well-behaved client backs off for exactly as long as the bucket
+    needs, not a guess.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: int, now: float | None = None):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0 jobs/sec, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = time.monotonic() if now is None else now
+
+    def try_take(self, now: float | None = None) -> float:
+        """Take one token if possible; return 0.0, else seconds to wait."""
+        now = time.monotonic() if now is None else now
+        self.tokens = min(self.burst,
+                          self.tokens + (now - self.updated) * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
 @dataclass
 class QueuedJob:
     """One admitted job waiting for (or undergoing) dispatch.
@@ -59,6 +95,8 @@ class QueuedJob:
         conn: opaque connection handle the result is delivered to (the
             server's per-connection state; ``None`` in library use).
         enqueued_at: ``perf_counter()`` at admission (queue-delay metric).
+        transport: frame transport for a streamed result (``"binary"``
+            length-prefixed chunks, or ``"shm"`` zero-copy descriptors).
     """
 
     job_id: str
@@ -67,6 +105,7 @@ class QueuedJob:
     client_id: object = None
     conn: object = None
     enqueued_at: float = 0.0
+    transport: str = "binary"
     signature: tuple | None = field(init=False)
 
     def __post_init__(self) -> None:

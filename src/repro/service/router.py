@@ -1,0 +1,615 @@
+"""The shard router: consistent-hash tenant placement + stream relay.
+
+``repro serve --shards N`` runs this front end: clients speak the normal
+service protocol to one TCP port, and the router places each *tenant*
+(not each job) onto one of N backend shard processes via a consistent
+hash ring.  Tenant affinity is what makes shard-local plan caches work —
+a tenant's jobs keep landing where its plans are warm — and the ring
+keeps placement stable as shards come and go: when a shard dies, only
+the tenants that lived on it move (to the next shard clockwise), exactly
+the property the paper's fault-avoiding sort wants from its spare
+assignment.
+
+Three relay rules keep the router cheap enough to be invisible:
+
+* **Job ids are namespaced, not tabled per frame.**  A shard's ``j17``
+  becomes ``s2:j17`` at the client; every pushed message is rewritten by
+  prefix only, so relaying a result stream costs one dict touch per
+  frame.
+* **Bulk bytes are never interpreted.**  A binary frame's payload is
+  copied socket-to-socket right behind its header line; a shm frame's
+  descriptor passes through *untouched* — the client maps the shard's
+  segment directly, so a same-host streamed result crosses the router as
+  a few hundred bytes of JSON regardless of array size.
+* **Failure is an answer.**  When a shard connection drops, its in-flight
+  jobs are answered with a retryable ``shard_lost`` result, the ring
+  reroutes the shard's tenants, and the shard's ``/dev/shm`` segments are
+  reclaimed by prefix (``kill -9`` leaves no registry to sweep — see
+  :func:`repro.shm.sweep_prefix`).
+
+The router also runs the *orbit gossip* loop: every ``gossip_interval``
+seconds it pulls each shard's new plan-cache orbit entries
+(``orbit_pull`` with a per-shard cursor) and pushes the unseen ones to
+every other live shard (``orbit_push``), so a canonical plan computed
+once on shard A prices as a cache hit for the equivalent-orbit job a
+different tenant submits to shard B.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import sys
+from bisect import bisect_right
+from dataclasses import dataclass
+from hashlib import blake2b
+
+from repro import shm
+from repro.obs import MetricsRegistry
+from repro.service.protocol import ProtocolError, decode_line, encode
+from repro.service.shard import ShardInfo, ShardManager
+
+__all__ = ["HashRing", "ShardRouter", "serve_sharded"]
+
+
+def _hash64(text: str) -> int:
+    return int.from_bytes(blake2b(text.encode("utf-8"), digest_size=8).digest(),
+                          "big")
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes (blake2b, deterministic).
+
+    ``vnodes`` points per member smooth the load split (64 keeps the
+    max/min tenant-count ratio within a few percent for small N) and
+    bound reshuffling: removing a member moves only the arc segments it
+    owned, never the whole map.
+    """
+
+    def __init__(self, vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self._points: list[tuple[int, str]] = []  # sorted (hash, member)
+        self._members: set[str] = set()
+
+    def add(self, member: str) -> None:
+        if member in self._members:
+            return
+        self._members.add(member)
+        for v in range(self.vnodes):
+            self._points.append((_hash64(f"{member}#{v}"), member))
+        self._points.sort()
+
+    def remove(self, member: str) -> None:
+        if member not in self._members:
+            return
+        self._members.discard(member)
+        self._points = [p for p in self._points if p[1] != member]
+
+    @property
+    def members(self) -> frozenset:
+        return frozenset(self._members)
+
+    def route(self, tenant: str) -> str:
+        """The member owning ``tenant`` (first point clockwise of its hash)."""
+        if not self._points:
+            raise LookupError("hash ring is empty")
+        idx = bisect_right(self._points, (_hash64(tenant), "￿"))
+        return self._points[idx % len(self._points)][1]
+
+    def preference(self, tenant: str) -> list[str]:
+        """Every member in fallback order for ``tenant`` (deduped walk)."""
+        if not self._points:
+            return []
+        idx = bisect_right(self._points, (_hash64(tenant), "￿"))
+        seen: list[str] = []
+        for i in range(len(self._points)):
+            member = self._points[(idx + i) % len(self._points)][1]
+            if member not in seen:
+                seen.append(member)
+                if len(seen) == len(self._members):
+                    break
+        return seen
+
+
+@dataclass
+class _Route:
+    """One in-flight job: which client gets which shard's pushes."""
+
+    conn: object  # router-side client _Connection
+    shard_id: str
+    client_id: object
+    tenant: str
+    streamed: bool = False
+
+
+class _Upstream:
+    """The router's connection to one shard."""
+
+    def __init__(self, info: ShardInfo, router: "ShardRouter"):
+        self.info = info
+        self.router = router
+        self.up = False
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._lock = asyncio.Lock()
+        self._seq = itertools.count()
+        self._pending: dict[str, asyncio.Future] = {}
+        self._reader_task: asyncio.Task | None = None
+        self.orbit_cursor = 0
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.info.host, self.info.port, limit=1 << 26)
+        self.up = True
+        self._reader_task = asyncio.create_task(
+            self._read_loop(), name=f"repro-upstream-{self.info.id}")
+
+    async def send(self, message: dict, payload: bytes | None = None) -> bool:
+        if not self.up or self._writer is None:
+            return False
+        data = encode(message)
+        async with self._lock:
+            try:
+                self._writer.write(data)
+                if payload is not None:
+                    self._writer.write(payload)
+                await self._writer.drain()
+            except (ConnectionError, OSError):
+                return False
+        return True
+
+    async def request(self, message: dict) -> dict:
+        """Round-trip one op on the shared connection (id-matched)."""
+        if not self.up:
+            raise ConnectionError(f"shard {self.info.id} is down")
+        rid = f"r{next(self._seq)}"
+        message = {**message, "id": rid}
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = fut
+        if not await self.send(message):
+            self._pending.pop(rid, None)
+            raise ConnectionError(f"shard {self.info.id} is down")
+        return await fut
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    msg = decode_line(line)
+                except ProtocolError:  # pragma: no cover - shard is trusted
+                    continue
+                data = None
+                if (msg.get("op") == "result_frame"
+                        and isinstance(msg.get("nbytes"), int)):
+                    data = await self._reader.readexactly(msg["nbytes"])
+                if msg.get("op") in ("result", "result_header",
+                                     "result_frame", "result_end"):
+                    await self.router.on_push(self, msg, data)
+                    continue
+                fut = self._pending.pop(msg.get("id"), None)
+                if fut is not None and not fut.done():
+                    fut.set_result(msg)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            was_up, self.up = self.up, False
+            error = ConnectionError(f"shard {self.info.id} connection lost")
+            for fut in self._pending.values():
+                if not fut.done():
+                    fut.set_exception(error)
+            self._pending.clear()
+            if was_up:
+                await self.router.on_shard_down(self)
+
+    async def close(self) -> None:
+        self.up = False
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+
+class ShardRouter:
+    """Front-end: one client port, N shard backends, tenant-affine routing."""
+
+    def __init__(self, shards: list[ShardInfo],
+                 metrics: MetricsRegistry | None = None,
+                 gossip_interval: float = 0.25, log=None):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.gossip_interval = float(gossip_interval)
+        self.log = log if log is not None else (
+            lambda text: print(text, file=sys.stderr, flush=True))
+        self.ring = HashRing()
+        self.upstreams: dict[str, _Upstream] = {}
+        for info in shards:
+            self.upstreams[info.id] = _Upstream(info, self)
+        self._routes: dict[str, _Route] = {}  # global job_id -> route
+        self._drained = asyncio.Event()
+        self._draining = False
+        self._orbit_seen: set = set()
+        self._gossip_task: asyncio.Task | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Connect every upstream and start the gossip loop."""
+        for upstream in self.upstreams.values():
+            await upstream.connect()
+            self.ring.add(upstream.info.id)
+        self.metrics.set_gauge("router.shards_up", len(self.live_shards()))
+        if self.gossip_interval > 0:
+            self._gossip_task = asyncio.create_task(
+                self._gossip_loop(), name="repro-gossip")
+
+    def live_shards(self) -> list[_Upstream]:
+        return [u for u in self.upstreams.values() if u.up]
+
+    async def aclose(self) -> None:
+        if self._gossip_task is not None:
+            self._gossip_task.cancel()
+            try:
+                await self._gossip_task
+            except asyncio.CancelledError:
+                pass
+            self._gossip_task = None
+        for upstream in self.upstreams.values():
+            await upstream.close()
+
+    @property
+    def drained(self) -> asyncio.Event:
+        return self._drained
+
+    # -- client side ---------------------------------------------------------
+
+    async def start_tcp(self, host: str = "127.0.0.1",
+                        port: int = 0) -> asyncio.Server:
+        return await asyncio.start_server(self._handle_client, host, port)
+
+    def install_signal_handlers(self,
+                                loop: asyncio.AbstractEventLoop | None = None
+                                ) -> None:
+        import signal as _signal
+
+        loop = loop if loop is not None else asyncio.get_running_loop()
+
+        def _drain_now() -> None:
+            self.log("signal received: draining all shards")
+            asyncio.ensure_future(self.drain())
+
+        for sig in (_signal.SIGTERM, _signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, _drain_now)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        from repro.service.server import _Connection
+
+        conn = _Connection(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                reply = await self._handle_message(line, conn)
+                if reply is not None:
+                    await conn.send(reply)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            conn.closed = True
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _handle_message(self, line: bytes, conn) -> dict | None:
+        try:
+            msg = decode_line(line)
+        except ProtocolError as exc:
+            return {"ok": False, "error": "bad_request", "detail": str(exc)}
+        op = msg.get("op")
+        rid = msg.get("id")
+        if op == "submit":
+            return await self._submit(msg, conn)
+        if op in ("frame_ack", "stream_done"):
+            await self._forward_stream_op(msg)
+            return None
+        if op == "ping":
+            return {"ok": True, "op": "pong", "id": rid}
+        if op == "stats":
+            return {"ok": True, "op": "stats", "id": rid,
+                    "stats": await self.stats()}
+        if op == "drain":
+            summary = await self.drain()
+            return {"ok": True, "op": "drained", "id": rid, **summary}
+        return {"ok": False, "error": "bad_request", "id": rid,
+                "detail": f"unknown op {op!r}"}
+
+    async def _submit(self, msg: dict, conn) -> dict:
+        rid = msg.get("id")
+        if self._draining:
+            self.metrics.inc("router.rejected.draining")
+            return {"ok": False, "op": "submit", "id": rid, "error": "draining"}
+        tenant = msg.get("tenant", "default")
+        upstream = self._place(tenant if isinstance(tenant, str) else "default")
+        if upstream is None:
+            self.metrics.inc("router.rejected.no_shards")
+            return {"ok": False, "op": "submit", "id": rid,
+                    "error": "no_shards", "retryable": True,
+                    "retry_after_ms": 1000}
+        try:
+            ack = await upstream.request({k: v for k, v in msg.items()
+                                          if k != "id"})
+        except ConnectionError:
+            return {"ok": False, "op": "submit", "id": rid,
+                    "error": "shard_lost", "retryable": True,
+                    "retry_after_ms": 100}
+        ack["id"] = rid
+        if ack.get("ok") and "job_id" in ack:
+            job = msg.get("job")
+            streamed = isinstance(job, dict) and bool(job.get("stream"))
+            global_id = f"{upstream.info.id}:{ack['job_id']}"
+            self._routes[global_id] = _Route(conn, upstream.info.id, rid,
+                                             tenant, streamed)
+            ack["job_id"] = global_id
+            self.metrics.inc("router.submitted")
+            self.metrics.inc(f"router.shard.{upstream.info.id}.submitted")
+        return ack
+
+    def _place(self, tenant: str) -> _Upstream | None:
+        """The tenant's shard: ring owner, or next live one clockwise."""
+        if not self.ring.members:
+            return None
+        for member in self.ring.preference(tenant):
+            upstream = self.upstreams.get(member)
+            if upstream is not None and upstream.up:
+                return upstream
+        return None
+
+    async def _forward_stream_op(self, msg: dict) -> None:
+        """Relay a client->shard stream op, de-namespacing the job id."""
+        job_id = msg.get("job_id")
+        if not isinstance(job_id, str) or ":" not in job_id:
+            return
+        shard_id, local_id = job_id.split(":", 1)
+        upstream = self.upstreams.get(shard_id)
+        if upstream is None or not upstream.up:
+            return
+        await upstream.send({**msg, "job_id": local_id})
+
+    # -- shard side ----------------------------------------------------------
+
+    async def on_push(self, upstream: _Upstream, msg: dict,
+                      data: bytes | None) -> None:
+        """Relay one shard push to the client that owns the job."""
+        local_id = msg.get("job_id")
+        global_id = f"{upstream.info.id}:{local_id}"
+        route = self._routes.get(global_id)
+        if route is None:
+            # A fast job's first push can outrun its own submit ack: the
+            # ack resolves a future in this same read batch, but the
+            # _submit coroutine only registers the route once the loop
+            # reschedules it.  Yield a bounded number of ticks before
+            # concluding the client is gone.
+            for _ in range(3):
+                await asyncio.sleep(0)
+                route = self._routes.get(global_id)
+                if route is not None:
+                    break
+        if route is None:
+            # Client vanished between frames: tell the shard to stop
+            # holding the stream open (idempotent for plain results).
+            if msg.get("op") in ("result_header", "result_frame"):
+                await upstream.send({"op": "stream_done", "job_id": local_id})
+            return
+        out = {**msg, "job_id": global_id}
+        if route.client_id is not None:
+            out["id"] = route.client_id
+        else:
+            out.pop("id", None)
+        sent = await route.conn.send_with_payload(out, data)
+        op = msg.get("op")
+        if op in ("result", "result_end"):
+            self._routes.pop(global_id, None)
+            self.metrics.inc("router.completed")
+            self.metrics.inc(f"router.shard.{upstream.info.id}.completed")
+        elif op == "result_frame":
+            self.metrics.inc("router.frames")
+            if data is not None:
+                self.metrics.inc("router.frame_bytes", len(data))
+        if not sent and op in ("result_header", "result_frame"):
+            await upstream.send({"op": "stream_done", "job_id": local_id})
+            self._routes.pop(global_id, None)
+
+    async def on_shard_down(self, upstream: _Upstream) -> None:
+        """A shard connection dropped: reroute, answer, reclaim."""
+        shard_id = upstream.info.id
+        self.ring.remove(shard_id)
+        if not self._draining:
+            # A post-drain disconnect is the shard exiting on schedule,
+            # not a failover.
+            self.metrics.inc("router.failovers")
+        self.metrics.set_gauge("router.shards_up", len(self.live_shards()))
+        lost = [(gid, route) for gid, route in self._routes.items()
+                if route.shard_id == shard_id]
+        for gid, route in lost:
+            self._routes.pop(gid, None)
+            self.metrics.inc("router.jobs_failed_over")
+            await route.conn.send({
+                "ok": False,
+                "op": "result",
+                "id": route.client_id,
+                "job_id": gid,
+                "tenant": route.tenant,
+                "error": "shard_lost",
+                "retryable": True,
+                "result": {"error": "shard_lost"},
+            })
+        swept = shm.sweep_prefix(upstream.info.shm_prefix)
+        self.log(f"shard {shard_id} lost: {len(lost)} jobs answered "
+                 f"retryable, {swept} shm segments reclaimed, "
+                 f"{len(self.live_shards())} shards remain")
+
+    # -- orbit gossip --------------------------------------------------------
+
+    async def _gossip_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.gossip_interval)
+            try:
+                await self.gossip_once()
+            except Exception as exc:  # pragma: no cover - keep gossiping
+                self.log(f"gossip round failed: {exc!r}")
+
+    async def gossip_once(self) -> int:
+        """One gossip round: pull new orbit entries, push the unseen ones.
+
+        Returns the number of entries pushed (tests drive this directly
+        for deterministic timing).
+        """
+        fresh: list[tuple[str, dict]] = []
+        for upstream in self.live_shards():
+            try:
+                reply = await upstream.request(
+                    {"op": "orbit_pull", "cursor": upstream.orbit_cursor})
+            except ConnectionError:
+                continue
+            upstream.orbit_cursor = reply.get("cursor", upstream.orbit_cursor)
+            for entry in reply.get("entries", []):
+                if not isinstance(entry, dict):
+                    continue
+                key = (entry.get("n"), tuple(entry.get("canon", ())))
+                if key in self._orbit_seen:
+                    continue
+                self._orbit_seen.add(key)
+                fresh.append((upstream.info.id, entry))
+        if not fresh:
+            return 0
+        pushed = 0
+        for upstream in self.live_shards():
+            entries = [e for origin, e in fresh if origin != upstream.info.id]
+            if not entries:
+                continue
+            try:
+                await upstream.request({"op": "orbit_push", "entries": entries})
+                pushed += len(entries)
+            except ConnectionError:
+                continue
+        self.metrics.inc("router.orbit.gossiped", pushed)
+        return pushed
+
+    # -- aggregate ops -------------------------------------------------------
+
+    async def stats(self) -> dict:
+        per_shard: dict[str, dict] = {}
+        for upstream in self.upstreams.values():
+            if not upstream.up:
+                per_shard[upstream.info.id] = {"up": False}
+                continue
+            try:
+                reply = await upstream.request({"op": "stats"})
+                per_shard[upstream.info.id] = {
+                    "up": True, **reply.get("stats", {})}
+            except ConnectionError:
+                per_shard[upstream.info.id] = {"up": False}
+        return {
+            "router": {
+                "shards_up": len(self.live_shards()),
+                "shards": len(self.upstreams),
+                "submitted": int(self.metrics.value("router.submitted")),
+                "completed": int(self.metrics.value("router.completed")),
+                "failovers": int(self.metrics.value("router.failovers")),
+                "jobs_failed_over": int(
+                    self.metrics.value("router.jobs_failed_over")),
+                "frames": int(self.metrics.value("router.frames")),
+                "frame_bytes": int(self.metrics.value("router.frame_bytes")),
+                "orbit_gossiped": int(
+                    self.metrics.value("router.orbit.gossiped")),
+                "in_flight": len(self._routes),
+                "draining": self._draining,
+            },
+            "shards": per_shard,
+        }
+
+    async def drain(self) -> dict:
+        """Drain every live shard; zero accepted jobs lost.
+
+        Each shard's ``drained`` reply arrives on the same upstream
+        connection *after* every result push that drain waited for, so
+        by the time the gather below completes, every in-flight result
+        (streams included) has already been relayed to its client.
+        """
+        self._draining = True
+        live = self.live_shards()
+        replies = await asyncio.gather(
+            *(u.request({"op": "drain"}) for u in live),
+            return_exceptions=True)
+        completed = failed = 0
+        for reply in replies:
+            if isinstance(reply, BaseException):
+                continue
+            completed += int(reply.get("completed", 0))
+            failed += int(reply.get("failed", 0))
+        summary = {"completed": completed, "failed": failed,
+                   "shards": len(live)}
+        self._drained.set()
+        return summary
+
+
+async def serve_sharded(
+    shards: int = 2,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready=None,
+    shards_file: str | None = None,
+    gossip_interval: float = 0.25,
+    **shard_opts,
+) -> ShardRouter:
+    """Run the sharded deployment until drained (``repro serve --shards N``).
+
+    Spawns ``shards`` backend server processes, routes client traffic to
+    them through a :class:`ShardRouter` on ``host:port``, and tears the
+    fleet down after a drain (client ``drain`` op or SIGTERM/SIGINT).
+    ``ready(router, port)`` fires once the router is listening;
+    ``shards_file`` (optional) records the shard topology as JSON for
+    tooling that needs pids/ports (the CI kill-one-shard smoke).
+    ``shard_opts`` are forwarded to each shard's server flags (``jobs``,
+    ``executor``, ``tenant_rate``, ...).
+    """
+    manager = ShardManager(shards, host=host, **shard_opts)
+    await manager.start()
+    router = ShardRouter(manager.shards, gossip_interval=gossip_interval)
+    try:
+        await router.start()
+        if shards_file:
+            manager.write_shards_file(shards_file)
+        server = await router.start_tcp(host, port)
+        router.install_signal_handlers()
+        bound = server.sockets[0].getsockname()[1]
+        if ready is not None:
+            ready(router, bound)
+        async with server:
+            await router.drained.wait()
+    finally:
+        await router.aclose()
+        await manager.stop()
+    return router

@@ -1,10 +1,11 @@
-"""The asyncio job server: admission, fair dispatch, drain.
+"""The asyncio job server: admission, fair dispatch, streaming, drain.
 
 One :class:`SortingService` owns the whole pipeline::
 
-    connections --> admission (bounded, per-tenant) --> FairQueue
+    connections --> admission (bounded, per-tenant quotas) --> FairQueue
         --> N dispatcher tasks --> executor (inline thread | warm pool)
-        --> result push back to the submitting connection
+        --> result push (scalar, or an arena-backed frame stream)
+            back to the submitting connection
 
 Design decisions, in the order they bit:
 
@@ -27,16 +28,26 @@ Design decisions, in the order they bit:
   pool with bulk results returned through :mod:`repro.shm` arenas.
   Per-job cache deltas are computed inside the worker either way, so
   tenant attribution stays exact.
-* **Backpressure is an answer, not an exception.**  Admission overflow and
-  draining both produce normal protocol replies (``queue_full`` with a
-  ``retry_after_ms`` hint derived from an EMA of recent job cost,
-  ``draining``); nothing is buffered beyond the declared bounds and
-  nothing is silently dropped.
+* **Backpressure is an answer, not an exception.**  Admission overflow,
+  per-tenant quota/rate rejections and draining all produce normal
+  protocol replies (``queue_full``/``rate_limited`` with a
+  ``retry_after_ms`` hint — EMA-of-job-cost for queue pressure, the
+  token bucket's own refill time for rate limits — and ``draining``);
+  nothing is buffered beyond the declared bounds and nothing is silently
+  dropped.
+* **Results stream; the server never holds them.**  A ``stream: true``
+  sort's array lands in a :mod:`repro.shm` arena (any batch containing
+  one is dispatched through a parent-named arena, whatever the executor
+  tier) and leaves as checksummed frames — shm descriptors for same-host
+  clients, length-prefixed binary otherwise — under a bounded in-flight
+  window (see :mod:`repro.service.streams`).  The arena carries a read
+  lease per streamed job and unlinks when the last consumer signals
+  ``stream_done`` (or dies trying: connection teardown releases too).
 * **Drain is a barrier, not a kill.**  ``drain()`` (also wired to
   SIGTERM/SIGINT) stops admission, wakes everyone, waits until the queue
-  and the in-flight set are empty — results included, so no accepted job
-  is ever lost — then flushes observability state and trips the drained
-  event that ends ``serve()``.
+  and the in-flight set are empty — results *and result streams*
+  included, so no accepted job is ever lost — then flushes observability
+  state and trips the drained event that ends ``serve()``.
 """
 
 from __future__ import annotations
@@ -47,13 +58,21 @@ import re
 import signal
 import sys
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.obs import MetricsRegistry
 from repro.plancache import PLAN_CACHE
 from repro.service.jobs import run_job_batch, run_job_batch_shm
 from repro.service.protocol import JobSpec, ProtocolError, decode_line, encode
-from repro.service.queue import FairQueue, QueueFull, QueuedJob
+from repro.service.queue import FairQueue, QueueFull, QueuedJob, TokenBucket
+from repro.service.streams import (
+    DEFAULT_CHUNK_KEYS,
+    DEFAULT_WINDOW,
+    STREAM_TRANSPORTS,
+    frame_checksum,
+    plan_frames,
+)
 
 __all__ = ["SortingService", "serve"]
 
@@ -71,17 +90,56 @@ class _Connection:
         self.closed = False
 
     async def send(self, message: dict) -> bool:
+        return await self.send_with_payload(message, None)
+
+    async def send_with_payload(self, message: dict, payload: bytes | None) -> bool:
+        """Send a message line, optionally followed by raw payload bytes.
+
+        The lock spans both writes: a binary result frame is one atomic
+        unit on the wire (header line + exactly ``nbytes`` bytes), and
+        concurrent streams on one connection must not interleave inside
+        it.
+        """
         if self.closed or self.writer is None:
             return False
         data = encode(message)
         async with self.lock:
             try:
                 self.writer.write(data)
+                if payload is not None:
+                    self.writer.write(payload)
                 await self.writer.drain()
             except (ConnectionError, RuntimeError, OSError):
                 self.closed = True
                 return False
         return True
+
+
+class _Stream:
+    """Server-side state of one in-flight result stream."""
+
+    __slots__ = ("job", "transport", "frames", "sent", "acked", "ack_event",
+                 "aborted", "lease_name", "lease_released", "awaiting_done")
+
+    def __init__(self, job: QueuedJob, transport: str, frames: int,
+                 lease_name: str | None):
+        self.job = job
+        self.transport = transport
+        self.frames = frames
+        self.sent = -1
+        self.acked = -1
+        self.ack_event = asyncio.Event()
+        self.aborted = False
+        self.lease_name = lease_name
+        self.lease_released = lease_name is None
+        self.awaiting_done = False
+
+    def release_lease(self) -> None:
+        if not self.lease_released:
+            from repro import shm
+
+            self.lease_released = True
+            shm.release_lease(self.lease_name)
 
 
 class SortingService:
@@ -103,6 +161,21 @@ class SortingService:
         max_queued: global admission bound.
         max_queued_per_tenant: per-tenant admission bound.
         batch_max: maximum compatible jobs fused into one executor trip.
+        tenant_rate: per-tenant token-bucket admission rate in jobs/sec
+            (``None`` = unlimited).  Rejections answer ``rate_limited``
+            with ``retry_after_ms`` derived from the bucket's refill.
+        tenant_burst: bucket depth (default: ``ceil(tenant_rate)``,
+            at least 1) — short bursts admit at full speed.
+        max_inflight_per_tenant: cap on one tenant's accepted-but-not-yet-
+            delivered jobs (queued + executing + streaming); ``None`` =
+            unlimited.
+        stream_chunk: keys per streamed result frame.
+        stream_window: frames in flight beyond the highest client ack.
+        stream_ack_timeout: seconds to wait for window space before a
+            stream is declared stalled and aborted (keeps drain finite
+            against a dead-but-connected consumer).
+        shard_id: label this process carries in stats/metrics when it
+            runs as one shard of a :mod:`repro.service.router` deployment.
         metrics: a :class:`repro.obs.MetricsRegistry` to report into (a
             fresh one by default; exposed as ``self.metrics``).
         obs_out: optional path — drain writes a JSON observability snapshot
@@ -117,14 +190,32 @@ class SortingService:
         max_queued: int = 1024,
         max_queued_per_tenant: int = 512,
         batch_max: int = 8,
+        tenant_rate: float | None = None,
+        tenant_burst: int | None = None,
+        max_inflight_per_tenant: int | None = None,
+        stream_chunk: int = DEFAULT_CHUNK_KEYS,
+        stream_window: int = DEFAULT_WINDOW,
+        stream_ack_timeout: float = 30.0,
+        shard_id: str | None = None,
         metrics: MetricsRegistry | None = None,
         obs_out: str | None = None,
         log=None,
     ):
         if batch_max < 1:
             raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        if stream_chunk < 1:
+            raise ValueError(f"stream_chunk must be >= 1, got {stream_chunk}")
+        if stream_window < 1:
+            raise ValueError(f"stream_window must be >= 1, got {stream_window}")
         self.queue = FairQueue(max_queued, max_queued_per_tenant)
         self.batch_max = int(batch_max)
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = tenant_burst
+        self.max_inflight_per_tenant = max_inflight_per_tenant
+        self.stream_chunk = int(stream_chunk)
+        self.stream_window = int(stream_window)
+        self.stream_ack_timeout = float(stream_ack_timeout)
+        self.shard_id = shard_id
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.obs_out = obs_out
         self.log = log if log is not None else (
@@ -155,9 +246,6 @@ class SortingService:
             self._executor = ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix="repro-service")
             self._owns_executor = True
-        self._batch_runner = (
-            run_job_batch_shm if self.executor_tier == "shm" else run_job_batch
-        )
 
         self.draining = False
         self.in_flight = 0
@@ -167,6 +255,16 @@ class SortingService:
         self._seq = itertools.count()
         self._tenants: set[str] = set()
         self._ema_run_ms = 50.0  # seeds the retry-after hint before data
+        self._buckets: dict[str, TokenBucket] = {}
+        self._tenant_inflight: dict[str, int] = {}
+        self._streams: dict[str, _Stream] = {}
+        self._stream_tasks: set[asyncio.Task] = set()
+        # Gossiped orbit entries waiting to ride dispatches down to pool
+        # workers: [entry, remaining rides] pairs (imports are idempotent,
+        # so over-delivery is harmless and addressing workers is not
+        # needed — ~2 rides per worker makes coverage overwhelmingly
+        # likely without unbounded repetition).
+        self._orbit_pending: deque = deque()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -225,6 +323,14 @@ class SortingService:
         if self._dispatchers:
             await asyncio.gather(*self._dispatchers, return_exceptions=True)
         self._dispatchers = []
+        for task in list(self._stream_tasks):
+            task.cancel()
+        if self._stream_tasks:
+            await asyncio.gather(*self._stream_tasks, return_exceptions=True)
+        self._stream_tasks.clear()
+        for state in list(self._streams.values()):
+            state.release_lease()
+        self._streams.clear()
         if self._owns_executor:
             self._executor.shutdown(wait=False, cancel_futures=True)
 
@@ -259,6 +365,7 @@ class SortingService:
             pass
         finally:
             conn.closed = True
+            self._abort_streams_for(conn)
             if close:
                 writer.close()
                 try:
@@ -282,6 +389,31 @@ class SortingService:
         if op == "drain":
             summary = await self.drain()
             return {"ok": True, "op": "drained", "id": rid, **summary}
+        if op == "frame_ack":
+            state = self._streams.get(msg.get("job_id"))
+            seq = msg.get("seq")
+            if state is not None and isinstance(seq, int) and seq > state.acked:
+                state.acked = seq
+                state.ack_event.set()
+            return None
+        if op == "stream_done":
+            state = self._streams.pop(msg.get("job_id"), None)
+            if state is not None:
+                state.release_lease()
+            return None
+        if op == "orbit_pull":
+            cursor = msg.get("cursor", 0)
+            entries, new_cursor = PLAN_CACHE.export_orbit_entries(
+                cursor if isinstance(cursor, int) else 0)
+            self.metrics.inc("service.orbit.exported", len(entries))
+            return {"ok": True, "op": "orbit_entries", "id": rid,
+                    "entries": entries, "cursor": new_cursor}
+        if op == "orbit_push":
+            entries = msg.get("entries")
+            imported = self._import_orbit(
+                entries if isinstance(entries, list) else [])
+            return {"ok": True, "op": "orbit_imported", "id": rid,
+                    "imported": imported}
         return {"ok": False, "error": "bad_request", "id": rid,
                 "detail": f"unknown op {op!r}"}
 
@@ -295,6 +427,12 @@ class SortingService:
             self.metrics.inc("service.rejected.bad_request")
             return {**reject, "error": "bad_request",
                     "detail": f"invalid tenant {tenant!r}"}
+        transport = msg.get("transport", "binary")
+        if transport not in STREAM_TRANSPORTS:
+            self.metrics.inc("service.rejected.bad_request")
+            return {**reject, "error": "bad_request",
+                    "detail": f"transport must be one of {STREAM_TRANSPORTS}, "
+                              f"got {transport!r}"}
         try:
             spec = JobSpec.from_dict(msg.get("job"))
         except ProtocolError as exc:
@@ -303,6 +441,9 @@ class SortingService:
         if self.draining:
             self.metrics.inc("service.rejected.draining")
             return {**reject, "error": "draining"}
+        quota = self._check_quota(tenant)
+        if quota is not None:
+            return {**reject, **quota}
         job = QueuedJob(
             job_id=f"j{next(self._seq)}",
             tenant=tenant,
@@ -310,6 +451,7 @@ class SortingService:
             client_id=rid,
             conn=conn,
             enqueued_at=time.perf_counter(),
+            transport=transport,
         )
         try:
             depth = self.queue.put(job)
@@ -319,6 +461,7 @@ class SortingService:
             return {**reject, "error": "queue_full", "scope": exc.scope,
                     "retry_after_ms": self._retry_after_ms()}
         self._tenants.add(tenant)
+        self._tenant_inflight[tenant] = self._tenant_inflight.get(tenant, 0) + 1
         self.metrics.inc("service.submitted")
         self.metrics.inc(f"service.tenant.{tenant}.submitted")
         self.metrics.set_gauge("service.queue_depth", self.queue.depth)
@@ -327,11 +470,79 @@ class SortingService:
         return {"ok": True, "op": "submit", "id": rid, "status": "queued",
                 "job_id": job.job_id, "queued": depth}
 
+    def _check_quota(self, tenant: str) -> dict | None:
+        """Per-tenant quota gate; a rejection payload, or ``None`` = admit.
+
+        Order matters: the inflight cap is checked first so a rejected
+        submit never consumes a rate token.
+        """
+        if self.max_inflight_per_tenant is not None:
+            if (self._tenant_inflight.get(tenant, 0)
+                    >= self.max_inflight_per_tenant):
+                self.metrics.inc("service.rejected.rate_limited")
+                self.metrics.inc(f"service.tenant.{tenant}.rejected")
+                return {"error": "rate_limited", "scope": "max_inflight",
+                        "retry_after_ms": self._retry_after_ms()}
+        if self.tenant_rate is not None:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                burst = self.tenant_burst
+                if burst is None:
+                    burst = max(1, int(self.tenant_rate + 0.999999))
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.tenant_rate, burst)
+            wait = bucket.try_take()
+            if wait > 0.0:
+                self.metrics.inc("service.rejected.rate_limited")
+                self.metrics.inc(f"service.tenant.{tenant}.rejected")
+                return {"error": "rate_limited", "scope": "jobs_per_sec",
+                        "retry_after_ms": max(1, int(wait * 1e3 + 0.5))}
+        return None
+
+    def _release_tenant(self, tenant: str) -> None:
+        left = self._tenant_inflight.get(tenant, 0) - 1
+        if left > 0:
+            self._tenant_inflight[tenant] = left
+        else:
+            self._tenant_inflight.pop(tenant, None)
+
     def _retry_after_ms(self) -> int:
         """Backpressure hint: time for the backlog to pass one worker."""
         width = max(1, self._pool_workers or 1)
         backlog = self.queue.depth + self.in_flight
         return int(min(30_000, max(50.0, self._ema_run_ms * (backlog / width))))
+
+    # -- orbit gossip --------------------------------------------------------
+
+    def _import_orbit(self, entries: list) -> int:
+        """Install orbit entries (gossip push or worker delta) locally.
+
+        Imports land in this process's PLAN_CACHE (warming the inline and
+        thread tiers immediately) and, for process-pool tiers, queue up to
+        ride upcoming dispatches so pool workers warm lazily too.
+        """
+        imported = PLAN_CACHE.import_orbit_entries(entries)
+        if imported:
+            self.metrics.inc("service.orbit.imported", imported)
+            if self.executor_tier in ("process", "shm"):
+                rides = 2 * max(1, self._pool_workers)
+                for entry in entries:
+                    self._orbit_pending.append([entry, rides])
+        return imported
+
+    def _orbit_piggyback(self) -> list[dict]:
+        """Entries to attach to the next dispatch (decrements ride counts)."""
+        if not self._orbit_pending:
+            return []
+        out: list[dict] = []
+        keep: deque = deque()
+        while self._orbit_pending:
+            entry, rides = self._orbit_pending.popleft()
+            out.append(entry)
+            if rides > 1:
+                keep.append([entry, rides - 1])
+        self._orbit_pending = keep
+        return out
 
     # -- dispatch ------------------------------------------------------------
 
@@ -348,20 +559,44 @@ class SortingService:
             self.metrics.set_gauge("service.queue_depth", self.queue.depth)
             self.metrics.set_gauge("service.in_flight", self.in_flight)
             specs = tuple(job.spec for job in batch)
+            has_stream = any(job.spec.stream for job in batch)
+            use_arena = has_stream or self.executor_tier == "shm"
+            arena_name = None
+            orbit_entries = self._orbit_piggyback()
+            stream_refs: dict[str, object] = {}
             try:
-                payloads = await loop.run_in_executor(
-                    self._executor, self._batch_runner, specs)
-                if self.executor_tier == "shm":
-                    from repro.shm import unpack_results
+                if use_arena:
+                    from repro import shm
 
-                    payloads, _moved = unpack_results(payloads)
+                    arena_name = shm.make_name("svcres")
+                    shm.register_name(arena_name)
+                    args = (specs, arena_name)
+                    if orbit_entries:
+                        args = args + (orbit_entries,)
+                    tagged = await loop.run_in_executor(
+                        self._executor, run_job_batch_shm, *args)
+                    payloads, stream_refs = self._unpack_batch(
+                        batch, tagged, arena_name)
+                else:
+                    args = (specs, orbit_entries) if orbit_entries else (specs,)
+                    payloads = await loop.run_in_executor(
+                        self._executor, run_job_batch, *args)
+                    stream_refs = self._extract_stream_payloads(batch, payloads)
             except asyncio.CancelledError:
+                if arena_name is not None:
+                    from repro import shm
+
+                    shm.sweep((arena_name,))
                 async with self._cond:
                     self.in_flight -= len(batch)
                     self._cond.notify_all()
                 raise
             except Exception as exc:  # broken pool, pickling failure, ...
                 self.log(f"batch of {len(batch)} failed in executor: {exc!r}")
+                if arena_name is not None:
+                    from repro import shm
+
+                    shm.sweep((arena_name,))
                 payloads = [
                     {"ok": False, "run_ms": 0.0,
                      "result": {"kind": spec.kind,
@@ -369,20 +604,91 @@ class SortingService:
                      "plancache": {"hits": 0, "misses": 0}}
                     for spec in specs
                 ]
+                stream_refs = {}
             now = time.perf_counter()
             self.metrics.inc("service.batches")
             if len(batch) > 1:
                 self.metrics.inc("service.batched_jobs", len(batch) - 1)
+            streams = 0
             for job, payload in zip(batch, payloads):
-                await self._finish_job(job, payload, len(batch), now)
+                if isinstance(payload, dict):
+                    entries = payload.pop("orbit_entries", None)
+                    if entries:
+                        self._import_orbit(entries)
+                ref = stream_refs.get(job.job_id)
+                if ref is not None:
+                    streams += 1
+                    task = asyncio.create_task(
+                        self._deliver_stream(job, payload, ref,
+                                             len(batch), now),
+                        name=f"repro-stream-{job.job_id}")
+                    self._stream_tasks.add(task)
+                    task.add_done_callback(self._stream_tasks.discard)
+                else:
+                    await self._finish_job(job, payload, len(batch), now)
             async with self._cond:
-                self.in_flight -= len(batch)
+                # Streamed jobs stay in flight until their delivery task
+                # (which sends result_end) finishes — the drain barrier
+                # must cover them.
+                self.in_flight -= len(batch) - streams
                 self.metrics.set_gauge("service.in_flight", self.in_flight)
                 self._cond.notify_all()
 
-    async def _finish_job(
-        self, job: QueuedJob, payload: dict, batch_size: int, now: float
-    ) -> None:
+    def _extract_stream_payloads(self, batch, payloads) -> dict:
+        """Pop in-memory ``sorted_keys`` arrays for the streamed jobs."""
+        refs: dict[str, object] = {}
+        for job, payload in zip(batch, payloads):
+            if not (job.spec.stream and isinstance(payload, dict)
+                    and payload.get("ok")):
+                continue
+            result = payload.get("result")
+            if isinstance(result, dict) and "sorted_keys" in result:
+                refs[job.job_id] = result.pop("sorted_keys")
+        return refs
+
+    def _unpack_batch(self, batch, tagged: tuple, name: str) -> tuple[list, dict]:
+        """Resolve an arena batch, keeping streamed arrays *in* the arena.
+
+        The streamed jobs' ``sorted_keys`` ShmRefs are popped before the
+        generic unpack so their payloads are never copied out; the arena
+        then takes one read lease per streamed ref (released as each
+        stream completes — the last release unlinks).  Everything else is
+        copied out as usual.  With no streamed refs the segment is swept
+        immediately.
+        """
+        from repro import shm
+
+        tag, payload_list, _moved = tagged
+        if tag == "inline":
+            # Below the break-even (or /dev/shm unusable): the named
+            # segment was never created — settle the pre-registration.
+            shm.sweep((name,))
+            return payload_list, self._extract_stream_payloads(
+                batch, payload_list)
+        refs: dict[str, object] = {}
+        for job, payload in zip(batch, payload_list):
+            if not (job.spec.stream and isinstance(payload, dict)
+                    and payload.get("ok")):
+                continue
+            result = payload.get("result")
+            if isinstance(result, dict) and "sorted_keys" in result:
+                refs[job.job_id] = result.pop("sorted_keys")
+        cache = shm._AttachCache()
+        try:
+            payloads = [shm.unpack(item, cache) for item in payload_list]
+        finally:
+            cache.close()
+        leases = sum(1 for ref in refs.values() if isinstance(ref, shm.ShmRef))
+        if leases:
+            shm.acquire_lease(name, leases)
+        else:
+            shm.sweep((name,))
+        return payloads, refs
+
+    # -- result delivery -----------------------------------------------------
+
+    def _account_job(self, job: QueuedJob, payload: dict, now: float) -> dict:
+        """Fold one finished job into metrics/EMA; return the timing trio."""
         run_ms = float(payload["run_ms"])
         latency_ms = (now - job.enqueued_at) * 1e3
         queue_ms = max(0.0, latency_ms - run_ms)
@@ -391,26 +697,187 @@ class SortingService:
         self.metrics.inc("service.completed" if payload["ok"] else "service.failed")
         self.metrics.inc(f"service.tenant.{t}.completed")
         pc = payload.get("plancache", {})
-        self.metrics.inc(f"service.tenant.{t}.plancache.hits", max(0, pc.get("hits", 0)))
+        self.metrics.inc(f"service.tenant.{t}.plancache.hits",
+                         max(0, pc.get("hits", 0)))
         self.metrics.inc(f"service.tenant.{t}.plancache.misses",
                          max(0, pc.get("misses", 0)))
         self.metrics.observe("service.run_ms", run_ms)
         self.metrics.observe("service.queue_ms", queue_ms)
         self.metrics.observe("service.latency_ms", latency_ms)
+        return {"run_ms": round(run_ms, 3), "queue_ms": round(queue_ms, 3),
+                "latency_ms": round(latency_ms, 3)}
+
+    async def _finish_job(
+        self, job: QueuedJob, payload: dict, batch_size: int, now: float
+    ) -> None:
+        timing = self._account_job(job, payload, now)
+        self._release_tenant(job.tenant)
         message = {
             "ok": payload["ok"],
             "op": "result",
             "id": job.client_id,
             "job_id": job.job_id,
-            "tenant": t,
+            "tenant": job.tenant,
             "result": payload["result"],
-            "run_ms": round(run_ms, 3),
-            "queue_ms": round(queue_ms, 3),
-            "latency_ms": round(latency_ms, 3),
+            **timing,
             "batched": batch_size,
         }
         if job.conn is not None:
             await job.conn.send(message)
+
+    async def _deliver_stream(
+        self, job: QueuedJob, payload: dict, ref, batch_size: int, now: float
+    ) -> None:
+        """Send one streamed result: header, windowed frames, trailer.
+
+        Runs as its own task so a slow consumer throttles only its stream
+        (the bounded window blocks *here*, not in the dispatcher); the job
+        stays in flight — and its tenant quota held — until the trailer
+        is out.
+        """
+        from repro import shm
+
+        import numpy as np
+
+        is_ref = isinstance(ref, shm.ShmRef)
+        # A shm transport is only deliverable when the payload actually
+        # lives in a segment; otherwise (tiny array, no /dev/shm) the
+        # header downgrades to binary and the client follows it.
+        transport = job.transport if is_ref else "binary"
+        dtype = ref.dtype if is_ref else ref.dtype.str
+        itemsize = np.dtype(dtype).itemsize
+        count = (ref.nbytes // itemsize) if is_ref else int(ref.size)
+        frames = plan_frames(count, self.stream_chunk)
+        state = _Stream(job, transport, len(frames),
+                        ref.segment if is_ref else None)
+        self._streams[job.job_id] = state
+        arena = None
+        sent_bytes = 0
+        ok = True
+        error: str | None = None
+        try:
+            timing = self._account_job(job, payload, now)
+            header = {
+                "ok": True,
+                "op": "result_header",
+                "id": job.client_id,
+                "job_id": job.job_id,
+                "tenant": job.tenant,
+                "frames": len(frames),
+                "count": count,
+                "dtype": dtype,
+                "chunk": self.stream_chunk,
+                "transport": transport,
+                "batched": batch_size,
+            }
+            if job.conn is None or not await job.conn.send(header):
+                ok, error = False, "client_gone"
+                return
+            if is_ref:
+                arena = shm.Arena.attach(ref.segment)
+            for seq, (start, length) in enumerate(frames):
+                if state.aborted or (job.conn and job.conn.closed):
+                    ok, error = False, "client_gone"
+                    return
+                try:
+                    await self._window_wait(state)
+                except asyncio.TimeoutError:
+                    ok, error = False, "stream_stalled"
+                    return
+                if state.aborted:
+                    ok, error = False, "client_gone"
+                    return
+                chunk = (arena.view(ref, start, length) if is_ref
+                         else ref[start:start + length])
+                n, total = frame_checksum(chunk)
+                frame = {
+                    "op": "result_frame",
+                    "job_id": job.job_id,
+                    "seq": seq,
+                    "count": n,
+                    "sum": total,
+                }
+                if transport == "shm":
+                    frame["shm"] = {
+                        "segment": ref.segment,
+                        "offset": ref.offset + start * itemsize,
+                        "nbytes": length * itemsize,
+                        "kind": "ndarray",
+                        "shape": [length],
+                        "dtype": dtype,
+                    }
+                    sent = await job.conn.send(frame)
+                    sent_bytes += length * itemsize
+                else:
+                    data = chunk.tobytes()
+                    frame["nbytes"] = len(data)
+                    sent = await job.conn.send_with_payload(frame, data)
+                    sent_bytes += len(data)
+                if not sent:
+                    ok, error = False, "client_gone"
+                    return
+                state.sent = seq
+                self.metrics.inc("service.stream.frames")
+                self.metrics.inc("service.stream.bytes", length * itemsize)
+            trailer = {
+                "ok": payload["ok"],
+                "op": "result_end",
+                "id": job.client_id,
+                "job_id": job.job_id,
+                "tenant": job.tenant,
+                "result": payload["result"],
+                "frames": len(frames),
+                "count": count,
+                **timing,
+                "batched": batch_size,
+            }
+            await job.conn.send(trailer)
+            self.metrics.inc("service.stream.jobs")
+        finally:
+            if arena is not None:
+                arena.release()
+            if not ok:
+                self.metrics.inc("service.stream.aborted")
+                state.release_lease()
+                self._streams.pop(job.job_id, None)
+                if error != "client_gone" and job.conn is not None:
+                    await job.conn.send({
+                        "ok": False, "op": "result_end", "id": job.client_id,
+                        "job_id": job.job_id, "tenant": job.tenant,
+                        "error": error, "retryable": True,
+                        "result": {"kind": job.spec.kind, "error": error},
+                    })
+            elif transport != "shm":
+                # Binary frames were copied onto the wire; nothing reads
+                # the arena after this, so the lease drops now.  A shm
+                # stream instead waits for the client's stream_done.
+                state.release_lease()
+                self._streams.pop(job.job_id, None)
+            else:
+                state.awaiting_done = True
+            self._release_tenant(job.tenant)
+            async with self._cond:
+                self.in_flight -= 1
+                self.metrics.set_gauge("service.in_flight", self.in_flight)
+                self._cond.notify_all()
+
+    async def _window_wait(self, state: _Stream) -> None:
+        """Block until the in-flight frame window has room (or timeout)."""
+        while (state.sent - state.acked >= self.stream_window
+               and not state.aborted):
+            state.ack_event.clear()
+            await asyncio.wait_for(state.ack_event.wait(),
+                                   self.stream_ack_timeout)
+
+    def _abort_streams_for(self, conn: _Connection) -> None:
+        """Connection teardown: abort/release every stream bound to it."""
+        for job_id, state in list(self._streams.items()):
+            if state.job.conn is conn:
+                state.aborted = True
+                state.ack_event.set()
+                if state.awaiting_done:
+                    state.release_lease()
+                    self._streams.pop(job_id, None)
 
     # -- drain + reporting -----------------------------------------------------
 
@@ -419,7 +886,8 @@ class SortingService:
 
         Idempotent; concurrent callers all return once the barrier clears.
         No accepted job is lost: the barrier counts a job as in-flight
-        until its result has been pushed.
+        until its result — the full frame stream, for streamed jobs — has
+        been pushed.
         """
         self._ensure_started()
         self.draining = True
@@ -460,6 +928,7 @@ class SortingService:
             misses = self.metrics.value(f"service.tenant.{t}.plancache.misses")
             out[t] = {
                 "queued": depths.get(t, 0),
+                "inflight": self._tenant_inflight.get(t, 0),
                 "submitted": int(self.metrics.value(f"service.tenant.{t}.submitted")),
                 "completed": int(self.metrics.value(f"service.tenant.{t}.completed")),
                 "rejected": int(self.metrics.value(f"service.tenant.{t}.rejected")),
@@ -477,8 +946,10 @@ class SortingService:
             "full": int(self.metrics.value("service.rejected.full")),
             "draining": int(self.metrics.value("service.rejected.draining")),
             "bad_request": int(self.metrics.value("service.rejected.bad_request")),
+            "rate_limited": int(
+                self.metrics.value("service.rejected.rate_limited")),
         }
-        return {
+        out = {
             "queue_depth": self.queue.depth,
             "in_flight": self.in_flight,
             "draining": self.draining,
@@ -494,9 +965,23 @@ class SortingService:
                 "tier": self.executor_tier,
                 "workers": self._pool_workers or 1,
             },
+            "streams": {
+                "jobs": int(self.metrics.value("service.stream.jobs")),
+                "frames": int(self.metrics.value("service.stream.frames")),
+                "bytes": int(self.metrics.value("service.stream.bytes")),
+                "aborted": int(self.metrics.value("service.stream.aborted")),
+                "open": len(self._streams),
+            },
+            "orbit": {
+                "imported": int(self.metrics.value("service.orbit.imported")),
+                "exported": int(self.metrics.value("service.orbit.exported")),
+            },
             "tenants": self.tenant_stats(),
             "plancache": PLAN_CACHE.stats(),
         }
+        if self.shard_id is not None:
+            out["shard_id"] = self.shard_id
+        return out
 
 
 async def serve(

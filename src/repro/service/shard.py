@@ -1,0 +1,212 @@
+"""Shard processes: spawning, readiness, teardown, crash reclamation.
+
+A *shard* is one ordinary :class:`~repro.service.server.SortingService`
+process (started via ``python -m repro.cli serve``) with its own event
+loop, warm pool and process-global plan cache.  The
+:class:`ShardManager` owns N of them: it spawns each with
+
+* ``--port 0 --port-file ...`` — the shard picks a free port and writes
+  it once listening, which doubles as the readiness signal;
+* ``REPRO_SHM_TAG`` — a per-shard token folded into every shared-memory
+  segment name the shard (or its pool workers) ever creates, so the
+  router can reclaim a crashed shard's ``/dev/shm`` segments with one
+  :func:`repro.shm.sweep_prefix` glob even after ``kill -9`` skipped the
+  shard's own exit-time sweep;
+* ``REPRO_SHARD_COUNT`` — lets ``--jobs auto`` inside the shard divide
+  the machine's CPUs by the number of sibling shards instead of
+  oversubscribing N pools x all cores (see
+  :func:`repro.parallel.shard_slice`).
+
+Teardown mirrors the single-server contract: SIGTERM each shard (its
+signal handler drains — every accepted job completes), wait, escalate to
+SIGKILL only for stragglers, then sweep each shard's segment prefix.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from repro.shm import ARENA_PREFIX, sweep_prefix
+
+__all__ = ["ShardInfo", "ShardManager"]
+
+
+@dataclass
+class ShardInfo:
+    """One running shard, as the router sees it."""
+
+    id: str
+    host: str
+    port: int
+    pid: int
+    shm_prefix: str
+    proc: object = field(default=None, repr=False)
+
+    def to_dict(self) -> dict:
+        return {"id": self.id, "host": self.host, "port": self.port,
+                "pid": self.pid, "shm_prefix": self.shm_prefix}
+
+
+class ShardManager:
+    """Spawn and supervise ``count`` shard server subprocesses.
+
+    Args:
+        count: number of shards.
+        jobs / executor / batch_max / max_queued / max_queued_per_tenant /
+            tenant_rate / tenant_burst / tenant_max_inflight: forwarded to
+            each shard's ``serve`` flags (``None`` = the shard's default).
+        python: interpreter for the shard processes (this one by default).
+        startup_timeout: seconds to wait for every port file.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        *,
+        host: str = "127.0.0.1",
+        jobs: str | int | None = None,
+        executor: str | None = None,
+        batch_max: int | None = None,
+        max_queued: int | None = None,
+        max_queued_per_tenant: int | None = None,
+        tenant_rate: float | None = None,
+        tenant_burst: int | None = None,
+        tenant_max_inflight: int | None = None,
+        python: str | None = None,
+        startup_timeout: float = 20.0,
+    ):
+        if count < 1:
+            raise ValueError(f"shard count must be >= 1, got {count}")
+        self.count = int(count)
+        self.host = host
+        self.jobs = jobs
+        self.executor = executor
+        self.batch_max = batch_max
+        self.max_queued = max_queued
+        self.max_queued_per_tenant = max_queued_per_tenant
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = tenant_burst
+        self.tenant_max_inflight = tenant_max_inflight
+        self.python = python if python is not None else sys.executable
+        self.startup_timeout = float(startup_timeout)
+        self.shards: list[ShardInfo] = []
+        self._tmpdir: tempfile.TemporaryDirectory | None = None
+
+    def _shard_args(self, port_file: str) -> list[str]:
+        args = [self.python, "-m", "repro.cli", "serve",
+                "--host", self.host, "--port", "0", "--port-file", port_file]
+        if self.jobs is not None:
+            args += ["--jobs", str(self.jobs)]
+        if self.executor is not None:
+            args += ["--executor", self.executor]
+        if self.batch_max is not None:
+            args += ["--batch-max", str(self.batch_max)]
+        if self.max_queued is not None:
+            args += ["--max-queued", str(self.max_queued)]
+        if self.max_queued_per_tenant is not None:
+            args += ["--max-queued-per-tenant", str(self.max_queued_per_tenant)]
+        if self.tenant_rate is not None:
+            args += ["--tenant-rate", str(self.tenant_rate)]
+        if self.tenant_burst is not None:
+            args += ["--tenant-burst", str(self.tenant_burst)]
+        if self.tenant_max_inflight is not None:
+            args += ["--tenant-max-inflight", str(self.tenant_max_inflight)]
+        return args
+
+    async def start(self) -> list[ShardInfo]:
+        """Spawn every shard; returns once all are listening.
+
+        Raises:
+            RuntimeError: a shard exited or missed the startup timeout
+                (everything already spawned is torn down first).
+        """
+        self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-shards-")
+        src_dir = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        procs = []
+        try:
+            for i in range(self.count):
+                tag = f"sh{os.getpid()}x{i}"
+                port_file = os.path.join(self._tmpdir.name, f"shard{i}.port")
+                env = {
+                    **os.environ,
+                    "REPRO_SHM_TAG": tag,
+                    "REPRO_SHARD_COUNT": str(self.count),
+                    "PYTHONPATH": src_dir + (
+                        os.pathsep + os.environ["PYTHONPATH"]
+                        if os.environ.get("PYTHONPATH") else ""),
+                }
+                proc = await asyncio.create_subprocess_exec(
+                    *self._shard_args(port_file), env=env,
+                    stdout=asyncio.subprocess.DEVNULL)
+                procs.append((i, tag, port_file, proc))
+            deadline = time.monotonic() + self.startup_timeout
+            for i, tag, port_file, proc in procs:
+                port = await self._await_port(proc, port_file, deadline, i)
+                self.shards.append(ShardInfo(
+                    id=f"s{i}", host=self.host, port=port, pid=proc.pid,
+                    shm_prefix=f"{ARENA_PREFIX}_{tag}_", proc=proc))
+        except Exception:
+            for _i, tag, _pf, proc in procs:
+                if proc.returncode is None:
+                    proc.kill()
+                sweep_prefix(f"{ARENA_PREFIX}_{tag}_")
+            self.shards.clear()
+            raise
+        return self.shards
+
+    async def _await_port(self, proc, port_file: str, deadline: float,
+                          index: int) -> int:
+        while time.monotonic() < deadline:
+            if proc.returncode is not None:
+                raise RuntimeError(
+                    f"shard {index} exited with {proc.returncode} at startup")
+            try:
+                with open(port_file, encoding="utf-8") as fh:
+                    text = fh.read().strip()
+                if text:
+                    return int(text)
+            except (OSError, ValueError):
+                pass
+            await asyncio.sleep(0.02)
+        raise RuntimeError(f"shard {index} did not come up within "
+                           f"{self.startup_timeout}s")
+
+    async def stop(self, timeout: float = 30.0) -> None:
+        """Drain every live shard (SIGTERM), reap, reclaim segments."""
+        for shard in self.shards:
+            proc = shard.proc
+            if proc is not None and proc.returncode is None:
+                try:
+                    proc.send_signal(signal.SIGTERM)
+                except ProcessLookupError:  # pragma: no cover - just died
+                    pass
+        waits = [asyncio.create_task(shard.proc.wait())
+                 for shard in self.shards
+                 if shard.proc is not None and shard.proc.returncode is None]
+        if waits:
+            done, pending = await asyncio.wait(waits, timeout=timeout)
+            if pending:
+                for shard in self.shards:
+                    proc = shard.proc
+                    if proc is not None and proc.returncode is None:
+                        proc.kill()
+                await asyncio.gather(*pending, return_exceptions=True)
+        for shard in self.shards:
+            sweep_prefix(shard.shm_prefix)
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    def write_shards_file(self, path: str) -> None:
+        """Record the shard topology as JSON (CI smoke reads pids/prefixes)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump([s.to_dict() for s in self.shards], fh, indent=2)
+            fh.write("\n")

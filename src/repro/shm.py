@@ -75,15 +75,19 @@ __all__ = [
     "Arena",
     "LEAF_MIN_BYTES",
     "ShmRef",
+    "acquire_lease",
     "collect_leaf_bytes",
+    "lease_count",
     "make_name",
     "pack",
     "pack_results",
     "payload_nbytes",
     "registered_names",
     "register_name",
+    "release_lease",
     "shm_available",
     "sweep",
+    "sweep_prefix",
     "sweep_registered",
     "unpack",
     "unpack_results",
@@ -118,7 +122,18 @@ def shm_available() -> bool:
 
 
 def make_name(tag: str) -> str:
-    """A fresh segment name: prefix + creating PID + tag + counter."""
+    """A fresh segment name: prefix [+ env tag] + creating PID + tag + counter.
+
+    ``REPRO_SHM_TAG`` (set by the shard manager for each shard process and
+    inherited by its pool workers) is folded in right after the prefix, so
+    every segment a shard — or anything it spawned — creates is reclaimable
+    by a ``sweep_prefix`` glob even after a ``kill -9`` that skipped the
+    process's own exit-time sweep.
+    """
+    env_tag = os.environ.get("REPRO_SHM_TAG", "")
+    env_tag = "".join(c for c in env_tag if c.isalnum() or c in "_-")
+    if env_tag:
+        return f"{ARENA_PREFIX}_{env_tag}_{os.getpid()}_{tag}_{next(_counter)}"
     return f"{ARENA_PREFIX}_{os.getpid()}_{tag}_{next(_counter)}"
 
 
@@ -179,6 +194,64 @@ def sweep(names) -> int:
 def sweep_registered() -> int:
     """Sweep every registered name (teardown / atexit hook)."""
     return sweep(registered_names())
+
+
+def sweep_prefix(prefix: str) -> int:
+    """Unlink every ``/dev/shm`` segment whose name starts with ``prefix``.
+
+    Crash cleanup: a process killed with SIGKILL never runs its exit-time
+    sweep, so its registry dies with it.  The shard manager instead derives
+    each shard's segment names from a ``REPRO_SHM_TAG`` it chose (see
+    :func:`make_name`) and globs the tag's prefix here when the shard
+    dies.  Only names under :data:`ARENA_PREFIX` may be swept; returns the
+    number of segments removed (0 where ``/dev/shm`` does not exist).
+    """
+    if not prefix.startswith(ARENA_PREFIX):
+        raise ValueError(
+            f"refusing to sweep outside {ARENA_PREFIX!r}: {prefix!r}")
+    try:
+        names = [n for n in os.listdir("/dev/shm") if n.startswith(prefix)]
+    except OSError:  # pragma: no cover - non-Linux platform
+        return 0
+    return sweep(names)
+
+
+#: Read leases on named segments: a streamed result's arena stays alive
+#: until every stream reading from it has signalled ``stream_done``; the
+#: last :func:`release_lease` unlinks it.
+_LEASES: dict[str, int] = {}
+
+
+def acquire_lease(name: str, count: int = 1) -> int:
+    """Take ``count`` read leases on ``name``; return the new total."""
+    with _lock:
+        total = _LEASES.get(name, 0) + int(count)
+        _LEASES[name] = total
+        return total
+
+
+def lease_count(name: str) -> int:
+    """Outstanding leases on ``name`` (0 once released/unlinked)."""
+    with _lock:
+        return _LEASES.get(name, 0)
+
+
+def release_lease(name: str) -> int:
+    """Drop one lease; unlink the segment when the last one goes.
+
+    Releasing an unleased name sweeps it immediately — the caller is
+    declaring the segment dead either way.  Returns the leases left.
+    """
+    with _lock:
+        left = _LEASES.get(name, 0) - 1
+        if left > 0:
+            _LEASES[name] = left
+        else:
+            _LEASES.pop(name, None)
+            left = 0
+    if left == 0:
+        sweep((name,))
+    return left
 
 
 class ShmRef:
@@ -314,6 +387,26 @@ class Arena:
         self._cursor += -(-payload // _ALIGN) * _ALIGN
         self.used += payload
         return ref
+
+    def view(self, ref: ShmRef, start: int = 0, count: int | None = None):
+        """Zero-copy ndarray view of (a slice of) an array payload.
+
+        ``start``/``count`` are in elements of the ref's dtype.  The view
+        aliases the mapping — valid only while this arena stays open; the
+        streaming server copies nothing, computes frame checksums on the
+        view, and drops it before release.
+        """
+        if ref.kind != "ndarray":
+            raise TypeError(f"view() needs an ndarray ref, got {ref.kind!r}")
+        dt = np.dtype(ref.dtype)
+        total = ref.nbytes // dt.itemsize
+        if count is None:
+            count = total - start
+        if start < 0 or count < 0 or start + count > total:
+            raise ValueError(
+                f"slice [{start}:{start + count}] out of bounds for {total}")
+        return np.ndarray((count,), dtype=dt, buffer=self._seg.buf,
+                          offset=ref.offset + start * dt.itemsize)
 
     def read(self, ref: ShmRef):
         """Copy one payload out of the arena (safe after :meth:`close`)."""

@@ -1,0 +1,127 @@
+"""Orbit-entry gossip: export/import of canonical plans between caches.
+
+The gossip tier ships ``("orbit", n, canon) -> (mincut, psi, costs)``
+entries between shard-local caches as plain JSON.  The contract:
+
+* every logged entry survives a ``json.dumps``/``loads`` round trip with
+  exact integer equality;
+* an imported entry is *reachable* under lazy canonicalization — the
+  first local sighting of an equivalent fault set canonicalizes and hits
+  it (the import pre-seeds the signature count past the lazy threshold);
+* imports are idempotent and never clobber resident entries;
+* imported entries re-enter the log, so gossip is transitive (A -> router
+  -> B -> B's pool workers).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.partition import find_min_cuts
+from repro.core.selection import select_cut_sequence
+from repro.plancache import PLAN_CACHE, orbit_signature, plan_with_cache
+from repro.plancache.cache import ORBIT_LOG_MAX
+
+N = 5
+FAULTS = (3, 12, 21)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    PLAN_CACHE.configure(enabled=True)
+    PLAN_CACHE.clear(reset_counters=True)
+    yield
+    PLAN_CACHE.configure(enabled=True)
+    PLAN_CACHE.clear(reset_counters=True)
+
+
+def _entries_after_canonical_plan():
+    """Plan the same orbit twice so the canonical entry is computed+logged."""
+    plan_with_cache(N, FAULTS)
+    plan_with_cache(N, tuple(sorted(f ^ 9 for f in FAULTS)))  # same orbit
+    entries, cursor = PLAN_CACHE.export_orbit_entries(0)
+    return entries, cursor
+
+
+class TestExportImportRoundTrip:
+    def test_canonical_plan_is_logged_and_json_safe(self):
+        entries, cursor = _entries_after_canonical_plan()
+        assert len(entries) == 1 and cursor == 1
+        wire = json.loads(json.dumps(entries))
+        assert wire == entries  # ints and lists of ints only
+        entry = wire[0]
+        assert set(entry) == {"n", "canon", "mincut", "psi", "costs"}
+        assert entry["n"] == N
+        assert len(entry["psi"]) == len(entry["costs"])
+
+    def test_cursor_is_incremental(self):
+        entries, cursor = _entries_after_canonical_plan()
+        again, cursor2 = PLAN_CACHE.export_orbit_entries(cursor)
+        assert again == [] and cursor2 == cursor
+
+    def test_import_into_cold_cache_hits_on_first_local_sighting(self):
+        entries, _ = _entries_after_canonical_plan()
+        PLAN_CACHE.clear(reset_counters=True)
+        assert PLAN_CACHE.import_orbit_entries(entries) == 1
+        before = PLAN_CACHE.stats()
+        # First sighting of the orbit locally: without the import this
+        # would plan directly (lazy protocol); with it, the pre-seeded
+        # signature count forces canonicalization straight into the
+        # imported entry.
+        partition, selection = plan_with_cache(N, FAULTS)
+        after = PLAN_CACHE.stats()
+        assert after["total_hits"] > before["total_hits"]
+        cold_part = find_min_cuts(N, FAULTS)
+        cold_sel = select_cut_sequence(cold_part)
+        assert partition.mincut == cold_part.mincut
+        assert selection.cut_dims == cold_sel.cut_dims
+        assert selection.cost == cold_sel.cost
+
+    def test_import_is_idempotent_and_preserves_residents(self):
+        entries, _ = _entries_after_canonical_plan()
+        stats = PLAN_CACHE.stats()
+        assert PLAN_CACHE.import_orbit_entries(entries) == 0  # resident
+        assert PLAN_CACHE.stats()["entries"] == stats["entries"]
+        PLAN_CACHE.clear(reset_counters=True)
+        assert PLAN_CACHE.import_orbit_entries(entries) == 1
+        assert PLAN_CACHE.import_orbit_entries(entries) == 0
+
+    def test_imported_entries_are_relogged_for_transitive_gossip(self):
+        entries, _ = _entries_after_canonical_plan()
+        PLAN_CACHE.clear(reset_counters=True)
+        PLAN_CACHE.import_orbit_entries(entries)
+        relogged, _cursor = PLAN_CACHE.export_orbit_entries(0)
+        assert relogged == entries
+
+    def test_malformed_entries_are_skipped_not_fatal(self):
+        entries, _ = _entries_after_canonical_plan()
+        PLAN_CACHE.clear(reset_counters=True)
+        garbage = [None, {}, {"n": "five", "canon": []},
+                   {"n": 5, "canon": [1, 2], "mincut": "x",
+                    "psi": [], "costs": []}]
+        assert PLAN_CACHE.import_orbit_entries(garbage + entries) == 1
+
+    def test_disabled_cache_imports_nothing(self):
+        entries, _ = _entries_after_canonical_plan()
+        PLAN_CACHE.configure(enabled=False)
+        PLAN_CACHE.clear(reset_counters=True)
+        assert PLAN_CACHE.import_orbit_entries(entries) == 0
+
+
+class TestLogBounds:
+    def test_log_is_bounded_and_cursor_survives_drops(self):
+        for i in range(ORBIT_LOG_MAX + 10):
+            PLAN_CACHE.record_orbit_entry(5, (i,), 1, ((0,),), (0,))
+        entries, cursor = PLAN_CACHE.export_orbit_entries(0)
+        assert len(entries) == ORBIT_LOG_MAX
+        assert cursor == ORBIT_LOG_MAX + 10
+        # A cursor taken before the drop still yields only what remains.
+        tail, cursor2 = PLAN_CACHE.export_orbit_entries(5)
+        assert len(tail) == ORBIT_LOG_MAX
+        assert cursor2 == cursor
+
+    def test_stats_expose_log_length(self):
+        _entries_after_canonical_plan()
+        assert PLAN_CACHE.stats()["orbit_log"] == 1

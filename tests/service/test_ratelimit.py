@@ -1,0 +1,200 @@
+"""Per-tenant rate limiting and jittered client backoff.
+
+Bucket math is tested on a synthetic clock (deterministic); the e2e tests
+assert the server's ``rate_limited`` rejections carry bucket-derived
+``retry_after_ms`` hints and that limits isolate tenants from each other.
+"""
+
+import asyncio
+import random
+import threading
+
+import pytest
+
+import repro.service.server as server_mod
+from repro.service import ServiceClient, SortingService, TokenBucket
+from repro.service.client import _retry_delay_s
+from repro.service.jobs import run_job_batch
+
+
+async def _start(svc: SortingService):
+    server = await svc.start_tcp()
+    return server, server.sockets[0].getsockname()[1]
+
+
+async def _stop(svc, server, *clients):
+    for c in clients:
+        await c.close()
+    server.close()
+    await server.wait_closed()
+    await svc.aclose()
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=10.0, burst=3, now=0.0)
+        assert [bucket.try_take(now=0.0) for _ in range(3)] == [0.0, 0.0, 0.0]
+        wait = bucket.try_take(now=0.0)  # empty: a token costs 1/rate
+        assert wait == pytest.approx(0.1)
+        assert bucket.try_take(now=0.05) > 0.0  # half a token refilled
+        assert bucket.try_take(now=0.151) == 0.0  # > one token refilled
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2, now=0.0)
+        # A long idle period must not bank more than `burst` tokens.
+        assert bucket.try_take(now=100.0) == 0.0
+        assert bucket.try_take(now=100.0) == 0.0
+        assert bucket.try_take(now=100.0) > 0.0
+
+    def test_wait_hint_is_exact(self):
+        bucket = TokenBucket(rate=2.0, burst=1, now=0.0)
+        assert bucket.try_take(now=0.0) == 0.0
+        # 0 tokens left, rate 2/s: next token in 0.5 s.
+        assert bucket.try_take(now=0.0) == pytest.approx(0.5)
+        # After 0.2 s, 0.4 tokens: 0.3 s to go.
+        assert bucket.try_take(now=0.2) == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestJitter:
+    def test_delay_bounds_and_hint_scaling(self):
+        rng = random.Random(0)
+        for hint in (1, 100, 30_000):
+            for _ in range(200):
+                delay = _retry_delay_s(hint, rng)
+                assert hint * 0.5 / 1e3 <= delay < hint * 1.5 / 1e3
+
+    def test_seeded_sequences_reproduce(self):
+        a = [_retry_delay_s(100, random.Random(7)) for _ in range(1)]
+        b = [_retry_delay_s(100, random.Random(7)) for _ in range(1)]
+        assert a == b
+        # Different seeds decorrelate the herd.
+        r1, r2 = random.Random(1), random.Random(2)
+        s1 = [_retry_delay_s(100, r1) for _ in range(8)]
+        s2 = [_retry_delay_s(100, r2) for _ in range(8)]
+        assert s1 != s2
+
+    def test_garbage_hint_falls_back(self):
+        rng = random.Random(0)
+        assert 0.05 <= _retry_delay_s(None, rng) < 0.15
+        assert 0.05 <= _retry_delay_s("soon", rng) < 0.15
+        # Hint 0 clamps to 1 ms, never a zero/negative sleep.
+        assert _retry_delay_s(0, rng) > 0.0
+
+
+class TestRateLimitE2E:
+    def test_rate_limited_rejection_carries_bucket_hint(self):
+        async def main():
+            svc = SortingService(tenant_rate=2.0, tenant_burst=2)
+            server, port = await _start(svc)
+            client = await ServiceClient.connect(port=port)
+            job = {"kind": "plan", "n": 4, "faults": [3]}
+            acks = [await client.submit(job, tenant="metered")
+                    for _ in range(4)]
+            ok = [a for a in acks if a.get("ok")]
+            rejected = [a for a in acks if not a.get("ok")]
+            assert len(ok) == 2  # the burst
+            assert rejected and all(
+                a["error"] == "rate_limited"
+                and a["scope"] == "jobs_per_sec"
+                and 1 <= a["retry_after_ms"] <= 1000
+                for a in rejected)
+            # The un-metered default path: another tenant is unaffected.
+            other = await client.submit(job, tenant="other")
+            assert other["ok"]
+            stats = await client.stats()
+            assert stats["rejected"]["rate_limited"] == len(rejected)
+            for ack in (*ok, other):
+                assert (await client.result(ack["job_id"]))["ok"]
+            await _stop(svc, server, client)
+
+        asyncio.run(main())
+
+    def test_retry_true_rides_out_the_limit(self):
+        async def main():
+            svc = SortingService(tenant_rate=50.0, tenant_burst=1)
+            server, port = await _start(svc)
+            client = await ServiceClient.connect(port=port)
+            job = {"kind": "plan", "n": 4, "faults": [3]}
+            acks = [await client.submit(job, tenant="patient", retry=True)
+                    for _ in range(5)]
+            assert all(a["ok"] for a in acks)
+            for ack in acks:
+                assert (await client.result(ack["job_id"]))["ok"]
+            await _stop(svc, server, client)
+
+        asyncio.run(main())
+
+    def test_max_inflight_cap_and_release(self, monkeypatch):
+        gate = threading.Event()
+
+        def gated(specs):
+            gate.wait(timeout=30)
+            return run_job_batch(specs)
+
+        monkeypatch.setattr(server_mod, "run_job_batch", gated)
+
+        async def main():
+            svc = SortingService(max_inflight_per_tenant=2, batch_max=1)
+            server, port = await _start(svc)
+            client = await ServiceClient.connect(port=port)
+            job = {"kind": "chaos", "index": 0}
+            first = await client.submit(job, tenant="capped")
+            second = await client.submit({**job, "index": 1}, tenant="capped")
+            assert first["ok"] and second["ok"]
+            third = await client.submit({**job, "index": 2}, tenant="capped")
+            assert not third["ok"]
+            assert third["error"] == "rate_limited"
+            assert third["scope"] == "max_inflight"
+            assert third["retry_after_ms"] >= 1
+            # Another tenant is not throttled by the capped one.
+            other = await client.submit({**job, "index": 3}, tenant="free")
+            assert other["ok"]
+            gate.set()
+            for ack in (first, second, other):
+                await client.result(ack["job_id"])
+            # Delivered results release the cap.
+            retry = await client.submit({**job, "index": 4}, tenant="capped")
+            assert retry["ok"]
+            await client.result(retry["job_id"])
+            await _stop(svc, server, client)
+
+        asyncio.run(main())
+
+    def test_inflight_check_consumes_no_token(self, monkeypatch):
+        # A submit rejected on max_inflight must not also burn a rate
+        # token — otherwise a capped tenant starves its own retries.
+        gate = threading.Event()
+
+        def gated(specs):
+            gate.wait(timeout=30)
+            return run_job_batch(specs)
+
+        monkeypatch.setattr(server_mod, "run_job_batch", gated)
+
+        async def main():
+            svc = SortingService(max_inflight_per_tenant=1,
+                                 tenant_rate=1000.0, tenant_burst=2)
+            server, port = await _start(svc)
+            client = await ServiceClient.connect(port=port)
+            job = {"kind": "chaos", "index": 0}
+            first = await client.submit(job, tenant="t")
+            assert first["ok"]
+            for i in range(3):
+                rej = await client.submit({**job, "index": 1 + i}, tenant="t")
+                assert rej["error"] == "rate_limited"
+                assert rej["scope"] == "max_inflight"
+            gate.set()
+            await client.result(first["job_id"])
+            # One token was spent (the admit); the second is still there.
+            nxt = await client.submit({**job, "index": 9}, tenant="t")
+            assert nxt["ok"], nxt
+            await client.result(nxt["job_id"])
+            await _stop(svc, server, client)
+
+        asyncio.run(main())

@@ -1,0 +1,252 @@
+"""Sharded deployment: ring placement, failover, gossip, zero-loss drain.
+
+Unit tests cover the consistent-hash ring's determinism and minimal-motion
+property.  The e2e tests spawn real shard server subprocesses via
+:class:`ShardManager` and drive an in-process :class:`ShardRouter` over
+TCP loopback — including the crash drill: ``kill -9`` a shard mid-stream
+and assert the client sees a clean retryable error, the tenant reroutes
+to a survivor, and the dead shard's ``/dev/shm`` segments are reclaimed.
+"""
+
+import asyncio
+import glob
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.service import HashRing, ServiceClient, ShardManager, StreamError
+from repro.service.router import ShardRouter
+
+
+class TestHashRing:
+    def test_deterministic_and_total(self):
+        a, b = HashRing(), HashRing()
+        for ring in (a, b):
+            for member in ("s0", "s1", "s2"):
+                ring.add(member)
+        tenants = [f"tenant-{i}" for i in range(200)]
+        assert [a.route(t) for t in tenants] == [b.route(t) for t in tenants]
+        # Every member owns some tenants at this scale.
+        owners = {a.route(t) for t in tenants}
+        assert owners == {"s0", "s1", "s2"}
+
+    def test_removal_moves_only_the_lost_members_tenants(self):
+        ring = HashRing()
+        for member in ("s0", "s1", "s2"):
+            ring.add(member)
+        tenants = [f"t{i}" for i in range(300)]
+        before = {t: ring.route(t) for t in tenants}
+        ring.remove("s1")
+        after = {t: ring.route(t) for t in tenants}
+        for t in tenants:
+            if before[t] != "s1":
+                assert after[t] == before[t]  # unaffected tenants stay put
+            else:
+                assert after[t] in ("s0", "s2")
+
+    def test_preference_starts_with_owner_and_covers_all(self):
+        ring = HashRing()
+        for member in ("s0", "s1", "s2", "s3"):
+            ring.add(member)
+        for t in ("alpha", "beta", "gamma"):
+            pref = ring.preference(t)
+            assert pref[0] == ring.route(t)
+            assert sorted(pref) == ["s0", "s1", "s2", "s3"]
+
+    def test_empty_and_duplicate_edges(self):
+        ring = HashRing()
+        assert ring.preference("x") == []
+        with pytest.raises(LookupError):
+            ring.route("x")
+        ring.add("s0")
+        ring.add("s0")  # idempotent
+        assert ring.route("anything") == "s0"
+        ring.remove("missing")  # no-op
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+
+def _tenant_on(ring: HashRing, shard_id: str, hint: str) -> str:
+    """A tenant name the ring places on ``shard_id``."""
+    for i in range(10_000):
+        name = f"{hint}{i}"
+        if ring.route(name) == shard_id:
+            return name
+    raise AssertionError(f"no tenant found for {shard_id}")
+
+
+async def _sharded(count=2, **opts):
+    """Spawn shards + an in-process router; return (manager, router, port)."""
+    manager = ShardManager(count, **opts)
+    await manager.start()
+    router = ShardRouter(manager.shards, gossip_interval=0.0)  # manual ticks
+    await router.start()
+    server = await router.start_tcp()
+    port = server.sockets[0].getsockname()[1]
+    return manager, router, server, port
+
+
+async def _teardown(manager, router, server, *clients):
+    for c in clients:
+        await c.close()
+    server.close()
+    await server.wait_closed()
+    await router.aclose()
+    await manager.stop()
+
+
+class TestShardedEndToEnd:
+    def test_tenant_affinity_and_namespaced_ids(self):
+        async def main():
+            manager, router, server, port = await _sharded(2)
+            client = await ServiceClient.connect(port=port)
+            t0 = _tenant_on(router.ring, "s0", "a")
+            t1 = _tenant_on(router.ring, "s1", "b")
+            job = {"kind": "plan", "n": 4, "faults": [3]}
+            acks0 = [await client.submit(job, tenant=t0) for _ in range(3)]
+            acks1 = [await client.submit(job, tenant=t1) for _ in range(3)]
+            assert all(a["ok"] for a in acks0 + acks1)
+            # Affinity: every job of a tenant lands on its ring shard,
+            # visibly namespaced in the global job id.
+            assert all(a["job_id"].startswith("s0:") for a in acks0)
+            assert all(a["job_id"].startswith("s1:") for a in acks1)
+            for ack in acks0 + acks1:
+                result = await client.result(ack["job_id"])
+                assert result["ok"] and result["job_id"] == ack["job_id"]
+            stats = await client.stats()
+            assert stats["router"]["shards_up"] == 2
+            assert stats["shards"]["s0"]["completed"] == 3
+            assert stats["shards"]["s1"]["completed"] == 3
+            await _teardown(manager, router, server, client)
+
+        asyncio.run(main())
+
+    def test_streamed_results_relay_through_router(self):
+        async def main():
+            manager, router, server, port = await _sharded(2)
+            client = await ServiceClient.connect(port=port)
+            tenant = _tenant_on(router.ring, "s1", "streamer")
+            keys, seed = 30_000, 11
+            ack = await client.submit(
+                {"kind": "sort", "n": 4, "keys": keys, "seed": seed,
+                 "stream": True}, tenant=tenant)
+            assert ack["ok"] and ack["job_id"].startswith("s1:")
+            streamed = await client.collect_stream(ack["job_id"])
+            rng = np.random.default_rng(seed)
+            expected = np.sort(rng.integers(0, 10**6, size=keys).astype(float))
+            assert streamed.tobytes() == expected.tobytes()
+            summary = client.stream_summary(ack["job_id"])
+            assert summary["ok"] and summary["result"]["verified"]
+            await _teardown(manager, router, server, client)
+
+        asyncio.run(main())
+        assert not glob.glob("/dev/shm/repro_shm_*")
+
+    def test_gossip_warms_the_other_shards_cache(self):
+        async def main():
+            manager, router, server, port = await _sharded(2)
+            client = await ServiceClient.connect(port=port)
+            t0 = _tenant_on(router.ring, "s0", "payer")
+            t1 = _tenant_on(router.ring, "s1", "rider")
+            faults = (3, 12, 21)
+            image = tuple(sorted(f ^ 9 for f in faults))   # same orbit
+            other = tuple(sorted(f ^ 17 for f in faults))  # same orbit again
+            # Shard s0 pays: two sightings of one orbit -> canonical entry.
+            for fs in (faults, image):
+                r = await client.submit_and_wait(
+                    {"kind": "plan", "n": 5, "faults": list(fs)}, tenant=t0)
+                assert r["ok"]
+            pushed = await router.gossip_once()
+            assert pushed >= 1
+            # Shard s1 rides: its *first* sighting of the orbit hits the
+            # gossiped canonical plan instead of planning from scratch.
+            before = (await client.stats())["shards"]["s1"]
+            assert before["orbit"]["imported"] >= 1
+            r = await client.submit_and_wait(
+                {"kind": "plan", "n": 5, "faults": list(other)}, tenant=t1)
+            assert r["ok"]
+            after = (await client.stats())["shards"]["s1"]
+            gained = (after["tenants"][t1]["plancache"]["hits"]
+                      - before["tenants"].get(t1, {}).get(
+                          "plancache", {}).get("hits", 0))
+            assert gained >= 1
+            # Transitivity guard: nothing gossips back as new next round.
+            assert await router.gossip_once() == 0
+            await _teardown(manager, router, server, client)
+
+        asyncio.run(main())
+
+    def test_kill_dash_nine_mid_stream_fails_over_cleanly(self):
+        async def main():
+            manager, router, server, port = await _sharded(2)
+            client = await ServiceClient.connect(port=port)
+            victim_id = "s0"
+            victim = next(s for s in manager.shards if s.id == victim_id)
+            tenant = _tenant_on(router.ring, victim_id, "unlucky")
+            keys = 1 << 20  # 16 frames at the default chunk: a real stream
+            ack = await client.submit(
+                {"kind": "sort", "n": 4, "keys": keys, "seed": 5,
+                 "stream": True}, tenant=tenant)
+            assert ack["ok"] and ack["job_id"].startswith("s0:")
+            consumed = 0
+            with pytest.raises(StreamError) as err:
+                async for chunk in client.iter_result(ack["job_id"]):
+                    consumed += chunk.size
+                    if consumed and victim.proc.returncode is None:
+                        # Mid-stream: the array is partially delivered.
+                        os.kill(victim.pid, signal.SIGKILL)
+                        await victim.proc.wait()
+            assert err.value.retryable  # clean, resubmittable failure
+            assert 0 < consumed < keys
+            # The router noticed, rerouted the tenant, reclaimed segments.
+            for _ in range(500):
+                if router.ring.route(tenant) != victim_id:
+                    break
+                await asyncio.sleep(0.01)
+            assert router.ring.route(tenant) != victim_id
+            assert not glob.glob(f"/dev/shm/{victim.shm_prefix}*")
+            # Resubmission lands on the survivor and completes.
+            retry = await client.submit(
+                {"kind": "sort", "n": 4, "keys": 4096, "seed": 5,
+                 "stream": True}, tenant=tenant, retry=True)
+            assert retry["ok"] and retry["job_id"].startswith("s1:")
+            streamed = await client.collect_stream(retry["job_id"])
+            assert streamed.size == 4096
+            assert client.stream_summary(retry["job_id"])["ok"]
+            # Zero-loss drain of the survivors.
+            summary = await client.drain()
+            assert summary["shards"] == 1
+            stats = (await client.stats())["router"]
+            assert stats["failovers"] == 1
+            assert stats["jobs_failed_over"] >= 0
+            await _teardown(manager, router, server, client)
+
+        asyncio.run(main())
+        assert not glob.glob("/dev/shm/repro_shm_*")
+
+    def test_multi_shard_drain_loses_nothing(self):
+        async def main():
+            manager, router, server, port = await _sharded(2)
+            client = await ServiceClient.connect(port=port)
+            jobs = 10
+            acks = [await client.submit(
+                {"kind": "sort", "n": 4, "keys": 256, "seed": i},
+                tenant=f"t{i}", retry=True) for i in range(jobs)]
+            assert all(a["ok"] for a in acks)
+            results = [await client.result(a["job_id"]) for a in acks]
+            assert all(r["ok"] for r in results)
+            summary = await client.drain()
+            # Drain sums every shard's counters: all accepted jobs ran.
+            assert summary["completed"] == jobs
+            assert summary["failed"] == 0
+            assert summary["shards"] == 2
+            # Draining router rejects new work explicitly.
+            late = await client.submit(
+                {"kind": "plan", "n": 4, "faults": [1]}, tenant="late")
+            assert not late["ok"] and late["error"] == "draining"
+            await _teardown(manager, router, server, client)
+
+        asyncio.run(main())
+        assert not glob.glob("/dev/shm/repro_shm_*")
